@@ -1,0 +1,83 @@
+// Package-level benchmark harness: one testing.B benchmark per table/figure
+// of the paper's evaluation (§X). `go test -bench=. -benchmem` regenerates
+// them; each benchmark reports the reproduced quantity as a custom metric so
+// the -bench output doubles as the paper-vs-measured record.
+package xt910_test
+
+import (
+	"testing"
+
+	"xt910/internal/bench"
+	"xt910/internal/perf"
+)
+
+// runFigure executes one reproduction inside a testing.B, reporting every row
+// as a custom benchmark metric.
+func runFigure(b *testing.B, fn func(bench.Options) (*perf.Result, error)) {
+	b.ReportAllocs()
+	var res *perf.Result
+	var err error
+	for i := 0; i < b.N; i++ {
+		res, err = fn(bench.Options{Quick: true})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	for _, row := range res.Rows {
+		b.ReportMetric(row.Measured, metricName(row.Label))
+	}
+	b.Logf("\n%s", res.Format())
+}
+
+func metricName(label string) string {
+	out := make([]rune, 0, len(label))
+	for _, r := range label {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// BenchmarkTable1Configs regenerates Table I (core configuration matrix).
+func BenchmarkTable1Configs(b *testing.B) { runFigure(b, bench.Table1) }
+
+// BenchmarkTable2AreaPower regenerates Table II (frequency/area/power model).
+func BenchmarkTable2AreaPower(b *testing.B) { runFigure(b, bench.Table2) }
+
+// BenchmarkFig17CoreMark regenerates Fig. 17 (CoreMark comparison,
+// XT-910 ≈ 1.39x the U74-class).
+func BenchmarkFig17CoreMark(b *testing.B) { runFigure(b, bench.Fig17) }
+
+// BenchmarkFig18EEMBC regenerates Fig. 18 (EEMBC vs Cortex-A73-class).
+func BenchmarkFig18EEMBC(b *testing.B) { runFigure(b, bench.Fig18) }
+
+// BenchmarkFig19NBench regenerates Fig. 19 (NBench vs Cortex-A73-class).
+func BenchmarkFig19NBench(b *testing.B) { runFigure(b, bench.Fig19) }
+
+// BenchmarkSpecLike regenerates the §X SPECInt2006 comparison
+// (XT-910 ≈ 0.9x the A73 on large-footprint work).
+func BenchmarkSpecLike(b *testing.B) { runFigure(b, bench.SpecInt) }
+
+// BenchmarkFig20Toolchain regenerates Fig. 20 (extensions + optimized
+// compiler ≈ +20%).
+func BenchmarkFig20Toolchain(b *testing.B) { runFigure(b, bench.Fig20) }
+
+// BenchmarkFig21Prefetch regenerates Fig. 21 (prefetch scenarios a–e on
+// STREAM over a 200-cycle memory).
+func BenchmarkFig21Prefetch(b *testing.B) { runFigure(b, bench.Fig21) }
+
+// BenchmarkVectorMAC regenerates the §VII/§X 16-bit MAC throughput claim.
+func BenchmarkVectorMAC(b *testing.B) { runFigure(b, bench.VectorMAC) }
+
+// BenchmarkASIDFlushes regenerates the §V-E 16-bit-ASID flush-reduction claim.
+func BenchmarkASIDFlushes(b *testing.B) { runFigure(b, bench.ASID) }
+
+// BenchmarkHugePages regenerates the §V-E huge-page TLB-miss claim.
+func BenchmarkHugePages(b *testing.B) { runFigure(b, bench.HugePages) }
+
+// BenchmarkBlockchain regenerates the §I custom-extension hash acceleration.
+func BenchmarkBlockchain(b *testing.B) { runFigure(b, bench.Blockchain) }

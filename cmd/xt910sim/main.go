@@ -1,0 +1,136 @@
+// Command xt910sim runs an assembly program on the XT-910 model: either the
+// cycle-approximate pipeline (default) or the functional golden emulator
+// (-emu), with optional instruction tracing — the CDS "instruction accurate
+// simulator" and profiler roles from §IX.
+//
+// Usage:
+//
+//	xt910sim prog.s                 # run on the XT-910 pipeline
+//	xt910sim -config u74 prog.s     # comparison-core configuration
+//	xt910sim -emu -trace prog.s     # functional emulation with a trace
+//	xt910sim -cores 4 prog.s        # 4-core SMP cluster
+//	xt910sim -stats prog.s          # print the performance-counter dump
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xt910"
+	"xt910/isa"
+)
+
+func main() {
+	cfgName := flag.String("config", "xt910", "core config: xt910, u74, a73")
+	useEmu := flag.Bool("emu", false, "run on the functional emulator")
+	trace := flag.Bool("trace", false, "print every retired instruction")
+	stats := flag.Bool("stats", false, "print the performance counters")
+	cores := flag.Int("cores", 1, "cores per cluster (1, 2 or 4)")
+	clusters := flag.Int("clusters", 1, "clusters (1-4)")
+	compress := flag.Bool("compress", true, "enable RVC auto-compression")
+	maxCycles := flag.Uint64("max-cycles", 500_000_000, "simulation budget")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: xt910sim [flags] program.s")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := xt910.Assemble(string(src), xt910.AsmOptions{Base: 0x1000, Compress: *compress})
+	if err != nil {
+		fatal(err)
+	}
+
+	if *useEmu {
+		m := xt910.NewEmulator(prog)
+		if *trace {
+			m.Trace = func(pc uint64, in isa.Inst) {
+				fmt.Printf("%8x: %v\n", pc, in)
+			}
+		}
+		if err := m.Run(*maxCycles); err != nil {
+			fatal(err)
+		}
+		os.Stdout.Write(m.Output)
+		fmt.Printf("\n[emu] halted=%v exit=%d instret=%d\n", m.Halted, m.ExitCode, m.Instret)
+		os.Exit(exitCode(m.ExitCode))
+	}
+
+	cfg := xt910.DefaultConfig()
+	switch *cfgName {
+	case "xt910":
+	case "u74":
+		cfg.Core = xt910.U74Core()
+	case "a73":
+		cfg.Core = xt910.A73Core()
+	default:
+		fatal(fmt.Errorf("unknown config %q", *cfgName))
+	}
+	cfg.CoresPerCluster = *cores
+	cfg.Clusters = *clusters
+	sys, err := xt910.NewSystem(cfg)
+	if err != nil {
+		fatal(err)
+	}
+	sys.LoadProgram(prog)
+	if *trace {
+		sys.Core(0).RetireHook = func(pc uint64, in isa.Inst) {
+			fmt.Printf("%8x: %v\n", pc, in)
+		}
+	}
+	sys.Run(*maxCycles)
+
+	for i := 0; i < len(sys.Cores); i++ {
+		os.Stdout.Write(sys.Output(i))
+	}
+	fmt.Println()
+	for i, c := range sys.Cores {
+		fmt.Printf("[hart %d] halted=%v exit=%d %s\n", i, c.Halted, c.ExitCode, c.Stats.String())
+		if *stats {
+			printCounters(sys, i)
+		}
+	}
+	os.Exit(exitCode(sys.ExitCode(0)))
+}
+
+func printCounters(sys *xt910.System, hart int) {
+	c := sys.Core(hart)
+	s := sys.Stats(hart)
+	fmt.Printf("  frontend : branches=%d mispred=%d (%.2f%%) l0btb=%d loopbuf-insts=%d jalr-stalls=%d\n",
+		s.Branches, s.BrMispredicts, 100*s.MispredictRate(),
+		s.L0BTBRedirects, s.LoopBufInsts, s.FetchJalrStalls)
+	fmt.Printf("  lsu      : loads=%d stores=%d fwd=%d unaligned=%d violations=%d flushes=%d\n",
+		s.Loads, s.Stores, s.StoreForwards, s.UnalignedAccesses,
+		s.MemOrderViolations, s.MemOrderFlushes)
+	fmt.Printf("  stalls   : rob=%d lq=%d sq=%d iq=%d phys=%d ckpt=%d\n",
+		s.StallROB, s.StallLQ, s.StallSQ, s.StallIQ, s.StallPhys, s.StallCkpt)
+	l1d := c.L1D.Cache.Stats
+	l1i := c.L1I.Cache.Stats
+	fmt.Printf("  caches   : L1D %d/%d misses (%.2f%%), L1I %d/%d misses (%.2f%%)\n",
+		l1d.Misses, l1d.Accesses, 100*l1d.MissRate(),
+		l1i.Misses, l1i.Accesses, 100*l1i.MissRate())
+	fmt.Printf("  tlb      : lookups=%d uhits=%d jhits=%d walks=%d prefills=%d\n",
+		c.MMU.Stats.Lookups, c.MMU.Stats.MicroHits, c.MMU.Stats.JointHits,
+		c.MMU.Stats.Walks, c.MMU.Stats.Prefills)
+	fmt.Printf("  prefetch : trains=%d l1=%d l2=%d tlb=%d throttled=%d\n",
+		c.PF.Stats.Trains, c.PF.Stats.L1Issued, c.PF.Stats.L2Issued,
+		c.PF.Stats.TLBIssued, c.PF.Stats.Throttled)
+	fmt.Printf("  vector   : ops=%d vl-spec-fails=%d\n", s.VecOps, s.VlSpecFails)
+}
+
+func exitCode(code int) int {
+	if code == 0 {
+		return 0
+	}
+	return 1
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xt910sim:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,74 @@
+// Command xtasm assembles XT-910 assembly to a flat binary image or a
+// disassembly listing — the assembler half of the §IX toolchain.
+//
+// Usage:
+//
+//	xtasm prog.s                 # assemble, print a summary
+//	xtasm -o prog.bin prog.s     # write the flat image
+//	xtasm -d prog.s              # disassembly listing with addresses
+//	xtasm -c prog.s              # enable RVC auto-compression
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xt910"
+	"xt910/isa"
+)
+
+func main() {
+	out := flag.String("o", "", "write the flat binary image to this file")
+	disasm := flag.Bool("d", false, "print a disassembly listing")
+	compress := flag.Bool("c", false, "enable RVC auto-compression")
+	base := flag.Uint64("base", 0x1000, "load address")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: xtasm [flags] program.s")
+		flag.PrintDefaults()
+		os.Exit(2)
+	}
+	src, err := os.ReadFile(flag.Arg(0))
+	if err != nil {
+		fatal(err)
+	}
+	prog, err := xt910.Assemble(string(src), xt910.AsmOptions{Base: *base, Compress: *compress})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s: %d bytes, %d instructions, entry %#x\n",
+		flag.Arg(0), len(prog.Data), prog.NumInsts, prog.Entry)
+
+	if *disasm {
+		for off := 0; off+1 < len(prog.Data); {
+			addr := prog.Base + uint64(off)
+			lo := uint16(prog.Data[off]) | uint16(prog.Data[off+1])<<8
+			if lo&3 == 3 {
+				if off+3 >= len(prog.Data) {
+					break
+				}
+				raw := uint32(lo) | uint32(prog.Data[off+2])<<16 | uint32(prog.Data[off+3])<<24
+				in := isa.Decode(raw)
+				fmt.Printf("%8x: %08x      %v\n", addr, raw, in)
+				off += 4
+			} else {
+				in := isa.Decode16(lo)
+				fmt.Printf("%8x: %04x          %v\n", addr, lo, in)
+				off += 2
+			}
+		}
+	}
+	if *out != "" {
+		if err := os.WriteFile(*out, prog.Data, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *out)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xtasm:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,60 @@
+// Command xtbench regenerates the paper's tables and figures (§X) on the
+// XT-910 model and prints measured-vs-paper comparisons.
+//
+// Usage:
+//
+//	xtbench                # run everything (paper order)
+//	xtbench -quick         # smoke mode (reduced iteration counts)
+//	xtbench -only fig21    # one experiment: table1 table2 fig17 fig18 fig19
+//	                       # spec fig20 fig21 vector asid hugepage blockchain
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xt910/internal/bench"
+	"xt910/internal/perf"
+)
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced iteration counts")
+	only := flag.String("only", "", "run a single experiment by id")
+	flag.Parse()
+
+	o := bench.Options{Quick: *quick}
+	runners := map[string]func(bench.Options) (*perf.Result, error){
+		"table1": bench.Table1, "table2": bench.Table2,
+		"fig17": bench.Fig17, "fig18": bench.Fig18, "fig19": bench.Fig19,
+		"spec": bench.SpecInt, "fig20": bench.Fig20, "fig21": bench.Fig21,
+		"vector": bench.VectorMAC, "asid": bench.ASID,
+		"hugepage": bench.HugePages, "blockchain": bench.Blockchain,
+		"ablation": bench.Ablations, "density": bench.Density,
+	}
+
+	if *only != "" {
+		fn, ok := runners[*only]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "xtbench: unknown experiment %q\n", *only)
+			os.Exit(2)
+		}
+		r, err := fn(o)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "xtbench: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Print(r.Format())
+		return
+	}
+
+	results, err := bench.All(o)
+	for _, r := range results {
+		fmt.Print(r.Format())
+		fmt.Println()
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "xtbench: %v\n", err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,3 @@
+module xt910
+
+go 1.22

@@ -1,0 +1,391 @@
+// Package asm is the two-pass assembler of the XT-910 toolchain model. It
+// accepts the GNU-flavoured subset the benchmark kernels are written in:
+// labels, data directives, the standard pseudo-instructions (li, la, call,
+// beqz, …), the vector 0.7.1 mnemonics, and the XT-910 custom extensions.
+// With Compress enabled it emits RVC encodings where a compressed form
+// exists, reproducing the code density the XT-910 front end is built around.
+package asm
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"xt910/internal/mem"
+	"xt910/isa"
+)
+
+// Options configures assembly.
+type Options struct {
+	// Base is the load/link address of the first byte (default 0x1000).
+	Base uint64
+	// Compress enables RVC auto-compression for instructions that do not
+	// reference labels (label-relative instructions keep fixed 4-byte forms
+	// so that pass-1 sizing is exact).
+	Compress bool
+}
+
+// Program is an assembled image.
+type Program struct {
+	Base    uint64
+	Data    []byte
+	Entry   uint64
+	Symbols map[string]uint64
+	// NumInsts is the number of machine instructions emitted (the §IX
+	// toolchain comparison counts static instructions).
+	NumInsts int
+}
+
+// LoadInto copies the image into physical memory.
+func (p *Program) LoadInto(m *mem.Memory) {
+	m.StoreBytes(p.Base, p.Data)
+}
+
+// End returns the first address past the image.
+func (p *Program) End() uint64 { return p.Base + uint64(len(p.Data)) }
+
+// Assemble assembles source text.
+func Assemble(src string, opts Options) (*Program, error) {
+	if opts.Base == 0 {
+		opts.Base = 0x1000
+	}
+	a := &assembler{
+		opts:    opts,
+		symbols: map[string]uint64{},
+		equs:    map[string]int64{},
+	}
+	lines := splitLines(src)
+	// Pass 1: compute sizes and label addresses.
+	if err := a.scan(lines, true); err != nil {
+		return nil, err
+	}
+	// Pass 2: emit bytes.
+	a.out = a.out[:0]
+	a.numInsts = 0
+	if err := a.scan(lines, false); err != nil {
+		return nil, err
+	}
+	entry := opts.Base
+	if e, ok := a.symbols["_start"]; ok {
+		entry = e
+	}
+	return &Program{
+		Base:     opts.Base,
+		Data:     append([]byte(nil), a.out...),
+		Entry:    entry,
+		Symbols:  a.symbols,
+		NumInsts: a.numInsts,
+	}, nil
+}
+
+// MustAssemble panics on error; for known-good embedded kernels.
+func MustAssemble(src string, opts Options) *Program {
+	p, err := Assemble(src, opts)
+	if err != nil {
+		panic(err)
+	}
+	return p
+}
+
+type srcLine struct {
+	num  int
+	text string
+}
+
+func splitLines(src string) []srcLine {
+	raw := strings.Split(src, "\n")
+	out := make([]srcLine, 0, len(raw))
+	for i, l := range raw {
+		if idx := strings.IndexAny(l, "#"); idx >= 0 {
+			l = l[:idx]
+		}
+		if idx := strings.Index(l, "//"); idx >= 0 {
+			l = l[:idx]
+		}
+		l = strings.TrimSpace(l)
+		if l != "" {
+			out = append(out, srcLine{num: i + 1, text: l})
+		}
+	}
+	return out
+}
+
+type assembler struct {
+	opts     Options
+	symbols  map[string]uint64
+	equs     map[string]int64
+	out      []byte
+	pc       uint64
+	pass1    bool
+	numInsts int
+	// exprSym is set by evalTerm when the last expression referenced a label
+	// (or a pass-1 forward reference). li/la use it to pick a fixed-size
+	// materialization so both passes agree on layout.
+	exprSym bool
+}
+
+func (a *assembler) errf(line srcLine, format string, args ...any) error {
+	return fmt.Errorf("asm: line %d: %s: %s", line.num, line.text, fmt.Sprintf(format, args...))
+}
+
+func (a *assembler) scan(lines []srcLine, pass1 bool) error {
+	a.pass1 = pass1
+	a.pc = a.opts.Base
+	for _, line := range lines {
+		text := line.text
+		// labels (possibly several on one line)
+		for {
+			idx := strings.Index(text, ":")
+			if idx < 0 || strings.ContainsAny(text[:idx], " \t\"") {
+				break
+			}
+			name := strings.TrimSpace(text[:idx])
+			if pass1 {
+				if _, dup := a.symbols[name]; dup {
+					return a.errf(line, "duplicate label %q", name)
+				}
+				a.symbols[name] = a.pc
+			}
+			text = strings.TrimSpace(text[idx+1:])
+		}
+		if text == "" {
+			continue
+		}
+		if err := a.statement(line, text); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (a *assembler) emit(b ...byte) {
+	if !a.pass1 {
+		a.out = append(a.out, b...)
+	}
+	a.pc += uint64(len(b))
+}
+
+func (a *assembler) emit32(v uint32) {
+	a.numInsts++
+	a.emit(byte(v), byte(v>>8), byte(v>>16), byte(v>>24))
+}
+
+func (a *assembler) emit16(v uint16) {
+	a.numInsts++
+	a.emit(byte(v), byte(v>>8))
+}
+
+// emitInst encodes one instruction, compressing when allowed.
+func (a *assembler) emitInst(line srcLine, in isa.Inst, mayCompress bool) error {
+	if a.opts.Compress && mayCompress {
+		if c, ok := isa.Compress(in); ok {
+			a.emit16(c)
+			return nil
+		}
+	}
+	raw, err := isa.Encode(in)
+	if err != nil {
+		return a.errf(line, "%v", err)
+	}
+	a.emit32(raw)
+	return nil
+}
+
+func (a *assembler) statement(line srcLine, text string) error {
+	fields := strings.Fields(text)
+	mnemonic := strings.ToLower(fields[0])
+	rest := strings.TrimSpace(text[len(fields[0]):])
+
+	if strings.HasPrefix(mnemonic, ".") {
+		return a.directive(line, mnemonic, rest)
+	}
+	operands := splitOperands(rest)
+	return a.instruction(line, mnemonic, operands)
+}
+
+func splitOperands(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		out = append(out, strings.TrimSpace(p))
+	}
+	return out
+}
+
+func (a *assembler) directive(line srcLine, dir, rest string) error {
+	args := splitOperands(rest)
+	switch dir {
+	case ".org":
+		v, err := a.evalImm(line, args[0])
+		if err != nil {
+			return err
+		}
+		target := uint64(v)
+		if target < a.pc {
+			return a.errf(line, ".org moves backwards (pc=%#x)", a.pc)
+		}
+		for a.pc < target {
+			a.emit(0)
+		}
+	case ".align":
+		v, err := a.evalImm(line, args[0])
+		if err != nil {
+			return err
+		}
+		align := uint64(1) << uint(v)
+		for a.pc%align != 0 {
+			a.emit(0)
+		}
+	case ".byte", ".half", ".word", ".dword", ".quad":
+		size := map[string]int{".byte": 1, ".half": 2, ".word": 4, ".dword": 8, ".quad": 8}[dir]
+		for _, arg := range args {
+			v, err := a.evalImm(line, arg)
+			if err != nil {
+				return err
+			}
+			var b [8]byte
+			for i := 0; i < size; i++ {
+				b[i] = byte(uint64(v) >> (8 * i))
+			}
+			a.emit(b[:size]...)
+		}
+	case ".space", ".zero":
+		v, err := a.evalImm(line, args[0])
+		if err != nil {
+			return err
+		}
+		for i := int64(0); i < v; i++ {
+			a.emit(0)
+		}
+	case ".ascii", ".asciz", ".string":
+		s, err := strconv.Unquote(strings.TrimSpace(rest))
+		if err != nil {
+			return a.errf(line, "bad string literal")
+		}
+		a.emit([]byte(s)...)
+		if dir != ".ascii" {
+			a.emit(0)
+		}
+	case ".equ", ".set":
+		if len(args) != 2 {
+			return a.errf(line, ".equ needs name, value")
+		}
+		v, err := a.evalImm(line, args[1])
+		if err != nil {
+			return err
+		}
+		a.equs[args[0]] = v
+	case ".global", ".globl", ".section", ".text", ".data", ".option", ".type", ".size":
+		// accepted and ignored: flat single-section images
+	default:
+		return a.errf(line, "unknown directive %s", dir)
+	}
+	return nil
+}
+
+// evalImm evaluates an integer expression: decimal/hex literals, symbols,
+// .equ constants, with +, - and * left-to-right.
+func (a *assembler) evalImm(line srcLine, s string) (int64, error) {
+	s = strings.TrimSpace(s)
+	if s == "" {
+		return 0, a.errf(line, "empty expression")
+	}
+	// tokenize on +,-,* keeping operators; handle leading unary minus
+	total := int64(0)
+	op := byte('+')
+	i := 0
+	for i < len(s) {
+		// read a term
+		j := i
+		if s[j] == '-' || s[j] == '+' {
+			j++
+		}
+		for j < len(s) && !strings.ContainsRune("+-*", rune(s[j])) {
+			j++
+		}
+		term := strings.TrimSpace(s[i:j])
+		v, err := a.evalTerm(line, term)
+		if err != nil {
+			return 0, err
+		}
+		switch op {
+		case '+':
+			total += v
+		case '-':
+			total -= v
+		case '*':
+			total *= v
+		}
+		if j < len(s) {
+			op = s[j]
+			j++
+		}
+		i = j
+	}
+	return total, nil
+}
+
+func (a *assembler) evalTerm(line srcLine, t string) (int64, error) {
+	if t == "" {
+		return 0, a.errf(line, "empty term")
+	}
+	neg := false
+	if t[0] == '-' {
+		neg, t = true, strings.TrimSpace(t[1:])
+	} else if t[0] == '+' {
+		t = strings.TrimSpace(t[1:])
+	}
+	var v int64
+	if t == "." {
+		v = int64(a.pc)
+	} else if n, err := strconv.ParseInt(t, 0, 64); err == nil {
+		v = n
+	} else if n, err := strconv.ParseUint(t, 0, 64); err == nil {
+		v = int64(n)
+	} else if c, ok := a.equs[t]; ok {
+		v = c
+	} else if sym, ok := a.symbols[t]; ok {
+		v = int64(sym)
+		a.exprSym = true
+	} else if a.pass1 {
+		v = 0 // forward reference; resolved in pass 2
+		a.exprSym = true
+	} else {
+		return 0, a.errf(line, "undefined symbol %q", t)
+	}
+	if neg {
+		v = -v
+	}
+	return v, nil
+}
+
+func (a *assembler) reg(line srcLine, s string) (isa.Reg, error) {
+	r, ok := isa.ParseReg(strings.TrimSpace(s))
+	if !ok {
+		return 0, a.errf(line, "bad register %q", s)
+	}
+	return r, nil
+}
+
+// memOperand parses "imm(reg)" or "(reg)" or "label" (absolute, rare).
+func (a *assembler) memOperand(line srcLine, s string) (off int64, base isa.Reg, err error) {
+	s = strings.TrimSpace(s)
+	open := strings.IndexByte(s, '(')
+	if open < 0 || !strings.HasSuffix(s, ")") {
+		return 0, 0, a.errf(line, "bad memory operand %q", s)
+	}
+	base, err = a.reg(line, s[open+1:len(s)-1])
+	if err != nil {
+		return 0, 0, err
+	}
+	if open > 0 {
+		off, err = a.evalImm(line, s[:open])
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	return off, base, nil
+}

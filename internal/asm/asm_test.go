@@ -1,0 +1,410 @@
+package asm
+
+import (
+	"math/rand"
+	"testing"
+
+	"xt910/isa"
+)
+
+func decodeAll(t *testing.T, p *Program) []isa.Inst {
+	t.Helper()
+	var out []isa.Inst
+	for off := 0; off < len(p.Data); {
+		lo := uint16(p.Data[off]) | uint16(p.Data[off+1])<<8
+		if lo&3 == 3 {
+			raw := uint32(lo) | uint32(p.Data[off+2])<<16 | uint32(p.Data[off+3])<<24
+			out = append(out, isa.Decode(raw))
+			off += 4
+		} else {
+			out = append(out, isa.Decode16(lo))
+			off += 2
+		}
+	}
+	return out
+}
+
+func TestBasicProgram(t *testing.T) {
+	src := `
+_start:
+    li   a0, 42
+    li   a1, 0x12345678
+    add  a2, a0, a1
+    sd   a2, 0(sp)
+    ld   a3, 0(sp)
+    beq  a2, a3, ok
+    ebreak
+ok:
+    ret
+`
+	p, err := Assemble(src, Options{Base: 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := decodeAll(t, p)
+	if insts[0].Op != isa.ADDI || insts[0].Imm != 42 {
+		t.Fatalf("li expansion: %v", insts[0])
+	}
+	if p.Entry != 0x1000 {
+		t.Fatalf("entry = %#x", p.Entry)
+	}
+	for _, in := range insts {
+		if in.Op == isa.ILLEGAL {
+			t.Fatalf("illegal instruction in output")
+		}
+	}
+}
+
+func TestBranchTargets(t *testing.T) {
+	src := `
+_start:
+    beq a0, a1, fwd
+    nop
+fwd:
+    bne a0, a1, _start
+`
+	p, err := Assemble(src, Options{Base: 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := decodeAll(t, p)
+	if insts[0].Imm != 8 {
+		t.Fatalf("forward branch imm = %d, want 8", insts[0].Imm)
+	}
+	if insts[2].Imm != -8 {
+		t.Fatalf("backward branch imm = %d, want -8", insts[2].Imm)
+	}
+}
+
+func TestLiMaterialization(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	values := []int64{0, 1, -1, 2047, -2048, 2048, 1 << 20, -(1 << 20),
+		1<<31 - 1, -(1 << 31), 1 << 31, 1 << 40, -(1 << 40), 0x7FFFFFFFFFFFFFFF, -0x8000000000000000}
+	for i := 0; i < 50; i++ {
+		values = append(values, rng.Int63()-rng.Int63())
+	}
+	for _, v := range values {
+		p, err := Assemble("li a0, "+itoa(v), Options{})
+		if err != nil {
+			t.Fatalf("li %d: %v", v, err)
+		}
+		// interpret the expansion
+		var reg int64
+		for _, in := range decodeAll(t, p) {
+			switch in.Op {
+			case isa.ADDI:
+				if in.Rs1 == isa.Zero {
+					reg = in.Imm
+				} else {
+					reg += in.Imm
+				}
+			case isa.LUI:
+				reg = in.Imm
+			case isa.ADDIW:
+				reg = int64(int32(reg + in.Imm))
+			case isa.SLLI:
+				reg <<= uint(in.Imm)
+			default:
+				t.Fatalf("unexpected op %v in li expansion of %d", in.Op, v)
+			}
+		}
+		if reg != v {
+			t.Fatalf("li %d materialized %d", v, reg)
+		}
+	}
+}
+
+func itoa(v int64) string {
+	// strconv is already imported by the package; use simple formatting here
+	if v >= 0 {
+		return uitoa(uint64(v))
+	}
+	return "-" + uitoa(uint64(-v))
+}
+
+func uitoa(v uint64) string {
+	if v == 0 {
+		return "0"
+	}
+	var buf [20]byte
+	i := len(buf)
+	for v > 0 {
+		i--
+		buf[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return string(buf[i:])
+}
+
+func TestDataDirectives(t *testing.T) {
+	src := `
+_start:
+    nop
+data:
+    .dword 0x1122334455667788
+    .word 0xAABBCCDD
+    .half 0x1234
+    .byte 0xFF
+    .asciz "hi"
+    .align 3
+aligned:
+    .dword 7
+`
+	p, err := Assemble(src, Options{Base: 0x1000, Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := p.Symbols["data"] - p.Base
+	if p.Data[d] != 0x88 || p.Data[d+7] != 0x11 {
+		t.Fatalf("dword bytes wrong: % x", p.Data[d:d+8])
+	}
+	al := p.Symbols["aligned"]
+	if al%8 != 0 {
+		t.Fatalf("aligned symbol %#x not 8-aligned", al)
+	}
+}
+
+func TestCompression(t *testing.T) {
+	src := `
+_start:
+    addi a0, a0, 1
+    add  a1, a1, a0
+    ld   a2, 8(a0)
+    sd   a2, 16(a0)
+`
+	big, err := Assemble(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Assemble(src, Options{Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(small.Data) >= len(big.Data) {
+		t.Fatalf("compression did not shrink image: %d vs %d", len(small.Data), len(big.Data))
+	}
+	if len(small.Data) != 8 { // all four should compress to 2 bytes each
+		t.Fatalf("expected 8 bytes, got %d", len(small.Data))
+	}
+}
+
+func TestPseudoInstructions(t *testing.T) {
+	src := `
+_start:
+    mv   a0, a1
+    not  a2, a3
+    neg  a4, a5
+    seqz a6, a7
+    snez t0, t1
+    sext.w t2, t3
+    beqz a0, done
+    bnez a0, done
+    bgt  a0, a1, done
+    ble  a0, a1, done
+    j    done
+    call done
+    jr   ra
+done:
+    ret
+`
+	p, err := Assemble(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, in := range decodeAll(t, p) {
+		if in.Op == isa.ILLEGAL {
+			t.Fatal("illegal instruction from pseudo expansion")
+		}
+	}
+}
+
+func TestVectorSyntax(t *testing.T) {
+	src := `
+_start:
+    vsetvli t0, a0, e32, m2
+    vle.v   v0, (a1)
+    vle.v   v2, (a2)
+    vadd.vv v4, v0, v2
+    vmacc.vv v6, v0, v2
+    vse.v   v4, (a3)
+    vmv.x.s a4, v4
+`
+	p, err := Assemble(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := decodeAll(t, p)
+	if insts[0].Op != isa.VSETVLI || isa.VType(insts[0].Imm).SEW() != 32 {
+		t.Fatalf("vsetvli: %+v", insts[0])
+	}
+	if insts[3].Op != isa.VADDVV || insts[3].Rd != isa.V(4) || insts[3].Rs2 != isa.V(0) {
+		t.Fatalf("vadd.vv: %+v", insts[3])
+	}
+}
+
+func TestCustomExtSyntax(t *testing.T) {
+	src := `
+_start:
+    lrw   a0, a1, a2, 2
+    srd   a3, a4, a5, 3
+    addsl a0, a1, a2, 1
+    ext   a0, a1, 15, 8
+    extu  a0, a1, 15, 8
+    ff1   a0, a1
+    rev   a2, a3
+    mula  a4, a5, a6
+    tlbi.asid a0
+    dcache.call
+`
+	p, err := Assemble(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := decodeAll(t, p)
+	if insts[0].Op != isa.XLRW || insts[0].Imm != 2 {
+		t.Fatalf("lrw: %+v", insts[0])
+	}
+	if insts[3].Op != isa.XEXT || insts[3].Imm != 15<<6|8 {
+		t.Fatalf("ext: %+v", insts[3])
+	}
+}
+
+func TestErrors(t *testing.T) {
+	for _, src := range []string{
+		"bogus a0, a1",
+		"addi a0, a0, undefined_symbol_xyz",
+		"lw a0, a1",  // bad memory operand
+		"dup:\ndup:", // duplicate label
+	} {
+		if _, err := Assemble(src, Options{}); err == nil {
+			t.Errorf("expected error for %q", src)
+		}
+	}
+}
+
+func TestEquAndExpr(t *testing.T) {
+	src := `
+.equ N, 64
+_start:
+    li a0, N*8
+    li a1, N+1
+    li a2, N-1
+`
+	p, err := Assemble(src, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	insts := decodeAll(t, p)
+	if insts[0].Imm != 512 || insts[1].Imm != 65 || insts[2].Imm != 63 {
+		t.Fatalf("expr values: %d %d %d", insts[0].Imm, insts[1].Imm, insts[2].Imm)
+	}
+}
+
+// TestDisasmReparses: the disassembler's output for data-path instructions
+// must re-assemble to the identical instruction — the contract behind the
+// `xtasm -d` listing. Control-flow ops are excluded (their printed immediate
+// is a pc-relative offset, while assembly source names absolute targets).
+func TestDisasmReparses(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	ops := []isa.Op{
+		isa.ADDI, isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.AND, isa.XORI,
+		isa.SLLI, isa.SRAI, isa.ADDIW, isa.SUBW, isa.LD, isa.LW, isa.LBU,
+		isa.SD, isa.SW, isa.SB, isa.FLD, isa.FSD, isa.FADDD, isa.FMULD,
+		isa.FMADDD, isa.FCVTLD, isa.CSRRW, isa.CSRRS, isa.AMOADDD, isa.LRD,
+		isa.SCD, isa.XLRW, isa.XSRD, isa.XADDSL, isa.XEXT, isa.XEXTU,
+		isa.XFF1, isa.XREV, isa.XMULA, isa.XSRRI, isa.VSETVLI, isa.VADDVV,
+		isa.VMACCVV, isa.VMVXS, isa.VLE, isa.VSE,
+	}
+	for _, op := range ops {
+		for trial := 0; trial < 32; trial++ {
+			in, ok := randInstAsm(rng, op)
+			if !ok {
+				continue
+			}
+			text := in.String()
+			p, err := Assemble("_start:\n    "+text+"\n", Options{Base: 0})
+			if err != nil {
+				t.Fatalf("%v: %q does not re-assemble: %v", op, text, err)
+			}
+			got := decodeAll(t, p)
+			if len(got) != 1 {
+				t.Fatalf("%v: %q assembled to %d instructions", op, text, len(got))
+			}
+			g := got[0]
+			g.Size = in.Size
+			if g.Op != in.Op || g.Rd != in.Rd || g.Rs1 != in.Rs1 ||
+				g.Rs2 != in.Rs2 || g.Rs3 != in.Rs3 || g.Imm != in.Imm || g.CSR != in.CSR {
+				t.Fatalf("%v: %q round trip mismatch\n in: %+v\nout: %+v", op, text, in, g)
+			}
+		}
+	}
+}
+
+// randInstAsm builds a random instruction whose printed form is re-parseable
+// (CSR numbers limited to named CSRs, etc.).
+func randInstAsm(rng *rand.Rand, op isa.Op) (isa.Inst, bool) {
+	in := isa.NewInst(op)
+	rx := func() isa.Reg { return isa.X(rng.Intn(31) + 1) }
+	rf := func() isa.Reg { return isa.F(rng.Intn(32)) }
+	rv := func() isa.Reg { return isa.V(rng.Intn(32)) }
+	imm12 := func() int64 { return int64(rng.Intn(4096) - 2048) }
+	switch op {
+	case isa.ADDI, isa.XORI, isa.ADDIW:
+		in.Rd, in.Rs1, in.Imm = rx(), rx(), imm12()
+	case isa.ADD, isa.SUB, isa.MUL, isa.DIV, isa.AND, isa.SUBW:
+		in.Rd, in.Rs1, in.Rs2 = rx(), rx(), rx()
+	case isa.SLLI, isa.SRAI, isa.XSRRI:
+		in.Rd, in.Rs1, in.Imm = rx(), rx(), int64(rng.Intn(63)+1)
+	case isa.LD, isa.LW, isa.LBU, isa.FLD:
+		in.Rd, in.Rs1, in.Imm = rx(), rx(), imm12()
+		if op == isa.FLD {
+			in.Rd = rf()
+		}
+	case isa.SD, isa.SW, isa.SB, isa.FSD:
+		in.Rs1, in.Rs2, in.Imm = rx(), rx(), imm12()
+		if op == isa.FSD {
+			in.Rs2 = rf()
+		}
+	case isa.FADDD, isa.FMULD:
+		in.Rd, in.Rs1, in.Rs2 = rf(), rf(), rf()
+	case isa.FMADDD:
+		in.Rd, in.Rs1, in.Rs2, in.Rs3 = rf(), rf(), rf(), rf()
+	case isa.FCVTLD:
+		in.Rd, in.Rs1 = rx(), rf()
+	case isa.CSRRW, isa.CSRRS:
+		named := []uint16{0x300, 0x305, 0x341, 0x180, 0xC00}
+		in.Rd, in.Rs1, in.CSR = rx(), rx(), named[rng.Intn(len(named))]
+	case isa.AMOADDD, isa.SCD:
+		in.Rd, in.Rs1, in.Rs2 = rx(), rx(), rx()
+	case isa.LRD:
+		in.Rd, in.Rs1 = rx(), rx()
+	case isa.XLRW:
+		in.Rd, in.Rs1, in.Rs2, in.Imm = rx(), rx(), rx(), int64(rng.Intn(4))
+	case isa.XSRD:
+		in.Rd, in.Rs1, in.Rs2, in.Imm = rx(), rx(), rx(), int64(rng.Intn(4))
+	case isa.XADDSL:
+		in.Rd, in.Rs1, in.Rs2, in.Imm = rx(), rx(), rx(), int64(rng.Intn(4))
+	case isa.XEXT, isa.XEXTU:
+		lsb := rng.Intn(64)
+		msb := lsb + rng.Intn(64-lsb)
+		in.Rd, in.Rs1, in.Imm = rx(), rx(), int64(msb<<6|lsb)
+	case isa.XFF1, isa.XREV:
+		in.Rd, in.Rs1 = rx(), rx()
+	case isa.XMULA:
+		in.Rd, in.Rs1, in.Rs2 = rx(), rx(), rx()
+	case isa.VSETVLI:
+		in.Rd, in.Rs1 = rx(), rx()
+		in.Imm = int64(isa.MakeVType(rng.Intn(4), rng.Intn(4)))
+	case isa.VADDVV, isa.VMACCVV:
+		in.Rd, in.Rs1, in.Rs2 = rv(), rv(), rv()
+	case isa.VMVXS:
+		in.Rd, in.Rs2 = rx(), rv()
+	case isa.VLE:
+		in.Rd, in.Rs1 = rv(), rx()
+	case isa.VSE:
+		in.Rs1, in.Rs2 = rx(), rv()
+	default:
+		return in, false
+	}
+	return in, true
+}

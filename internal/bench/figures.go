@@ -1,0 +1,215 @@
+package bench
+
+import (
+	"fmt"
+
+	"xt910/internal/asm"
+	"xt910/internal/compiler"
+	"xt910/internal/core"
+	"xt910/internal/perf"
+	"xt910/internal/prefetch"
+	"xt910/internal/workloads"
+)
+
+// Fig17 reproduces the CoreMark comparison: "XT-910 processor reaches 7.1
+// CoreMark/MHz, which is 40% faster than SiFive U74" (§X). Absolute
+// CoreMark/MHz is a property of the real binary; the reproduced quantities
+// are iterations per mega-cycle per configuration and the XT-910/U74 ratio,
+// whose paper value is 7.1/5.1 ≈ 1.39.
+func Fig17(o Options) (*perf.Result, error) {
+	w := workloads.CoreMark
+	iters := o.iters(w)
+	res := &perf.Result{ID: "fig17", Title: "CoreMark scores (iterations per Mcycle; ratio vs U74-class)"}
+	type pt struct {
+		cfg   core.Config
+		paper float64 // paper's CoreMark/MHz for the corresponding core
+	}
+	points := []pt{
+		{core.XT910Config(), 7.1},
+		{core.U74Config(), 5.1},
+		{core.A73Config(), 0}, // not in Fig. 17; shown for context
+	}
+	var xt, u74 float64
+	for _, p := range points {
+		r, err := runWorkload(w, iters, p.cfg, defaultSys())
+		if err != nil {
+			return nil, err
+		}
+		score := float64(iters) / (float64(r.Cycles) / 1e6)
+		res.Rows = append(res.Rows, perf.Row{
+			Label: p.cfg.Name, Measured: score, Paper: p.paper,
+			Unit: "iter/Mcycle (paper: CoreMark/MHz)",
+			Note: fmt.Sprintf("IPC %.2f", r.IPC()),
+		})
+		switch p.cfg.Name {
+		case "XT-910":
+			xt = score
+		case "U74-class":
+			u74 = score
+		}
+	}
+	res.Rows = append(res.Rows, perf.Row{
+		Label: "XT-910 / U74 ratio", Measured: xt / u74, Paper: 7.1 / 5.1, Unit: "x",
+	})
+	res.Notes = append(res.Notes,
+		"absolute CoreMark/MHz is binary-specific; the reproduced claim is the ratio (paper: ~1.39x)")
+	return res, nil
+}
+
+// Fig18 reproduces the EEMBC comparison, normalized to the Cortex-A73-class
+// machine (§X Fig. 18 shows XT-910 ≈ parity across the suite).
+func Fig18(o Options) (*perf.Result, error) {
+	return suiteVsA73("fig18", "EEMBC kernels, normalized to A73-class", workloads.EEMBC(), o)
+}
+
+// Fig19 reproduces the NBench comparison (§X Fig. 19: ≈ parity with A73).
+func Fig19(o Options) (*perf.Result, error) {
+	return suiteVsA73("fig19", "NBench kernels, normalized to A73-class", workloads.NBench(), o)
+}
+
+func suiteVsA73(id, title string, suite []workloads.Workload, o Options) (*perf.Result, error) {
+	res := &perf.Result{ID: id, Title: title}
+	var ratios []float64
+	for _, w := range suite {
+		iters := o.iters(w)
+		xt, err := runWorkload(w, iters, core.XT910Config(), defaultSys())
+		if err != nil {
+			return nil, err
+		}
+		a73, err := runWorkload(w, iters, core.A73Config(), defaultSys())
+		if err != nil {
+			return nil, err
+		}
+		if xt.Exit != a73.Exit {
+			return nil, fmt.Errorf("bench: %s architectural mismatch across configs", w.Name)
+		}
+		ratio := float64(a73.Cycles) / float64(xt.Cycles) // >1: XT-910 faster
+		ratios = append(ratios, ratio)
+		res.Rows = append(res.Rows, perf.Row{Label: w.Name, Measured: ratio, Unit: "x vs A73-class"})
+	}
+	res.Rows = append(res.Rows, perf.Row{
+		Label: "geomean", Measured: perf.Geomean(ratios), Paper: 1.0,
+		Unit: "x", Note: "paper: overall parity with Cortex-A73",
+	})
+	return res, nil
+}
+
+// Fig20 reproduces the toolchain co-optimization study: "the performance of
+// XT-910 with instruction extensions and optimized compiler has been improved
+// by about 20%" (§X). Each IR kernel is compiled by the baseline and the
+// optimized+extensions backends and timed on the XT-910 configuration.
+func Fig20(o Options) (*perf.Result, error) {
+	res := &perf.Result{ID: "fig20", Title: "instruction extensions + optimized compiler vs native"}
+	var ratios []float64
+	for _, f := range compiler.Fig20Kernels() {
+		if o.Quick {
+			f.Repeat = 2
+		}
+		var cycles [2]uint64
+		var exits [2]int
+		var static [2]int
+		for i, be := range []compiler.Backend{
+			compiler.Baseline{},
+			compiler.Optimized{UseCustomExt: true},
+		} {
+			src, err := be.Compile(f)
+			if err != nil {
+				return nil, err
+			}
+			static[i] = compiler.StaticInsts(src)
+			p, err := asm.Assemble(src, asm.Options{Base: 0x1000, Compress: true})
+			if err != nil {
+				return nil, err
+			}
+			r, err := runProgram(p, core.XT910Config(), defaultSys(), nil)
+			if err != nil {
+				return nil, err
+			}
+			cycles[i] = r.Cycles
+			exits[i] = r.Exit
+		}
+		if exits[0] != exits[1] {
+			return nil, fmt.Errorf("bench: %s backends disagree architecturally", f.Name)
+		}
+		ratio := float64(cycles[0]) / float64(cycles[1])
+		ratios = append(ratios, ratio)
+		res.Rows = append(res.Rows, perf.Row{
+			Label: f.Name, Measured: ratio, Unit: "x speedup",
+			Note: fmt.Sprintf("static insts %d -> %d", static[0], static[1]),
+		})
+	}
+	res.Rows = append(res.Rows, perf.Row{
+		Label: "geomean", Measured: perf.Geomean(ratios), Paper: 1.20, Unit: "x",
+	})
+	res.Notes = append(res.Notes,
+		"the IR kernels isolate the optimization-relevant loops; whole-benchmark gains dilute toward the paper's ~20%")
+	return res, nil
+}
+
+// Fig21 reproduces the prefetch study on STREAM (§X Fig. 21): five scenarios
+// a–e over a ~200-cycle memory, run under SV39 4 KB paging so the TLB
+// prefetcher has work to do. The paper's speedups over scenario a are
+// b=3.8x, c=4.9x, d=5.4x and e ≈ d − 2.4%.
+func Fig21(o Options) (*perf.Result, error) {
+	type scenario struct {
+		label string
+		paper float64
+		pf    prefetch.Config
+	}
+	pfOff := prefetch.Config{Mode: prefetch.ModeOff}
+	base := prefetch.Config{Mode: prefetch.ModeMultiStream, LineBytes: 64, PageBytes: 4096}
+	b := base
+	b.L1Enable = true
+	c := b
+	c.L2Enable, c.TLBPrefetch = true, true
+	d := c
+	d.LargeDistance = true
+	e := d
+	e.TLBPrefetch = false
+	scenarios := []scenario{
+		{"a: all prefetch off", 1.0, pfOff},
+		{"b: L1 only, small distance", 3.8, b},
+		{"c: L1+L2+TLB, small distance", 4.9, c},
+		{"d: L1+L2+TLB, large distance", 5.4, d},
+		{"e: d with TLB prefetch off", 5.4 * (1 - 0.024), e},
+	}
+	iters := 2 // two passes amortize first-touch and stream-overrun effects
+	prog, err := workloads.Stream.Program(iters, true)
+	if err != nil {
+		return nil, err
+	}
+	// a small L2 and a scaled-down TLB keep the 128 KB arrays memory-bound,
+	// matching the paper's configured 200-cycle DDR environment; the FPGA
+	// memory path supports only two outstanding demand misses (MSHRs below)
+	sys := sysConfig{L2Size: 256 << 10, L2Ways: 8, DRAMLatency: 200, DRAMGap: 12}
+	setup := pagedSetup(0x600000, 0x800000, false)
+
+	res := &perf.Result{ID: "fig21", Title: "prefetch impact on STREAM (speedup vs scenario a)"}
+	var baseCycles uint64
+	var exits []int
+	for _, sc := range scenarios {
+		cfg := core.XT910Config()
+		cfg.Prefetch = sc.pf
+		cfg.L1D.MSHRs = 1 // FPGA-harness memory path concurrency (see DESIGN.md)
+		r, err := runProgram(prog, cfg, sys, setup)
+		if err != nil {
+			return nil, fmt.Errorf("scenario %q: %w", sc.label, err)
+		}
+		exits = append(exits, r.Exit)
+		if baseCycles == 0 {
+			baseCycles = r.Cycles
+		}
+		res.Rows = append(res.Rows, perf.Row{
+			Label: sc.label, Measured: float64(baseCycles) / float64(r.Cycles),
+			Paper: sc.paper, Unit: "x vs a",
+		})
+	}
+	for _, e := range exits[1:] {
+		if e != exits[0] {
+			return nil, fmt.Errorf("bench: fig21 scenarios disagree architecturally")
+		}
+	}
+	res.Notes = append(res.Notes,
+		"single-MSHR demand path models the FPGA memory controller (DESIGN.md)")
+	return res, nil
+}

@@ -1,0 +1,112 @@
+// Package bench is the paper-reproduction harness: one entry point per table
+// and figure in the evaluation (§X), each returning a perf.Result with the
+// measured values next to the paper's. cmd/xtbench prints them; bench_test.go
+// wires them into `go test -bench`.
+package bench
+
+import (
+	"fmt"
+
+	"xt910/internal/asm"
+	"xt910/internal/cache"
+	"xt910/internal/coherence"
+	"xt910/internal/core"
+	"xt910/internal/mem"
+	"xt910/internal/mmu"
+	"xt910/internal/workloads"
+	"xt910/isa"
+)
+
+// Options tunes harness cost. Quick shrinks iteration counts for smoke runs
+// (unit tests); the full settings are sized for the real reproduction.
+type Options struct {
+	Quick bool
+}
+
+func (o Options) iters(w workloads.Workload) int {
+	if o.Quick {
+		n := w.DefaultIters / 10
+		if n < 1 {
+			n = 1
+		}
+		return n
+	}
+	return w.DefaultIters
+}
+
+// runResult captures one measured execution.
+type runResult struct {
+	Cycles  uint64
+	Retired uint64
+	Exit    int
+	Core    *core.Core
+	DRAM    *mem.DRAM
+}
+
+func (r runResult) IPC() float64 { return float64(r.Retired) / float64(r.Cycles) }
+
+// sysConfig describes the memory system around a core for a run.
+type sysConfig struct {
+	L2Size      int
+	L2Ways      int
+	DRAMLatency int
+	DRAMGap     int
+}
+
+func defaultSys() sysConfig {
+	return sysConfig{L2Size: 2 << 20, L2Ways: 16, DRAMLatency: 200, DRAMGap: 4}
+}
+
+// runProgram executes an assembled program on a fresh single-core system.
+func runProgram(p *asm.Program, cfg core.Config, sys sysConfig, setup func(*core.Core, *mem.Memory)) (runResult, error) {
+	memory := mem.NewMemory()
+	gap := sys.DRAMGap
+	if gap == 0 {
+		gap = 4
+	}
+	dram := &mem.DRAM{Latency: sys.DRAMLatency, GapCycles: gap}
+	l2 := coherence.NewL2(cache.Config{
+		SizeBytes: sys.L2Size, Ways: sys.L2Ways, LineBytes: 64,
+		HitLatency: 10, ECC: true, Parity: true,
+	}, dram)
+	c := core.New(cfg, 0, memory, l2)
+	p.LoadInto(memory)
+	c.Reset(p.Entry, 0x400000)
+	if setup != nil {
+		setup(c, memory)
+	}
+	c.Run(2_000_000_000)
+	if !c.Halted {
+		return runResult{}, fmt.Errorf("bench: %s did not halt (%s)", cfg.Name, c.Stats.String())
+	}
+	return runResult{
+		Cycles:  c.Stats.Cycles,
+		Retired: c.Stats.Retired,
+		Exit:    c.ExitCode,
+		Core:    c,
+		DRAM:    dram,
+	}, nil
+}
+
+// runWorkload assembles and runs a workload.
+func runWorkload(w workloads.Workload, iters int, cfg core.Config, sys sysConfig) (runResult, error) {
+	p, err := w.Program(iters, true)
+	if err != nil {
+		return runResult{}, err
+	}
+	return runProgram(p, cfg, sys, nil)
+}
+
+// pagedSetup builds identity-mapped SV39 tables (4 KB or huge pages) behind
+// the loaded image and drops the core to S-mode — the environment for the
+// Fig. 21 and TLB experiments.
+func pagedSetup(tableBase, mapBytes uint64, huge bool) func(*core.Core, *mem.Memory) {
+	return func(c *core.Core, memory *mem.Memory) {
+		tb := mmu.NewTableBuilder(memory, tableBase)
+		if err := tb.IdentityMap(0, mapBytes, mmu.PteR|mmu.PteW|mmu.PteX, huge); err != nil {
+			panic(err)
+		}
+		c.SetCSR(isa.CSRSatp, tb.Satp(1))
+		c.SetPrivilege(isa.PrivS)
+	}
+}

@@ -1,0 +1,272 @@
+// Package branch implements the XT-910 hybrid branch prediction machinery
+// (§III): the global-history direction predictor with its two-level prefetch
+// buffers (BUF1/BUF2), the cascaded L0/L1 branch target buffers, the return
+// address stack, the indirect-branch predictor, and the 16-entry loop buffer.
+package branch
+
+// Stats counts predictor events for the harness.
+type Stats struct {
+	DirLookups   uint64
+	DirMispred   uint64
+	L0Hits       uint64
+	L1Hits       uint64
+	BTBMispred   uint64
+	RASPushes    uint64
+	RASPops      uint64
+	IndLookups   uint64
+	IndMispred   uint64
+	BufBypass    uint64 // back-to-back predictions served from BUF1/BUF2
+	LoopBufHits  uint64
+	LoopBufFills uint64
+}
+
+// DirectionPredictor is the §III-A design: prediction counters stored in
+// SRAM banks whose one-cycle read latency is hidden by prefetching candidate
+// counters into a two-level buffer (BUF1 for the branch in the current cycle,
+// BUF2 for the branch in the next cycle). The functional content is a
+// gshare-style global-history table; the buffers model the "conditional
+// branch instructions at two adjacent cycles" bypass.
+type DirectionPredictor struct {
+	table   []uint8 // 2-bit saturating counters in the SRAM banks
+	history uint64
+	bits    uint
+
+	// buf1/buf2 hold prefetched counter values; valid when the tags match.
+	buf1, buf2 bufEntry
+
+	Stats Stats
+}
+
+type bufEntry struct {
+	valid bool
+	index uint64
+	ctr   uint8
+}
+
+// NewDirectionPredictor builds a predictor with 2^bits counters (the XT-910's
+// high-density SRAM banks; the model defaults to 14 bits = 16K counters).
+// Counters initialize to weakly-not-taken (1).
+func NewDirectionPredictor(bits uint) *DirectionPredictor {
+	p := &DirectionPredictor{table: make([]uint8, 1<<bits), bits: bits}
+	for i := range p.table {
+		p.table[i] = 1
+	}
+	return p
+}
+
+// historyBits is the effective global-history length folded into the index.
+// A short history keeps loop-closing branches' warm-up fast while still
+// separating correlated patterns.
+const historyBits = 8
+
+func (p *DirectionPredictor) index(pc uint64) uint64 {
+	return (pc>>1 ^ (p.history&(1<<historyBits-1))<<(p.bits-historyBits)) & (1<<p.bits - 1)
+}
+
+// Predict returns the predicted direction for the branch at pc along with the
+// counter index used (the core carries the index to Update so training uses
+// the same history the prediction saw). The two-level buffer is consulted
+// first, modelling the SRAM-latency bypass that lets two adjacent-cycle
+// branches (or two branches in one 128-bit fetch line) both predict without a
+// bubble (§III-A, Fig. 6).
+func (p *DirectionPredictor) Predict(pc uint64) (taken bool, idx uint64) {
+	p.Stats.DirLookups++
+	idx = p.index(pc)
+	ctr := p.table[idx]
+	if p.buf1.valid && p.buf1.index == idx {
+		ctr = p.buf1.ctr
+		p.Stats.BufBypass++
+	} else if p.buf2.valid && p.buf2.index == idx {
+		ctr = p.buf2.ctr
+		p.Stats.BufBypass++
+		// BUF2 moves up to BUF1 for the branch in the next cycle
+		p.buf1 = p.buf2
+	}
+	// prefetch the likely next counters into the buffers (fuzzy match: the
+	// next sequential fetch line's index under the speculated history)
+	p.buf2 = bufEntry{valid: true, index: p.index(pc + 16), ctr: p.table[p.index(pc+16)]}
+	return ctr >= 2, idx
+}
+
+// SpeculateHistory shifts the predicted outcome into the speculative global
+// history (consumed by subsequent Predict calls in the shadow of the branch).
+func (p *DirectionPredictor) SpeculateHistory(taken bool) {
+	p.history = p.history<<1 | b2u(taken)
+}
+
+// Update trains the counter at idx (captured by Predict) with the resolved
+// outcome and records mispredictions.
+func (p *DirectionPredictor) Update(idx uint64, taken, predicted bool) {
+	ctr := p.table[idx]
+	if taken && ctr < 3 {
+		ctr++
+	}
+	if !taken && ctr > 0 {
+		ctr--
+	}
+	p.table[idx] = ctr
+	if taken != predicted {
+		p.Stats.DirMispred++
+	}
+}
+
+// RestoreHistory rewinds the speculative history after a flush; the caller
+// passes the checkpointed value.
+func (p *DirectionPredictor) RestoreHistory(h uint64) { p.history = h }
+
+// History exposes the current speculative history for checkpointing.
+func (p *DirectionPredictor) History() uint64 { return p.history }
+
+func b2u(b bool) uint64 {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+// BTBEntry is one target-buffer entry.
+type BTBEntry struct {
+	valid  bool
+	tag    uint64
+	target uint64
+	isRet  bool
+	isCall bool
+	isInd  bool
+	lru    uint64
+}
+
+// BTB is a set-associative branch target buffer. The L0 BTB (16-entry fully
+// associative) redirects at IF with zero bubbles; the L1 BTB (>1K entries,
+// set-associative) redirects at IP and is verified at IB (§III-B).
+type BTB struct {
+	entries []BTBEntry
+	sets    int
+	ways    int
+	tick    uint64
+}
+
+// NewBTB builds a BTB. sets=1 yields a fully-associative buffer (the L0).
+func NewBTB(entries, ways int) *BTB {
+	sets := entries / ways
+	if sets < 1 {
+		sets = 1
+	}
+	return &BTB{entries: make([]BTBEntry, sets*ways), sets: sets, ways: ways}
+}
+
+func (b *BTB) set(pc uint64) []BTBEntry {
+	idx := (pc >> 1) % uint64(b.sets)
+	return b.entries[idx*uint64(b.ways) : (idx+1)*uint64(b.ways)]
+}
+
+// Lookup returns the predicted target for the control-flow instruction at pc.
+func (b *BTB) Lookup(pc uint64) (*BTBEntry, bool) {
+	set := b.set(pc)
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			b.tick++
+			set[i].lru = b.tick
+			return &set[i], true
+		}
+	}
+	return nil, false
+}
+
+// Insert installs or updates the target for pc.
+func (b *BTB) Insert(pc, target uint64, isCall, isRet, isInd bool) {
+	set := b.set(pc)
+	victim := &set[0]
+	for i := range set {
+		if set[i].valid && set[i].tag == pc {
+			victim = &set[i]
+			break
+		}
+		if !set[i].valid {
+			victim = &set[i]
+			break
+		}
+		if set[i].lru < victim.lru {
+			victim = &set[i]
+		}
+	}
+	b.tick++
+	*victim = BTBEntry{valid: true, tag: pc, target: target,
+		isCall: isCall, isRet: isRet, isInd: isInd, lru: b.tick}
+}
+
+// Target returns the stored target.
+func (e *BTBEntry) Target() uint64 { return e.target }
+
+// IsReturn reports whether the entry was trained as a function return.
+func (e *BTBEntry) IsReturn() bool { return e.isRet }
+
+// IsCall reports whether the entry was trained as a call.
+func (e *BTBEntry) IsCall() bool { return e.isCall }
+
+// IsIndirect reports whether the entry was trained as an indirect jump.
+func (e *BTBEntry) IsIndirect() bool { return e.isInd }
+
+// RAS is the return-address stack used for subroutine return prediction.
+type RAS struct {
+	stack []uint64
+	max   int
+}
+
+// NewRAS builds a stack with the given depth (XT-910 model default: 16).
+func NewRAS(depth int) *RAS { return &RAS{max: depth} }
+
+// Push records a call's return address.
+func (r *RAS) Push(addr uint64) {
+	if len(r.stack) == r.max {
+		copy(r.stack, r.stack[1:])
+		r.stack = r.stack[:r.max-1]
+	}
+	r.stack = append(r.stack, addr)
+}
+
+// Pop predicts a return target (0 when empty).
+func (r *RAS) Pop() uint64 {
+	if len(r.stack) == 0 {
+		return 0
+	}
+	v := r.stack[len(r.stack)-1]
+	r.stack = r.stack[:len(r.stack)-1]
+	return v
+}
+
+// Depth reports the current stack depth.
+func (r *RAS) Depth() int { return len(r.stack) }
+
+// Snapshot/Restore support checkpoint recovery after flushes.
+func (r *RAS) Snapshot() []uint64 { return append([]uint64(nil), r.stack...) }
+
+// Restore rewinds to a snapshot.
+func (r *RAS) Restore(s []uint64) { r.stack = append(r.stack[:0], s...) }
+
+// IndirectPredictor predicts indirect-jump targets with a small
+// history-hashed target cache (§III-B: "the IFU also has an indirect branch
+// predictor for indirect branch instructions").
+type IndirectPredictor struct {
+	targets map[uint64]uint64
+	bits    uint
+}
+
+// NewIndirectPredictor builds a predictor with 2^bits entries.
+func NewIndirectPredictor(bits uint) *IndirectPredictor {
+	return &IndirectPredictor{targets: make(map[uint64]uint64), bits: bits}
+}
+
+func (p *IndirectPredictor) key(pc, hist uint64) uint64 {
+	return (pc ^ hist<<3) & (1<<p.bits - 1)
+}
+
+// Predict returns the predicted target (ok=false when untrained).
+func (p *IndirectPredictor) Predict(pc, hist uint64) (uint64, bool) {
+	t, ok := p.targets[p.key(pc, hist)]
+	return t, ok
+}
+
+// Update trains the predictor with the resolved target.
+func (p *IndirectPredictor) Update(pc, hist, target uint64) {
+	p.targets[p.key(pc, hist)] = target
+}

@@ -1,0 +1,177 @@
+package coherence
+
+import "xt910/internal/cache"
+
+// L1D is one core's coherent L1 data cache port onto the cluster bus.
+// The LSU's load and store pipes call Access; the data prefetcher calls
+// Prefetch.
+type L1D struct {
+	Cache *cache.Cache
+	l2    *L2
+	port  int
+	// mshr holds the completion times of in-flight demand misses; a new
+	// demand miss waits for the earliest slot (limited miss-level
+	// parallelism, like real miss-status holding registers).
+	mshr []uint64
+}
+
+// NewL1D creates an L1 data cache attached to the cluster's L2.
+func NewL1D(cfg cache.Config, l2 *L2) *L1D {
+	c := cache.New(cfg)
+	n := cfg.MSHRs
+	if n <= 0 {
+		n = 8
+	}
+	return &L1D{Cache: c, l2: l2, port: l2.RegisterL1(c), mshr: make([]uint64, n)}
+}
+
+// mshrStart returns the cycle a new demand miss can begin service and
+// reserves the slot until done (computed by the caller via reserve).
+func (d *L1D) mshrStart(now uint64) (start uint64, slot int) {
+	slot = 0
+	for i := 1; i < len(d.mshr); i++ {
+		if d.mshr[i] < d.mshr[slot] {
+			slot = i
+		}
+	}
+	start = now
+	if d.mshr[slot] > start {
+		start = d.mshr[slot]
+	}
+	return start, slot
+}
+
+// Port returns this cache's bus port number.
+func (d *L1D) Port() int { return d.port }
+
+// Access performs a demand load (write=false) or store (write=true) to addr
+// and returns the data-ready cycle plus whether it hit in the L1.
+func (d *L1D) Access(addr uint64, write bool, now uint64) (done uint64, hit bool) {
+	c := d.Cache
+	c.Stats.Accesses++
+	line := c.Lookup(addr)
+	if line != nil && line.State != cache.Invalid {
+		c.Touch(line)
+		done = now + uint64(c.Config().HitLatency)
+		if line.ReadyAt > done {
+			done = line.ReadyAt // merge with an in-flight fill
+		}
+		if write {
+			switch line.State {
+			case cache.Shared, cache.Owned:
+				done = d.l2.Upgrade(d.port, addr, now)
+				line.State = cache.Modified
+			case cache.Exclusive:
+				line.State = cache.Modified
+			}
+			line.Dirty = true
+		}
+		return done, true
+	}
+	c.Stats.Misses++
+	start := now
+	slot := -1
+	if !write {
+		// demand loads contend for the MSHRs; stores drain through the
+		// write buffer
+		start, slot = d.mshrStart(now)
+	}
+	ready, st := d.l2.FetchLine(d.port, addr, write, start)
+	if slot >= 0 {
+		d.mshr[slot] = ready
+	}
+	d.install(addr, st, ready, now, false)
+	if write {
+		if l := c.Lookup(addr); l != nil {
+			l.Dirty = true
+		}
+	}
+	return ready, false
+}
+
+// Prefetch brings addr's line into the L1 in a shared-read state without a
+// demand requester (§V-C L1-destination prefetch).
+func (d *L1D) Prefetch(addr uint64, now uint64) {
+	c := d.Cache
+	if l := c.Lookup(addr); l != nil && l.State != cache.Invalid {
+		return
+	}
+	ready, st := d.l2.FetchLine(d.port, addr, false, now)
+	d.install(addr, st, ready, now, true)
+}
+
+func (d *L1D) install(addr uint64, st cache.State, ready, now uint64, prefetched bool) {
+	evicted, had, wb := d.Cache.Fill(addr, st, ready, prefetched)
+	if had {
+		if wb {
+			// the victim drains through the write buffer; its bandwidth is
+			// charged near the request time — charging it at the (future)
+			// fill time would serialize the whole port behind it
+			d.l2.Writeback(d.port, evicted, now)
+		} else {
+			d.l2.snoop.Remove(d.Cache.LineAddr(evicted), d.port)
+		}
+	}
+}
+
+// FlushAll writes back all dirty lines and invalidates the cache
+// (dcache.ciall-style maintenance).
+func (d *L1D) FlushAll(now uint64) {
+	d.Cache.ForEachValid(func(addr uint64) {
+		if l := d.Cache.Lookup(addr); l != nil &&
+			(l.Dirty || l.State == cache.Modified || l.State == cache.Owned) {
+			d.l2.Writeback(d.port, addr, now)
+		} else {
+			d.l2.snoop.Remove(addr, d.port)
+		}
+	})
+	d.Cache.InvalidateAll()
+}
+
+// FlushVA writes back/invalidates the single line containing addr
+// (dcache.cva / dcache.iva custom ops).
+func (d *L1D) FlushVA(addr uint64, invalidate bool, now uint64) {
+	l := d.Cache.Lookup(addr)
+	if l == nil {
+		return
+	}
+	if l.Dirty || l.State == cache.Modified || l.State == cache.Owned {
+		d.l2.Writeback(d.port, addr, now)
+		l.Dirty = false
+		l.State = cache.Shared
+	}
+	if invalidate {
+		d.Cache.Invalidate(addr)
+		d.l2.snoop.Remove(d.Cache.LineAddr(addr), d.port)
+	}
+}
+
+// L1I is a core's instruction cache. Instruction lines are read-only; the
+// cache refills through the shared L2 without coherence-state tracking.
+type L1I struct {
+	Cache *cache.Cache
+	l2    *L2
+}
+
+// NewL1I creates an instruction cache attached to the cluster L2.
+func NewL1I(cfg cache.Config, l2 *L2) *L1I {
+	return &L1I{Cache: cache.New(cfg), l2: l2}
+}
+
+// Fetch returns the cycle at which the fetch group at addr is available.
+func (i *L1I) Fetch(addr uint64, now uint64) (done uint64, hit bool) {
+	c := i.Cache
+	c.Stats.Accesses++
+	if l := c.Lookup(addr); l != nil {
+		c.Touch(l)
+		done = now + uint64(c.Config().HitLatency)
+		if l.ReadyAt > done {
+			done = l.ReadyAt
+		}
+		return done, true
+	}
+	c.Stats.Misses++
+	ready := i.l2.FetchInst(addr, now)
+	c.Fill(addr, cache.Shared, ready, false)
+	return ready, false
+}

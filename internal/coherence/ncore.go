@@ -1,0 +1,77 @@
+package coherence
+
+import "xt910/internal/mem"
+
+// Ncore is the inter-cluster interconnect (§VI: "up to 4 CPU clusters are
+// connected using Ncore"). It keeps the cluster L2s coherent with a simple
+// write-invalidate protocol: an exclusive fetch from one cluster invalidates
+// the line in every other cluster's hierarchy; a shared fetch leaves remote
+// copies in place but flushes remote dirty data first.
+type Ncore struct {
+	DRAM *mem.DRAM
+	// HopLatency is the cluster-to-interconnect latency per crossing.
+	HopLatency int
+
+	clusters []*L2
+	Stats    struct {
+		Fetches       uint64
+		RemoteHits    uint64 // lines found dirty or resident in a remote cluster
+		Invalidations uint64
+	}
+}
+
+// NewNcore creates the interconnect around a shared DRAM.
+func NewNcore(dram *mem.DRAM) *Ncore {
+	return &Ncore{DRAM: dram, HopLatency: 20}
+}
+
+// Attach registers a cluster L2 and returns its cluster id.
+func (n *Ncore) Attach(l2 *L2) int {
+	l2.ncore = n
+	l2.id = len(n.clusters)
+	n.clusters = append(n.clusters, l2)
+	return l2.id
+}
+
+// Fetch services a cluster L2 miss, snooping the other clusters.
+func (n *Ncore) Fetch(fromCluster int, addr uint64, excl bool, now uint64) uint64 {
+	n.Stats.Fetches++
+	t := now + uint64(n.HopLatency)
+	remote := false
+	for i, c := range n.clusters {
+		if i == fromCluster {
+			continue
+		}
+		line := c.Cache.Lookup(addr)
+		if line == nil {
+			continue
+		}
+		remote = true
+		if excl {
+			// invalidate the whole remote hierarchy for this line
+			for j, l1 := range c.l1s {
+				if c.snoop.Sharers(addr)&(1<<uint(j)) != 0 {
+					l1.Invalidate(addr)
+				}
+			}
+			c.snoop.Drop(addr)
+			if c.Cache.Invalidate(addr) {
+				n.DRAM.Access(t)
+			}
+			n.Stats.Invalidations++
+		} else if line.Dirty {
+			// flush remote dirty data so DRAM supplies fresh bytes
+			line.Dirty = false
+			n.DRAM.Access(t)
+		}
+	}
+	if remote {
+		n.Stats.RemoteHits++
+		// cache-to-cache across the interconnect: cheaper than DRAM
+		return t + uint64(2*n.HopLatency)
+	}
+	return n.DRAM.Access(t)
+}
+
+// Clusters returns the attached cluster count.
+func (n *Ncore) Clusters() int { return len(n.clusters) }

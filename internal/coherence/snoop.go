@@ -1,0 +1,43 @@
+package coherence
+
+// SnoopFilter tracks, per line, which L1 data caches may hold a copy. §VI:
+// "A snoop filter that monitors access by the cores to the shared L2 cache
+// effectively reduces the inter-core communications." Snoops are only sent to
+// cores whose bit is set; all other snoops are counted as filtered.
+type SnoopFilter struct {
+	sharers map[uint64]uint32
+}
+
+// NewSnoopFilter returns an empty filter.
+func NewSnoopFilter() *SnoopFilter {
+	return &SnoopFilter{sharers: make(map[uint64]uint32)}
+}
+
+// Sharers returns the bitmap of cores that may hold the line.
+func (f *SnoopFilter) Sharers(addr uint64) uint32 { return f.sharers[addr] }
+
+// Add marks core as a sharer.
+func (f *SnoopFilter) Add(addr uint64, core int) {
+	f.sharers[addr] |= 1 << uint(core)
+}
+
+// SetExclusive makes core the sole holder.
+func (f *SnoopFilter) SetExclusive(addr uint64, core int) {
+	f.sharers[addr] = 1 << uint(core)
+}
+
+// Remove clears core's bit, dropping the entry when nobody holds the line.
+func (f *SnoopFilter) Remove(addr uint64, core int) {
+	v := f.sharers[addr] &^ (1 << uint(core))
+	if v == 0 {
+		delete(f.sharers, addr)
+	} else {
+		f.sharers[addr] = v
+	}
+}
+
+// Drop forgets the line entirely (inclusive L2 eviction).
+func (f *SnoopFilter) Drop(addr uint64) { delete(f.sharers, addr) }
+
+// Entries reports how many lines are being tracked.
+func (f *SnoopFilter) Entries() int { return len(f.sharers) }

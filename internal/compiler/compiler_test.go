@@ -1,0 +1,143 @@
+package compiler
+
+import (
+	"testing"
+
+	"xt910/internal/asm"
+	"xt910/internal/cache"
+	"xt910/internal/coherence"
+	"xt910/internal/core"
+	"xt910/internal/emu"
+	"xt910/internal/mem"
+)
+
+func compileAndRun(t *testing.T, f *Function, be Backend) (int, *core.Core) {
+	t.Helper()
+	src, err := be.Compile(f)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", f.Name, be.Name(), err)
+	}
+	p, err := asm.Assemble(src, asm.Options{Base: 0x1000})
+	if err != nil {
+		t.Fatalf("%s/%s assemble: %v\n%s", f.Name, be.Name(), err, src)
+	}
+	// golden reference
+	m := emu.New(mem.NewMemory())
+	p.LoadInto(m.Mem)
+	m.PC = p.Entry
+	if err := m.Run(50_000_000); err != nil || !m.Halted {
+		t.Fatalf("%s/%s: emulator did not finish (%v)", f.Name, be.Name(), err)
+	}
+	// pipeline run
+	memory := mem.NewMemory()
+	l2 := coherence.NewL2(cache.Config{SizeBytes: 1 << 20, Ways: 16, LineBytes: 64, HitLatency: 10}, mem.NewDRAM())
+	c := core.New(core.XT910Config(), 0, memory, l2)
+	p.LoadInto(memory)
+	c.Reset(p.Entry, 0x400000)
+	c.Run(100_000_000)
+	if !c.Halted {
+		t.Fatalf("%s/%s: pipeline did not halt", f.Name, be.Name())
+	}
+	if c.ExitCode != m.ExitCode {
+		t.Fatalf("%s/%s: pipeline=%d emulator=%d", f.Name, be.Name(), c.ExitCode, m.ExitCode)
+	}
+	return c.ExitCode, c
+}
+
+func TestBackendsAgreeOnSemantics(t *testing.T) {
+	for _, f := range Fig20Kernels() {
+		f := f
+		t.Run(f.Name, func(t *testing.T) {
+			base, _ := compileAndRun(t, f, Baseline{})
+			opt, _ := compileAndRun(t, f, Optimized{})
+			ext, _ := compileAndRun(t, f, Optimized{UseCustomExt: true})
+			if base != opt || base != ext {
+				t.Fatalf("backends disagree: base=%d opt=%d ext=%d", base, opt, ext)
+			}
+		})
+	}
+}
+
+func TestOptimizedIsFaster(t *testing.T) {
+	var totBase, totExt uint64
+	for _, f := range Fig20Kernels() {
+		_, cb := compileAndRun(t, f, Baseline{})
+		_, ce := compileAndRun(t, f, Optimized{UseCustomExt: true})
+		totBase += cb.Stats.Cycles
+		totExt += ce.Stats.Cycles
+		t.Logf("%-12s base=%8d ext=%8d speedup=%.2fx", f.Name,
+			cb.Stats.Cycles, ce.Stats.Cycles,
+			float64(cb.Stats.Cycles)/float64(ce.Stats.Cycles))
+	}
+	gain := float64(totBase)/float64(totExt) - 1
+	t.Logf("overall toolchain gain: %.1f%% (paper: ~20%%)", gain*100)
+	if gain < 0.10 {
+		t.Fatalf("optimized toolchain should gain >=10%%, got %.1f%%", gain*100)
+	}
+}
+
+func TestDSERemovesDeadStores(t *testing.T) {
+	f := RedundantStores()
+	srcBase, err := (Baseline{}).Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srcOpt, err := (Optimized{}).Compile(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if StaticInsts(srcOpt) >= StaticInsts(srcBase) {
+		t.Fatalf("DSE should shrink the program: base=%d opt=%d",
+			StaticInsts(srcBase), StaticInsts(srcOpt))
+	}
+}
+
+func TestDeadStoreEliminationUnit(t *testing.T) {
+	body := []Stmt{
+		{Kind: SStoreG, A: 1, G: "x"},
+		{Kind: SStoreG, A: 2, G: "x"}, // kills the first
+		{Kind: SLoadG, Dst: 3, G: "x"},
+		{Kind: SStoreG, A: 4, G: "x"}, // live (last write)
+	}
+	out := deadStoreEliminate(body)
+	if len(out) != 3 {
+		t.Fatalf("expected 3 statements after DSE, got %d", len(out))
+	}
+	// a read between stores keeps the earlier store alive
+	body2 := []Stmt{
+		{Kind: SStoreG, A: 1, G: "y"},
+		{Kind: SLoadG, Dst: 3, G: "y"},
+		{Kind: SStoreG, A: 2, G: "y"},
+	}
+	if out2 := deadStoreEliminate(body2); len(out2) != 3 {
+		t.Fatalf("store before a read must survive, got %d stmts", len(out2))
+	}
+}
+
+func TestAllocatorOverflow(t *testing.T) {
+	f := &Function{Name: "big", Result: 0}
+	var body []Stmt
+	for i := 0; i < 40; i++ {
+		body = append(body, Stmt{Kind: SConst, Dst: VReg(i), Imm: int64(i)})
+	}
+	for i := range body {
+		f.Code = append(f.Code, S(body[i]))
+	}
+	if _, err := (Baseline{}).Compile(f); err == nil {
+		t.Fatal("expected register allocator overflow error")
+	}
+}
+
+func TestStaticInstsCountsCode(t *testing.T) {
+	src := `
+_start:
+    li a0, 1
+    # comment
+    add a0, a0, a0
+.align 3
+data: .word 5
+`
+	if n := StaticInsts(src); n != 2 {
+		t.Fatalf("static count = %d, want 2", n)
+	}
+}

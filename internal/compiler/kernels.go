@@ -1,0 +1,150 @@
+package compiler
+
+// Fig20Kernels returns the IR kernels compiled both ways for the Fig. 20
+// reproduction. Each exercises at least one of the §IX/§VIII mechanisms:
+// dot-product (induction variables + MACs + indexed loads), global
+// accumulation (anchor), redundant-store filtering (DSE) and a vector-add
+// style sweep (address-generation churn).
+func Fig20Kernels() []*Function {
+	return []*Function{
+		DotProduct(), GlobalAccum(), RedundantStores(), VecAdd(),
+	}
+}
+
+// DotProduct: s = Σ a[i]*b[i] over 256 elements.
+func DotProduct() *Function {
+	const n = 256
+	const (
+		vSum VReg = iota
+		vI
+		vA
+		vB
+	)
+	return &Function{
+		Name:   "dotprod",
+		Repeat: 16,
+		Globals: []Global{
+			{Name: "dp_a", Words: n, Init: func(i int) int32 { return int32((i*13+7)%101 - 50) }},
+			{Name: "dp_b", Words: n, Init: func(i int) int32 { return int32((i*29+3)%89 - 44) }},
+		},
+		Code: []Node{
+			S(Stmt{Kind: SConst, Dst: vSum, Imm: 0}),
+			L(Loop{N: n, Induction: vI, Body: []Stmt{
+				{Kind: SLoadIdx, Dst: vA, G: "dp_a", Idx: vI},
+				{Kind: SLoadIdx, Dst: vB, G: "dp_b", Idx: vI},
+				{Kind: SAccum, Dst: vSum, A: vA, B: vB},
+			}}),
+		},
+		Result: vSum,
+	}
+}
+
+// GlobalAccum: a loop updating several distinct global scalars — the anchor
+// optimization's target pattern.
+func GlobalAccum() *Function {
+	const (
+		vSum VReg = iota
+		vI
+		vT0
+		vT1
+		vT2
+		vT3
+	)
+	return &Function{
+		Name:   "globals",
+		Repeat: 16,
+		Globals: []Global{
+			{Name: "g_cnt", Words: 1},
+			{Name: "g_min", Words: 1, Init: func(int) int32 { return 1000 }},
+			{Name: "g_max", Words: 1},
+			{Name: "g_acc", Words: 1},
+			{Name: "g_tab", Words: 64, Init: func(i int) int32 { return int32(i*i - 40*i) }},
+		},
+		Code: []Node{
+			S(Stmt{Kind: SConst, Dst: vSum, Imm: 0}),
+			L(Loop{N: 64, Induction: vI, Body: []Stmt{
+				{Kind: SLoadIdx, Dst: vT0, G: "g_tab", Idx: vI},
+				{Kind: SLoadG, Dst: vT1, G: "g_cnt"},
+				{Kind: SAddImm, Dst: vT1, A: vT1, Imm: 1},
+				{Kind: SStoreG, A: vT1, G: "g_cnt"},
+				{Kind: SLoadG, Dst: vT2, G: "g_acc"},
+				{Kind: SAdd, Dst: vT2, A: vT2, B: vT0},
+				{Kind: SStoreG, A: vT2, G: "g_acc"},
+				{Kind: SLoadG, Dst: vT3, G: "g_max"},
+				{Kind: SAdd, Dst: vSum, A: vSum, B: vT2},
+			}}),
+		},
+		Result: vSum,
+	}
+}
+
+// RedundantStores: scratch cells written repeatedly before the final value —
+// the DSE target. The dead stores are real work in the baseline.
+func RedundantStores() *Function {
+	const (
+		vSum VReg = iota
+		vI
+		vT0
+		vT1
+	)
+	return &Function{
+		Name:   "deadstores",
+		Repeat: 16,
+		Globals: []Global{
+			{Name: "ds_scratch", Words: 1},
+			{Name: "ds_out", Words: 128},
+			{Name: "ds_in", Words: 128, Init: func(i int) int32 { return int32(i*7 - 300) }},
+		},
+		Code: []Node{
+			S(Stmt{Kind: SConst, Dst: vSum, Imm: 0}),
+			L(Loop{N: 128, Induction: vI, Body: []Stmt{
+				{Kind: SLoadIdx, Dst: vT0, G: "ds_in", Idx: vI},
+				// intermediate results parked in a scratch global, each
+				// immediately overwritten (the pattern §IX item 3 removes)
+				{Kind: SStoreG, A: vT0, G: "ds_scratch"},
+				{Kind: SAddImm, Dst: vT1, A: vT0, Imm: 5},
+				{Kind: SStoreG, A: vT1, G: "ds_scratch"},
+				{Kind: SMul, Dst: vT1, A: vT1, B: vT1},
+				{Kind: SStoreG, A: vT1, G: "ds_scratch"},
+				// the final store is live (read back after the overwrites)
+				{Kind: SLoadG, Dst: vT0, G: "ds_scratch"},
+				{Kind: SStoreIdx, A: vT0, G: "ds_out", Idx: vI},
+				{Kind: SAdd, Dst: vSum, A: vSum, B: vT0},
+			}}),
+		},
+		Result: vSum,
+	}
+}
+
+// VecAdd: c[i] = a[i] + b[i] — pure address-generation churn in the baseline,
+// three walking pointers in the optimized code.
+func VecAdd() *Function {
+	const n = 256
+	const (
+		vSum VReg = iota
+		vI
+		vA
+		vB
+		vC
+	)
+	return &Function{
+		Name:   "vecadd",
+		Repeat: 16,
+		Globals: []Global{
+			{Name: "va_a", Words: n, Init: func(i int) int32 { return int32(i*3 - 100) }},
+			{Name: "va_b", Words: n, Init: func(i int) int32 { return int32(200 - i*5) }},
+			{Name: "va_c", Words: n},
+		},
+		Code: []Node{
+			S(Stmt{Kind: SConst, Dst: vSum, Imm: 0}),
+			L(Loop{N: n, Induction: vI, Body: []Stmt{
+				{Kind: SLoadIdx, Dst: vA, G: "va_a", Idx: vI},
+				{Kind: SLoadIdx, Dst: vB, G: "va_b", Idx: vI},
+				{Kind: SAdd, Dst: vC, A: vA, B: vB},
+				{Kind: SStoreIdx, A: vC, G: "va_c", Idx: vI},
+				{Kind: SAdd, Dst: vSum, A: vSum, B: vC},
+			}}),
+		},
+		Result: vSum,
+	}
+}

@@ -1,0 +1,328 @@
+package core
+
+import (
+	"xt910/internal/branch"
+	"xt910/internal/coherence"
+	"xt910/internal/mem"
+	"xt910/internal/mmu"
+	"xt910/internal/prefetch"
+	"xt910/internal/vector"
+	"xt910/isa"
+)
+
+// Core is one XT-910 hart: the 12-stage pipeline plus its private L1 caches,
+// MMU and predictors, attached to a cluster's shared L2.
+type Core struct {
+	Cfg Config
+	ID  int
+
+	Mem *mem.Memory
+	L1I *coherence.L1I
+	L1D *coherence.L1D
+	L2  *coherence.L2
+	MMU *mmu.MMU
+
+	Dir     *branch.DirectionPredictor
+	L0BTB   *branch.BTB
+	L1BTB   *branch.BTB
+	RAS     *branch.RAS
+	Ind     *branch.IndirectPredictor
+	LoopBuf *branch.LoopBuffer
+	PF      *prefetch.Engine
+
+	Vec *vector.Unit
+
+	// pipeline state
+	now      uint64
+	seq      uint64
+	pf       *physFile
+	rat      []int16 // speculative front-end map
+	archRAT  []int16 // retirement map
+	robQ     *rob
+	queues   [numPipes][]int // ROB indices per issue queue
+	pipeBusy [numPipes]uint64
+	ckpts    []checkpoint
+
+	lq []lqEntry
+	sq []sqEntry
+
+	fq           []fqEntry
+	fetchPC      uint64
+	fetchAllowed uint64
+	fetchWait    bool // stalled on an unpredictable jalr / post-flush hold
+
+	// vector scoreboard and configuration speculation state
+	vregReady [32]uint64
+	vecBusy   uint64
+	lastVL    uint64
+
+	// memory-dependence predictor: load PCs that caused ordering violations
+	// are tagged and later forced to wait for older store addresses (§V-A).
+	memDep map[uint64]bool
+
+	// architectural system state (CSRs, privilege) — owned by retire.
+	csr     map[uint16]uint64
+	priv    int
+	resAddr uint64
+	resOK   bool
+
+	Halted   bool
+	ExitCode int
+	Output   []byte
+
+	Stats Stats
+
+	// RetireHook observes every retired instruction (co-simulation tests).
+	RetireHook func(pc uint64, in isa.Inst)
+
+	// TLBBroadcast, when set by the SoC, carries tlbi.* maintenance to the
+	// other harts over the interconnect (§V-E, no IPIs needed).
+	TLBBroadcast func(op isa.Op, operand uint64, from int)
+
+	// MemWriteHook, when set by the SoC, observes every committed memory
+	// write so other harts' LR/SC reservations can be invalidated through
+	// the coherence fabric.
+	MemWriteHook func(pa uint64, size int, from int)
+
+	// MMIO, when set by the SoC, claims physical address ranges for devices
+	// (CLINT, PLIC). MMIO loads execute non-speculatively at the ROB head;
+	// MMIO stores take effect at retirement like all stores.
+	MMIO MMIODevice
+
+	// IntSource, when set by the SoC, returns the externally-driven mip bits
+	// (MSIP/MTIP/MEIP) for this hart, sampled once per cycle.
+	IntSource func(hart int) uint64
+
+	wfiWait bool
+}
+
+// MMIODevice is a memory-mapped device window.
+type MMIODevice interface {
+	Covers(pa uint64) bool
+	Read(pa uint64, size int) uint64
+	Write(pa uint64, size int, v uint64)
+}
+
+type lqEntry struct {
+	seq      uint64
+	robIdx   int
+	addr     uint64
+	size     int
+	executed bool
+}
+
+type sqEntry struct {
+	seq      uint64
+	robIdx   int
+	addr     uint64
+	size     int
+	val      uint64
+	addrDone bool
+	dataDone bool
+}
+
+type fqEntry struct {
+	inst       isa.Inst
+	pc         uint64
+	readyAt    uint64
+	predTaken  bool
+	predTarget uint64
+	dirIdx     uint64
+	histBefore uint64
+	rasSnap    []uint64
+	fromLoop   bool
+	excCause   int
+	excTval    uint64
+}
+
+// New builds a core attached to a cluster L2.
+func New(cfg Config, id int, memory *mem.Memory, l2 *coherence.L2) *Core {
+	c := &Core{
+		Cfg:    cfg,
+		ID:     id,
+		Mem:    memory,
+		L2:     l2,
+		L1I:    coherence.NewL1I(cfg.L1I, l2),
+		L1D:    coherence.NewL1D(cfg.L1D, l2),
+		Dir:    branch.NewDirectionPredictor(cfg.DirBits),
+		L0BTB:  branch.NewBTB(cfg.L0BTBEntries, cfg.L0BTBEntries),
+		L1BTB:  branch.NewBTB(cfg.L1BTBEntries, 4),
+		RAS:    branch.NewRAS(cfg.RASDepth),
+		Ind:    branch.NewIndirectPredictor(12),
+		robQ:   newROB(cfg.ROBSize),
+		ckpts:  make([]checkpoint, cfg.Checkpoints),
+		memDep: make(map[uint64]bool),
+		csr:    make(map[uint16]uint64),
+		priv:   isa.PrivM,
+	}
+	c.LoopBuf = branch.NewLoopBuffer()
+	c.MMU = mmu.New(func(pa uint64, now uint64) (uint64, uint64) {
+		return memory.Read(pa, 8), l2.ReadWord(pa, now)
+	})
+	if cfg.UTLBEntries > 0 {
+		c.MMU.Micro = mmu.NewMicroTLB(cfg.UTLBEntries)
+	}
+	if cfg.JTLBEntries > 0 {
+		c.MMU.Joint = mmu.NewJointTLB(cfg.JTLBEntries, 4)
+	}
+	c.PF = prefetch.New(cfg.Prefetch, c)
+	if cfg.EnableVector {
+		c.Vec = vector.NewUnit(cfg.VLEN)
+	}
+	c.pf, c.rat = newPhysFile(cfg.IntPhysRegs, cfg.FpPhysRegs)
+	c.archRAT = append([]int16(nil), c.rat...)
+	c.csr[isa.CSRMhartid] = uint64(id)
+	return c
+}
+
+// Reset re-points the core at a new entry PC with a given stack pointer.
+func (c *Core) Reset(pc, sp uint64) {
+	c.fetchPC = pc
+	c.pf.write(c.rat[isa.SP], sp, 0)
+	c.Halted = false
+}
+
+// SetReg writes an architectural integer/FP register (pre-run setup).
+func (c *Core) SetReg(r isa.Reg, v uint64) {
+	c.pf.write(c.rat[int(r)], v, 0)
+}
+
+// Reg reads an architectural register through the retirement map (valid when
+// the pipeline is drained).
+func (c *Core) Reg(r isa.Reg) uint64 {
+	return c.pf.read(c.archRAT[int(r)])
+}
+
+// Now returns the current cycle.
+func (c *Core) Now() uint64 { return c.now }
+
+// SetPrivilege places the core in the given privilege level (harness setup
+// for runs under SV39 translation).
+func (c *Core) SetPrivilege(p int) {
+	c.priv = p
+	c.MMU.Priv = p
+}
+
+// CSR reads a CSR value (retire-time architectural state).
+func (c *Core) CSR(num uint16) uint64 {
+	switch num {
+	case isa.CSRCycle, isa.CSRMcycle, isa.CSRTime:
+		return c.now
+	case isa.CSRInstret, isa.CSRMinstret:
+		return c.Stats.Retired
+	case isa.CSRVl:
+		if c.Vec != nil {
+			return c.Vec.VL
+		}
+		return 0
+	case isa.CSRVtype:
+		if c.Vec != nil {
+			return uint64(c.Vec.VType)
+		}
+		return 0
+	case isa.CSRVlenb:
+		if c.Vec != nil {
+			return uint64(c.Vec.File.VLENBits / 8)
+		}
+		return 0
+	case isa.CSRMip:
+		v := c.csr[num]
+		if c.IntSource != nil {
+			v |= c.IntSource(c.ID)
+		}
+		return v
+	// §II performance monitors: the hpm counters expose the PMU events the
+	// CDS profiling tool (§IX, Fig. 16) visualizes.
+	case isa.CSRMhpmcounter3:
+		return c.Stats.Branches
+	case isa.CSRMhpmcounter4:
+		return c.Stats.BrMispredicts
+	case isa.CSRMhpmcounter5:
+		return c.L1D.Cache.Stats.Misses
+	case isa.CSRMhpmcounter6:
+		return c.L1I.Cache.Stats.Misses
+	case isa.CSRMhpmcounter7:
+		return c.Stats.Loads
+	case isa.CSRMhpmcounter8:
+		return c.Stats.Stores
+	case isa.CSRMhpmcounter9:
+		return c.Stats.StoreForwards
+	case isa.CSRMhpmcounter10:
+		return c.Stats.Flushes
+	case isa.CSRMhpmcounter11:
+		return c.MMU.Stats.Walks
+	case isa.CSRMhpmcounter12:
+		return c.Stats.VecOps
+	}
+	return c.csr[num]
+}
+
+// SetCSR writes a CSR (setup / retire-time execution).
+func (c *Core) SetCSR(num uint16, v uint64) {
+	switch num {
+	case isa.CSRSatp:
+		c.csr[num] = v
+		c.MMU.Satp = v
+	case isa.CSRVl, isa.CSRVtype, isa.CSRVlenb, isa.CSRCycle, isa.CSRInstret:
+		// read-only
+	default:
+		c.csr[num] = v
+	}
+}
+
+// Step advances the pipeline by one cycle. Stage order is retire → execute →
+// dispatch → fetch so that same-cycle structural effects resolve oldest-first.
+// Asynchronous interrupts are sampled at the cycle boundary, giving precise
+// interrupt state (Fig. 8's recovery machinery handles the flush).
+func (c *Core) Step() {
+	if c.Halted {
+		return
+	}
+	if c.IntSource != nil {
+		c.sampleInterrupts()
+	}
+	if c.wfiWait {
+		c.now++
+		c.Stats.Cycles = c.now
+		return
+	}
+	c.retire()
+	if c.Halted {
+		return
+	}
+	c.issueAndExecute()
+	c.renameDispatch()
+	c.fetch()
+	c.now++
+	c.Stats.Cycles = c.now
+}
+
+// Run steps until halt or maxCycles.
+func (c *Core) Run(maxCycles uint64) {
+	for i := uint64(0); i < maxCycles && !c.Halted; i++ {
+		c.Step()
+	}
+}
+
+// PrefetchL1 implements prefetch.Sink. Prefetches translate through resident
+// TLB entries only; a TLB miss drops the request (hardware prefetchers do not
+// trigger page walks — the §V-C TLB prefetcher keeps the entries warm).
+func (c *Core) PrefetchL1(addr uint64, now uint64) {
+	if pa, ok := c.MMU.TranslateNoWalk(addr); ok {
+		c.L1D.Prefetch(pa, now)
+	} else {
+		c.Stats.PFDroppedTLB++
+	}
+}
+
+// PrefetchL2 implements prefetch.Sink.
+func (c *Core) PrefetchL2(addr uint64, now uint64) {
+	if pa, ok := c.MMU.TranslateNoWalk(addr); ok {
+		c.L2.Prefetch(pa, now)
+	} else {
+		c.Stats.PFDroppedTLB++
+	}
+}
+
+// PrefetchTLB implements prefetch.Sink (§V-C cross-page prefetch).
+func (c *Core) PrefetchTLB(va uint64) { c.MMU.Prefill(va) }

@@ -1,0 +1,625 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"xt910/internal/asm"
+	"xt910/internal/cache"
+	"xt910/internal/coherence"
+	"xt910/internal/emu"
+	"xt910/internal/mem"
+	"xt910/isa"
+)
+
+// buildCore assembles a single-core system around cfg.
+func buildCore(cfg Config) (*Core, *mem.Memory) {
+	memory := mem.NewMemory()
+	dram := mem.NewDRAM()
+	l2 := coherence.NewL2(cache.Config{
+		SizeBytes: 2 << 20, Ways: 16, LineBytes: 64, HitLatency: 10, ECC: true, Parity: true,
+	}, dram)
+	c := New(cfg, 0, memory, l2)
+	return c, memory
+}
+
+// runCore assembles src and runs it on the given config until halt.
+func runCore(t *testing.T, cfg Config, src string) *Core {
+	t.Helper()
+	p, err := asm.Assemble(src, asm.Options{Base: 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, memory := buildCore(cfg)
+	p.LoadInto(memory)
+	c.Reset(p.Entry, 0x80000)
+	c.Run(20_000_000)
+	if !c.Halted {
+		t.Fatalf("core did not halt: %s", c.Stats.String())
+	}
+	if msg := c.CheckInvariants(); msg != "" {
+		t.Fatalf("pipeline invariant violated: %s", msg)
+	}
+	return c
+}
+
+// runBoth runs src on the XT-910 core and the emulator and checks that the
+// exit codes and all architectural integer registers match (co-simulation).
+func runBoth(t *testing.T, cfg Config, src string) (*Core, *emu.Machine) {
+	t.Helper()
+	p, err := asm.Assemble(src, asm.Options{Base: 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, cm := buildCore(cfg)
+	p.LoadInto(cm)
+	c.Reset(p.Entry, 0x80000)
+	c.Run(20_000_000)
+	if msg := c.CheckInvariants(); msg != "" {
+		t.Fatalf("pipeline invariant violated: %s", msg)
+	}
+
+	m := emu.New(mem.NewMemory())
+	p.LoadInto(m.Mem)
+	m.PC = p.Entry
+	m.X[2] = 0x80000
+	if err := m.Run(20_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !c.Halted || !m.Halted {
+		t.Fatalf("halt mismatch: core=%v emu=%v (%s)", c.Halted, m.Halted, c.Stats.String())
+	}
+	if c.ExitCode != m.ExitCode {
+		t.Fatalf("exit code mismatch: core=%d emu=%d", c.ExitCode, m.ExitCode)
+	}
+	for r := 0; r < 32; r++ {
+		if got, want := c.Reg(isa.X(r)), m.X[r]; got != want {
+			t.Fatalf("x%d mismatch: core=%#x emu=%#x", r, got, want)
+		}
+	}
+	for r := 0; r < 32; r++ {
+		if got, want := c.Reg(isa.F(r)), m.F[r]; got != want {
+			t.Fatalf("f%d mismatch: core=%#x emu=%#x", r, got, want)
+		}
+	}
+	return c, m
+}
+
+const exitSeq = `
+    li a7, 93
+    ecall
+`
+
+func TestCoreArithmetic(t *testing.T) {
+	c := runCore(t, XT910Config(), `
+_start:
+    li   t0, 100
+    li   t1, 7
+    mul  t2, t0, t1
+    div  t3, t2, t1
+    add  a0, t2, t3
+`+exitSeq)
+	if c.ExitCode != 800 {
+		t.Fatalf("exit = %d, want 800", c.ExitCode)
+	}
+}
+
+func TestCoreFibonacci(t *testing.T) {
+	c, _ := runBoth(t, XT910Config(), `
+_start:
+    li   a0, 0
+    li   a1, 1
+    li   t0, 200
+loop:
+    add  t1, a0, a1
+    mv   a0, a1
+    mv   a1, t1
+    addi t0, t0, -1
+    bnez t0, loop
+`+exitSeq)
+	if c.ExitCode != -1123705814761610347 {
+		t.Fatalf("fib(200 mod 2^64) = %d", c.ExitCode)
+	}
+	if c.Stats.IPC() < 0.5 {
+		t.Fatalf("tight loop IPC suspiciously low: %s", c.Stats.String())
+	}
+}
+
+func TestCoreRecursion(t *testing.T) {
+	c, _ := runBoth(t, XT910Config(), `
+_start:
+    li   a0, 12
+    call fact
+`+exitSeq+`
+fact:
+    li   t0, 2
+    bge  a0, t0, rec
+    li   a0, 1
+    ret
+rec:
+    addi sp, sp, -16
+    sd   ra, 0(sp)
+    sd   a0, 8(sp)
+    addi a0, a0, -1
+    call fact
+    ld   t1, 8(sp)
+    mul  a0, a0, t1
+    ld   ra, 0(sp)
+    addi sp, sp, 16
+    ret
+`)
+	if c.ExitCode != 479001600 {
+		t.Fatalf("12! = %d", c.ExitCode)
+	}
+}
+
+func TestCoreMemoryBytes(t *testing.T) {
+	runBoth(t, XT910Config(), `
+_start:
+    la   t0, buf
+    li   t1, -2
+    sb   t1, 0(t0)
+    lbu  t2, 0(t0)
+    lb   t3, 0(t0)
+    sh   t1, 2(t0)
+    lhu  t4, 2(t0)
+    add  a0, t2, t4
+    add  a0, a0, t3
+    li   t5, 0x1122334455667788
+    sd   t5, 3(t0)
+    ld   t6, 3(t0)
+    xor  t6, t6, t5
+    add  a0, a0, t6
+`+exitSeq+`
+buf: .space 32
+`)
+}
+
+func TestStoreToLoadForwarding(t *testing.T) {
+	c, _ := runBoth(t, XT910Config(), `
+_start:
+    la   t0, buf
+    li   a0, 0
+    li   t1, 64
+loop:
+    sd   t1, 0(t0)
+    ld   t2, 0(t0)       # immediately reloads: forwards from the SQ
+    add  a0, a0, t2
+    addi t1, t1, -1
+    bnez t1, loop
+`+exitSeq+`
+buf: .space 8
+`)
+	if c.ExitCode != 64*65/2 {
+		t.Fatalf("sum = %d", c.ExitCode)
+	}
+	if c.Stats.StoreForwards == 0 {
+		t.Fatal("expected store-to-load forwarding events")
+	}
+}
+
+func TestMemOrderViolationRecovery(t *testing.T) {
+	// The store's address depends on a slow divide, so the younger load
+	// executes first (speculatively, §V-A), then gets squashed at retirement
+	// when the store reveals the overlapping address.
+	c, _ := runBoth(t, XT910Config(), `
+_start:
+    la   t0, buf
+    li   a0, 0
+    li   t5, 16
+outer:
+    li   t1, 400
+    li   t2, 4
+    divu t3, t1, t2       # 100, slow
+    add  t4, t0, t3
+    li   t6, 7
+    sd   t6, 0(t4)        # store to buf+100, address late
+    ld   a1, 100(t0)      # younger load, same address, executes early
+    add  a0, a0, a1
+    addi t5, t5, -1
+    bnez t5, outer
+`+exitSeq+`
+buf: .space 256
+`)
+	if c.ExitCode != 16*7 {
+		t.Fatalf("sum = %d, want 112", c.ExitCode)
+	}
+	if c.Stats.MemOrderViolations == 0 {
+		t.Fatal("expected at least one §V-A ordering violation")
+	}
+	if c.Cfg.MemDepPredict && c.Stats.MemOrderFlushes >= 16 {
+		t.Fatalf("dependence predictor should stop repeat violations: %d flushes",
+			c.Stats.MemOrderFlushes)
+	}
+}
+
+func TestBranchHeavyCorrectness(t *testing.T) {
+	c, _ := runBoth(t, XT910Config(), `
+_start:
+    li   a0, 0
+    li   t0, 0
+    li   t1, 2000
+loop:
+    andi t2, t0, 7
+    li   t3, 3
+    bltu t2, t3, small
+    addi a0, a0, 5
+    j    next
+small:
+    addi a0, a0, 1
+next:
+    addi t0, t0, 1
+    bne  t0, t1, loop
+`+exitSeq)
+	want := 2000/8*3*1 + 2000/8*5*5
+	if c.ExitCode != want {
+		t.Fatalf("exit = %d, want %d", c.ExitCode, want)
+	}
+	if c.Stats.Branches == 0 {
+		t.Fatal("no branches counted")
+	}
+}
+
+func TestCoreVectorDot(t *testing.T) {
+	c := runCore(t, XT910Config(), `
+_start:
+    li   t0, 8
+    vsetvli t1, t0, e32, m2
+    la   a1, va
+    la   a2, vb
+    vle.v v0, (a1)
+    vle.v v2, (a2)
+    li   t2, 0
+    vmv.s.x v8, t2
+    vmv.v.x v4, t2
+    vmacc.vv v4, v0, v2
+    vredsum.vs v6, v4, v8
+    vmv.x.s a0, v6
+`+exitSeq+`
+.align 4
+va: .word 1, 2, 3, 4, 5, 6, 7, 8
+vb: .word 8, 7, 6, 5, 4, 3, 2, 1
+`)
+	if c.ExitCode != 120 {
+		t.Fatalf("vector dot = %d, want 120", c.ExitCode)
+	}
+	if c.Stats.VecOps == 0 {
+		t.Fatal("vector ops not counted")
+	}
+}
+
+func TestCoreCustomExtensions(t *testing.T) {
+	c, _ := runBoth(t, XT910Config(), `
+_start:
+    la   t0, arr
+    li   t1, 3
+    lrw  a0, t0, t1, 2
+    li   t2, 0xF0
+    extu a1, t2, 7, 4
+    li   a2, 0
+    li   t3, 5
+    li   t4, 6
+    mula a2, t3, t4
+    add  a0, a0, a1
+    add  a0, a0, a2
+`+exitSeq+`
+arr: .word 0, 11, 22, 33, 44
+`)
+	if c.ExitCode != 78 {
+		t.Fatalf("custom ext = %d", c.ExitCode)
+	}
+}
+
+func TestCustomExtDisabledTraps(t *testing.T) {
+	cfg := XT910Config()
+	cfg.EnableCustomExt = false
+	c := runCore(t, cfg, `
+_start:
+    li   t0, 1
+    li   t1, 2
+    addsl a0, t0, t1, 1
+`+exitSeq)
+	if c.ExitCode != -(16 + isa.ExcIllegalInst) {
+		t.Fatalf("custom op with extensions disabled must trap: exit=%d", c.ExitCode)
+	}
+}
+
+func TestCoreFloat(t *testing.T) {
+	c, _ := runBoth(t, XT910Config(), `
+_start:
+    la    t0, vals
+    fld   fa0, 0(t0)
+    fld   fa1, 8(t0)
+    fadd.d fa2, fa0, fa1
+    fmul.d fa3, fa2, fa1
+    fcvt.w.d a0, fa3
+`+exitSeq+`
+.align 3
+vals:
+    .dword 0x3FF0000000000000
+    .dword 0x4004000000000000
+`)
+	if c.ExitCode != 8 {
+		t.Fatalf("fp = %d", c.ExitCode)
+	}
+}
+
+func TestCoreAMO(t *testing.T) {
+	c, _ := runBoth(t, XT910Config(), `
+_start:
+    la   t0, cell
+    li   t1, 5
+    amoadd.d a0, t1, (t0)
+retry:
+    lr.d t2, (t0)
+    addi t2, t2, 1
+    sc.d t3, t2, (t0)
+    bnez t3, retry
+    ld   a0, 0(t0)
+`+exitSeq+`
+.align 3
+cell: .dword 0
+`)
+	if c.ExitCode != 6 {
+		t.Fatalf("amo = %d", c.ExitCode)
+	}
+}
+
+func TestCoreCSRCounters(t *testing.T) {
+	c := runCore(t, XT910Config(), `
+_start:
+    csrr t0, cycle
+    csrr t1, instret
+    nop
+    nop
+    csrr t2, cycle
+    csrr t3, instret
+    sub  a0, t2, t0      # elapsed cycles > 0
+    sub  a1, t3, t1
+    beqz a0, bad
+    li   a0, 0
+`+exitSeq+`
+bad:
+    li  a0, 1
+`+exitSeq)
+	if c.ExitCode != 0 {
+		t.Fatal("cycle counter did not advance")
+	}
+}
+
+func TestCoreTrapRoundTrip(t *testing.T) {
+	c := runCore(t, XT910Config(), `
+_start:
+    la   t0, handler
+    csrw mtvec, t0
+    la   t1, umode
+    csrw mepc, t1
+    li   t2, 0x1800
+    csrrc zero, mstatus, t2
+    mret
+umode:
+    li   a7, 1234
+    ecall
+    ebreak
+handler:
+    csrr a0, mcause
+`+exitSeq)
+	if c.ExitCode != isa.ExcEcallU {
+		t.Fatalf("mcause = %d, want %d", c.ExitCode, isa.ExcEcallU)
+	}
+}
+
+func TestLoopBufferEngages(t *testing.T) {
+	c := runCore(t, XT910Config(), `
+_start:
+    li   a0, 0
+    li   t0, 3000
+loop:
+    addi a0, a0, 2
+    addi t0, t0, -1
+    bnez t0, loop
+`+exitSeq)
+	if c.ExitCode != 6000 {
+		t.Fatalf("exit = %d", c.ExitCode)
+	}
+	if c.Stats.LoopBufInsts == 0 {
+		t.Fatal("small hot loop should run from the LBUF (§III-C)")
+	}
+}
+
+func TestInOrderConfigCorrect(t *testing.T) {
+	c, _ := runBoth(t, U74Config(), `
+_start:
+    li   a0, 0
+    li   t0, 500
+loop:
+    add  a0, a0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+`+exitSeq)
+	if c.ExitCode != 500*501/2 {
+		t.Fatalf("exit = %d", c.ExitCode)
+	}
+}
+
+func TestXT910FasterThanU74(t *testing.T) {
+	src := `
+_start:
+    li   a0, 0
+    li   t0, 5000
+    la   t1, data
+loop:
+    ld   t2, 0(t1)
+    add  a0, a0, t2
+    ld   t3, 8(t1)
+    add  a0, a0, t3
+    mul  t4, t2, t3
+    add  a0, a0, t4
+    addi t0, t0, -1
+    bnez t0, loop
+` + exitSeq + `
+.align 3
+data: .dword 3, 4
+`
+	xt := runCore(t, XT910Config(), src)
+	u74 := runCore(t, U74Config(), src)
+	if xt.ExitCode != u74.ExitCode {
+		t.Fatalf("configs disagree architecturally: %d vs %d", xt.ExitCode, u74.ExitCode)
+	}
+	if xt.Stats.IPC() <= u74.Stats.IPC() {
+		t.Fatalf("XT-910 (%.2f IPC) should beat the in-order U74-class (%.2f IPC)",
+			xt.Stats.IPC(), u74.Stats.IPC())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	for _, cfg := range []Config{XT910Config(), U74Config(), A73Config()} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+	bad := XT910Config()
+	bad.L1D.SizeBytes = 128 << 10
+	if bad.Validate() == nil {
+		t.Error("128KB L1D violates Table I and must be rejected")
+	}
+}
+
+func TestPhysRegIntegrityAfterRun(t *testing.T) {
+	c := runCore(t, XT910Config(), `
+_start:
+    li   a0, 0
+    li   t0, 300
+loop:
+    andi t1, t0, 3
+    beqz t1, skip
+    addi a0, a0, 1
+skip:
+    addi t0, t0, -1
+    bnez t0, loop
+`+exitSeq)
+	seen := map[int16]bool{}
+	for _, p := range c.pf.free {
+		if seen[p] {
+			t.Fatalf("free list contains duplicate phys %d", p)
+		}
+		seen[p] = true
+	}
+	for r, p := range c.archRAT {
+		if seen[p] {
+			t.Fatalf("arch reg %d's phys %d is also on the free list", r, p)
+		}
+	}
+}
+
+// TestRandomProgramCoSim is the heavyweight property test: random (but
+// well-formed) programs must produce identical architectural results on the
+// out-of-order pipeline and the functional emulator.
+func TestRandomProgramCoSim(t *testing.T) {
+	rng := rand.New(rand.NewSource(910))
+	for trial := 0; trial < 50; trial++ {
+		src := genRandomProgram(rng)
+		t.Run(fmt.Sprintf("trial%d", trial), func(t *testing.T) {
+			runBoth(t, XT910Config(), src)
+		})
+	}
+}
+
+// genRandomProgram emits a random straight-line-with-loops program over a
+// scratch buffer, always terminating with the exit sequence.
+func genRandomProgram(rng *rand.Rand) string {
+	var b []byte
+	app := func(s string) { b = append(b, s...); b = append(b, '\n') }
+	regs := []string{"t0", "t1", "t2", "t3", "t4", "t5", "a1", "a2", "a3", "a4", "s2", "s3"}
+	reg := func() string { return regs[rng.Intn(len(regs))] }
+	app("_start:")
+	app("    la s0, buf")
+	app("    li a0, 0")
+	for _, r := range regs {
+		app(fmt.Sprintf("    li %s, %d", r, rng.Intn(1<<16)-1<<15))
+	}
+	fregs := []string{"ft0", "ft1", "fa0", "fa1", "fs2", "fs3"}
+	freg := func() string { return fregs[rng.Intn(len(fregs))] }
+	app("    fcvt.d.l ft0, t0")
+	app("    fcvt.d.l ft1, t1")
+	app("    fcvt.d.l fa0, a1")
+	app("    fcvt.d.l fa1, a2")
+	app("    fcvt.d.l fs2, a3")
+	app("    fcvt.d.l fs3, a4")
+	blocks := 3 + rng.Intn(4)
+	for blk := 0; blk < blocks; blk++ {
+		n := 4 + rng.Intn(12)
+		for i := 0; i < n; i++ {
+			switch rng.Intn(16) {
+			case 0:
+				app(fmt.Sprintf("    add %s, %s, %s", reg(), reg(), reg()))
+			case 1:
+				app(fmt.Sprintf("    sub %s, %s, %s", reg(), reg(), reg()))
+			case 2:
+				app(fmt.Sprintf("    mul %s, %s, %s", reg(), reg(), reg()))
+			case 3:
+				app(fmt.Sprintf("    xor %s, %s, %s", reg(), reg(), reg()))
+			case 4:
+				app(fmt.Sprintf("    sltu %s, %s, %s", reg(), reg(), reg()))
+			case 5:
+				app(fmt.Sprintf("    srli %s, %s, %d", reg(), reg(), rng.Intn(63)+1))
+			case 6:
+				app(fmt.Sprintf("    divu %s, %s, %s", reg(), reg(), reg()))
+			case 7:
+				off := rng.Intn(32) * 8
+				app(fmt.Sprintf("    sd %s, %d(s0)", reg(), off))
+			case 8:
+				off := rng.Intn(32) * 8
+				app(fmt.Sprintf("    ld %s, %d(s0)", reg(), off))
+			case 9:
+				app(fmt.Sprintf("    addiw %s, %s, %d", reg(), reg(), rng.Intn(4096)-2048))
+			case 10: // §VIII custom bit manipulation
+				lsb := rng.Intn(64)
+				msb := lsb + rng.Intn(64-lsb)
+				app(fmt.Sprintf("    extu %s, %s, %d, %d", reg(), reg(), msb, lsb))
+			case 11: // §VIII MAC
+				app(fmt.Sprintf("    mula %s, %s, %s", reg(), reg(), reg()))
+			case 12: // §VIII indexed load (bounded index)
+				app(fmt.Sprintf("    andi a5, %s, 24", reg()))
+				app(fmt.Sprintf("    lrd %s, s0, a5, 0", reg()))
+			case 13:
+				app(fmt.Sprintf("    rev %s, %s", reg(), reg()))
+			case 14: // double-precision FP chain
+				app(fmt.Sprintf("    fadd.d %s, %s, %s", freg(), freg(), freg()))
+				app(fmt.Sprintf("    fmul.d %s, %s, %s", freg(), freg(), freg()))
+			case 15: // FP memory round trip
+				off := rng.Intn(16) * 8
+				app(fmt.Sprintf("    fsd %s, %d(s0)", freg(), off))
+				app(fmt.Sprintf("    fld %s, %d(s0)", freg(), off))
+			}
+		}
+		// a bounded loop over the block tail
+		app(fmt.Sprintf("    li s1, %d", 2+rng.Intn(6)))
+		app(fmt.Sprintf("blk%d:", blk))
+		app(fmt.Sprintf("    add a0, a0, %s", reg()))
+		off := rng.Intn(32) * 8
+		app(fmt.Sprintf("    sd a0, %d(s0)", off))
+		app(fmt.Sprintf("    ld a5, %d(s0)", off))
+		app("    add a0, a0, a5")
+		app("    addi s1, s1, -1")
+		app(fmt.Sprintf("    bnez s1, blk%d", blk))
+	}
+	// a call/return pair exercises the RAS and link registers
+	app("    call leaf")
+	// fold everything into a0 deterministically
+	for _, r := range regs {
+		app(fmt.Sprintf("    add a0, a0, %s", r))
+	}
+	for _, r := range fregs {
+		app(fmt.Sprintf("    fcvt.l.d a5, %s", r))
+		app("    add a0, a0, a5")
+	}
+	app("    li a7, 93")
+	app("    ecall")
+	app("leaf:")
+	app("    addi a1, a1, 13")
+	app("    ret")
+	app("buf: .space 256")
+	return string(b)
+}

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"xt910/internal/mmu"
+	"xt910/isa"
+)
+
+// fetch models the IF/IP/IB stages (§III): one 128-bit fetch group per cycle
+// from the L1 I-cache (or the loop buffer), multi-branch prediction within
+// the group via the two-level-buffered direction predictor, L0/L1 BTBs, RAS
+// and the indirect predictor. Predicted-taken redirects cost TakenPenalty
+// bubbles unless served by the L0 BTB (zero-bubble, §III-B) or the LBUF.
+func (c *Core) fetch() {
+	if c.fetchWait || c.now < c.fetchAllowed || len(c.fq) >= c.Cfg.FetchQueue {
+		return
+	}
+	pc := c.fetchPC
+	fromLoop := c.Cfg.EnableLoopBuf && c.LoopBuf.Covers(pc)
+
+	var groupReady uint64
+	if fromLoop {
+		// LBUF fetch: no I-cache access, available next cycle (§III-C).
+		groupReady = c.now + 1
+	} else {
+		pa := pc
+		if c.MMU.Enabled() {
+			var err error
+			var doneT uint64
+			pa, doneT, err = c.MMU.Translate(pc, mmu.AccFetch, c.now)
+			if err != nil {
+				c.injectFetchFault(pc, err)
+				return
+			}
+			groupReady = doneT
+		} else {
+			groupReady = c.now
+		}
+		done, _ := c.L1I.Fetch(pa, groupReady)
+		groupReady = done + uint64(c.Cfg.FrontendDelay)
+	}
+
+	groupEnd := (pc | uint64(c.Cfg.FetchBytes-1)) + 1
+	redirected := false
+	for pc < groupEnd && len(c.fq) < c.Cfg.FetchQueue {
+		in, ok := c.decodeAt(pc)
+		if !ok {
+			// crosses a page we cannot translate yet: stop the group here
+			break
+		}
+		e := fqEntry{inst: in, pc: pc, readyAt: groupReady, excCause: -1, fromLoop: fromLoop}
+		nextPC := pc + uint64(in.Size)
+
+		switch {
+		case in.Op == isa.ILLEGAL:
+			e.excCause = isa.ExcIllegalInst
+			e.excTval = pc
+			c.fq = append(c.fq, e)
+			c.fetchWait = true // stop fetching until the trap redirects
+			return
+		case in.Op == isa.JAL:
+			target := pc + uint64(in.Imm)
+			if in.Rd == isa.RA {
+				c.RAS.Push(nextPC)
+			}
+			e.predTaken, e.predTarget = true, target
+			c.fq = append(c.fq, e)
+			c.redirectFetch(pc, target)
+			redirected = true
+		case in.Op == isa.JALR:
+			e.predTaken = true
+			e.rasSnap = c.RAS.Snapshot()
+			e.histBefore = c.Dir.History()
+			isRet := in.Rd == isa.Zero && in.Rs1 == isa.RA && in.Imm == 0
+			if isRet && c.RAS.Depth() > 0 {
+				e.predTarget = c.RAS.Pop()
+			} else if c.Cfg.EnableIndirect {
+				if t, ok := c.Ind.Predict(pc, c.Dir.History()); ok {
+					e.predTarget = t
+				} else if ent, ok := c.L1BTB.Lookup(pc); ok {
+					e.predTarget = ent.Target()
+				}
+			} else if ent, ok := c.L1BTB.Lookup(pc); ok {
+				e.predTarget = ent.Target()
+			}
+			if in.Rd == isa.RA {
+				c.RAS.Push(nextPC)
+			}
+			c.fq = append(c.fq, e)
+			if e.predTarget != 0 {
+				c.redirectFetch(pc, e.predTarget)
+			} else {
+				// no target prediction: fetch stalls until the jalr resolves
+				c.fetchWait = true
+				c.Stats.FetchJalrStalls++
+			}
+			redirected = true
+		case in.Op.IsBranch():
+			e.rasSnap = c.RAS.Snapshot()
+			e.histBefore = c.Dir.History()
+			taken, idx := c.Dir.Predict(pc)
+			e.dirIdx = idx
+			c.Dir.SpeculateHistory(taken)
+			e.predTaken = taken
+			if taken {
+				e.predTarget = pc + uint64(in.Imm)
+				c.fq = append(c.fq, e)
+				c.redirectFetch(pc, e.predTarget)
+				redirected = true
+			} else {
+				c.fq = append(c.fq, e)
+			}
+		default:
+			c.fq = append(c.fq, e)
+		}
+		if redirected {
+			break
+		}
+		pc = nextPC
+	}
+	if !redirected {
+		c.fetchPC = pc
+		if c.fetchAllowed <= c.now {
+			c.fetchAllowed = c.now + 1
+		}
+	}
+}
+
+// redirectFetch points fetch at a predicted target, charging the IP-stage
+// bubble unless the L0 BTB (IF-stage jump) or the loop buffer hides it.
+func (c *Core) redirectFetch(branchPC, target uint64) {
+	c.fetchPC = target
+	bubble := uint64(c.Cfg.TakenPenalty)
+	if c.Cfg.EnableLoopBuf && c.LoopBuf.Covers(target) && c.LoopBuf.Covers(branchPC) {
+		bubble = 0 // back edge inside the captured loop: zero bubble (§III-C)
+		c.Stats.LoopBufRedirects++
+	} else if c.Cfg.EnableL0BTB {
+		if _, ok := c.L0BTB.Lookup(branchPC); ok {
+			bubble = 0 // IF-stage jump (§III-B)
+			c.Stats.L0BTBRedirects++
+		}
+	}
+	c.fetchAllowed = c.now + 1 + bubble
+}
+
+// decodeAt decodes the instruction at pc, reading through the MMU when
+// translation is active.
+func (c *Core) decodeAt(pc uint64) (isa.Inst, bool) {
+	lo, ok := c.fetchHalf(pc)
+	if !ok {
+		return isa.Inst{}, false
+	}
+	if lo&3 == 3 {
+		hi, ok := c.fetchHalf(pc + 2)
+		if !ok {
+			return isa.Inst{}, false
+		}
+		return isa.Decode(uint32(lo) | uint32(hi)<<16), true
+	}
+	return isa.Decode16(lo), true
+}
+
+func (c *Core) fetchHalf(pc uint64) (uint16, bool) {
+	pa := pc
+	if c.MMU.Enabled() {
+		var err error
+		pa, _, err = c.MMU.Translate(pc, mmu.AccFetch, c.now)
+		if err != nil {
+			return 0, false
+		}
+	}
+	return uint16(c.Mem.Read(pa, 2)), true
+}
+
+// injectFetchFault enqueues a faulting pseudo-instruction so the instruction
+// page fault is taken precisely at retirement.
+func (c *Core) injectFetchFault(pc uint64, err error) {
+	cause := isa.ExcInstPageFault
+	if pf, ok := err.(*mmu.PageFault); ok {
+		cause = pf.Cause()
+	}
+	c.fq = append(c.fq, fqEntry{
+		inst:     isa.NewInst(isa.ILLEGAL),
+		pc:       pc,
+		readyAt:  c.now + 1,
+		excCause: cause,
+		excTval:  pc,
+	})
+	c.fetchWait = true
+}

@@ -1,0 +1,112 @@
+package core
+
+import "xt910/isa"
+
+// recoverFromBranch restores front-end state from the branch's rename-time
+// checkpoint (§IV speculative allocation) and squashes everything younger.
+// The misprediction penalty — "at least seven clock cycles ... compared to
+// executing jump at the IP stage" (§III-A) — emerges from the redirect gap
+// plus the refill of the IF/IP/IB and ID/IR/IS/RF stages.
+func (c *Core) recoverFromBranch(u *uop, target uint64, actTaken bool) {
+	ck := &c.ckpts[u.ckptID]
+	copy(c.rat, ck.rat[:])
+	// the RAS and global history rewind to their fetch-time snapshots (the
+	// rename-time view already contains younger wrong-path speculation),
+	// then the branch's own resolved outcome is replayed into the history.
+	c.RAS.Restore(u.rasSnap)
+	c.Dir.RestoreHistory(u.histBefore)
+	if u.inst.Op.IsBranch() {
+		c.Dir.SpeculateHistory(actTaken)
+	}
+	if u.inst.Op == isa.JALR && u.inst.Rd == isa.RA {
+		c.RAS.Push(u.pc + uint64(u.inst.Size))
+	}
+	ck.used = false
+	u.ckptID = -1
+
+	c.squashYounger(u.seq)
+	c.fq = c.fq[:0]
+	c.fetchWait = false
+	c.fetchPC = target
+	c.fetchAllowed = c.now + uint64(c.Cfg.MispredictMin)
+	c.Stats.Flushes++
+}
+
+// squashYounger removes all micro-ops younger than keepSeq from the ROB,
+// issue queues, LQ and SQ, releasing their physical registers and
+// checkpoints.
+func (c *Core) squashYounger(keepSeq uint64) {
+	c.robQ.squashAfter(keepSeq, func(u *uop) {
+		if u.newPhys != noPhys {
+			// undo the rename: the checkpointed RAT no longer references it
+			c.pf.release(u.newPhys)
+		}
+		if u.ckptID >= 0 {
+			c.ckpts[u.ckptID].used = false
+		}
+	})
+	for p := range c.queues {
+		q := c.queues[p][:0]
+		for _, idx := range c.queues[p] {
+			if c.robQ.live(idx) && c.robQ.at(idx).seq <= keepSeq {
+				q = append(q, idx)
+			}
+		}
+		c.queues[p] = q
+	}
+	c.lq = filterLQ(c.lq, keepSeq)
+	c.sq = filterSQ(c.sq, keepSeq)
+}
+
+func filterLQ(q []lqEntry, keepSeq uint64) []lqEntry {
+	out := q[:0]
+	for _, e := range q {
+		if e.seq <= keepSeq {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+func filterSQ(q []sqEntry, keepSeq uint64) []sqEntry {
+	out := q[:0]
+	for _, e := range q {
+		if e.seq <= keepSeq {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// flushAll empties the whole pipeline (taken at retirement for exceptions,
+// serializing instructions and memory-ordering squashes, Fig. 8) and
+// restarts fetch at pc. The speculative RAT is rebuilt from the retirement
+// RAT and the free list from scratch.
+func (c *Core) flushAll(pc uint64) {
+	// release every in-flight rename
+	c.robQ.forEach(func(_ int, u *uop) bool {
+		if u.newPhys != noPhys {
+			c.pf.release(u.newPhys)
+		}
+		return true
+	})
+	c.robQ.head, c.robQ.tail, c.robQ.count = 0, 0, 0
+	for p := range c.queues {
+		c.queues[p] = c.queues[p][:0]
+	}
+	c.lq = c.lq[:0]
+	c.sq = c.sq[:0]
+	for i := range c.ckpts {
+		c.ckpts[i].used = false
+	}
+	copy(c.rat, c.archRAT)
+	c.fq = c.fq[:0]
+	c.fetchWait = false
+	c.fetchPC = pc
+	c.fetchAllowed = c.now + uint64(c.Cfg.MispredictMin)
+	c.Stats.Flushes++
+	for p := range c.pipeBusy {
+		c.pipeBusy[p] = 0
+	}
+	c.vecBusy = 0
+}

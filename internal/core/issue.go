@@ -1,0 +1,452 @@
+package core
+
+import (
+	"xt910/internal/vector"
+	"xt910/isa"
+)
+
+// issueAndExecute models the IS/RF/EX stages: each pipe selects its oldest
+// ready micro-op (age-vector scheduling, §IV), up to IssueWidth issues per
+// cycle across the 8 shared instruction slots. Execution is value-carrying:
+// results are computed at issue time from the physical register file and
+// become visible to consumers at now+latency (full bypass network).
+func (c *Core) issueAndExecute() {
+	slots := c.Cfg.IssueWidth
+	for p := pipeID(0); p < numPipes && slots > 0; p++ {
+		if c.pipeBusy[p] > c.now {
+			continue
+		}
+		q := c.queues[p]
+		for qi := 0; qi < len(q); qi++ {
+			idx := q[qi]
+			u := c.robQ.at(idx)
+			if u.minIssue > c.now {
+				// queues are age-ordered; younger entries cannot be ready
+				// earlier in the in-order machine, but in the OoO machine a
+				// younger op may still issue — keep scanning.
+				if !c.Cfg.OutOfOrder {
+					break
+				}
+				continue
+			}
+			if !c.Cfg.OutOfOrder && !c.allOlderIssued(u.seq) {
+				break
+			}
+			if c.tryExecute(p, idx, u) {
+				// tryExecute may itself rewrite the queues (branch recovery
+				// squashes younger entries), so remove the issued entry from
+				// the queue's current contents rather than the stale slice.
+				cur := c.queues[p]
+				for j, v := range cur {
+					if v == idx {
+						c.queues[p] = append(cur[:j], cur[j+1:]...)
+						break
+					}
+				}
+				slots--
+				c.Stats.Issued++
+				break // one issue per pipe per cycle
+			}
+			if !c.Cfg.OutOfOrder {
+				break // in-order: blocked head blocks the pipe
+			}
+			if p == pipeFV0 && c.robQ.at(idx).inst.Op.Class() != isa.ClassFPU {
+				// the vector queue is strictly ordered (§VII: vector ops
+				// mutate architectural vector state at execute)
+				break
+			}
+		}
+	}
+}
+
+// allOlderIssued enforces in-order issue for the U74-class configuration:
+// a micro-op may issue only when every older one has issued.
+func (c *Core) allOlderIssued(seq uint64) bool {
+	ok := true
+	c.robQ.forEach(func(_ int, u *uop) bool {
+		if u.seq >= seq {
+			return false
+		}
+		// the store-data leg and atRetire ops do not gate in-order issue
+		if !u.issued && !u.atRetire && u.excCause < 0 {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+func (c *Core) srcsReady(u *uop) bool {
+	for i := 0; i < u.nsrc; i++ {
+		if !c.pf.ready(u.srcPhys[i], c.now) {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Core) srcVal(u *uop, i int) uint64 { return c.pf.read(u.srcPhys[i]) }
+
+// opndABC resolves up to three scalar operand values in Sources() order.
+func (c *Core) opndABC(u *uop) (a, b, cc uint64) {
+	vals := [3]uint64{}
+	for i := 0; i < u.nsrc; i++ {
+		vals[i] = c.srcVal(u, i)
+	}
+	return vals[0], vals[1], vals[2]
+}
+
+// tryExecute attempts to issue the micro-op on pipe p; returns true when it
+// issued (for stores, when the corresponding leg issued).
+func (c *Core) tryExecute(p pipeID, idx int, u *uop) bool {
+	switch {
+	case p == pipeSTA && u.isStore():
+		return c.execStoreAddr(idx, u)
+	case p == pipeSTD && u.isStore():
+		return c.execStoreData(u)
+	case p == pipeLD:
+		return c.execLoad(idx, u)
+	case p == pipeFV0 || p == pipeFV1:
+		if u.inst.Op.Class() == isa.ClassFPU {
+			return c.execFPU(p, u)
+		}
+		return c.execVector(p, idx, u)
+	case p == pipeBJU:
+		return c.execBranch(u)
+	default:
+		return c.execALU(p, u)
+	}
+}
+
+func (c *Core) execALU(p pipeID, u *uop) bool {
+	if !c.srcsReady(u) {
+		return false
+	}
+	op := u.inst.Op
+	a, b, _ := c.opndABC(u)
+	var res uint64
+	var ok bool
+	// three-source forms read the old destination as their last source
+	if res, ok = isa.EvalIntALU(op, a, b, u.pc, u.inst.Imm, u.inst.Size); !ok {
+		regs, _ := u.inst.Sources()
+		_ = regs
+		v0, v1, v2 := c.opndABC(u)
+		if res, ok = isa.EvalIntALU3(op, v0, v1, v2); !ok {
+			u.excCause = isa.ExcIllegalInst
+			u.excTval = u.pc
+			u.done = true
+			u.readyAt = c.now + 1
+			u.issued = true
+			return true
+		}
+	}
+	lat := uint64(op.Latency())
+	if op.Class() == isa.ClassDiv {
+		lat = uint64(isa.DivLatency(op, a))
+		c.pipeBusy[p] = c.now + lat // the divider is not pipelined
+	}
+	c.pf.write(u.newPhys, res, c.now+lat)
+	u.done, u.issued = true, true
+	u.readyAt = c.now + lat
+	return true
+}
+
+func (c *Core) execFPU(p pipeID, u *uop) bool {
+	if !c.srcsReady(u) {
+		return false
+	}
+	a, b, cc := c.opndABC(u)
+	res, ok := isa.EvalFPU(u.inst.Op, a, b, cc)
+	if !ok {
+		u.excCause = isa.ExcIllegalInst
+		u.excTval = u.pc
+	}
+	lat := uint64(u.inst.Op.Latency())
+	if lat > 8 {
+		c.pipeBusy[p] = c.now + lat/2 // long-latency FP ops partially block
+	}
+	c.pf.write(u.newPhys, res, c.now+lat)
+	u.done, u.issued = true, true
+	u.readyAt = c.now + lat
+	return true
+}
+
+// execBranch resolves branches and jumps at EX1 and recovers from
+// mispredictions via the rename checkpoints.
+func (c *Core) execBranch(u *uop) bool {
+	if !c.srcsReady(u) {
+		return false
+	}
+	op := u.inst.Op
+	a, b, _ := c.opndABC(u)
+	nextPC := u.pc + uint64(u.inst.Size)
+	actTaken := false
+	actTarget := nextPC
+	switch op {
+	case isa.JAL:
+		actTaken = true
+		actTarget = u.pc + uint64(u.inst.Imm)
+	case isa.JALR:
+		actTaken = true
+		actTarget = (a + uint64(u.inst.Imm)) &^ 1
+	default:
+		actTaken = isa.EvalBranch(op, a, b)
+		if actTaken {
+			actTarget = u.pc + uint64(u.inst.Imm)
+		}
+	}
+	// link register
+	if u.newPhys != noPhys {
+		c.pf.write(u.newPhys, nextPC, c.now+1)
+	}
+	u.done, u.issued = true, true
+	u.readyAt = c.now + 1
+	u.redirectTo = actTarget
+
+	// train the predictors (§III)
+	c.Stats.Branches++
+	if op.IsBranch() {
+		c.Dir.Update(u.dirIdx, actTaken, u.predTaken)
+		if actTaken {
+			c.L1BTB.Insert(u.pc, actTarget, false, false, false)
+			if c.Cfg.EnableL0BTB {
+				c.L0BTB.Insert(u.pc, actTarget, false, false, false)
+			}
+			if c.Cfg.EnableLoopBuf && actTarget < u.pc {
+				body := int(u.pc-actTarget)/2 + 1
+				c.LoopBuf.Observe(u.pc, actTarget, body)
+			}
+		} else if c.Cfg.EnableLoopBuf && c.LoopBuf.Active() && u.pc == c.LoopBuf.End() {
+			c.LoopBuf.Exit()
+		}
+	}
+	if op == isa.JALR {
+		c.L1BTB.Insert(u.pc, actTarget, u.inst.Rd == isa.RA, u.inst.Rs1 == isa.RA, true)
+		if c.Cfg.EnableIndirect {
+			c.Ind.Update(u.pc, u.histBefore, actTarget)
+		}
+	}
+
+	mispredict := actTaken != u.predTaken || (actTaken && actTarget != u.predTarget)
+	if mispredict {
+		c.Stats.BrMispredicts++
+		c.recoverFromBranch(u, actTarget, actTaken)
+	} else if u.ckptID >= 0 {
+		c.ckpts[u.ckptID].used = false
+		u.ckptID = -1
+	}
+	return true
+}
+
+// execVector runs the ordered vector queue (§VII). Vector operations execute
+// non-speculatively: the head of the vector queue issues only once no older
+// unresolved control flow, unexecuted memory operation, or retire-executed
+// (CSR/system) instruction remains in the ROB, because vector execution
+// mutates the architectural vector file directly.
+func (c *Core) execVector(p pipeID, idx int, u *uop) bool {
+	if !c.srcsReady(u) || c.vecBusy > c.now {
+		return false
+	}
+	if !c.olderQuiesced(u.seq) {
+		return false
+	}
+	op := u.inst.Op
+	cls := op.Class()
+	if cls == isa.ClassVLoad || cls == isa.ClassVStore {
+		// memory-ordered: all older scalar stores must have drained
+		for i := range c.sq {
+			if c.sq[i].seq < u.seq {
+				return false
+			}
+		}
+	}
+	// vector register dependencies via the scoreboard
+	vt := c.Vec.VType
+	group := vt.LMUL()
+	checkGroup := func(r isa.Reg) bool {
+		if !r.IsV() {
+			return true
+		}
+		base := r.Index()
+		for i := 0; i < group && base+i < 32; i++ {
+			if c.vregReady[base+i] > c.now {
+				return false
+			}
+		}
+		return true
+	}
+	if !checkGroup(u.inst.Rs1) || !checkGroup(u.inst.Rs2) || !checkGroup(u.inst.Rd) {
+		return false
+	}
+
+	if op == isa.VSETVLI || op == isa.VSETVL {
+		requested := uint64(0)
+		if u.nsrc > 0 {
+			requested = c.srcVal(u, 0)
+		}
+		var nvt isa.VType
+		if op == isa.VSETVLI {
+			nvt = isa.VType(u.inst.Imm)
+		} else {
+			nvt = isa.VType(c.srcVal(u, 1))
+		}
+		if u.inst.Rs1 == isa.Zero && u.inst.Rd != isa.Zero {
+			requested = ^uint64(0)
+		}
+		vl := c.Vec.SetVL(requested, nvt)
+		c.pf.write(u.newPhys, vl, c.now+1)
+		// §VII vl speculation: a changed vl breaks the predicted vector
+		// configuration and costs a re-steer of in-flight vector work.
+		if vl != c.lastVL {
+			c.Stats.VlSpecFails++
+			c.vecBusy = c.now + 6
+		}
+		c.lastVL = vl
+		u.done, u.issued = true, true
+		u.readyAt = c.now + 1
+		return true
+	}
+
+	// execute functionally against architectural vector state
+	scalar := uint64(0)
+	if u.nsrc > 0 {
+		scalar = c.srcVal(u, 0)
+	}
+	vin := u.inst
+	switch op {
+	case isa.VLSE:
+		vin.Imm = int64(c.srcVal(u, 1))
+	case isa.VSSE:
+		vin.Imm = int64(c.srcVal(u, 1))
+	}
+	memDone := c.now
+	var memErr error
+	ld := func(addr uint64, size int) uint64 {
+		pa, done, err := c.translateData(addr, false)
+		if err != nil && memErr == nil {
+			memErr = err
+		}
+		if done > memDone {
+			memDone = done
+		}
+		return c.Mem.Read(pa, size)
+	}
+	st := func(addr uint64, size int, v uint64) {
+		pa, done, err := c.translateData(addr, true)
+		if err != nil {
+			if memErr == nil {
+				memErr = err
+			}
+			return
+		}
+		if done > memDone {
+			memDone = done
+		}
+		c.Mem.Write(pa, size, v)
+		c.notifyWrite(pa, size)
+	}
+	xres, hasX, err := c.Vec.Exec(vin, scalar, ld, st)
+	if err != nil || memErr != nil {
+		u.excCause = isa.ExcIllegalInst
+		u.excTval = u.pc
+		u.done, u.issued = true, true
+		u.readyAt = c.now + 1
+		return true
+	}
+
+	lat := uint64(op.Latency())
+	occ := uint64((vector.OccupancyCycles(vt) + 1) / 2) // two slices
+	if occ < 1 {
+		occ = 1
+	}
+	switch cls {
+	case isa.ClassVLoad, isa.ClassVStore:
+		// one demand access per touched line, 128 bits/cycle through the LSU
+		vl := int(c.Vec.VL)
+		bytes := vl * vt.SEW() / 8
+		lineStep := c.Cfg.L1D.LineBytes
+		base := scalar
+		var last uint64
+		for off := 0; off < bytes; off += lineStep {
+			pa, _, err := c.translateData(base+uint64(off), cls == isa.ClassVStore)
+			if err != nil {
+				break
+			}
+			done, _ := c.L1D.Access(pa, cls == isa.ClassVStore, c.now)
+			if done > last {
+				last = done
+			}
+			if cls == isa.ClassVLoad {
+				c.PF.Train(base+uint64(off), c.now)
+			}
+		}
+		if last > memDone {
+			memDone = last
+		}
+		mc := uint64(vector.MemCycles(vl, vt))
+		c.pipeBusy[pipeLD] = c.now + mc
+		lat = memDone - c.now + 2
+		occ = mc
+	default:
+		c.pipeBusy[pipeFV1] = c.now + occ // both slices work in concert
+	}
+	c.vecBusy = c.now + occ
+	// scoreboard: destination group ready after latency
+	if u.inst.Rd.IsV() {
+		base := u.inst.Rd.Index()
+		wide := group
+		if op == isa.VWMACCVV {
+			wide = group * 2
+		}
+		for i := 0; i < wide && base+i < 32; i++ {
+			c.vregReady[base+i] = c.now + lat
+		}
+	}
+	if hasX {
+		c.pf.write(u.newPhys, xres, c.now+lat)
+	}
+	u.done, u.issued = true, true
+	u.readyAt = c.now + lat
+	c.Stats.VecOps++
+	return true
+}
+
+// olderQuiesced reports whether everything older than seq is safe to commit
+// past: no unresolved control flow, no unexecuted memory op, no pending
+// retire-executed instruction, no pending squash/exception.
+func (c *Core) olderQuiesced(seq uint64) bool {
+	ok := true
+	c.robQ.forEach(func(_ int, u *uop) bool {
+		if u.seq >= seq {
+			return false
+		}
+		if u.excCause >= 0 || u.squashRetry || u.atRetire {
+			ok = false
+			return false
+		}
+		if u.isCtrl && !u.done {
+			ok = false
+			return false
+		}
+		if u.isLoad() && !u.done {
+			ok = false
+			return false
+		}
+		if u.isStore() && !(u.addrDone && u.dataDone) {
+			ok = false
+			return false
+		}
+		return true
+	})
+	return ok
+}
+
+// translateData resolves a data virtual address through the MMU.
+func (c *Core) translateData(va uint64, write bool) (uint64, uint64, error) {
+	acc := mmuAccLoad
+	if write {
+		acc = mmuAccStore
+	}
+	return c.mmuTranslate(va, acc)
+}

@@ -1,0 +1,340 @@
+package core
+
+import (
+	"xt910/internal/mmu"
+	"xt910/isa"
+)
+
+const (
+	mmuAccLoad  = mmu.AccLoad
+	mmuAccStore = mmu.AccStore
+)
+
+func (c *Core) mmuTranslate(va uint64, acc mmu.Access) (uint64, uint64, error) {
+	return c.MMU.Translate(va, acc, c.now)
+}
+
+// findSQ locates a store-queue entry by sequence number.
+func (c *Core) findSQ(seq uint64) *sqEntry {
+	for i := range c.sq {
+		if c.sq[i].seq == seq {
+			return &c.sq[i]
+		}
+	}
+	return nil
+}
+
+func (c *Core) findLQ(seq uint64) *lqEntry {
+	for i := range c.lq {
+		if c.lq[i].seq == seq {
+			return &c.lq[i]
+		}
+	}
+	return nil
+}
+
+// memAddr computes a scalar memory op's effective address, including the
+// custom indexed forms (§VIII-A).
+func (c *Core) memAddr(u *uop) uint64 {
+	switch u.inst.Op {
+	case isa.XLRB, isa.XLRH, isa.XLRW, isa.XLRD:
+		return c.srcVal(u, 0) + c.srcVal(u, 1)<<uint(u.inst.Imm&3)
+	case isa.XLURB, isa.XLURH, isa.XLURW:
+		return c.srcVal(u, 0) + uint64(uint32(c.srcVal(u, 1)))<<uint(u.inst.Imm&3)
+	case isa.XSRB, isa.XSRH, isa.XSRW, isa.XSRD:
+		return c.srcVal(u, 0) + c.srcVal(u, 1)<<uint(u.inst.Imm&3)
+	}
+	return c.srcVal(u, 0) + uint64(u.inst.Imm)
+}
+
+// storeDataVal extracts the store's data value from its renamed sources.
+// Standard stores read data from Rs2 (the second renamed source); custom
+// indexed stores read data from Rd (the third renamed source, via Sources).
+func (c *Core) storeDataVal(u *uop) (int16, uint64, bool) {
+	var phys int16 = noPhys
+	switch u.inst.Op {
+	case isa.XSRB, isa.XSRH, isa.XSRW, isa.XSRD:
+		if u.nsrc >= 3 {
+			phys = u.srcPhys[2]
+		}
+	default:
+		// rs2 is the data source; rs1 (base) is srcPhys[0]
+		if u.inst.Rs2 == isa.Zero || u.inst.Rs2 == isa.RegNone {
+			return noPhys, 0, true // storing x0: data is zero and ready
+		}
+		if u.nsrc >= 2 {
+			phys = u.srcPhys[1]
+		}
+	}
+	if phys == noPhys {
+		return noPhys, 0, true
+	}
+	if !c.pf.ready(phys, c.now) {
+		return phys, 0, false
+	}
+	return phys, c.pf.read(phys), true
+}
+
+// addrSrcsReady: the st.addr leg needs only the address operands.
+func (c *Core) addrSrcsReady(u *uop) bool {
+	switch u.inst.Op {
+	case isa.XSRB, isa.XSRH, isa.XSRW, isa.XSRD:
+		return c.pf.ready(u.srcPhys[0], c.now) && c.pf.ready(u.srcPhys[1], c.now)
+	}
+	return c.pf.ready(u.srcPhys[0], c.now)
+}
+
+// execStoreAddr is the st.addr µOp (§V-B): address generation, uTLB access
+// and cache query on the store pipe, plus the §V-A ordering-violation check
+// against younger already-executed loads.
+func (c *Core) execStoreAddr(idx int, u *uop) bool {
+	if u.addrDone {
+		return false
+	}
+	if !c.addrSrcsReady(u) {
+		return false
+	}
+	if !c.Cfg.SplitStores {
+		// unified store µOp: both operands must be ready before it issues,
+		// and the data is captured here (no separate st.data pipe)
+		_, val, ready := c.storeDataVal(u)
+		if !ready {
+			return false
+		}
+		u.dataDone = true
+		if e := c.findSQ(u.seq); e != nil {
+			e.val = val
+			e.dataDone = true
+		}
+	}
+	va := c.memAddr(u)
+	pa, doneT, err := c.mmuTranslate(va, mmuAccStore)
+	if err != nil {
+		u.excCause = err.(*mmu.PageFault).Cause()
+		u.excTval = va
+		u.addrDone, u.dataDone = true, true
+		u.done, u.issued = true, true
+		u.readyAt = c.now + 1
+		if e := c.findSQ(u.seq); e != nil {
+			e.addrDone, e.dataDone = true, true
+		}
+		return true
+	}
+	u.addr = pa
+	u.addrDone = true
+	u.issued = true
+	e := c.findSQ(u.seq)
+	if e != nil {
+		e.addr = pa
+		e.size = u.memSize
+		e.addrDone = true
+	}
+	// charge the store-pipe cache query (write permission fetch happens here);
+	// device addresses bypass the cache
+	if c.MMIO == nil || !c.MMIO.Covers(pa) {
+		c.L1D.Access(pa, true, doneT)
+	}
+
+	// §V-A: a younger load that already executed with an overlapping address
+	// violated the memory order — tag it to squash at retirement and train
+	// the dependence predictor so the pair blocks next time.
+	for i := range c.lq {
+		le := &c.lq[i]
+		if le.seq > u.seq && le.executed && overlap(pa, u.memSize, le.addr, le.size) {
+			lu := c.robQ.at(le.robIdx)
+			if lu.seq == le.seq && !lu.squashRetry {
+				lu.squashRetry = true
+				c.Stats.MemOrderViolations++
+				if c.Cfg.MemDepPredict {
+					c.memDep[lu.pc] = true
+				}
+			}
+		}
+	}
+	c.finishStoreIfReady(u)
+	return true
+}
+
+// execStoreData is the st.data µOp: it reads the data operand from the
+// physical register file (or the bypass network) into the SQ entry.
+func (c *Core) execStoreData(u *uop) bool {
+	if u.dataDone {
+		return false
+	}
+	_, val, ready := c.storeDataVal(u)
+	if !ready {
+		return false
+	}
+	u.dataDone = true
+	if e := c.findSQ(u.seq); e != nil {
+		e.val = val
+		e.dataDone = true
+	}
+	c.finishStoreIfReady(u)
+	return true
+}
+
+// finishStoreIfReady marks the store complete once both µOps have merged in
+// the write buffer (§V-B).
+func (c *Core) finishStoreIfReady(u *uop) {
+	if u.addrDone && u.dataDone && !u.done {
+		u.done = true
+		u.readyAt = c.now + 1
+	}
+}
+
+// execLoad is the load pipe (AG/DC/DA/WB, §V-A): address generation and
+// translation, store-queue search with forwarding, dependence-predictor
+// blocking, then the D-cache access. Unaligned accesses crossing a line pay a
+// second access (§II: the LSU supports unaligned data access).
+func (c *Core) execLoad(idx int, u *uop) bool {
+	if !c.srcsReady(u) {
+		return false
+	}
+	// in-flight vector stores and atomics are not in the SQ; loads younger
+	// than one wait until it commits its memory effect
+	if c.hasOlderPendingVStore(u.seq) {
+		return false
+	}
+	va := c.memAddr(u)
+	pa, doneT, err := c.mmuTranslate(va, mmuAccLoad)
+	if err != nil {
+		u.excCause = err.(*mmu.PageFault).Cause()
+		u.excTval = va
+		u.done, u.issued = true, true
+		u.readyAt = c.now + 1
+		return true
+	}
+
+	// device loads have side effects (PLIC claim): execute them only at the
+	// ROB head, bypassing the cache hierarchy
+	if c.MMIO != nil && c.MMIO.Covers(pa) {
+		if c.robQ.headEntry().seq != u.seq {
+			return false
+		}
+		v := extendLoad(u.inst.Op, c.MMIO.Read(pa, u.memSize), u.memSize)
+		done := doneT + 20 // uncached device access
+		c.pf.write(u.newPhys, v, done)
+		if le := c.findLQ(u.seq); le != nil {
+			le.addr = pa
+			le.size = u.memSize
+			le.executed = true
+		}
+		u.addr = pa
+		u.done, u.issued = true, true
+		u.readyAt = done
+		c.Stats.Loads++
+		return true
+	}
+
+	// dependence-predicted loads wait until all older store addresses are known
+	blocked := c.Cfg.MemDepPredict && c.memDep[u.pc]
+	var fwdVal uint64
+	fwd := false
+	for i := range c.sq {
+		e := &c.sq[i]
+		if e.seq >= u.seq {
+			continue
+		}
+		if !e.addrDone {
+			if blocked || !c.Cfg.MemDepPredict {
+				return false // conservative: wait for the older address
+			}
+			continue // speculate past the unknown-address store
+		}
+		if !overlap(pa, u.memSize, e.addr, e.size) {
+			continue
+		}
+		// overlapping older store: forward when it fully covers the load
+		if e.dataDone && covers(e.addr, e.size, pa, u.memSize) {
+			sh := (pa - e.addr) * 8
+			fwdVal = e.val >> sh
+			fwd = true
+			continue // a younger matching store may override — keep scanning
+		}
+		return false // partial overlap or data not ready: wait
+	}
+
+	var value uint64
+	var done uint64
+	if fwd {
+		value = fwdVal
+		done = doneT + 3 // forwarded through the DA stage
+		u.fwd = true
+		c.Stats.StoreForwards++
+	} else {
+		value = c.Mem.Read(pa, u.memSize)
+		var hit bool
+		done, hit = c.L1D.Access(pa, false, doneT)
+		if crossesLine(pa, u.memSize, c.Cfg.L1D.LineBytes) {
+			d2, _ := c.L1D.Access(pa+uint64(u.memSize)-1, false, doneT)
+			if d2 > done {
+				done = d2
+			}
+			c.Stats.UnalignedAccesses++
+		}
+		done += uint64(1) // DA stage
+		if !hit {
+			c.Stats.LoadMisses++
+		}
+	}
+	c.PF.Train(va, c.now)
+
+	value = extendLoad(u.inst.Op, value, u.memSize)
+	c.pf.write(u.newPhys, value, done+1) // WB stage
+	if le := c.findLQ(u.seq); le != nil {
+		le.addr = pa
+		le.size = u.memSize
+		le.executed = true
+	}
+	u.addr = pa
+	u.done, u.issued = true, true
+	u.readyAt = done + 1
+	c.Stats.Loads++
+	return true
+}
+
+func (c *Core) hasOlderPendingVStore(seq uint64) bool {
+	found := false
+	c.robQ.forEach(func(_ int, u *uop) bool {
+		if u.seq >= seq {
+			return false
+		}
+		if !u.done && (u.inst.Op.Class() == isa.ClassVStore || u.inst.Op.Class() == isa.ClassAMO) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+func extendLoad(op isa.Op, v uint64, size int) uint64 {
+	switch op {
+	case isa.FLW:
+		return isa.BoxF32(uint32(v))
+	case isa.FLD:
+		return v
+	}
+	if size == 8 {
+		return v
+	}
+	v &= 1<<(8*size) - 1
+	if op.LoadUnsigned() {
+		return v
+	}
+	sh := uint(64 - 8*size)
+	return uint64(int64(v<<sh) >> sh)
+}
+
+func overlap(a uint64, an int, b uint64, bn int) bool {
+	return a < b+uint64(bn) && b < a+uint64(an)
+}
+
+func covers(outer uint64, on int, inner uint64, in int) bool {
+	return outer <= inner && inner+uint64(in) <= outer+uint64(on)
+}
+
+func crossesLine(addr uint64, size, line int) bool {
+	return addr/uint64(line) != (addr+uint64(size)-1)/uint64(line)
+}

@@ -1,0 +1,44 @@
+package core
+
+import (
+	"testing"
+)
+
+// TestPerformanceMonitorCSRs checks that software can read the §II PMU
+// counters through the mhpmcounter CSRs (the interface the CDS profiler of
+// §IX consumes).
+func TestPerformanceMonitorCSRs(t *testing.T) {
+	c := runCore(t, XT910Config(), `
+_start:
+    la   t0, buf
+    li   t1, 50
+loop:
+    ld   t2, 0(t0)
+    sd   t2, 8(t0)
+    addi t1, t1, -1
+    bnez t1, loop
+    csrr a1, mhpmcounter3    # branches
+    csrr a2, mhpmcounter7    # loads
+    csrr a3, mhpmcounter8    # stores
+    beqz a1, bad
+    beqz a2, bad
+    beqz a3, bad
+    li   a0, 0
+    li   a7, 93
+    ecall
+bad:
+    li   a0, 1
+    li   a7, 93
+    ecall
+buf: .space 64
+`)
+	if c.ExitCode != 0 {
+		t.Fatal("hpm counters must be nonzero and CSR-readable")
+	}
+	if got := c.CSR(0xB03); got != c.Stats.Branches {
+		t.Fatalf("mhpmcounter3 = %d, want %d", got, c.Stats.Branches)
+	}
+	if got := c.CSR(0xB05); got != c.L1D.Cache.Stats.Misses {
+		t.Fatalf("mhpmcounter5 = %d, want %d", got, c.L1D.Cache.Stats.Misses)
+	}
+}

@@ -1,0 +1,493 @@
+package core
+
+import (
+	"xt910/internal/emu"
+	"xt910/isa"
+)
+
+// retire is the RT1/RT2 stage (§IV): up to RetireWidth instructions commit in
+// order per cycle. Stores drain to the data cache, physical registers are
+// released, and exceptional or serializing instructions flush the pipeline
+// with precise state (Fig. 8).
+func (c *Core) retire() {
+	if c.robQ.empty() {
+		c.Stats.HeadStallEmpty++
+	}
+	for n := 0; n < c.Cfg.RetireWidth && !c.robQ.empty(); n++ {
+		u := c.robQ.headEntry()
+
+		// squash-at-commit for §V-A ordering violations: re-execute the load
+		if u.squashRetry {
+			pc := u.pc
+			c.flushAll(pc)
+			c.memDep[pc] = true
+			c.Stats.MemOrderFlushes++
+			return
+		}
+
+		if !u.done {
+			if u.atRetire {
+				if !c.executeAtRetire(u) {
+					return // stalled at head (e.g. AMO memory access)
+				}
+			} else {
+				if n == 0 {
+					c.countHeadStall(u)
+				}
+				return // oldest instruction still executing
+			}
+		}
+		if u.readyAt > c.now {
+			if n == 0 {
+				c.countHeadStall(u)
+			}
+			return
+		}
+
+		// precise exception at the head (Fig. 8)
+		if u.excCause >= 0 {
+			c.takeTrap(u)
+			return
+		}
+
+		// commit memory effects
+		if u.isStore() {
+			c.commitStore(u)
+		}
+		if u.isLoad() {
+			if len(c.lq) > 0 && c.lq[0].seq == u.seq {
+				c.lq = c.lq[1:]
+			}
+		}
+
+		// release rename resources
+		if u.newPhys != noPhys {
+			c.pf.release(c.archRAT[int(u.inst.Rd)])
+			c.archRAT[int(u.inst.Rd)] = u.newPhys
+		}
+		if u.ckptID >= 0 {
+			c.ckpts[u.ckptID].used = false
+		}
+
+		if c.RetireHook != nil {
+			c.RetireHook(u.pc, u.inst)
+		}
+		c.Stats.Retired++
+		if u.fromLoop {
+			c.Stats.LoopBufInsts++
+		}
+
+		flushAfter := u.flushAfter
+		redirect := u.redirectTo
+		c.robQ.pop()
+		if c.Halted {
+			return
+		}
+		if flushAfter {
+			c.flushAll(redirect)
+			c.Stats.SerializeFlushes++
+			return
+		}
+	}
+}
+
+// countHeadStall attributes a blocked-retirement cycle to the head's class.
+func (c *Core) countHeadStall(u *uop) {
+
+	switch u.inst.Op.Class() {
+	case isa.ClassLoad:
+		c.Stats.HeadStallLoad++
+	case isa.ClassStore:
+		c.Stats.HeadStallStore++
+	case isa.ClassFPU:
+		c.Stats.HeadStallFPU++
+	case isa.ClassALU, isa.ClassMul, isa.ClassDiv:
+		c.Stats.HeadStallALU++
+	case isa.ClassVALU, isa.ClassVFPU, isa.ClassVLoad, isa.ClassVStore, isa.ClassVSet:
+		c.Stats.HeadStallVec++
+	default:
+		c.Stats.HeadStallOther++
+	}
+}
+
+// commitStore writes the SQ head to memory and the data cache.
+func (c *Core) commitStore(u *uop) {
+	if len(c.sq) == 0 || c.sq[0].seq != u.seq {
+		return
+	}
+	e := c.sq[0]
+	c.sq = c.sq[1:]
+	if c.MMIO != nil && c.MMIO.Covers(e.addr) {
+		c.MMIO.Write(e.addr, e.size, e.val)
+		c.Stats.Stores++
+		return
+	}
+	c.Mem.Write(e.addr, e.size, e.val)
+	c.notifyWrite(e.addr, e.size)
+	c.Stats.Stores++
+	c.PF.Train(e.addr, c.now)
+}
+
+// executeAtRetire performs instructions that must run non-speculatively at
+// the ROB head: CSR accesses, system instructions, atomics and cache/TLB
+// maintenance. It returns false if the instruction needs more cycles.
+func (c *Core) executeAtRetire(u *uop) bool {
+	op := u.inst.Op
+	nextPC := u.pc + uint64(u.inst.Size)
+	switch op.Class() {
+	case isa.ClassCSR:
+		c.execCSRAtRetire(u)
+	case isa.ClassAMO:
+		return c.execAMOAtRetire(u)
+	case isa.ClassSys:
+		switch op {
+		case isa.ECALL:
+			if c.handleHostEcall() {
+				u.done = true
+				u.readyAt = c.now
+				u.flushAfter = true
+				u.redirectTo = nextPC
+				return true
+			}
+			cause := isa.ExcEcallU + c.priv
+			if c.priv == isa.PrivM {
+				cause = isa.ExcEcallM
+			}
+			u.excCause = cause
+			u.done = true
+			u.readyAt = c.now
+			return true
+		case isa.EBREAK:
+			u.excCause = isa.ExcBreakpoint
+			u.excTval = u.pc
+			u.done = true
+			u.readyAt = c.now
+			return true
+		case isa.MRET:
+			st := c.csr[isa.CSRMstatus]
+			c.priv = int(st >> 11 & 3)
+			st = st&^(1<<3) | (st&(1<<7))>>4&(1<<3)
+			st |= 1 << 7
+			st &^= 3 << 11
+			c.csr[isa.CSRMstatus] = st
+			c.MMU.Priv = c.priv
+			u.redirectTo = c.csr[isa.CSRMepc]
+			u.flushAfter = true
+		case isa.SRET:
+			st := c.csr[isa.CSRMstatus]
+			if st&(1<<8) != 0 {
+				c.priv = isa.PrivS
+			} else {
+				c.priv = isa.PrivU
+			}
+			st = st&^(1<<1) | (st&(1<<5))>>4&(1<<1)
+			st |= 1 << 5
+			st &^= 1 << 8
+			c.csr[isa.CSRMstatus] = st
+			c.MMU.Priv = c.priv
+			u.redirectTo = c.csr[isa.CSRSepc]
+			u.flushAfter = true
+		case isa.SFENCEVMA:
+			c.MMU.FlushAll()
+			c.PF.Flush()
+			u.flushAfter = true
+			u.redirectTo = nextPC
+		case isa.FENCEI:
+			c.L1I.Cache.InvalidateAll()
+			u.flushAfter = true
+			u.redirectTo = nextPC
+		case isa.WFI:
+			// §II timers: wait-for-interrupt parks the hart until an
+			// interrupt source pends (taken or not, per the privileged spec)
+			if c.IntSource != nil && c.pendingBits() == 0 {
+				c.wfiWait = true
+			}
+			u.flushAfter = true
+			u.redirectTo = nextPC
+		case isa.FENCE:
+			// full drain is implied by at-retire execution
+		}
+	case isa.ClassCacheOp:
+		c.execCacheOpAtRetire(u)
+	default:
+		// an exception-carrying placeholder (fetch fault, illegal op)
+		if u.excCause < 0 {
+			u.excCause = isa.ExcIllegalInst
+			u.excTval = u.pc
+		}
+	}
+	u.done = true
+	u.readyAt = c.now
+	if u.flushAfter && u.redirectTo == 0 {
+		u.redirectTo = nextPC
+	}
+	return true
+}
+
+func (c *Core) execCSRAtRetire(u *uop) {
+	op := u.inst.Op
+	var src uint64
+	if op == isa.CSRRWI || op == isa.CSRRSI || op == isa.CSRRCI {
+		src = uint64(u.inst.Imm)
+	} else if u.nsrc > 0 {
+		src = c.srcVal(u, 0)
+	}
+	old := c.CSR(u.inst.CSR)
+	switch op {
+	case isa.CSRRW, isa.CSRRWI:
+		c.SetCSR(u.inst.CSR, src)
+	case isa.CSRRS, isa.CSRRSI:
+		if src != 0 {
+			c.SetCSR(u.inst.CSR, old|src)
+		}
+	case isa.CSRRC, isa.CSRRCI:
+		if src != 0 {
+			c.SetCSR(u.inst.CSR, old&^src)
+		}
+	}
+	c.pf.write(u.newPhys, old, c.now)
+	// writes to translation or mode state serialize the pipeline
+	switch u.inst.CSR {
+	case isa.CSRSatp, isa.CSRMstatus, isa.CSRMxstatus, isa.CSRMhcr:
+		if op != isa.CSRRS && op != isa.CSRRC || src != 0 {
+			u.flushAfter = true
+		}
+	}
+	if u.inst.CSR == isa.CSRSatp {
+		c.PF.Flush()
+		if c.Cfg.EnableLoopBuf {
+			c.LoopBuf.Flush() // context switch flushes the LBUF (§III-C)
+		}
+	}
+}
+
+func (c *Core) execAMOAtRetire(u *uop) bool {
+	op := u.inst.Op
+	size := op.MemBytes()
+	va := c.srcVal(u, 0)
+	pa, doneT, err := c.mmuTranslate(va, mmuAccStore)
+	if err != nil {
+		u.excCause = isa.ExcStorePageFault
+		u.excTval = va
+		u.done = true
+		u.readyAt = c.now
+		return true
+	}
+	done, _ := c.L1D.Access(pa, true, doneT)
+	switch op {
+	case isa.LRW, isa.LRD:
+		v := c.Mem.Read(pa, size)
+		c.resAddr, c.resOK = pa, true
+		c.pf.write(u.newPhys, loadExtendSized(v, size), done)
+	case isa.SCW, isa.SCD:
+		if c.resOK && c.resAddr == pa {
+			c.Mem.Write(pa, size, c.srcVal(u, 1))
+			c.notifyWrite(pa, size)
+			c.pf.write(u.newPhys, 0, done)
+		} else {
+			c.pf.write(u.newPhys, 1, done)
+		}
+		c.resOK = false
+	default:
+		old := c.Mem.Read(pa, size)
+		c.Mem.Write(pa, size, isa.EvalAMO(op, old, c.srcVal(u, 1)))
+		c.notifyWrite(pa, size)
+		c.pf.write(u.newPhys, loadExtendSized(old, size), done)
+	}
+	u.done = true
+	u.readyAt = done
+	c.Stats.Atomics++
+	return true
+}
+
+// notifyWrite publishes a committed write to the SoC fabric.
+func (c *Core) notifyWrite(pa uint64, size int) {
+	if c.MemWriteHook != nil {
+		c.MemWriteHook(pa, size, c.ID)
+	}
+}
+
+// KillReservation drops this hart's LR/SC reservation if the written range
+// touches the reserved line (64-byte granule, matching the cache line).
+func (c *Core) KillReservation(pa uint64, size int) {
+	if c.resOK && pa>>6 == c.resAddr>>6 {
+		c.resOK = false
+	}
+}
+
+func loadExtendSized(v uint64, size int) uint64 {
+	if size == 4 {
+		return uint64(int64(int32(uint32(v))))
+	}
+	return v
+}
+
+func (c *Core) execCacheOpAtRetire(u *uop) {
+	nextPC := u.pc + uint64(u.inst.Size)
+	switch u.inst.Op {
+	case isa.XDCACHECALL:
+		c.L1D.Cache.CleanAll()
+	case isa.XDCACHEIALL:
+		c.L1D.FlushAll(c.now)
+	case isa.XDCACHECVA:
+		c.L1D.FlushVA(c.srcVal(u, 0), false, c.now)
+	case isa.XDCACHEIVA:
+		c.L1D.FlushVA(c.srcVal(u, 0), true, c.now)
+	case isa.XICACHEIALL:
+		c.L1I.Cache.InvalidateAll()
+		u.flushAfter = true
+		u.redirectTo = nextPC
+	case isa.XSYNC:
+		u.flushAfter = true
+		u.redirectTo = nextPC
+	case isa.XTLBIASID:
+		// §V-E: broadcast maintenance over the interconnect, no IPIs
+		c.MMU.FlushASID(uint16(c.srcVal(u, 0)))
+		if c.TLBBroadcast != nil {
+			c.TLBBroadcast(u.inst.Op, c.srcVal(u, 0), c.ID)
+		}
+		u.flushAfter = true
+		u.redirectTo = nextPC
+	case isa.XTLBIVA:
+		c.MMU.FlushVA(c.srcVal(u, 0))
+		if c.TLBBroadcast != nil {
+			c.TLBBroadcast(u.inst.Op, c.srcVal(u, 0), c.ID)
+		}
+		u.flushAfter = true
+		u.redirectTo = nextPC
+	}
+}
+
+// handleHostEcall services the bare-metal host ABI shared with the emulator.
+func (c *Core) handleHostEcall() bool {
+	a7 := c.Reg(isa.A7)
+	switch a7 {
+	case emu.SysExit:
+		c.Halted = true
+		c.ExitCode = int(int64(c.Reg(isa.A0)))
+		return true
+	case emu.SysWrite:
+		addr, n := c.Reg(isa.A1), c.Reg(isa.A2)
+		for i := uint64(0); i < n; i++ {
+			pa, _, err := c.mmuTranslate(addr+i, mmuAccLoad)
+			if err != nil {
+				break
+			}
+			c.Output = append(c.Output, c.Mem.LoadByte(pa))
+		}
+		c.setArchReg(isa.A0, n)
+		return true
+	}
+	return false
+}
+
+// setArchReg writes an architectural register at retire time (host-ecall
+// results): the retirement map's physical register is updated in place.
+func (c *Core) setArchReg(r isa.Reg, v uint64) {
+	c.pf.write(c.archRAT[int(r)], v, c.now)
+	// the speculative map may alias the same physical register; anything
+	// in flight was fetched after this serializing ecall anyway
+}
+
+// pendingBits returns the externally-driven mip bits masked by mie.
+func (c *Core) pendingBits() uint64 {
+	if c.IntSource == nil {
+		return 0
+	}
+	return c.IntSource(c.ID) & c.csr[isa.CSRMie]
+}
+
+// sampleInterrupts takes the highest-priority enabled machine interrupt at
+// the cycle boundary (MEI > MSI > MTI).
+func (c *Core) sampleInterrupts() {
+	pend := c.pendingBits()
+	if pend == 0 {
+		return
+	}
+	c.wfiWait = false
+	// M-mode interrupts fire when running below M, or in M with MIE set
+	if c.priv == isa.PrivM && c.csr[isa.CSRMstatus]&(1<<3) == 0 {
+		return
+	}
+	var cause uint64
+	switch {
+	case pend&(1<<11) != 0:
+		cause = 11 // machine external
+	case pend&(1<<3) != 0:
+		cause = 3 // machine software (IPI)
+	default:
+		cause = 7 // machine timer
+	}
+	c.takeInterrupt(cause)
+}
+
+// takeInterrupt flushes the pipeline and vectors to mtvec with the interrupt
+// bit set in mcause; mepc points at the oldest unretired instruction.
+func (c *Core) takeInterrupt(cause uint64) {
+	resume := c.fetchPC
+	if !c.robQ.empty() {
+		resume = c.robQ.headEntry().pc
+	} else if len(c.fq) > 0 {
+		resume = c.fq[0].pc
+	}
+	target := c.csr[isa.CSRMtvec] &^ 3
+	if target == 0 {
+		return // no handler installed: leave the interrupt pending
+	}
+	c.csr[isa.CSRMepc] = resume
+	c.csr[isa.CSRMcause] = 1<<63 | cause
+	c.csr[isa.CSRMtval] = 0
+	st := c.csr[isa.CSRMstatus]
+	st = st&^(1<<7) | (st&(1<<3))<<4
+	st &^= 1 << 3
+	st = st&^(3<<11) | uint64(c.priv)<<11
+	c.csr[isa.CSRMstatus] = st
+	c.priv = isa.PrivM
+	c.MMU.Priv = c.priv
+	c.Stats.Interrupts++
+	c.flushAll(target)
+}
+
+// takeTrap implements precise exception entry with medeleg delegation,
+// flushing the pipeline and redirecting to the handler.
+func (c *Core) takeTrap(u *uop) {
+	cause := u.excCause
+	deleg := c.csr[isa.CSRMedeleg]
+	toS := c.priv != isa.PrivM && deleg>>uint(cause)&1 == 1
+	st := c.csr[isa.CSRMstatus]
+	var target uint64
+	if toS {
+		c.csr[isa.CSRSepc] = u.pc
+		c.csr[isa.CSRScause] = uint64(cause)
+		c.csr[isa.CSRStval] = u.excTval
+		st = st&^(1<<5) | (st&(1<<1))<<4
+		st &^= 1 << 1
+		if c.priv == isa.PrivS {
+			st |= 1 << 8
+		} else {
+			st &^= 1 << 8
+		}
+		c.csr[isa.CSRMstatus] = st
+		c.priv = isa.PrivS
+		target = c.csr[isa.CSRStvec] &^ 3
+	} else {
+		c.csr[isa.CSRMepc] = u.pc
+		c.csr[isa.CSRMcause] = uint64(cause)
+		c.csr[isa.CSRMtval] = u.excTval
+		st = st&^(1<<7) | (st&(1<<3))<<4
+		st &^= 1 << 3
+		st = st&^(3<<11) | uint64(c.priv)<<11
+		c.csr[isa.CSRMstatus] = st
+		c.priv = isa.PrivM
+		target = c.csr[isa.CSRMtvec] &^ 3
+	}
+	c.MMU.Priv = c.priv
+	c.Stats.Traps++
+	if target == 0 {
+		// no handler installed: halt distinctively, mirroring the emulator
+		c.Halted = true
+		c.ExitCode = -(16 + cause)
+		return
+	}
+	c.flushAll(target)
+}

@@ -1,0 +1,121 @@
+package core
+
+import (
+	"fmt"
+
+	"xt910/isa"
+)
+
+// Stats aggregates the performance counters the XT-910's performance monitor
+// unit exposes (§II) and the harness reports.
+type Stats struct {
+	Cycles  uint64
+	Retired uint64
+	Renamed uint64
+	Issued  uint64
+
+	Branches      uint64
+	BrMispredicts uint64
+	Flushes       uint64
+
+	Loads              uint64
+	Stores             uint64
+	Atomics            uint64
+	LoadMisses         uint64
+	StoreForwards      uint64
+	UnalignedAccesses  uint64
+	MemOrderViolations uint64
+	MemOrderFlushes    uint64
+	SerializeFlushes   uint64
+	Traps              uint64
+	Interrupts         uint64
+
+	StallROB  uint64
+	StallLQ   uint64
+	StallSQ   uint64
+	StallIQ   uint64
+	StallPhys uint64
+	StallCkpt uint64
+
+	FetchJalrStalls  uint64
+	L0BTBRedirects   uint64
+	LoopBufRedirects uint64
+	LoopBufInsts     uint64
+
+	VecOps      uint64
+	VlSpecFails uint64
+
+	PFDroppedTLB uint64
+
+	// HeadStall* histogram why retirement was blocked (cycles, by the class
+	// of the ROB-head instruction) — the profiler view of where time goes.
+	HeadStallLoad  uint64
+	HeadStallStore uint64
+	HeadStallFPU   uint64
+	HeadStallALU   uint64
+	HeadStallVec   uint64
+	HeadStallOther uint64
+	HeadStallEmpty uint64
+}
+
+// IPC returns retired instructions per cycle.
+func (s *Stats) IPC() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.Retired) / float64(s.Cycles)
+}
+
+// MispredictRate returns branch mispredictions per branch.
+func (s *Stats) MispredictRate() float64 {
+	if s.Branches == 0 {
+		return 0
+	}
+	return float64(s.BrMispredicts) / float64(s.Branches)
+}
+
+// String summarizes the headline counters.
+func (s *Stats) String() string {
+	return fmt.Sprintf("cycles=%d retired=%d IPC=%.3f branches=%d mispred=%.2f%% loads=%d stores=%d fwd=%d flushes=%d",
+		s.Cycles, s.Retired, s.IPC(), s.Branches, 100*s.MispredictRate(),
+		s.Loads, s.Stores, s.StoreForwards, s.Flushes)
+}
+
+// CheckInvariants validates internal pipeline consistency; tests call it
+// after runs to catch resource leaks early. It returns a description of the
+// first violation found, or "" when everything holds.
+func (c *Core) CheckInvariants() string {
+	// free list entries must be unique and disjoint from the retirement map
+	seen := make(map[int16]bool, len(c.pf.free))
+	for _, p := range c.pf.free {
+		if seen[p] {
+			return "duplicate physical register on the free list"
+		}
+		seen[p] = true
+	}
+	for r, p := range c.archRAT {
+		if seen[p] {
+			return "architectural register " + isa.Reg(r).String() + " maps to a freed physical register"
+		}
+	}
+	// every issue-queue entry must reference a live ROB slot
+	for pipe := range c.queues {
+		for _, idx := range c.queues[pipe] {
+			if !c.robQ.live(idx) {
+				return "issue queue references a dead ROB slot"
+			}
+		}
+	}
+	// LQ/SQ entries must be ordered by sequence number
+	for i := 1; i < len(c.lq); i++ {
+		if c.lq[i-1].seq >= c.lq[i].seq {
+			return "load queue out of order"
+		}
+	}
+	for i := 1; i < len(c.sq); i++ {
+		if c.sq[i-1].seq >= c.sq[i].seq {
+			return "store queue out of order"
+		}
+	}
+	return ""
+}

@@ -1,0 +1,603 @@
+// Package emu is the architectural (functional) emulator of the XT-910 ISA:
+// the golden model. It executes programs instruction-by-instruction with full
+// RV64GCV + custom-extension semantics, M/S/U privilege, SV39 translation and
+// traps, but no timing. The pipeline model is continuously cross-checked
+// against it (co-simulation property tests), and it doubles as the
+// "instruction accurate simulator" of the paper's CDS toolchain (§IX).
+package emu
+
+import (
+	"fmt"
+
+	"xt910/internal/mem"
+	"xt910/internal/mmu"
+	"xt910/internal/vector"
+	"xt910/isa"
+)
+
+// EcallMode selects how ecall is handled.
+type EcallMode int
+
+const (
+	// EcallHost services the minimal host ABI (exit/write) directly, the way
+	// the benchmarks run bare-metal. Unknown syscalls fall through to a trap.
+	EcallHost EcallMode = iota
+	// EcallTrap always raises the architectural environment-call exception.
+	EcallTrap
+)
+
+// Host syscall numbers (RISC-V Linux ABI subset).
+const (
+	SysExit  = 93
+	SysWrite = 64
+)
+
+// Machine is one hart's architectural state.
+type Machine struct {
+	X   [32]uint64
+	F   [32]uint64
+	Vec *vector.Unit
+	PC  uint64
+	Mem *mem.Memory
+
+	Priv int
+
+	csr map[uint16]uint64
+
+	Instret uint64
+
+	resValid bool
+	resAddr  uint64
+
+	Halted   bool
+	ExitCode int
+	Output   []byte
+
+	Ecall EcallMode
+
+	// Trace, when set, observes every retired instruction.
+	Trace func(pc uint64, in isa.Inst)
+
+	// OnCacheOp observes custom cache/TLB maintenance ops (the SoC model
+	// hooks this; standalone emulation treats them as no-ops).
+	OnCacheOp func(op isa.Op, operand uint64)
+
+	// soft TLB for emulation speed; invalidated on satp writes and sfence
+	stlb map[uint64]stlbEntry
+
+	// BreakOnEbreak stops execution at ebreak instead of trapping.
+	BreakOnEbreak bool
+}
+
+type stlbEntry struct {
+	base  uint64 // pa of page start
+	bits  uint
+	perms uint8
+}
+
+// New creates a machine starting in M-mode at pc 0.
+func New(m *mem.Memory) *Machine {
+	return &Machine{
+		Mem:  m,
+		Vec:  vector.NewUnit(vector.DefaultVLEN),
+		Priv: isa.PrivM,
+		csr:  make(map[uint16]uint64),
+		stlb: make(map[uint64]stlbEntry),
+	}
+}
+
+// Reg reads an architectural register by unified number.
+func (m *Machine) Reg(r isa.Reg) uint64 {
+	switch {
+	case r.IsX():
+		return m.X[r.Index()]
+	case r.IsF():
+		return m.F[r.Index()]
+	}
+	return 0
+}
+
+func (m *Machine) setReg(r isa.Reg, v uint64) {
+	switch {
+	case r.IsX():
+		if r != isa.Zero {
+			m.X[r.Index()] = v
+		}
+	case r.IsF():
+		m.F[r.Index()] = v
+	}
+}
+
+// CSR reads a CSR (modelled subset; unknown CSRs read as 0).
+func (m *Machine) CSR(num uint16) uint64 {
+	switch num {
+	case isa.CSRCycle, isa.CSRMcycle, isa.CSRTime:
+		return m.Instret // the functional model has no cycles
+	case isa.CSRInstret, isa.CSRMinstret:
+		return m.Instret
+	case isa.CSRVl:
+		return m.Vec.VL
+	case isa.CSRVtype:
+		return uint64(m.Vec.VType)
+	case isa.CSRVlenb:
+		return uint64(m.Vec.File.VLENBits / 8)
+	}
+	return m.csr[num]
+}
+
+// SetCSR writes a CSR, applying side effects (satp flushes the soft TLB).
+func (m *Machine) SetCSR(num uint16, v uint64) {
+	switch num {
+	case isa.CSRSatp:
+		m.stlb = make(map[uint64]stlbEntry)
+	case isa.CSRVl, isa.CSRVtype, isa.CSRVlenb, isa.CSRCycle, isa.CSRInstret:
+		return // read-only
+	}
+	m.csr[num] = v
+}
+
+// trapError carries an architectural exception through the execute switch.
+type trapError struct {
+	cause int
+	tval  uint64
+}
+
+func (t *trapError) Error() string {
+	return fmt.Sprintf("trap cause=%d tval=%#x", t.cause, t.tval)
+}
+
+// translate resolves a virtual address or raises a page fault.
+func (m *Machine) translate(va uint64, acc mmu.Access) (uint64, error) {
+	satp := m.csr[isa.CSRSatp]
+	if isa.SatpMode(satp) != isa.SatpModeSV39 || m.Priv == isa.PrivM {
+		return va, nil
+	}
+	key := va >> 12 << 2 // tag soft-TLB entries by page and access class
+	if acc == mmu.AccStore {
+		key |= 1
+	} else if acc == mmu.AccFetch {
+		key |= 2
+	}
+	if e, ok := m.stlb[key]; ok {
+		return e.base | va&(1<<e.bits-1), nil
+	}
+	res, err := mmu.Walk(func(pa uint64) uint64 { return m.Mem.Read(pa, 8) },
+		satp, va, acc, m.Priv)
+	if err != nil {
+		pf := err.(*mmu.PageFault)
+		return 0, &trapError{cause: pf.Cause(), tval: va}
+	}
+	mask := uint64(1)<<res.PageBits - 1
+	m.stlb[key] = stlbEntry{base: res.PA &^ mask, bits: res.PageBits, perms: res.Perms}
+	return res.PA, nil
+}
+
+func (m *Machine) load(va uint64, size int) (uint64, error) {
+	pa, err := m.translate(va, mmu.AccLoad)
+	if err != nil {
+		return 0, err
+	}
+	return m.Mem.Read(pa, size), nil
+}
+
+func (m *Machine) store(va uint64, size int, v uint64) error {
+	pa, err := m.translate(va, mmu.AccStore)
+	if err != nil {
+		return err
+	}
+	m.Mem.Write(pa, size, v)
+	return nil
+}
+
+// Fetch decodes the instruction at va.
+func (m *Machine) Fetch(va uint64) (isa.Inst, error) {
+	pa, err := m.translate(va, mmu.AccFetch)
+	if err != nil {
+		return isa.Inst{}, err
+	}
+	lo := uint16(m.Mem.Read(pa, 2))
+	if lo&3 == 3 {
+		// 32-bit: the upper half may sit on the next (possibly different) page
+		pa2, err := m.translate(va+2, mmu.AccFetch)
+		if err != nil {
+			return isa.Inst{}, err
+		}
+		hi := uint16(m.Mem.Read(pa2, 2))
+		return isa.Decode(uint32(lo) | uint32(hi)<<16), nil
+	}
+	return isa.Decode16(lo), nil
+}
+
+// Step executes one instruction. It returns an error only for simulator-level
+// failures; architectural exceptions are handled via the trap machinery.
+func (m *Machine) Step() error {
+	if m.Halted {
+		return nil
+	}
+	in, err := m.Fetch(m.PC)
+	if err != nil {
+		m.enterTrap(err.(*trapError))
+		return nil
+	}
+	if m.Trace != nil {
+		m.Trace(m.PC, in)
+	}
+	nextPC := m.PC + uint64(in.Size)
+	err = m.exec(&in, &nextPC)
+	if err != nil {
+		if te, ok := err.(*trapError); ok {
+			m.enterTrap(te)
+			m.Instret++
+			return nil
+		}
+		return err
+	}
+	m.PC = nextPC
+	m.Instret++
+	return nil
+}
+
+// Run executes until halt or the instruction budget is exhausted.
+func (m *Machine) Run(maxInsts uint64) error {
+	for i := uint64(0); i < maxInsts && !m.Halted; i++ {
+		if err := m.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (m *Machine) exec(in *isa.Inst, nextPC *uint64) error {
+	op := in.Op
+	switch op.Class() {
+	case isa.ClassALU, isa.ClassMul, isa.ClassDiv:
+		a, b := m.Reg(in.Rs1), m.Reg(in.Rs2)
+		if res, ok := isa.EvalIntALU(op, a, b, m.PC, in.Imm, in.Size); ok {
+			m.setReg(in.Rd, res)
+			return nil
+		}
+		if res, ok := isa.EvalIntALU3(op, a, b, m.Reg(in.Rd)); ok {
+			m.setReg(in.Rd, res)
+			return nil
+		}
+		return &trapError{cause: isa.ExcIllegalInst, tval: 0}
+
+	case isa.ClassBranch:
+		if isa.EvalBranch(op, m.Reg(in.Rs1), m.Reg(in.Rs2)) {
+			*nextPC = m.PC + uint64(in.Imm)
+		}
+		return nil
+
+	case isa.ClassJump:
+		link := m.PC + uint64(in.Size)
+		if op == isa.JAL {
+			*nextPC = m.PC + uint64(in.Imm)
+		} else {
+			*nextPC = (m.Reg(in.Rs1) + uint64(in.Imm)) &^ 1
+		}
+		m.setReg(in.Rd, link)
+		return nil
+
+	case isa.ClassLoad:
+		addr := m.memAddr(in)
+		size := op.MemBytes()
+		v, err := m.load(addr, size)
+		if err != nil {
+			return err
+		}
+		m.setReg(in.Rd, loadExtend(op, v, size))
+		return nil
+
+	case isa.ClassStore:
+		addr := m.memAddr(in)
+		size := op.MemBytes()
+		data := m.Reg(in.Rs2)
+		switch op {
+		case isa.XSRB, isa.XSRH, isa.XSRW, isa.XSRD:
+			data = m.Reg(in.Rd) // custom stores carry data in rd
+		}
+		return m.store(addr, size, data)
+
+	case isa.ClassAMO:
+		return m.execAMO(in)
+
+	case isa.ClassFPU:
+		a := m.Reg(in.Rs1)
+		b := m.Reg(in.Rs2)
+		c := m.Reg(in.Rs3)
+		res, ok := isa.EvalFPU(op, a, b, c)
+		if !ok {
+			return &trapError{cause: isa.ExcIllegalInst, tval: 0}
+		}
+		m.setReg(in.Rd, res)
+		return nil
+
+	case isa.ClassCSR:
+		return m.execCSR(in)
+
+	case isa.ClassSys:
+		return m.execSys(in, nextPC)
+
+	case isa.ClassVSet:
+		requested := m.Reg(in.Rs1)
+		var vt isa.VType
+		if op == isa.VSETVLI {
+			vt = isa.VType(in.Imm)
+		} else {
+			vt = isa.VType(m.Reg(in.Rs2))
+		}
+		if in.Rs1 == isa.Zero && in.Rd != isa.Zero {
+			// rs1=x0: request VLMAX
+			requested = ^uint64(0)
+		}
+		vl := m.Vec.SetVL(requested, vt)
+		m.setReg(in.Rd, vl)
+		return nil
+
+	case isa.ClassVALU, isa.ClassVFPU, isa.ClassVLoad, isa.ClassVStore:
+		return m.execVector(in)
+
+	case isa.ClassCacheOp:
+		operand := m.Reg(in.Rs1)
+		if m.OnCacheOp != nil {
+			m.OnCacheOp(op, operand)
+		}
+		if op == isa.XTLBIASID || op == isa.XTLBIVA {
+			m.stlb = make(map[uint64]stlbEntry)
+		}
+		return nil
+	}
+	return &trapError{cause: isa.ExcIllegalInst, tval: 0}
+}
+
+// memAddr computes the effective address of any scalar memory op, including
+// the custom indexed forms (§VIII-A).
+func (m *Machine) memAddr(in *isa.Inst) uint64 {
+	switch in.Op {
+	case isa.XLRB, isa.XLRH, isa.XLRW, isa.XLRD,
+		isa.XSRB, isa.XSRH, isa.XSRW, isa.XSRD:
+		return m.Reg(in.Rs1) + m.Reg(in.Rs2)<<uint(in.Imm&3)
+	case isa.XLURB, isa.XLURH, isa.XLURW:
+		return m.Reg(in.Rs1) + uint64(uint32(m.Reg(in.Rs2)))<<uint(in.Imm&3)
+	}
+	return m.Reg(in.Rs1) + uint64(in.Imm)
+}
+
+func loadExtend(op isa.Op, v uint64, size int) uint64 {
+	if op == isa.FLW {
+		return isa.BoxF32(uint32(v))
+	}
+	if op == isa.FLD {
+		return v
+	}
+	if op.LoadUnsigned() {
+		return v
+	}
+	sh := uint(64 - 8*size)
+	return uint64(int64(v<<sh) >> sh)
+}
+
+func (m *Machine) execAMO(in *isa.Inst) error {
+	op := in.Op
+	size := op.MemBytes()
+	addr := m.Reg(in.Rs1)
+	switch op {
+	case isa.LRW, isa.LRD:
+		v, err := m.load(addr, size)
+		if err != nil {
+			return err
+		}
+		m.resValid, m.resAddr = true, addr
+		m.setReg(in.Rd, loadExtendSized(v, size))
+		return nil
+	case isa.SCW, isa.SCD:
+		if m.resValid && m.resAddr == addr {
+			if err := m.store(addr, size, m.Reg(in.Rs2)); err != nil {
+				return err
+			}
+			m.setReg(in.Rd, 0)
+		} else {
+			m.setReg(in.Rd, 1)
+		}
+		m.resValid = false
+		return nil
+	}
+	old, err := m.load(addr, size)
+	if err != nil {
+		return err
+	}
+	newVal := isa.EvalAMO(op, old, m.Reg(in.Rs2))
+	if err := m.store(addr, size, newVal); err != nil {
+		return err
+	}
+	m.setReg(in.Rd, loadExtendSized(old, size))
+	return nil
+}
+
+func loadExtendSized(v uint64, size int) uint64 {
+	if size == 4 {
+		return uint64(int64(int32(uint32(v))))
+	}
+	return v
+}
+
+func (m *Machine) execCSR(in *isa.Inst) error {
+	var src uint64
+	useImm := in.Op == isa.CSRRWI || in.Op == isa.CSRRSI || in.Op == isa.CSRRCI
+	if useImm {
+		src = uint64(in.Imm)
+	} else {
+		src = m.Reg(in.Rs1)
+	}
+	old := m.CSR(in.CSR)
+	switch in.Op {
+	case isa.CSRRW, isa.CSRRWI:
+		m.SetCSR(in.CSR, src)
+	case isa.CSRRS, isa.CSRRSI:
+		if src != 0 {
+			m.SetCSR(in.CSR, old|src)
+		}
+	case isa.CSRRC, isa.CSRRCI:
+		if src != 0 {
+			m.SetCSR(in.CSR, old&^src)
+		}
+	}
+	m.setReg(in.Rd, old)
+	return nil
+}
+
+// mstatus bit positions used by the trap machinery.
+const (
+	mstatusSIE  = 1 << 1
+	mstatusMIE  = 1 << 3
+	mstatusSPIE = 1 << 5
+	mstatusMPIE = 1 << 7
+	mstatusSPP  = 1 << 8
+	mstatusMPP  = 3 << 11
+)
+
+func (m *Machine) execSys(in *isa.Inst, nextPC *uint64) error {
+	switch in.Op {
+	case isa.ECALL:
+		if m.Ecall == EcallHost && m.handleHostEcall() {
+			return nil
+		}
+		cause := isa.ExcEcallU + m.Priv
+		if m.Priv == isa.PrivM {
+			cause = isa.ExcEcallM
+		}
+		return &trapError{cause: cause}
+	case isa.EBREAK:
+		if m.BreakOnEbreak {
+			m.Halted = true
+			return nil
+		}
+		return &trapError{cause: isa.ExcBreakpoint, tval: m.PC}
+	case isa.MRET:
+		st := m.csr[isa.CSRMstatus]
+		m.Priv = int(st >> 11 & 3)
+		// MIE ← MPIE, MPIE ← 1, MPP ← U
+		st = st&^mstatusMIE | (st&mstatusMPIE)>>4&mstatusMIE
+		st |= mstatusMPIE
+		st &^= mstatusMPP
+		m.csr[isa.CSRMstatus] = st
+		*nextPC = m.csr[isa.CSRMepc]
+		return nil
+	case isa.SRET:
+		st := m.csr[isa.CSRMstatus]
+		if st&mstatusSPP != 0 {
+			m.Priv = isa.PrivS
+		} else {
+			m.Priv = isa.PrivU
+		}
+		st = st&^mstatusSIE | (st&mstatusSPIE)>>4&mstatusSIE
+		st |= mstatusSPIE
+		st &^= mstatusSPP
+		m.csr[isa.CSRMstatus] = st
+		*nextPC = m.csr[isa.CSRSepc]
+		return nil
+	case isa.SFENCEVMA:
+		m.stlb = make(map[uint64]stlbEntry)
+		return nil
+	case isa.FENCE, isa.FENCEI, isa.WFI:
+		return nil
+	}
+	return &trapError{cause: isa.ExcIllegalInst}
+}
+
+// handleHostEcall services the bare-metal host ABI; returns false when the
+// syscall number is unknown (which then traps architecturally).
+func (m *Machine) handleHostEcall() bool {
+	switch m.X[17] { // a7
+	case SysExit:
+		m.Halted = true
+		m.ExitCode = int(int64(m.X[10]))
+		return true
+	case SysWrite:
+		addr, n := m.X[11], m.X[12]
+		for i := uint64(0); i < n; i++ {
+			pa, err := m.translate(addr+i, mmu.AccLoad)
+			if err != nil {
+				break
+			}
+			m.Output = append(m.Output, m.Mem.LoadByte(pa))
+		}
+		m.X[10] = n
+		return true
+	}
+	return false
+}
+
+func (m *Machine) execVector(in *isa.Inst) error {
+	scalar := m.Reg(in.Rs1)
+	vin := *in
+	switch in.Op {
+	case isa.VLSE:
+		vin.Imm = int64(m.Reg(in.Rs2))
+	case isa.VSSE:
+		vin.Imm = int64(m.Reg(in.Rs3))
+	}
+	var memErr error
+	ld := func(addr uint64, size int) uint64 {
+		v, err := m.load(addr, size)
+		if err != nil && memErr == nil {
+			memErr = err
+		}
+		return v
+	}
+	st := func(addr uint64, size int, v uint64) {
+		if err := m.store(addr, size, v); err != nil && memErr == nil {
+			memErr = err
+		}
+	}
+	xres, hasX, err := m.Vec.Exec(vin, scalar, ld, st)
+	if err != nil {
+		return &trapError{cause: isa.ExcIllegalInst}
+	}
+	if memErr != nil {
+		return memErr
+	}
+	if hasX {
+		m.setReg(in.Rd, xres)
+	}
+	return nil
+}
+
+// enterTrap implements the M/S trap entry flow with medeleg-based delegation.
+func (m *Machine) enterTrap(t *trapError) {
+	deleg := m.csr[isa.CSRMedeleg]
+	toS := m.Priv != isa.PrivM && deleg>>uint(t.cause)&1 == 1
+	st := m.csr[isa.CSRMstatus]
+	if toS {
+		m.csr[isa.CSRSepc] = m.PC
+		m.csr[isa.CSRScause] = uint64(t.cause)
+		m.csr[isa.CSRStval] = t.tval
+		// SPIE ← SIE, SIE ← 0, SPP ← prior priv
+		st = st&^mstatusSPIE | (st&mstatusSIE)<<4&mstatusSPIE
+		st &^= mstatusSIE
+		if m.Priv == isa.PrivS {
+			st |= mstatusSPP
+		} else {
+			st &^= mstatusSPP
+		}
+		m.csr[isa.CSRMstatus] = st
+		m.Priv = isa.PrivS
+		m.PC = m.csr[isa.CSRStvec] &^ 3
+		return
+	}
+	m.csr[isa.CSRMepc] = m.PC
+	m.csr[isa.CSRMcause] = uint64(t.cause)
+	m.csr[isa.CSRMtval] = t.tval
+	st = st&^mstatusMPIE | (st&mstatusMIE)<<4&mstatusMPIE
+	st &^= mstatusMIE
+	st = st&^mstatusMPP | uint64(m.Priv)<<11
+	m.csr[isa.CSRMstatus] = st
+	m.Priv = isa.PrivM
+	m.PC = m.csr[isa.CSRMtvec] &^ 3
+	if m.csr[isa.CSRMtvec] == 0 {
+		// No trap handler installed: a real bare-metal harness would spin;
+		// halt with a distinctive code so tests notice immediately.
+		m.Halted = true
+		m.ExitCode = -(16 + t.cause)
+	}
+}

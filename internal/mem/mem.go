@@ -1,0 +1,151 @@
+// Package mem provides the physical memory substrate of the XT-910 model:
+// a sparse byte-addressable memory and a fixed-latency DRAM timing model.
+//
+// The paper's memory-subsystem evaluation (Fig. 21) configures the FPGA
+// harness so that "the CPU issues a read request and obtains the data from the
+// bus after 200 CPU cycles"; DRAM reproduces exactly that contract.
+package mem
+
+import "encoding/binary"
+
+const pageBits = 12
+const pageSize = 1 << pageBits
+
+// Memory is a sparse little-endian physical memory. The zero value is ready
+// to use. It is not safe for concurrent use; the SoC model steps cores in a
+// deterministic lock-step loop, so no locking is needed.
+type Memory struct {
+	pages map[uint64]*[pageSize]byte
+}
+
+// NewMemory returns an empty physical memory.
+func NewMemory() *Memory {
+	return &Memory{pages: make(map[uint64]*[pageSize]byte)}
+}
+
+func (m *Memory) page(addr uint64, alloc bool) *[pageSize]byte {
+	pn := addr >> pageBits
+	p := m.pages[pn]
+	if p == nil && alloc {
+		p = new([pageSize]byte)
+		m.pages[pn] = p
+	}
+	return p
+}
+
+// LoadByte returns the byte at addr (0 for untouched memory).
+func (m *Memory) LoadByte(addr uint64) byte {
+	if p := m.page(addr, false); p != nil {
+		return p[addr&(pageSize-1)]
+	}
+	return 0
+}
+
+// StoreByte stores one byte.
+func (m *Memory) StoreByte(addr uint64, v byte) {
+	m.page(addr, true)[addr&(pageSize-1)] = v
+}
+
+// Read returns size bytes starting at addr as a little-endian integer.
+// size must be 1, 2, 4 or 8; the access may cross page boundaries.
+func (m *Memory) Read(addr uint64, size int) uint64 {
+	if off := addr & (pageSize - 1); off+uint64(size) <= pageSize {
+		p := m.page(addr, false)
+		if p == nil {
+			return 0
+		}
+		switch size {
+		case 1:
+			return uint64(p[off])
+		case 2:
+			return uint64(binary.LittleEndian.Uint16(p[off:]))
+		case 4:
+			return uint64(binary.LittleEndian.Uint32(p[off:]))
+		case 8:
+			return binary.LittleEndian.Uint64(p[off:])
+		}
+	}
+	var v uint64
+	for i := 0; i < size; i++ {
+		v |= uint64(m.LoadByte(addr+uint64(i))) << (8 * i)
+	}
+	return v
+}
+
+// Write stores size bytes of v at addr, little-endian.
+func (m *Memory) Write(addr uint64, size int, v uint64) {
+	if off := addr & (pageSize - 1); off+uint64(size) <= pageSize {
+		p := m.page(addr, true)
+		switch size {
+		case 1:
+			p[off] = byte(v)
+			return
+		case 2:
+			binary.LittleEndian.PutUint16(p[off:], uint16(v))
+			return
+		case 4:
+			binary.LittleEndian.PutUint32(p[off:], uint32(v))
+			return
+		case 8:
+			binary.LittleEndian.PutUint64(p[off:], v)
+			return
+		}
+	}
+	for i := 0; i < size; i++ {
+		m.StoreByte(addr+uint64(i), byte(v>>(8*i)))
+	}
+}
+
+// LoadBytes copies len(dst) bytes starting at addr into dst.
+func (m *Memory) LoadBytes(addr uint64, dst []byte) {
+	for i := range dst {
+		dst[i] = m.LoadByte(addr + uint64(i))
+	}
+}
+
+// StoreBytes stores src at addr.
+func (m *Memory) StoreBytes(addr uint64, src []byte) {
+	for i, b := range src {
+		m.StoreByte(addr+uint64(i), b)
+	}
+}
+
+// FootprintBytes reports how much memory has been touched (allocated pages).
+func (m *Memory) FootprintBytes() uint64 {
+	return uint64(len(m.pages)) * pageSize
+}
+
+// DRAM models main-memory timing as a fixed access latency plus a bandwidth
+// limit expressed as a minimum inter-access gap, matching the paper's
+// "configure bus delay and DDR delay to ~200 CPU cycles" methodology.
+type DRAM struct {
+	// Latency is the request-to-data delay in CPU cycles (default 200, §X).
+	Latency int
+	// GapCycles is the minimum spacing between successive DRAM accesses,
+	// modelling channel bandwidth. Zero means unlimited bandwidth.
+	GapCycles int
+
+	nextFree uint64 // earliest cycle the channel can accept a request
+	Accesses uint64 // statistics: number of DRAM accesses
+}
+
+// NewDRAM returns a DRAM model with the paper's 200-cycle latency.
+func NewDRAM() *DRAM { return &DRAM{Latency: 200, GapCycles: 4} }
+
+// Access returns the cycle at which data for a request issued at cycle `now`
+// becomes available, accounting for channel occupancy.
+func (d *DRAM) Access(now uint64) uint64 {
+	start := now
+	if d.nextFree > start {
+		start = d.nextFree
+	}
+	d.nextFree = start + uint64(d.GapCycles)
+	d.Accesses++
+	return start + uint64(d.Latency)
+}
+
+// Reset clears channel state and statistics.
+func (d *DRAM) Reset() {
+	d.nextFree = 0
+	d.Accesses = 0
+}

@@ -1,0 +1,85 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestReadWriteRoundTrip(t *testing.T) {
+	m := NewMemory()
+	f := func(addr uint64, v uint64, sizeSel uint8) bool {
+		size := []int{1, 2, 4, 8}[sizeSel%4]
+		addr &= 0xFFFFFFF
+		m.Write(addr, size, v)
+		got := m.Read(addr, size)
+		want := v
+		if size < 8 {
+			want = v & (1<<(8*size) - 1)
+		}
+		return got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCrossPageAccess(t *testing.T) {
+	m := NewMemory()
+	addr := uint64(0x1FFD) // 3 bytes before a page boundary
+	m.Write(addr, 8, 0x1122334455667788)
+	if got := m.Read(addr, 8); got != 0x1122334455667788 {
+		t.Fatalf("cross-page read = %#x", got)
+	}
+	if got := m.Read(0x2000, 1); got != 0x55 {
+		t.Fatalf("byte on second page = %#x", got)
+	}
+}
+
+func TestUntouchedReadsZero(t *testing.T) {
+	m := NewMemory()
+	if m.Read(0xDEADBEEF, 8) != 0 {
+		t.Fatal("untouched memory must read zero")
+	}
+	if m.FootprintBytes() != 0 {
+		t.Fatal("reads must not allocate")
+	}
+}
+
+func TestBytesHelpers(t *testing.T) {
+	m := NewMemory()
+	src := []byte("the quick brown fox")
+	m.StoreBytes(0x4FFA, src) // crosses a page
+	dst := make([]byte, len(src))
+	m.LoadBytes(0x4FFA, dst)
+	if string(dst) != string(src) {
+		t.Fatalf("got %q", dst)
+	}
+}
+
+func TestDRAMLatency(t *testing.T) {
+	d := NewDRAM()
+	done := d.Access(1000)
+	if done != 1200 {
+		t.Fatalf("first access done at %d, want 1200 (200-cycle latency, §X)", done)
+	}
+	// immediate second access must respect the channel gap
+	done2 := d.Access(1000)
+	if done2 != 1204 {
+		t.Fatalf("second access done at %d, want 1204", done2)
+	}
+	if d.Accesses != 2 {
+		t.Fatalf("accesses = %d", d.Accesses)
+	}
+}
+
+func TestDRAMBandwidthSaturation(t *testing.T) {
+	d := &DRAM{Latency: 200, GapCycles: 10}
+	var last uint64
+	for i := 0; i < 100; i++ {
+		last = d.Access(0)
+	}
+	// 100 back-to-back requests serialize on the channel: 99*10 + 200
+	if last != 99*10+200 {
+		t.Fatalf("saturated completion = %d, want %d", last, 99*10+200)
+	}
+}

@@ -1,0 +1,59 @@
+package mmu
+
+// PMP models the XT-910's 8–16 region physical memory protection (§II) with
+// naturally-aligned power-of-two (NAPOT-style) address ranges. M-mode
+// accesses bypass PMP unless a region is locked, following the privileged
+// spec's intent; the model keeps the simpler rule that M-mode always passes.
+type PMP struct {
+	regions []PMPRegion
+}
+
+// PMPRegion grants or denies an access range.
+type PMPRegion struct {
+	Base, Size uint64
+	R, W, X    bool
+}
+
+// NewPMP returns a PMP with no regions configured; with no regions, all
+// accesses are allowed (matching reset behaviour for S/U in this model).
+func NewPMP() *PMP { return &PMP{} }
+
+// MaxRegions is the XT-910 configuration ceiling.
+const MaxRegions = 16
+
+// AddRegion appends a region; it reports false once the hardware limit is
+// reached.
+func (p *PMP) AddRegion(r PMPRegion) bool {
+	if len(p.regions) >= MaxRegions {
+		return false
+	}
+	p.regions = append(p.regions, r)
+	return true
+}
+
+// Clear removes all regions.
+func (p *PMP) Clear() { p.regions = p.regions[:0] }
+
+// NumRegions reports the configured region count.
+func (p *PMP) NumRegions() int { return len(p.regions) }
+
+// Allows checks an access against the region list. The first matching region
+// decides, like the priority encoding in hardware.
+func (p *PMP) Allows(pa uint64, acc Access, priv int) bool {
+	if len(p.regions) == 0 || priv == 3 {
+		return true
+	}
+	for _, r := range p.regions {
+		if pa >= r.Base && pa < r.Base+r.Size {
+			switch acc {
+			case AccFetch:
+				return r.X
+			case AccLoad:
+				return r.R
+			case AccStore:
+				return r.W
+			}
+		}
+	}
+	return false
+}

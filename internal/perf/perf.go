@@ -1,0 +1,67 @@
+// Package perf provides result-reporting plumbing for the paper-reproduction
+// harness (formatted paper-vs-measured tables) and the first-order area/power
+// model behind Table II.
+package perf
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Row is one line of a reproduced table or figure.
+type Row struct {
+	Label    string
+	Measured float64
+	Paper    float64 // 0: the paper gives no number for this row
+	Unit     string
+	Note     string
+}
+
+// Result is one reproduced experiment.
+type Result struct {
+	ID    string // "fig17", "table2", …
+	Title string
+	Rows  []Row
+	Notes []string
+}
+
+// Format renders the result as an aligned text table.
+func (r *Result) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", r.ID, r.Title)
+	width := 10
+	for _, row := range r.Rows {
+		if len(row.Label) > width {
+			width = len(row.Label)
+		}
+	}
+	fmt.Fprintf(&b, "  %-*s  %12s  %12s  %s\n", width, "item", "measured", "paper", "unit")
+	for _, row := range r.Rows {
+		paper := "—"
+		if row.Paper != 0 {
+			paper = fmt.Sprintf("%12.3f", row.Paper)
+		}
+		fmt.Fprintf(&b, "  %-*s  %12.3f  %12s  %s", width, row.Label, row.Measured, paper, row.Unit)
+		if row.Note != "" {
+			fmt.Fprintf(&b, "   (%s)", row.Note)
+		}
+		b.WriteByte('\n')
+	}
+	for _, n := range r.Notes {
+		fmt.Fprintf(&b, "  note: %s\n", n)
+	}
+	return b.String()
+}
+
+// Geomean returns the geometric mean of vs (1.0 for empty input).
+func Geomean(vs []float64) float64 {
+	if len(vs) == 0 {
+		return 1
+	}
+	prod := 1.0
+	for _, v := range vs {
+		prod *= v
+	}
+	return math.Pow(prod, 1/float64(len(vs)))
+}

@@ -1,0 +1,54 @@
+package perf
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestGeomean(t *testing.T) {
+	if g := Geomean([]float64{2, 8}); math.Abs(g-4) > 1e-12 {
+		t.Fatalf("geomean(2,8) = %f", g)
+	}
+	if Geomean(nil) != 1 {
+		t.Fatal("empty geomean must be 1")
+	}
+}
+
+func TestResultFormat(t *testing.T) {
+	r := Result{ID: "figX", Title: "demo", Rows: []Row{
+		{Label: "a", Measured: 1.5, Paper: 1.4, Unit: "x"},
+		{Label: "b", Measured: 2.5, Unit: "x"},
+	}, Notes: []string{"hello"}}
+	s := r.Format()
+	for _, want := range []string{"figX", "demo", "1.500", "1.400", "—", "hello"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("formatted output missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestTable2ModelMatchesPaper(t *testing.T) {
+	// Table II: 0.8 mm² with vector, 0.6 mm² without; 2.0–2.5 GHz;
+	// ~100 µW/MHz.
+	withVec := XT910AreaPower(true, true)
+	noVec := XT910AreaPower(false, false)
+	check := func(name string, got, want, tol float64) {
+		if math.Abs(got-want) > tol {
+			t.Errorf("%s = %.3f, want %.3f±%.2f", name, got, want, tol)
+		}
+	}
+	check("area with vector", withVec.AreaMM2, 0.8, 0.1)
+	check("area without vector", noVec.AreaMM2, 0.6, 0.1)
+	check("boost frequency", withVec.FreqGHz, 2.5, 0.01)
+	check("base frequency", noVec.FreqGHz, 2.0, 0.01)
+	check("dynamic power", noVec.DynamicUWPerMHz, 100, 15)
+}
+
+func TestAreaScalesWithStructures(t *testing.T) {
+	small := AreaPowerModel(AreaPowerInput{L1KB: 64, ROBEntries: 16, IssueWidth: 2})
+	big := AreaPowerModel(AreaPowerInput{L1KB: 128, ROBEntries: 192, IssueWidth: 8, WithVector: true})
+	if small.AreaMM2 >= big.AreaMM2 {
+		t.Fatal("bigger machine must model bigger")
+	}
+}

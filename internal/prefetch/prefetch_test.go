@@ -1,0 +1,171 @@
+package prefetch
+
+import (
+	"testing"
+)
+
+// recordSink collects issued prefetches.
+type recordSink struct {
+	l1, l2 []uint64
+	tlb    []uint64
+}
+
+func (r *recordSink) PrefetchL1(addr uint64, now uint64) { r.l1 = append(r.l1, addr) }
+func (r *recordSink) PrefetchL2(addr uint64, now uint64) { r.l2 = append(r.l2, addr) }
+func (r *recordSink) PrefetchTLB(va uint64)              { r.tlb = append(r.tlb, va) }
+
+func trainSequential(e *Engine, base uint64, stride int64, n int) {
+	for i := 0; i < n; i++ {
+		e.Train(uint64(int64(base)+stride*int64(i)), uint64(i*4))
+	}
+}
+
+func TestStrideDetectionAndIssue(t *testing.T) {
+	sink := &recordSink{}
+	e := New(Config{Mode: ModeGlobal, L1Enable: true, L2Enable: true, LineBytes: 64}, sink)
+	trainSequential(e, 0x10000, 64, 10)
+	if len(sink.l1) == 0 {
+		t.Fatal("sequential stream must trigger L1 prefetches")
+	}
+	// issued lines must be ahead of the demand stream
+	for _, a := range sink.l1 {
+		if a <= 0x10000 {
+			t.Fatalf("prefetch %#x behind the stream", a)
+		}
+	}
+}
+
+func TestNoIssueWhenOff(t *testing.T) {
+	sink := &recordSink{}
+	e := New(Config{Mode: ModeOff, LineBytes: 64}, sink)
+	trainSequential(e, 0x10000, 64, 100)
+	if len(sink.l1)+len(sink.l2)+len(sink.tlb) != 0 {
+		t.Fatal("disabled prefetcher must stay silent")
+	}
+}
+
+func TestLargeDistanceRunsFurtherAhead(t *testing.T) {
+	far := func(large bool) uint64 {
+		sink := &recordSink{}
+		e := New(Config{Mode: ModeGlobal, L1Enable: true, L2Enable: true,
+			LargeDistance: large, LineBytes: 64}, sink)
+		trainSequential(e, 0x10000, 64, 8)
+		max := uint64(0)
+		for _, a := range append(sink.l1, sink.l2...) {
+			if a > max {
+				max = a
+			}
+		}
+		return max
+	}
+	if far(true) <= far(false) {
+		t.Fatalf("large distance must reach further: %#x vs %#x", far(true), far(false))
+	}
+}
+
+func TestArbitraryStrides(t *testing.T) {
+	for _, stride := range []int64{8, 64, 256, 1024, -64} {
+		sink := &recordSink{}
+		e := New(Config{Mode: ModeGlobal, L1Enable: true, LineBytes: 64}, sink)
+		trainSequential(e, 0x100000, stride, 10)
+		if len(sink.l1) == 0 {
+			t.Fatalf("stride %d not detected", stride)
+		}
+		// direction must follow the stride
+		last := sink.l1[len(sink.l1)-1]
+		if stride > 0 && last < 0x100000 {
+			t.Fatalf("stride %d prefetched backwards", stride)
+		}
+		if stride < 0 && last > 0x100000 {
+			t.Fatalf("stride %d prefetched forwards", stride)
+		}
+	}
+}
+
+func TestMultiStreamTracksEightStreams(t *testing.T) {
+	sink := &recordSink{}
+	e := New(Config{Mode: ModeMultiStream, L1Enable: true, LineBytes: 64}, sink)
+	// interleave 8 streams at widely separated bases
+	for round := 0; round < 12; round++ {
+		for s := 0; s < 8; s++ {
+			base := uint64(s+1) << 24
+			e.Train(base+uint64(round*64), uint64(round*8))
+		}
+	}
+	if e.ActiveStreams() != 8 {
+		t.Fatalf("active streams = %d, want 8", e.ActiveStreams())
+	}
+	if len(sink.l1) == 0 {
+		t.Fatal("interleaved streams must still prefetch")
+	}
+}
+
+func TestConfidenceThrottlesRandomPattern(t *testing.T) {
+	sink := &recordSink{}
+	e := New(Config{Mode: ModeGlobal, L1Enable: true, LineBytes: 64}, sink)
+	// pseudo-random addresses: no stable stride, prefetcher must stay quiet
+	addr := uint64(0x5000)
+	for i := 0; i < 200; i++ {
+		addr = addr*6364136223846793005 + 1442695040888963407
+		e.Train(addr&0xFFFFFF, uint64(i*4))
+	}
+	if len(sink.l1) > 20 {
+		t.Fatalf("random pattern should be throttled, issued %d", len(sink.l1))
+	}
+	if e.Stats.Throttled == 0 {
+		t.Fatal("confidence control should have engaged")
+	}
+}
+
+func TestTLBPrefetchAtPageBoundary(t *testing.T) {
+	sink := &recordSink{}
+	e := New(Config{Mode: ModeGlobal, L1Enable: true, L2Enable: true,
+		TLBPrefetch: true, LargeDistance: true, LineBytes: 64, PageBytes: 4096}, sink)
+	trainSequential(e, 0x10000, 64, 80) // sweeps across page boundaries
+	if len(sink.tlb) == 0 {
+		t.Fatal("cross-page stream must issue TLB prefetches")
+	}
+	// prefetched pages must be page-aligned and ahead
+	for _, va := range sink.tlb {
+		if va%4096 != 0 {
+			t.Fatalf("TLB prefetch %#x not page aligned", va)
+		}
+	}
+}
+
+func TestL2OnlyConfiguration(t *testing.T) {
+	sink := &recordSink{}
+	e := New(Config{Mode: ModeGlobal, L2Enable: true, LineBytes: 64}, sink)
+	trainSequential(e, 0x10000, 64, 10)
+	if len(sink.l1) != 0 {
+		t.Fatal("L1 disabled but L1 prefetches issued")
+	}
+	if len(sink.l2) == 0 {
+		t.Fatal("L2 prefetches expected")
+	}
+}
+
+func TestFlushForgetsStreams(t *testing.T) {
+	sink := &recordSink{}
+	e := New(DefaultConfig(), sink)
+	trainSequential(e, 0x10000, 64, 10)
+	e.Flush()
+	if e.ActiveStreams() != 0 {
+		t.Fatal("flush must clear stream state")
+	}
+}
+
+func TestNoDuplicateLines(t *testing.T) {
+	sink := &recordSink{}
+	e := New(Config{Mode: ModeGlobal, L1Enable: true, L2Enable: true, LineBytes: 64}, sink)
+	trainSequential(e, 0x10000, 64, 50)
+	seen := map[uint64]int{}
+	for _, a := range append(sink.l1, sink.l2...) {
+		seen[a]++
+	}
+	for a, n := range seen {
+		if n > 2 { // allow an L1/L2 overlap but not repeated spam
+			t.Fatalf("line %#x prefetched %d times", a, n)
+		}
+	}
+}

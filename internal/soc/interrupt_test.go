@@ -1,0 +1,243 @@
+package soc
+
+import (
+	"testing"
+
+	"xt910/internal/asm"
+)
+
+// The interrupt tests exercise the §II CLINT/PLIC machinery end to end:
+// memory-mapped timer programming, asynchronous delivery, WFI parking, and
+// software IPIs between harts.
+
+func runIRQ(t *testing.T, cfg Config, src string, maxCycles uint64) *System {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := asm.Assemble(src, asm.Options{Base: 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LoadProgram(p)
+	s.Run(maxCycles)
+	if !s.AllHalted() {
+		t.Fatalf("system did not halt (core0: %s)", s.Cores[0].Stats.String())
+	}
+	return s
+}
+
+func TestTimerInterrupt(t *testing.T) {
+	// program mtimecmp = mtime + 500, count timer interrupts until 5 fired
+	s := runIRQ(t, DefaultConfig(), `
+.equ CLINT_MTIME,    0x0200BFF8
+.equ CLINT_MTIMECMP, 0x02004000
+_start:
+    la   t0, handler
+    csrw mtvec, t0
+    li   s2, 0            # interrupt count
+    call arm_timer
+    # enable machine timer interrupts
+    li   t0, 0x80         # mie.MTIE
+    csrw mie, t0
+    li   t0, 0x8          # mstatus.MIE
+    csrrs zero, mstatus, t0
+spin:
+    li   t1, 5
+    blt  s2, t1, spin
+    mv   a0, s2
+    li   a7, 93
+    ecall
+
+arm_timer:
+    li   t1, CLINT_MTIME
+    ld   t2, 0(t1)
+    addi t2, t2, 500
+    li   t1, CLINT_MTIMECMP
+    sd   t2, 0(t1)
+    ret
+
+handler:
+    addi s2, s2, 1
+    # re-arm (clears MTIP)
+    addi sp, sp, -8
+    sd   ra, 0(sp)
+    call arm_timer
+    ld   ra, 0(sp)
+    addi sp, sp, 8
+    mret
+`, 2_000_000)
+	if s.Cores[0].ExitCode != 5 {
+		t.Fatalf("timer interrupts seen = %d, want 5", s.Cores[0].ExitCode)
+	}
+	if s.Cores[0].Stats.Interrupts != 5 {
+		t.Fatalf("interrupt count stat = %d", s.Cores[0].Stats.Interrupts)
+	}
+}
+
+func TestWFIWakesOnTimer(t *testing.T) {
+	s := runIRQ(t, DefaultConfig(), `
+.equ CLINT_MTIME,    0x0200BFF8
+.equ CLINT_MTIMECMP, 0x02004000
+_start:
+    la   t0, handler
+    csrw mtvec, t0
+    li   t1, CLINT_MTIME
+    ld   t2, 0(t1)
+    li   t3, 2000
+    add  t2, t2, t3
+    li   t1, CLINT_MTIMECMP
+    sd   t2, 0(t1)
+    li   t0, 0x80
+    csrw mie, t0
+    li   t0, 0x8
+    csrrs zero, mstatus, t0
+    wfi                   # park until the timer fires
+    # unreachable: the handler exits
+    li   a0, -1
+    li   a7, 93
+    ecall
+handler:
+    li   a0, 42
+    li   a7, 93
+    ecall
+`, 1_000_000)
+	c := s.Cores[0]
+	if c.ExitCode != 42 {
+		t.Fatalf("exit = %d, want 42 (handler)", c.ExitCode)
+	}
+	if c.Stats.Cycles < 1500 {
+		t.Fatalf("WFI should have parked the hart ~2000 cycles, ran only %d", c.Stats.Cycles)
+	}
+	// while parked the hart must not have been burning retire slots
+	if c.Stats.Retired > 200 {
+		t.Fatalf("too many instructions retired for a parked hart: %d", c.Stats.Retired)
+	}
+}
+
+func TestSoftwareIPI(t *testing.T) {
+	// hart 0 sends an IPI to hart 1 through the CLINT msip register;
+	// hart 1 WFIs until it arrives.
+	cfg := DefaultConfig()
+	cfg.CoresPerCluster = 2
+	s := runIRQ(t, cfg, `
+.equ CLINT_MSIP, 0x02000000
+_start:
+    csrr t0, mhartid
+    bnez t0, receiver
+    # sender: give the receiver time to park, then strike
+    li   t1, 3000
+delay:
+    addi t1, t1, -1
+    bnez t1, delay
+    li   t1, CLINT_MSIP+4  # msip[hart1]
+    li   t2, 1
+    sw   t2, 0(t1)
+    li   a0, 0
+    li   a7, 93
+    ecall
+receiver:
+    la   t0, handler
+    csrw mtvec, t0
+    li   t0, 0x8           # mie.MSIE
+    csrw mie, t0
+    li   t0, 0x8
+    csrrs zero, mstatus, t0
+    wfi
+    li   a0, -1
+    li   a7, 93
+    ecall
+handler:
+    # acknowledge: clear our msip bit
+    li   t1, CLINT_MSIP+4
+    sw   zero, 0(t1)
+    li   a0, 77
+    li   a7, 93
+    ecall
+`, 2_000_000)
+	if s.Cores[1].ExitCode != 77 {
+		t.Fatalf("receiver exit = %d, want 77", s.Cores[1].ExitCode)
+	}
+	if s.Cores[1].Stats.Interrupts != 1 {
+		t.Fatalf("receiver interrupts = %d", s.Cores[1].Stats.Interrupts)
+	}
+}
+
+func TestPLICExternalInterrupt(t *testing.T) {
+	cfg := DefaultConfig()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+.equ PLIC_ENABLE, 0x0C002000
+.equ PLIC_CLAIM,  0x0C200004
+_start:
+    la   t0, handler
+    csrw mtvec, t0
+    # enable PLIC source 9 for hart 0
+    li   t1, PLIC_ENABLE
+    li   t2, 0x200
+    sd   t2, 0(t1)
+    li   t0, 0x800         # mie.MEIE
+    csrw mie, t0
+    li   t0, 0x8
+    csrrs zero, mstatus, t0
+spin:
+    j    spin
+handler:
+    li   t1, PLIC_CLAIM
+    lw   a0, 0(t1)         # claim: returns the source line
+    sw   a0, 0(t1)         # complete
+    li   a7, 93
+    ecall
+`
+	p, err := asm.Assemble(src, asm.Options{Base: 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.LoadProgram(p)
+	// let the program set itself up, then raise the device line
+	for i := 0; i < 2000 && !s.AllHalted(); i++ {
+		s.Step()
+	}
+	s.PLIC.Raise(9)
+	s.Run(100_000)
+	if !s.AllHalted() {
+		t.Fatal("hart never took the external interrupt")
+	}
+	if s.Cores[0].ExitCode != 9 {
+		t.Fatalf("claimed source = %d, want 9", s.Cores[0].ExitCode)
+	}
+}
+
+func TestCLINTRegisterAccess(t *testing.T) {
+	c := NewCLINT(2)
+	base := c.Base
+	// mtimecmp word access round trip
+	c.Write(base+clintMTimeCmpOff+8, 8, 0x123456789ABCDEF0) // hart 1
+	if got := c.Read(base+clintMTimeCmpOff+8, 8); got != 0x123456789ABCDEF0 {
+		t.Fatalf("mtimecmp round trip: %#x", got)
+	}
+	// 32-bit halves
+	if got := c.Read(base+clintMTimeCmpOff+8+4, 4); got != 0x12345678 {
+		t.Fatalf("mtimecmp high word: %#x", got)
+	}
+	// msip is a 1-bit register
+	c.Write(base, 4, 0xFFFFFFFF)
+	if got := c.Read(base, 4); got != 1 {
+		t.Fatalf("msip must read back as 0/1, got %#x", got)
+	}
+	if !c.SoftPending(0) || c.SoftPending(1) {
+		t.Fatal("msip pending bits wrong")
+	}
+	// timer comparison
+	c.Write(base+clintMTimeCmpOff, 8, 10)
+	for i := 0; i < 10; i++ {
+		c.Tick()
+	}
+	if !c.TimerPending(0) {
+		t.Fatal("timer should be pending at mtime >= mtimecmp")
+	}
+}

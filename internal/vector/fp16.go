@@ -1,0 +1,95 @@
+package vector
+
+import "math"
+
+// IEEE-754 binary16 (half precision) software implementation. §X notes that
+// "XT-910 supports half-precision operation (which is not supported by
+// Cortex-A73), further widening the performance gap in AI scenarios"; the
+// vector unit executes fp16 elements through these helpers.
+
+// F16ToF32 expands a half-precision bit pattern to float32.
+func F16ToF32(h uint16) float32 {
+	sign := uint32(h>>15) << 31
+	exp := uint32(h >> 10 & 0x1F)
+	frac := uint32(h & 0x3FF)
+	switch exp {
+	case 0:
+		if frac == 0 {
+			return math.Float32frombits(sign) // ±0
+		}
+		// subnormal: normalize
+		e := uint32(127 - 15 + 1)
+		for frac&0x400 == 0 {
+			frac <<= 1
+			e--
+		}
+		frac &= 0x3FF
+		return math.Float32frombits(sign | e<<23 | frac<<13)
+	case 0x1F:
+		return math.Float32frombits(sign | 0xFF<<23 | frac<<13) // inf/NaN
+	}
+	return math.Float32frombits(sign | (exp+127-15)<<23 | frac<<13)
+}
+
+// F32ToF16 converts float32 to half precision with round-to-nearest-even.
+func F32ToF16(f float32) uint16 {
+	b := math.Float32bits(f)
+	sign := uint16(b >> 16 & 0x8000)
+	exp := int32(b>>23&0xFF) - 127 + 15
+	frac := b & 0x7FFFFF
+	switch {
+	case int32(b>>23&0xFF) == 0xFF: // inf/NaN
+		if frac != 0 {
+			return sign | 0x7E00 // quiet NaN
+		}
+		return sign | 0x7C00
+	case exp >= 0x1F:
+		return sign | 0x7C00 // overflow → inf
+	case exp <= 0:
+		if exp < -10 {
+			return sign // underflow → 0
+		}
+		// subnormal result
+		frac |= 0x800000
+		shift := uint32(14 - exp)
+		half := uint32(1) << (shift - 1)
+		v := frac >> shift
+		if frac&(half<<1-1) > half || (frac&(half<<1-1) == half && v&1 == 1) {
+			v++
+		}
+		return sign | uint16(v)
+	}
+	// normal: round 23→10 bits
+	v := frac >> 13
+	rem := frac & 0x1FFF
+	if rem > 0x1000 || (rem == 0x1000 && v&1 == 1) {
+		v++
+		if v == 0x400 {
+			v = 0
+			exp++
+			if exp >= 0x1F {
+				return sign | 0x7C00
+			}
+		}
+	}
+	return sign | uint16(exp)<<10 | uint16(v)
+}
+
+// AddF16, MulF16, MaccF16 perform fp16 arithmetic by widening to float32,
+// operating, and rounding back — the behaviour of a hardware fp16 FMA path
+// with a wider internal accumulator.
+func AddF16(a, b uint16) uint16 { return F32ToF16(F16ToF32(a) + F16ToF32(b)) }
+
+// SubF16 computes a-b in half precision.
+func SubF16(a, b uint16) uint16 { return F32ToF16(F16ToF32(a) - F16ToF32(b)) }
+
+// MulF16 computes a*b in half precision.
+func MulF16(a, b uint16) uint16 { return F32ToF16(F16ToF32(a) * F16ToF32(b)) }
+
+// DivF16 computes a/b in half precision.
+func DivF16(a, b uint16) uint16 { return F32ToF16(F16ToF32(a) / F16ToF32(b)) }
+
+// MaccF16 computes a*b+c in half precision.
+func MaccF16(a, b, c uint16) uint16 {
+	return F32ToF16(F16ToF32(a)*F16ToF32(b) + F16ToF32(c))
+}

@@ -1,0 +1,377 @@
+// Package vector implements the XT-910 vector engine (§VII): the 0.7.1-draft
+// register state (VLEN/SLEN = 128 recommended configuration), the functional
+// semantics of the implemented vector operations, and the slice-based timing
+// parameters the pipeline model charges.
+//
+// The architecture is two vector slices, each with a full 64-bit data path
+// and two execution pipelines, producing up to 256 bits of results per cycle;
+// loads and stores move 128 bits per cycle through the LSU.
+package vector
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"xt910/isa"
+)
+
+// DefaultVLEN is the recommended configuration from §VII: "two vector slices
+// with 128-bit VLEN and SLEN are recommended".
+const DefaultVLEN = 128
+
+// File is the vector register file: 32 registers of VLEN bits.
+type File struct {
+	VLENBits int
+	regs     [32][]byte
+}
+
+// NewFile allocates a register file.
+func NewFile(vlenBits int) *File {
+	f := &File{VLENBits: vlenBits}
+	for i := range f.regs {
+		f.regs[i] = make([]byte, vlenBits/8)
+	}
+	return f
+}
+
+// Bytes exposes register r's backing storage.
+func (f *File) Bytes(r int) []byte { return f.regs[r] }
+
+// Clone deep-copies the file (used for co-simulation checks).
+func (f *File) Clone() *File {
+	n := NewFile(f.VLENBits)
+	for i := range f.regs {
+		copy(n.regs[i], f.regs[i])
+	}
+	return n
+}
+
+// Equal reports whether two files hold identical contents.
+func (f *File) Equal(o *File) bool {
+	if f.VLENBits != o.VLENBits {
+		return false
+	}
+	for i := range f.regs {
+		for j := range f.regs[i] {
+			if f.regs[i][j] != o.regs[i][j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// elem reads element idx of width sew bits from the register group starting
+// at reg. Register groups are contiguous: element byte offset i*sew/8 simply
+// runs across consecutive registers.
+func (f *File) elem(reg, idx, sew int) uint64 {
+	bytesPerReg := f.VLENBits / 8
+	off := idx * sew / 8
+	r := reg + off/bytesPerReg
+	o := off % bytesPerReg
+	switch sew {
+	case 8:
+		return uint64(f.regs[r][o])
+	case 16:
+		return uint64(binary.LittleEndian.Uint16(f.regs[r][o:]))
+	case 32:
+		return uint64(binary.LittleEndian.Uint32(f.regs[r][o:]))
+	default:
+		return binary.LittleEndian.Uint64(f.regs[r][o:])
+	}
+}
+
+func (f *File) setElem(reg, idx, sew int, v uint64) {
+	bytesPerReg := f.VLENBits / 8
+	off := idx * sew / 8
+	r := reg + off/bytesPerReg
+	o := off % bytesPerReg
+	switch sew {
+	case 8:
+		f.regs[r][o] = byte(v)
+	case 16:
+		binary.LittleEndian.PutUint16(f.regs[r][o:], uint16(v))
+	case 32:
+		binary.LittleEndian.PutUint32(f.regs[r][o:], uint32(v))
+	default:
+		binary.LittleEndian.PutUint64(f.regs[r][o:], v)
+	}
+}
+
+// MemLoad and MemStore are the LSU callbacks vector memory operations use.
+type MemLoad func(addr uint64, size int) uint64
+
+// MemStore writes size bytes of val at addr.
+type MemStore func(addr uint64, size int, val uint64)
+
+// Unit binds a register file with configuration state and executes vector
+// operations functionally.
+type Unit struct {
+	File  *File
+	VL    uint64
+	VType isa.VType
+}
+
+// NewUnit creates a vector unit with the given VLEN.
+func NewUnit(vlenBits int) *Unit {
+	return &Unit{File: NewFile(vlenBits)}
+}
+
+// VLMax returns VLMAX for the current vtype.
+func (u *Unit) VLMax() uint64 {
+	return uint64(u.VType.VLMAX(u.File.VLENBits))
+}
+
+// SetVL applies a vsetvl/vsetvli request: vl = min(requested, VLMAX),
+// per the 0.7.1 rule that hardware picks the element count.
+func (u *Unit) SetVL(requested uint64, vt isa.VType) uint64 {
+	u.VType = vt
+	max := uint64(vt.VLMAX(u.File.VLENBits))
+	if requested > max {
+		requested = max
+	}
+	u.VL = requested
+	return requested
+}
+
+func sextTo(v uint64, sew int) int64 {
+	sh := 64 - uint(sew)
+	return int64(v<<sh) >> sh
+}
+
+// Exec executes one vector instruction functionally. scalar carries the
+// integer register operand for .vx/.s.x forms. The returned xres/hasX pair
+// holds an integer result (vmv.x.s). Memory operations use the callbacks.
+func (u *Unit) Exec(in isa.Inst, scalar uint64, ld MemLoad, st MemStore) (xres uint64, hasX bool, err error) {
+	f := u.File
+	sew := u.VType.SEW()
+	vl := int(u.VL)
+	vd := in.Rd.Index()
+	op := in.Op
+
+	switch op {
+	case isa.VLE:
+		base := scalar
+		for i := 0; i < vl; i++ {
+			f.setElem(vd, i, sew, ld(base+uint64(i*sew/8), sew/8))
+		}
+		return 0, false, nil
+	case isa.VLSE:
+		base := scalar
+		stride := in.Imm // core/emu pass the stride via Imm after reading rs2
+		for i := 0; i < vl; i++ {
+			f.setElem(vd, i, sew, ld(base+uint64(int64(i)*stride), sew/8))
+		}
+		return 0, false, nil
+	case isa.VSE:
+		vs := in.Rs2.Index()
+		base := scalar
+		for i := 0; i < vl; i++ {
+			st(base+uint64(i*sew/8), sew/8, f.elem(vs, i, sew))
+		}
+		return 0, false, nil
+	case isa.VSSE:
+		vs := in.Rs2.Index()
+		base := scalar
+		stride := in.Imm
+		for i := 0; i < vl; i++ {
+			st(base+uint64(int64(i)*stride), sew/8, f.elem(vs, i, sew))
+		}
+		return 0, false, nil
+	case isa.VMVXS:
+		return sextXLen(f.elem(in.Rs2.Index(), 0, sew), sew), true, nil
+	case isa.VMVSX:
+		f.setElem(vd, 0, sew, scalar)
+		return 0, false, nil
+	case isa.VMVVX:
+		for i := 0; i < vl; i++ {
+			f.setElem(vd, i, sew, scalar)
+		}
+		return 0, false, nil
+	case isa.VMVVV:
+		vs := in.Rs1.Index()
+		for i := 0; i < vl; i++ {
+			f.setElem(vd, i, sew, f.elem(vs, i, sew))
+		}
+		return 0, false, nil
+	case isa.VREDSUMVS, isa.VREDMAXVS:
+		// vd[0] = op(vs1[0], vs2[0..vl-1])
+		vs1, vs2 := in.Rs1.Index(), in.Rs2.Index()
+		acc := sextTo(f.elem(vs1, 0, sew), sew)
+		for i := 0; i < vl; i++ {
+			e := sextTo(f.elem(vs2, i, sew), sew)
+			if op == isa.VREDSUMVS {
+				acc += e
+			} else if e > acc {
+				acc = e
+			}
+		}
+		f.setElem(vd, 0, sew, uint64(acc))
+		return 0, false, nil
+	case isa.VFREDSUMVS:
+		vs1, vs2 := in.Rs1.Index(), in.Rs2.Index()
+		acc := u.fbits2f(f.elem(vs1, 0, sew), sew)
+		for i := 0; i < vl; i++ {
+			acc += u.fbits2f(f.elem(vs2, i, sew), sew)
+		}
+		f.setElem(vd, 0, sew, u.f2fbits(acc, sew))
+		return 0, false, nil
+	case isa.VWMACCVV:
+		// widening MAC: vd (2*SEW elements) += vs1 * vs2 (SEW elements).
+		vs1, vs2 := in.Rs1.Index(), in.Rs2.Index()
+		wide := sew * 2
+		if wide > 64 {
+			return 0, false, fmt.Errorf("vector: vwmacc with sew=%d unsupported", sew)
+		}
+		for i := 0; i < vl; i++ {
+			a := sextTo(f.elem(vs1, i, sew), sew)
+			b := sextTo(f.elem(vs2, i, sew), sew)
+			c := sextTo(f.elem(vd, i, wide), wide)
+			f.setElem(vd, i, wide, uint64(c+a*b))
+		}
+		return 0, false, nil
+	}
+
+	// Element-wise integer/FP arithmetic.
+	getB := func(i int) uint64 {
+		switch op {
+		case isa.VADDVX, isa.VSUBVX, isa.VMULVX:
+			return scalar
+		case isa.VADDVI:
+			return uint64(in.Imm)
+		}
+		return f.elem(in.Rs1.Index(), i, sew)
+	}
+	vs2 := in.Rs2.Index()
+	for i := 0; i < vl; i++ {
+		a := f.elem(vs2, i, sew)
+		b := getB(i)
+		var r uint64
+		switch op {
+		case isa.VADDVV, isa.VADDVX, isa.VADDVI:
+			r = a + b
+		case isa.VSUBVV, isa.VSUBVX:
+			r = a - b
+		case isa.VMULVV, isa.VMULVX:
+			r = uint64(sextTo(a, sew) * sextTo(b, sew))
+		case isa.VMACCVV:
+			r = uint64(sextTo(f.elem(vd, i, sew), sew) + sextTo(a, sew)*sextTo(b, sew))
+		case isa.VANDVV:
+			r = a & b
+		case isa.VORVV:
+			r = a | b
+		case isa.VXORVV:
+			r = a ^ b
+		case isa.VSLLVV:
+			r = a << (b & uint64(sew-1))
+		case isa.VSRLVV:
+			r = a >> (b & uint64(sew-1))
+		case isa.VMINVV:
+			if sextTo(a, sew) < sextTo(b, sew) {
+				r = a
+			} else {
+				r = b
+			}
+		case isa.VMAXVV:
+			if sextTo(a, sew) > sextTo(b, sew) {
+				r = a
+			} else {
+				r = b
+			}
+		case isa.VDIVVV:
+			sa, sb := sextTo(a, sew), sextTo(b, sew)
+			if sb == 0 {
+				r = ^uint64(0)
+			} else {
+				r = uint64(sa / sb)
+			}
+		case isa.VREMVV:
+			sa, sb := sextTo(a, sew), sextTo(b, sew)
+			if sb == 0 {
+				r = uint64(sa)
+			} else {
+				r = uint64(sa % sb)
+			}
+		case isa.VFADDVV:
+			r = u.f2fbits(u.fbits2f(a, sew)+u.fbits2f(b, sew), sew)
+		case isa.VFSUBVV:
+			r = u.f2fbits(u.fbits2f(a, sew)-u.fbits2f(b, sew), sew)
+		case isa.VFMULVV:
+			r = u.f2fbits(u.fbits2f(a, sew)*u.fbits2f(b, sew), sew)
+		case isa.VFDIVVV:
+			r = u.f2fbits(u.fbits2f(a, sew)/u.fbits2f(b, sew), sew)
+		case isa.VFMACCVV:
+			c := u.fbits2f(f.elem(vd, i, sew), sew)
+			r = u.f2fbits(u.fbits2f(a, sew)*u.fbits2f(b, sew)+c, sew)
+		default:
+			return 0, false, fmt.Errorf("vector: unimplemented op %v", op)
+		}
+		// fp16 special-case: round through half precision for exactness
+		if sew == 16 {
+			switch op {
+			case isa.VFADDVV:
+				r = uint64(AddF16(uint16(a), uint16(b)))
+			case isa.VFSUBVV:
+				r = uint64(SubF16(uint16(a), uint16(b)))
+			case isa.VFMULVV:
+				r = uint64(MulF16(uint16(a), uint16(b)))
+			case isa.VFDIVVV:
+				r = uint64(DivF16(uint16(a), uint16(b)))
+			case isa.VFMACCVV:
+				r = uint64(MaccF16(uint16(a), uint16(b), uint16(f.elem(vd, i, sew))))
+			}
+		}
+		f.setElem(vd, i, sew, r)
+	}
+	return 0, false, nil
+}
+
+// fbits2f interprets raw element bits as a float by SEW (16/32/64).
+func (u *Unit) fbits2f(v uint64, sew int) float64 {
+	switch sew {
+	case 16:
+		return float64(F16ToF32(uint16(v)))
+	case 32:
+		return float64(math.Float32frombits(uint32(v)))
+	default:
+		return math.Float64frombits(v)
+	}
+}
+
+func (u *Unit) f2fbits(f float64, sew int) uint64 {
+	switch sew {
+	case 16:
+		return uint64(F32ToF16(float32(f)))
+	case 32:
+		return uint64(math.Float32bits(float32(f)))
+	default:
+		return math.Float64bits(f)
+	}
+}
+
+func sextXLen(v uint64, sew int) uint64 {
+	return uint64(sextTo(v, sew))
+}
+
+// OccupancyCycles returns how many cycles a vector operation occupies one of
+// the vector pipes: one pass of the two 64-bit slices retires 128 bits of
+// results, so an op over LMUL registers takes LMUL passes.
+func OccupancyCycles(vt isa.VType) int {
+	l := vt.LMUL()
+	if l < 1 {
+		l = 1
+	}
+	return l
+}
+
+// MemCycles returns the LSU occupancy of a vector load/store: 128 bits per
+// cycle (§VII: "complete a 128-bit vector load/store operation" per cycle).
+func MemCycles(vl int, vt isa.VType) int {
+	bits := vl * vt.SEW()
+	c := (bits + 127) / 128
+	if c < 1 {
+		c = 1
+	}
+	return c
+}

@@ -1,0 +1,134 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The blockchain workload reproduces the §I deployment claim: XT-910 FPGA
+// instances accelerate blockchain transactions in Alibaba Cloud "by taking
+// advantage of the custom extensions". The kernel is the SHA-256-style
+// compression round mix — rotate/xor/add over a message schedule — which the
+// §VIII-B bit-manipulation extensions (srri rotate, rev byte reverse, ext
+// bit-field extract) accelerate directly.
+
+// BlockchainBase uses only standard RV64G instructions (rotates take three
+// instructions, byte reversal takes a shift/or cascade).
+var BlockchainBase = Workload{
+	Name:         "blockchain-base",
+	DefaultIters: 60,
+	Gen:          func(iters int) string { return genBlockchain(iters, false) },
+}
+
+// BlockchainExt uses the XT-910 custom extensions (srri, rev).
+var BlockchainExt = Workload{
+	Name:         "blockchain-ext",
+	DefaultIters: 60,
+	Gen:          func(iters int) string { return genBlockchain(iters, true) },
+}
+
+// rotr emits "dst = rotate-right-64(src, n)" with or without the custom
+// extension; tmp names a scratch register for the base-ISA form.
+func rotr(ext bool, dst, src string, n int, tmp string) string {
+	if ext {
+		return fmt.Sprintf("    srri %s, %s, %d\n", dst, src, n)
+	}
+	return fmt.Sprintf(`    srli %s, %s, %d
+    slli %s, %s, %d
+    or   %s, %s, %s
+`, tmp, src, n, dst, src, 64-n, dst, dst, tmp)
+}
+
+// byterev emits "dst = byte-reverse(src)".
+func byterev(ext bool, dst, src string) string {
+	if ext {
+		return fmt.Sprintf("    rev %s, %s\n", dst, src)
+	}
+	// 3-stage swap: bytes, half-words, words
+	return fmt.Sprintf(`    li   t6, 0x00FF00FF00FF00FF
+    srli s4, %[2]s, 8
+    and  s4, s4, t6
+    and  %[1]s, %[2]s, t6
+    slli %[1]s, %[1]s, 8
+    or   %[1]s, %[1]s, s4
+    li   t6, 0x0000FFFF0000FFFF
+    srli s4, %[1]s, 16
+    and  s4, s4, t6
+    and  %[1]s, %[1]s, t6
+    slli %[1]s, %[1]s, 16
+    or   %[1]s, %[1]s, s4
+    srli s4, %[1]s, 32
+    slli %[1]s, %[1]s, 32
+    or   %[1]s, %[1]s, s4
+`, dst, src)
+}
+
+func genBlockchain(iters int, ext bool) string {
+	var b strings.Builder
+	b.WriteString(header(iters))
+	b.WriteString(`
+main_loop:
+    # load the 8-word state
+    la   s0, hstate
+    ld   a2, 0(s0)
+    ld   a3, 8(s0)
+    ld   a4, 16(s0)
+    ld   a5, 24(s0)
+    la   s1, sched
+    li   s2, 24           # rounds
+round:
+    ld   s3, 0(s1)
+    addi s1, s1, 8
+    # byte-swap the schedule word (message is big-endian on the wire)
+`)
+	b.WriteString(byterev(ext, "t2", "s3"))
+	b.WriteString("    # sigma0 = rotr(a,28) ^ rotr(a,34) ^ rotr(a,39)\n")
+	b.WriteString(rotr(ext, "t3", "a2", 28, "t5"))
+	b.WriteString(rotr(ext, "t4", "a2", 34, "t5"))
+	b.WriteString("    xor  t3, t3, t4\n")
+	b.WriteString(rotr(ext, "t4", "a2", 39, "t5"))
+	b.WriteString(`    xor  t3, t3, t4
+    # ch = (b & c) ^ (~b & d)
+    and  t4, a3, a4
+    not  t5, a3
+    and  t5, t5, a5
+    xor  t4, t4, t5
+    # mix
+    add  t4, t4, t2
+    add  t4, t4, t3
+    # rotate state
+    mv   a5, a4
+    mv   a4, a3
+    mv   a3, a2
+    add  a2, t4, a5
+    addi s2, s2, -1
+    bnez s2, round
+    # fold state into checksum
+    mv   t0, a2
+` + mix + `
+    mv   t0, a3
+` + mix + `
+    # feed the state forward
+    la   s0, hstate
+    ld   t2, 0(s0)
+    add  t2, t2, a2
+    sd   t2, 0(s0)
+    ld   t2, 8(s0)
+    add  t2, t2, a3
+    sd   t2, 8(s0)
+    addi s11, s11, -1
+    bnez s11, main_loop
+` + exit)
+	b.WriteString("\n.align 3\nhstate:\n")
+	seeds := []uint64{0x6A09E667F3BCC908, 0xBB67AE8584CAA73B,
+		0x3C6EF372FE94F82B, 0xA54FF53A5F1D36F1}
+	for _, s := range seeds {
+		b.WriteString(fmt.Sprintf("    .dword 0x%016x\n", s))
+	}
+	b.WriteString("sched:\n")
+	for i := 0; i < 24; i++ {
+		b.WriteString(fmt.Sprintf("    .dword 0x%016x\n",
+			uint64(i)*0x428A2F98D728AE22+0x7137449123EF65CD))
+	}
+	return b.String()
+}

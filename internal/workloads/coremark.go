@@ -1,0 +1,252 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CoreMark is the CoreMark-like workload (Fig. 17): §X lists its algorithm
+// suite as "list processing (find and sort), matrix manipulation (common
+// matrix operations), state machine (determine if an input stream contains
+// valid numbers), and CRC". The four kernels below implement exactly those,
+// cache-resident as the paper notes ("basically all cache-hit and hardly
+// affected by DDR latency"). The exit code is an order-sensitive checksum.
+var CoreMark = Workload{
+	Name:         "coremark",
+	DefaultIters: 40,
+	Gen:          genCoreMark,
+}
+
+func genCoreMark(iters int) string {
+	var b strings.Builder
+	b.WriteString(header(iters))
+	b.WriteString(`
+main_loop:
+    call list_bench
+` + mix + `
+    call matrix_bench
+` + mix + `
+    call state_bench
+` + mix + `
+    call crc_bench
+` + mix + `
+    addi s11, s11, -1
+    bnez s11, main_loop
+` + exit + `
+
+# ---- list processing: find, in-place reversal, weighted walk -------------
+# nodes are (next, value) pairs; find the node with value==77, reverse the
+# whole list, then compute a position-weighted sum. Returns t0.
+list_bench:
+    la   t1, list_head
+    ld   t1, 0(t1)
+    li   t0, 0
+    li   t2, 77
+find:
+    beqz t1, find_done
+    ld   t3, 8(t1)
+    beq  t3, t2, found
+    ld   t1, 0(t1)
+    j    find
+found:
+    addi t0, t0, 1
+    ld   t1, 0(t1)
+    j    find
+find_done:
+    # reverse
+    la   t1, list_head
+    ld   t2, 0(t1)        # cur
+    li   t3, 0            # prev
+rev:
+    beqz t2, rev_done
+    ld   t4, 0(t2)        # next
+    sd   t3, 0(t2)
+    mv   t3, t2
+    mv   t2, t4
+    j    rev
+rev_done:
+    la   t1, list_head
+    sd   t3, 0(t1)
+    # weighted walk
+    li   t4, 1
+walk:
+    beqz t3, walk_done
+    ld   t5, 8(t3)
+    mul  t5, t5, t4
+    add  t0, t0, t5
+    addi t4, t4, 1
+    ld   t3, 0(t3)
+    j    walk
+walk_done:
+    ret
+
+# ---- matrix manipulation: 10x10 integer multiply, diagonal sum -----------
+matrix_bench:
+    la   t1, mat_a
+    la   t2, mat_b
+    la   t3, mat_c
+    li   t4, 0            # i
+mm_i:
+    li   t5, 0            # j
+mm_j:
+    li   a2, 0            # acc
+    li   a3, 0            # k
+mm_k:
+    # acc += a[i][k] * b[k][j]
+    li   a4, 10
+    mul  a5, t4, a4
+    add  a5, a5, a3
+    slli a5, a5, 2
+    add  a5, a5, t1
+    lw   a5, 0(a5)
+    mul  a6, a3, a4
+    add  a6, a6, t5
+    slli a6, a6, 2
+    add  a6, a6, t2
+    lw   a6, 0(a6)
+    mul  a5, a5, a6
+    add  a2, a2, a5
+    addi a3, a3, 1
+    li   a4, 10
+    blt  a3, a4, mm_k
+    # c[i][j] = acc
+    li   a4, 10
+    mul  a5, t4, a4
+    add  a5, a5, t5
+    slli a5, a5, 2
+    add  a5, a5, t3
+    sw   a2, 0(a5)
+    addi t5, t5, 1
+    li   a4, 10
+    blt  t5, a4, mm_j
+    addi t4, t4, 1
+    li   a4, 10
+    blt  t4, a4, mm_i
+    # diagonal sum
+    li   t0, 0
+    li   t4, 0
+mm_d:
+    li   a4, 11
+    mul  a5, t4, a4
+    slli a5, a5, 2
+    add  a5, a5, t3
+    lw   a5, 0(a5)
+    add  t0, t0, a5
+    addi t4, t4, 1
+    li   a4, 10
+    blt  t4, a4, mm_d
+    ret
+
+# ---- state machine: count valid decimal/hex numbers in a byte stream ------
+# states: 0=start 1=int 2=hex-prefix 3=hex; transitions on digit/x/other.
+state_bench:
+    la   t1, input_str
+    li   t0, 0            # valid count
+    li   t2, 0            # state
+st_loop:
+    lbu  t3, 0(t1)
+    beqz t3, st_done
+    addi t1, t1, 1
+    # classify: t4 = 0 digit, 1 'x', 2 other
+    li   a2, 48
+    blt  t3, a2, st_other
+    li   a2, 58
+    blt  t3, a2, st_digit
+    li   a2, 120
+    beq  t3, a2, st_x
+st_other:
+    # terminating a number state counts it
+    beqz t2, st_next
+    li   a2, 2
+    beq  t2, a2, st_reset    # lone 0x: invalid
+    addi t0, t0, 1
+st_reset:
+    li   t2, 0
+st_next:
+    j    st_loop
+st_digit:
+    bnez t2, st_dig2
+    li   t2, 1
+    j    st_loop
+st_dig2:
+    li   a2, 2
+    bne  t2, a2, st_loop
+    li   t2, 3
+    j    st_loop
+st_x:
+    li   a2, 1
+    bne  t2, a2, st_other
+    li   t2, 2
+    j    st_loop
+st_done:
+    beqz t2, st_fin
+    addi t0, t0, 1
+st_fin:
+    ret
+
+# ---- CRC-16/CCITT (bitwise) over the data block ---------------------------
+crc_bench:
+    la   t1, crc_data
+    li   t2, 64           # length
+    li   t0, 0xFFFF       # crc
+crc_byte:
+    beqz t2, crc_done
+    lbu  t3, 0(t1)
+    addi t1, t1, 1
+    addi t2, t2, -1
+    slli t3, t3, 8
+    xor  t0, t0, t3
+    li   t4, 8
+crc_bit:
+    slli t0, t0, 1
+    li   a2, 0x10000
+    and  a3, t0, a2
+    beqz a3, crc_nox
+    li   a2, 0x1021
+    xor  t0, t0, a2
+crc_nox:
+    li   a2, 0xFFFF
+    and  t0, t0, a2
+    addi t4, t4, -1
+    bnez t4, crc_bit
+    bnez t2, crc_byte
+crc_done:
+    ret
+
+# ---- data ------------------------------------------------------------------
+.align 3
+list_head: .dword list_nodes
+`)
+	// 24 list nodes, each (next, value)
+	const nNodes = 24
+	b.WriteString("list_nodes:\n")
+	for i := 0; i < nNodes; i++ {
+		next := "0"
+		if i != nNodes-1 {
+			next = fmt.Sprintf("list_nodes + %d", (i+1)*16)
+		}
+		val := (i*37 + 11) % 100
+		if i == 13 {
+			val = 77 // the find target
+		}
+		b.WriteString(fmt.Sprintf("    .dword %s, %d\n", next, val))
+	}
+	b.WriteString("\n.align 3\nmat_a:\n")
+	for i := 0; i < 100; i++ {
+		b.WriteString(fmt.Sprintf("    .word %d\n", (i*7+3)%41-20))
+	}
+	b.WriteString("mat_b:\n")
+	for i := 0; i < 100; i++ {
+		b.WriteString(fmt.Sprintf("    .word %d\n", (i*13+5)%37-18))
+	}
+	b.WriteString("mat_c: .space 400\n")
+	b.WriteString(`
+input_str: .asciz "12 abc 0x1F 7 0x zz 42 0xdead 9 x7 333 hello 0x0 5"
+.align 3
+crc_data:
+`)
+	for i := 0; i < 8; i++ {
+		b.WriteString(fmt.Sprintf("    .dword 0x%016x\n", uint64(i)*0x9E3779B97F4A7C15+0x0123456789ABCDEF))
+	}
+	return b.String()
+}

@@ -1,0 +1,379 @@
+package workloads
+
+import (
+	"fmt"
+	"strings"
+)
+
+// EEMBC returns the EEMBC-automotive-like kernel suite used for Fig. 18.
+// §X describes EEMBC as "a benchmark for the hardware and software used in
+// autonomous driving, the Internet of Things, mobile devices"; the automotive
+// suite's kernels are short integer filters, table lookups, pointer chases
+// and bit-field manipulations, re-implemented below.
+func EEMBC() []Workload {
+	return []Workload{
+		{Name: "eembc-a2time", DefaultIters: 250, Gen: genA2Time},
+		{Name: "eembc-aifirf", DefaultIters: 150, Gen: genFIR},
+		{Name: "eembc-iirflt", DefaultIters: 150, Gen: genIIR},
+		{Name: "eembc-canrdr", DefaultIters: 200, Gen: genCAN},
+		{Name: "eembc-idctrn", DefaultIters: 120, Gen: genIDCT},
+		{Name: "eembc-matrix", DefaultIters: 150, Gen: genMatrix3},
+		{Name: "eembc-pntrch", DefaultIters: 150, Gen: genPointerChase},
+		{Name: "eembc-tblook", DefaultIters: 200, Gen: genTableLookup},
+	}
+}
+
+// genA2Time: angle-to-time conversion — per tooth: time = angle*scale/speed
+// with wrap handling, the arithmetic core of the EEMBC a2time kernel.
+func genA2Time(iters int) string {
+	return header(iters) + `
+main_loop:
+    la   t1, angles
+    li   t2, 32           # teeth
+    li   t0, 0
+    li   t3, 3600         # scale
+    li   t4, 7            # speed
+a2_loop:
+    lw   a2, 0(t1)
+    addi t1, t1, 4
+    mul  a3, a2, t3
+    div  a3, a3, t4
+    # wrap into [0, 360000)
+    li   a4, 360000
+    rem  a3, a3, a4
+    bgez a3, a2_pos
+    add  a3, a3, a4
+a2_pos:
+    add  t0, t0, a3
+    addi t2, t2, -1
+    bnez t2, a2_loop
+` + mix + `
+    addi s11, s11, -1
+    bnez s11, main_loop
+` + exit + angleData()
+}
+
+func angleData() string {
+	var b strings.Builder
+	b.WriteString("\n.align 3\nangles:\n")
+	for i := 0; i < 32; i++ {
+		b.WriteString(fmt.Sprintf("    .word %d\n", (i*523+91)%720-360))
+	}
+	return b.String()
+}
+
+// genFIR: 16-tap integer FIR filter over 64 samples.
+func genFIR(iters int) string {
+	var b strings.Builder
+	b.WriteString(header(iters))
+	b.WriteString(`
+main_loop:
+    li   t0, 0
+    li   t2, 0            # n (output index)
+fir_n:
+    la   a2, samples
+    slli a3, t2, 2
+    add  a2, a2, a3       # &samples[n]
+    la   a4, coeffs
+    li   a5, 0            # acc
+    li   a6, 16           # taps
+fir_tap:
+    lw   t3, 0(a2)
+    lw   t4, 0(a4)
+    mul  t3, t3, t4
+    add  a5, a5, t3
+    addi a2, a2, 4
+    addi a4, a4, 4
+    addi a6, a6, -1
+    bnez a6, fir_tap
+    srai a5, a5, 8        # scale
+    add  t0, t0, a5
+    addi t2, t2, 1
+    li   a3, 48
+    blt  t2, a3, fir_n
+` + mix + `
+    addi s11, s11, -1
+    bnez s11, main_loop
+` + exit)
+	b.WriteString("\n.align 3\nsamples:\n")
+	for i := 0; i < 64; i++ {
+		b.WriteString(fmt.Sprintf("    .word %d\n", (i*97+13)%201-100))
+	}
+	b.WriteString("coeffs:\n")
+	for i := 0; i < 16; i++ {
+		b.WriteString(fmt.Sprintf("    .word %d\n", (i*31+7)%65-32))
+	}
+	return b.String()
+}
+
+// genIIR: cascaded integer biquad (direct form I) over the sample block.
+func genIIR(iters int) string {
+	var b strings.Builder
+	b.WriteString(header(iters))
+	b.WriteString(`
+main_loop:
+    li   t0, 0
+    la   a2, samples
+    li   a3, 64
+    li   t2, 0            # x1
+    li   t3, 0            # x2
+    li   t4, 0            # y1
+    li   t5, 0            # y2
+iir_loop:
+    lw   a4, 0(a2)
+    addi a2, a2, 4
+    # y = (181*x + 362*x1 + 181*x2 + 452*y1 - 113*y2) >> 9
+    li   a5, 181
+    mul  a6, a4, a5
+    mul  a7, t2, a5
+    slli a7, a7, 1
+    add  a6, a6, a7
+    mul  a7, t3, a5
+    add  a6, a6, a7
+    li   a5, 452
+    mul  a7, t4, a5
+    add  a6, a6, a7
+    li   a5, 113
+    mul  a7, t5, a5
+    sub  a6, a6, a7
+    srai a6, a6, 9
+    mv   t3, t2
+    mv   t2, a4
+    mv   t5, t4
+    mv   t4, a6
+    add  t0, t0, a6
+    addi a3, a3, -1
+    bnez a3, iir_loop
+` + mix + `
+    addi s11, s11, -1
+    bnez s11, main_loop
+` + exit)
+	b.WriteString("\n.align 3\nsamples:\n")
+	for i := 0; i < 64; i++ {
+		b.WriteString(fmt.Sprintf("    .word %d\n", (i*57+29)%401-200))
+	}
+	return b.String()
+}
+
+// genCAN: CAN-message field extraction and response assembly — bit-field
+// heavy (the workload class §VIII-B's extensions target).
+func genCAN(iters int) string {
+	var b strings.Builder
+	b.WriteString(header(iters))
+	b.WriteString(`
+main_loop:
+    li   t0, 0
+    la   a2, canmsgs
+    li   a3, 16
+can_loop:
+    ld   a4, 0(a2)
+    addi a2, a2, 8
+    # id = bits [28:18], dlc = bits [3:0], data = bits [17:4]
+    srli a5, a4, 18
+    li   a6, 0x7FF
+    and  a5, a5, a6
+    andi a6, a4, 15
+    srli a7, a4, 4
+    li   t2, 0x3FFF
+    and  a7, a7, t2
+    # response: id match 0x2A5 doubles the data field
+    li   t2, 0x2A5
+    bne  a5, t2, can_acc
+    slli a7, a7, 1
+can_acc:
+    add  t0, t0, a5
+    add  t0, t0, a6
+    add  t0, t0, a7
+    addi a3, a3, -1
+    bnez a3, can_loop
+` + mix + `
+    addi s11, s11, -1
+    bnez s11, main_loop
+` + exit)
+	b.WriteString("\n.align 3\ncanmsgs:\n")
+	for i := 0; i < 16; i++ {
+		v := uint64(i)*0xA5A5A5A7 + 0x12345
+		if i%5 == 0 {
+			v = v&^(0x7FF<<18) | 0x2A5<<18
+		}
+		b.WriteString(fmt.Sprintf("    .dword 0x%016x\n", v))
+	}
+	return b.String()
+}
+
+// genIDCT: simplified 8-point integer butterfly transform over 8 rows.
+func genIDCT(iters int) string {
+	var b strings.Builder
+	b.WriteString(header(iters))
+	b.WriteString(`
+main_loop:
+    li   t0, 0
+    li   t2, 0            # row
+idct_row:
+    la   a2, idctin
+    slli a3, t2, 5        # row * 8 * 4
+    add  a2, a2, a3
+    # butterfly: out[i] = in[i] + in[7-i], out[7-i] = (in[i]-in[7-i])*c >> 6
+    li   a4, 0            # i
+idct_b:
+    slli a5, a4, 2
+    add  a5, a5, a2
+    lw   a6, 0(a5)
+    li   a7, 7
+    sub  a7, a7, a4
+    slli a7, a7, 2
+    add  a7, a7, a2
+    lw   t3, 0(a7)
+    add  t4, a6, t3
+    sub  t5, a6, t3
+    li   t6, 46341        # ~cos scale
+    mul  t5, t5, t6
+    srai t5, t5, 16
+    add  t0, t0, t4
+    add  t0, t0, t5
+    addi a4, a4, 1
+    li   a5, 4
+    blt  a4, a5, idct_b
+    addi t2, t2, 1
+    li   a3, 8
+    blt  t2, a3, idct_row
+` + mix + `
+    addi s11, s11, -1
+    bnez s11, main_loop
+` + exit)
+	b.WriteString("\n.align 3\nidctin:\n")
+	for i := 0; i < 64; i++ {
+		b.WriteString(fmt.Sprintf("    .word %d\n", (i*119+41)%513-256))
+	}
+	return b.String()
+}
+
+// genMatrix3: 3x3 determinants over an array of matrices.
+func genMatrix3(iters int) string {
+	var b strings.Builder
+	b.WriteString(header(iters))
+	b.WriteString(`
+main_loop:
+    li   t0, 0
+    la   a2, mats
+    li   a3, 12           # matrices
+m3_loop:
+    lw   a4, 0(a2)
+    lw   a5, 4(a2)
+    lw   a6, 8(a2)
+    lw   a7, 12(a2)
+    lw   t2, 16(a2)
+    lw   t3, 20(a2)
+    lw   t4, 24(a2)
+    lw   t5, 28(a2)
+    lw   t6, 32(a2)
+    # det = a(ei-fh) - b(di-fg) + c(dh-eg)
+    mul  s2, t2, t6
+    mul  s3, t3, t5
+    sub  s2, s2, s3
+    mul  s2, s2, a4
+    mul  s3, a7, t6
+    mul  s4, t3, t4
+    sub  s3, s3, s4
+    mul  s3, s3, a5
+    sub  s2, s2, s3
+    mul  s3, a7, t5
+    mul  s4, t2, t4
+    sub  s3, s3, s4
+    mul  s3, s3, a6
+    add  s2, s2, s3
+    add  t0, t0, s2
+    addi a2, a2, 36
+    addi a3, a3, -1
+    bnez a3, m3_loop
+` + mix + `
+    addi s11, s11, -1
+    bnez s11, main_loop
+` + exit)
+	b.WriteString("\n.align 3\nmats:\n")
+	for i := 0; i < 12*9; i++ {
+		b.WriteString(fmt.Sprintf("    .word %d\n", (i*67+19)%21-10))
+	}
+	return b.String()
+}
+
+// genPointerChase: follow a scattered pointer ring comparing payloads.
+func genPointerChase(iters int) string {
+	var b strings.Builder
+	b.WriteString(header(iters))
+	b.WriteString(`
+main_loop:
+    la   t1, ring
+    ld   t1, 0(t1)
+    li   t0, 0
+    li   t2, 64           # hops
+pc_loop:
+    ld   t3, 8(t1)        # payload
+    li   a2, 50
+    blt  t3, a2, pc_small
+    addi t0, t0, 3
+    j    pc_next
+pc_small:
+    addi t0, t0, 1
+pc_next:
+    ld   t1, 0(t1)        # follow
+    addi t2, t2, -1
+    bnez t2, pc_loop
+` + mix + `
+    addi s11, s11, -1
+    bnez s11, main_loop
+` + exit)
+	// a permuted ring of 32 nodes spread over cache lines
+	const n = 32
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = (i*19 + 7) % n // 19 is coprime with 32: a full cycle
+	}
+	b.WriteString("\n.align 3\nring: .dword node0\n")
+	for i := 0; i < n; i++ {
+		b.WriteString(fmt.Sprintf("node%d: .dword node%d, %d\n    .space 48\n",
+			i, perm[i], (i*43+9)%100))
+	}
+	return b.String()
+}
+
+// genTableLookup: indexed table walk with linear interpolation.
+func genTableLookup(iters int) string {
+	var b strings.Builder
+	b.WriteString(header(iters))
+	b.WriteString(`
+main_loop:
+    li   t0, 0
+    li   t2, 0            # query index
+tl_loop:
+    # query value in [0, 1024)
+    slli a2, t2, 5
+    addi a2, a2, 17
+    li   a3, 1024
+    rem  a2, a2, a3
+    # segment = q >> 6 (16 segments), frac = q & 63
+    srli a4, a2, 6
+    andi a5, a2, 63
+    la   a6, table
+    slli a7, a4, 2
+    add  a6, a6, a7
+    lw   t3, 0(a6)
+    lw   t4, 4(a6)
+    sub  t5, t4, t3
+    mul  t5, t5, a5
+    srai t5, t5, 6
+    add  t3, t3, t5
+    add  t0, t0, t3
+    addi t2, t2, 1
+    li   a3, 64
+    blt  t2, a3, tl_loop
+` + mix + `
+    addi s11, s11, -1
+    bnez s11, main_loop
+` + exit)
+	b.WriteString("\n.align 3\ntable:\n")
+	for i := 0; i <= 16; i++ {
+		b.WriteString(fmt.Sprintf("    .word %d\n", i*i*40-i*300+500))
+	}
+	return b.String()
+}

@@ -1,0 +1,500 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// NBench returns the NBench-like kernel suite used for Fig. 19: numeric sort,
+// string sort, bit-field operations, emulated floating point, Fourier
+// coefficients, assignment, IDEA-style cipher rounds and a neural-net layer.
+func NBench() []Workload {
+	return []Workload{
+		{Name: "nbench-numsort", DefaultIters: 80, Gen: genNumSort},
+		{Name: "nbench-strsort", DefaultIters: 80, Gen: genStrSort},
+		{Name: "nbench-bitfield", DefaultIters: 300, Gen: genBitfield},
+		{Name: "nbench-fpemu", DefaultIters: 150, Gen: genFPEmu},
+		{Name: "nbench-fourier", DefaultIters: 60, Gen: genFourier},
+		{Name: "nbench-assign", DefaultIters: 120, Gen: genAssign},
+		{Name: "nbench-idea", DefaultIters: 120, Gen: genIDEA},
+		{Name: "nbench-neural", DefaultIters: 80, Gen: genNeural},
+	}
+}
+
+// genNumSort: insertion sort of 48 integers (copied fresh each iteration).
+func genNumSort(iters int) string {
+	var b strings.Builder
+	b.WriteString(header(iters))
+	b.WriteString(`
+main_loop:
+    # copy the pristine array
+    la   a2, src
+    la   a3, arr
+    li   a4, 48
+ns_copy:
+    ld   a5, 0(a2)
+    sd   a5, 0(a3)
+    addi a2, a2, 8
+    addi a3, a3, 8
+    addi a4, a4, -1
+    bnez a4, ns_copy
+    # insertion sort
+    la   a2, arr
+    li   a3, 1            # i
+ns_outer:
+    slli a4, a3, 3
+    add  a4, a4, a2
+    ld   a5, 0(a4)        # key
+    addi a6, a3, -1       # j
+ns_inner:
+    bltz a6, ns_place
+    slli a7, a6, 3
+    add  a7, a7, a2
+    ld   t2, 0(a7)
+    ble  t2, a5, ns_place
+    sd   t2, 8(a7)
+    addi a6, a6, -1
+    j    ns_inner
+ns_place:
+    addi a7, a6, 1
+    slli a7, a7, 3
+    add  a7, a7, a2
+    sd   a5, 0(a7)
+    addi a3, a3, 1
+    li   a4, 48
+    blt  a3, a4, ns_outer
+    # checksum: weighted sum of sorted array
+    li   t0, 0
+    li   a3, 0
+ns_sum:
+    slli a4, a3, 3
+    add  a4, a4, a2
+    ld   a5, 0(a4)
+    addi a6, a3, 1
+    mul  a5, a5, a6
+    add  t0, t0, a5
+    addi a3, a3, 1
+    li   a4, 48
+    blt  a3, a4, ns_sum
+` + mix + `
+    addi s11, s11, -1
+    bnez s11, main_loop
+` + exit)
+	b.WriteString("\n.align 3\nsrc:\n")
+	for i := 0; i < 48; i++ {
+		b.WriteString(fmt.Sprintf("    .dword %d\n", (i*7919+104729)%1000-500))
+	}
+	b.WriteString("arr: .space 384\n")
+	return b.String()
+}
+
+// genStrSort: selection sort of 12 fixed-width 8-byte strings by bytewise
+// comparison (big-endian compare via rev + unsigned compare).
+func genStrSort(iters int) string {
+	var b strings.Builder
+	b.WriteString(header(iters))
+	b.WriteString(`
+main_loop:
+    la   a2, strsrc
+    la   a3, strarr
+    li   a4, 12
+ss_copy:
+    ld   a5, 0(a2)
+    sd   a5, 0(a3)
+    addi a2, a2, 8
+    addi a3, a3, 8
+    addi a4, a4, -1
+    bnez a4, ss_copy
+    la   a2, strarr
+    li   a3, 0            # i
+ss_outer:
+    mv   a4, a3           # min idx
+    addi a5, a3, 1        # j
+ss_inner:
+    li   a6, 12
+    bge  a5, a6, ss_swap
+    # strcmp(str[j], str[min]): bytewise compare, first difference decides
+    slli a6, a5, 3
+    add  a6, a6, a2       # &str[j]
+    slli a7, a4, 3
+    add  a7, a7, a2       # &str[min]
+    li   t2, 8            # width
+ss_cmp:
+    lbu  t3, 0(a6)
+    lbu  t4, 0(a7)
+    bltu t3, t4, ss_less
+    bltu t4, t3, ss_nmin
+    addi a6, a6, 1
+    addi a7, a7, 1
+    addi t2, t2, -1
+    bnez t2, ss_cmp
+    j    ss_nmin          # equal
+ss_less:
+    mv   a4, a5
+ss_nmin:
+    addi a5, a5, 1
+    j    ss_inner
+ss_swap:
+    slli a5, a3, 3
+    add  a5, a5, a2
+    slli a6, a4, 3
+    add  a6, a6, a2
+    ld   a7, 0(a5)
+    ld   t2, 0(a6)
+    sd   t2, 0(a5)
+    sd   a7, 0(a6)
+    addi a3, a3, 1
+    li   a4, 11
+    blt  a3, a4, ss_outer
+    # checksum
+    li   t0, 0
+    li   a3, 0
+ss_sum:
+    slli a4, a3, 3
+    add  a4, a4, a2
+    ld   a5, 0(a4)
+    addi a6, a3, 3
+    mul  a5, a5, a6
+    add  t0, t0, a5
+    addi a3, a3, 1
+    li   a4, 12
+    blt  a3, a4, ss_sum
+` + mix + `
+    addi s11, s11, -1
+    bnez s11, main_loop
+` + exit)
+	words := []string{"delta", "alpha", "kappa", "sigma", "omega", "gamma",
+		"theta", "zeta", "beta", "iota", "lambda", "mu"}
+	b.WriteString("\n.align 3\nstrsrc:\n")
+	for _, w := range words {
+		padded := (w + "\x00\x00\x00\x00\x00\x00\x00\x00")[:8]
+		var v uint64
+		for i := 0; i < 8; i++ {
+			v |= uint64(padded[i]) << (8 * i)
+		}
+		b.WriteString(fmt.Sprintf("    .dword 0x%016x\n", v))
+	}
+	b.WriteString("strarr: .space 96\n")
+	return b.String()
+}
+
+// genBitfield: set/clear/toggle runs of bits in a 1024-bit map, then count.
+func genBitfield(iters int) string {
+	return header(iters) + `
+main_loop:
+    # clear the map
+    la   a2, bitmap
+    li   a3, 16
+bf_clr:
+    sd   zero, 0(a2)
+    addi a2, a2, 8
+    addi a3, a3, -1
+    bnez a3, bf_clr
+    # set bit runs: for r in 0..31: set bits [r*29 .. r*29+r] mod 1024
+    li   a3, 0            # r
+bf_run:
+    li   a4, 29
+    mul  a5, a3, a4       # start
+    mv   a6, a3           # length
+bf_setbit:
+    li   a7, 1023
+    and  t2, a5, a7
+    srli t3, t2, 6
+    slli t3, t3, 3
+    la   t4, bitmap
+    add  t3, t3, t4
+    ld   t5, 0(t3)
+    andi t6, t2, 63
+    li   t4, 1
+    sll  t4, t4, t6
+    xor  t5, t5, t4       # toggle
+    sd   t5, 0(t3)
+    addi a5, a5, 1
+    addi a6, a6, -1
+    bgez a6, bf_setbit
+    addi a3, a3, 1
+    li   a4, 32
+    blt  a3, a4, bf_run
+    # popcount the map (bitwise)
+    li   t0, 0
+    la   a2, bitmap
+    li   a3, 16
+bf_cnt:
+    ld   a4, 0(a2)
+bf_pop:
+    beqz a4, bf_pnext
+    addi a5, a4, -1
+    and  a4, a4, a5
+    addi t0, t0, 1
+    j    bf_pop
+bf_pnext:
+    addi a2, a2, 8
+    addi a3, a3, -1
+    bnez a3, bf_cnt
+` + mix + `
+    addi s11, s11, -1
+    bnez s11, main_loop
+` + exit + `
+.align 3
+bitmap: .space 128
+`
+}
+
+// genFPEmu: software floating point — 16.16 fixed-point multiply/divide
+// chains emulating the NBench FP-emulation kernel's integer character.
+func genFPEmu(iters int) string {
+	return header(iters) + `
+main_loop:
+    li   t0, 0
+    li   t2, 1            # x = 1.0 in 16.16
+    slli t2, t2, 16
+    li   t3, 40           # steps
+    li   t4, 0x18000      # 1.5
+fp_loop:
+    # x = x * 1.5 (fixed point), renormalize if > 256.0
+    mul  t2, t2, t4
+    srai t2, t2, 16
+    li   a2, 0x1000000
+    blt  t2, a2, fp_ok
+    # divide by 3.7 (0x3B333 in 16.16)
+    slli t2, t2, 8
+    li   a3, 0x3B333
+    div  t2, t2, a3
+    slli t2, t2, 8
+fp_ok:
+    add  t0, t0, t2
+    addi t3, t3, -1
+    bnez t3, fp_loop
+` + mix + `
+    addi s11, s11, -1
+    bnez s11, main_loop
+` + exit
+}
+
+// genFourier: float64 power-series evaluation of Fourier coefficients
+// (a trigonometric series via Horner), the FP-heavy NBench kernel.
+func genFourier(iters int) string {
+	var b strings.Builder
+	b.WriteString(header(iters))
+	b.WriteString(`
+main_loop:
+    li   t0, 0
+    la   a2, xs
+    li   a3, 16           # points
+fr_pt:
+    fld  fa0, 0(a2)
+    addi a2, a2, 8
+    # sin(x) ~ x - x^3/6 + x^5/120 - x^7/5040 (Horner)
+    fmul.d fa1, fa0, fa0   # x^2
+    la   a4, fc7
+    fld  fa2, 0(a4)
+    la   a4, fc5
+    fld  fa3, 0(a4)
+    fmadd.d fa2, fa2, fa1, fa3
+    la   a4, fc3
+    fld  fa3, 0(a4)
+    fmadd.d fa2, fa2, fa1, fa3
+    la   a4, fc1
+    fld  fa3, 0(a4)
+    fmadd.d fa2, fa2, fa1, fa3
+    fmul.d fa2, fa2, fa0
+    # accumulate scaled integer checksum
+    la   a4, scale
+    fld  fa3, 0(a4)
+    fmul.d fa2, fa2, fa3
+    fcvt.w.d a5, fa2
+    add  t0, t0, a5
+    addi a3, a3, -1
+    bnez a3, fr_pt
+` + mix + `
+    addi s11, s11, -1
+    bnez s11, main_loop
+` + exit)
+	b.WriteString("\n.align 3\nxs:\n")
+	for i := 0; i < 16; i++ {
+		x := -1.5 + float64(i)*0.2
+		b.WriteString(fmt.Sprintf("    .dword 0x%016x\n", math.Float64bits(x)))
+	}
+	coef := func(name string, v float64) {
+		b.WriteString(fmt.Sprintf("%s: .dword 0x%016x\n", name, math.Float64bits(v)))
+	}
+	coef("fc1", 1.0)
+	coef("fc3", -1.0/6)
+	coef("fc5", 1.0/120)
+	coef("fc7", -1.0/5040)
+	coef("scale", 1e6)
+	return b.String()
+}
+
+// genAssign: greedy row-minimum assignment over an 8x8 cost matrix.
+func genAssign(iters int) string {
+	var b strings.Builder
+	b.WriteString(header(iters))
+	b.WriteString(`
+main_loop:
+    li   t0, 0
+    li   t2, 0            # used-column bitmap
+    li   a2, 0            # row
+as_row:
+    la   a3, costs
+    slli a4, a2, 5        # row*8*4
+    add  a3, a3, a4
+    li   a5, -1           # best col
+    li   a6, 0x7FFFFFFF   # best cost
+    li   a7, 0            # col
+as_col:
+    li   t3, 1
+    sll  t3, t3, a7
+    and  t4, t2, t3
+    bnez t4, as_next      # column taken
+    slli t4, a7, 2
+    add  t4, t4, a3
+    lw   t5, 0(t4)
+    bge  t5, a6, as_next
+    mv   a6, t5
+    mv   a5, a7
+as_next:
+    addi a7, a7, 1
+    li   t3, 8
+    blt  a7, t3, as_col
+    li   t3, 1
+    sll  t3, t3, a5
+    or   t2, t2, t3
+    add  t0, t0, a6
+    addi a2, a2, 1
+    li   t3, 8
+    blt  a2, t3, as_row
+` + mix + `
+    addi s11, s11, -1
+    bnez s11, main_loop
+` + exit)
+	b.WriteString("\n.align 3\ncosts:\n")
+	for i := 0; i < 64; i++ {
+		b.WriteString(fmt.Sprintf("    .word %d\n", (i*151+37)%90+10))
+	}
+	return b.String()
+}
+
+// genIDEA: IDEA-style cipher rounds (mul mod 2^16+1, add mod 2^16, xor).
+func genIDEA(iters int) string {
+	var b strings.Builder
+	b.WriteString(header(iters))
+	b.WriteString(`
+main_loop:
+    li   t0, 0
+    la   a2, blocks
+    li   a3, 8            # blocks
+id_blk:
+    lhu  a4, 0(a2)
+    lhu  a5, 2(a2)
+    lhu  a6, 4(a2)
+    lhu  a7, 6(a2)
+    la   t2, keys
+    li   t3, 8            # rounds
+id_round:
+    lhu  t4, 0(t2)
+    lhu  t5, 2(t2)
+    addi t2, t2, 4
+    # a4 = a4 (*) k1 mod 65537 ; treat 0 as 65536
+    bnez a4, id_nz
+    li   a4, 65536
+id_nz:
+    mul  a4, a4, t4
+    li   t6, 65537
+    remu a4, a4, t6
+    li   t6, 0xFFFF
+    and  a4, a4, t6
+    # a5 = a5 (+) k2 mod 65536
+    add  a5, a5, t5
+    and  a5, a5, t6
+    # mix
+    xor  a6, a6, a4
+    xor  a7, a7, a5
+    # rotate quartet
+    mv   t4, a4
+    mv   a4, a5
+    mv   a5, a6
+    mv   a6, a7
+    mv   a7, t4
+    addi t3, t3, -1
+    bnez t3, id_round
+    add  t0, t0, a4
+    add  t0, t0, a5
+    add  t0, t0, a6
+    add  t0, t0, a7
+    addi a2, a2, 8
+    addi a3, a3, -1
+    bnez a3, id_blk
+` + mix + `
+    addi s11, s11, -1
+    bnez s11, main_loop
+` + exit)
+	b.WriteString("\n.align 3\nblocks:\n")
+	for i := 0; i < 8; i++ {
+		b.WriteString(fmt.Sprintf("    .dword 0x%016x\n", uint64(i)*0x1357_9BDF_2468_ACE1+0xFEDC))
+	}
+	b.WriteString("keys:\n")
+	for i := 0; i < 16; i++ {
+		b.WriteString(fmt.Sprintf("    .half %d\n", (i*40503+12345)&0xFFFF))
+	}
+	return b.String()
+}
+
+// genNeural: one dense layer (16→8) in float32 with a hard-sigmoid clamp.
+func genNeural(iters int) string {
+	var b strings.Builder
+	b.WriteString(header(iters))
+	b.WriteString(`
+main_loop:
+    li   t0, 0
+    li   t2, 0            # neuron
+nn_neuron:
+    la   a2, inputs
+    la   a3, weights
+    slli a4, t2, 6        # neuron * 16 * 4
+    add  a3, a3, a4
+    # dot product (16 taps, float32)
+    la   a5, fzero
+    flw  fa0, 0(a5)
+    li   a5, 16
+nn_tap:
+    flw  fa1, 0(a2)
+    flw  fa2, 0(a3)
+    fmadd.s fa0, fa1, fa2, fa0
+    addi a2, a2, 4
+    addi a3, a3, 4
+    addi a5, a5, -1
+    bnez a5, nn_tap
+    # hard clamp to [-4, 4], scale, accumulate
+    la   a5, ffour
+    flw  fa1, 0(a5)
+    fmin.s fa0, fa0, fa1
+    fneg.s fa1, fa1
+    fmax.s fa0, fa0, fa1
+    la   a5, fscale
+    flw  fa2, 0(a5)
+    fmul.s fa0, fa0, fa2
+    fcvt.w.s a5, fa0
+    add  t0, t0, a5
+    addi t2, t2, 1
+    li   a4, 8
+    blt  t2, a4, nn_neuron
+` + mix + `
+    addi s11, s11, -1
+    bnez s11, main_loop
+` + exit)
+	f32 := func(v float64) uint32 { return math.Float32bits(float32(v)) }
+	b.WriteString("\n.align 3\ninputs:\n")
+	for i := 0; i < 16; i++ {
+		b.WriteString(fmt.Sprintf("    .word 0x%08x\n", f32(math.Sin(float64(i))*0.8)))
+	}
+	b.WriteString("weights:\n")
+	for i := 0; i < 128; i++ {
+		b.WriteString(fmt.Sprintf("    .word 0x%08x\n", f32(math.Cos(float64(i)*0.37)*0.5)))
+	}
+	b.WriteString(fmt.Sprintf("fzero: .word 0x%08x\n", f32(0)))
+	b.WriteString(fmt.Sprintf("ffour: .word 0x%08x\n", f32(4)))
+	b.WriteString(fmt.Sprintf("fscale: .word 0x%08x\n", f32(1000)))
+	return b.String()
+}

@@ -1,0 +1,108 @@
+package workloads
+
+import "fmt"
+
+// SpecLike is the large-footprint workload standing in for SPECInt2006 (§X:
+// "SPECInt2006 uses very large programs that frequently incur L2 cache
+// misses. It factors in core performance, cache size, cache miss, DDR
+// latency…"). Three phases stress exactly those factors: a pseudo-random
+// pointer chase over a multi-megabyte ring (L2-missing, dependent loads), a
+// strided sweep of a large array (bandwidth), and a hash-table
+// insert/probe mix (mixed locality with branches).
+var SpecLike = Workload{
+	Name:         "speclike",
+	DefaultIters: 2,
+	Gen:          genSpecLike,
+}
+
+// specRingNodes × 64 B stride ≈ 4 MB of pointer-chased footprint.
+const specRingNodes = 1 << 16
+
+func genSpecLike(iters int) string {
+	return fmt.Sprintf(`
+.equ ITER, %d
+.equ NODES, %d
+_start:
+    li   s11, ITER
+    li   a0, 0
+
+    # Build a pseudo-random ring: node i -> node (i*a+c mod NODES), 64B apart.
+    # The multiplier is odd so the walk is a permutation cycle over a power
+    # of two when the increment is odd (LCG full-period conditions).
+    la   s0, ring
+    li   t1, 0            # i
+    li   t2, NODES
+ring_init:
+    li   t3, 2862933555777941757
+    mul  t4, t1, t3
+    li   t3, 3037000493
+    add  t4, t4, t3
+    li   t5, NODES-1
+    and  t4, t4, t5       # target index
+    slli t5, t4, 6
+    la   t6, ring
+    add  t5, t5, t6       # target address
+    slli t6, t1, 6
+    la   a2, ring
+    add  t6, t6, a2
+    sd   t5, 0(t6)
+    sd   t1, 8(t6)        # payload
+    addi t1, t1, 1
+    blt  t1, t2, ring_init
+
+main_loop:
+    # ---- phase 1: dependent pointer chase (L2-missing loads) ----
+    la   t1, ring
+    li   t2, 30000        # hops
+    li   t0, 0
+chase:
+    ld   t3, 8(t1)
+    add  t0, t0, t3
+    ld   t1, 0(t1)
+    addi t2, t2, -1
+    bnez t2, chase
+`+mix+`
+    # ---- phase 2: strided sweep (bandwidth + prefetchable) ----
+    la   t1, ring
+    li   t2, NODES
+    li   t0, 0
+sweep:
+    ld   t3, 8(t1)
+    add  t0, t0, t3
+    addi t1, t1, 64
+    addi t2, t2, -1
+    bnez t2, sweep
+`+mix+`
+    # ---- phase 3: hash probe mix over the same footprint ----
+    li   t1, 12345
+    li   t2, 20000        # probes
+    li   t0, 0
+probe:
+    li   t3, 6364136223846793005
+    mul  t1, t1, t3
+    li   t3, 1442695040888963407
+    add  t1, t1, t3
+    srli t3, t1, 33
+    li   t4, NODES-1
+    and  t3, t3, t4
+    slli t3, t3, 6
+    la   t4, ring
+    add  t3, t3, t4
+    ld   t5, 8(t3)
+    andi t6, t5, 1
+    beqz t6, probe_even
+    add  t0, t0, t5
+    j    probe_next
+probe_even:
+    sub  t0, t0, t5
+probe_next:
+    addi t2, t2, -1
+    bnez t2, probe
+`+mix+`
+    addi s11, s11, -1
+    bnez s11, main_loop
+`+exit+`
+.align 6
+ring: .space NODES*64
+`, iters, specRingNodes)
+}

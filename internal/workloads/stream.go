@@ -1,0 +1,139 @@
+package workloads
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// StreamN is the per-array element count (float64). Three arrays of 128 KB
+// each overflow the L1 D-cache and a 256 KB L2, so every pass streams from
+// memory — the regime Fig. 21 measures with its ~200-cycle DDR latency.
+const StreamN = 16384
+
+// Stream is the STREAM benchmark (Fig. 21): copy, scale, add and triad over
+// large float64 arrays. iters is the number of full passes.
+var Stream = Workload{
+	Name:         "stream",
+	DefaultIters: 1,
+	Gen:          genStream,
+}
+
+func genStream(iters int) string {
+	var b strings.Builder
+	b.WriteString(fmt.Sprintf(`
+.equ ITER, %d
+.equ N, %d
+_start:
+    li   s11, ITER
+    li   a0, 0
+    # initialize a[i] = i, b[i] = 2i (runtime init keeps the image small)
+    la   s0, arr_a
+    la   s1, arr_b
+    la   s2, arr_c
+    li   t1, 0
+    li   t2, N
+    la   t3, fone
+    fld  ft0, 0(t3)      # 1.0
+    la   t3, fzero
+    fld  ft1, 0(t3)      # running value
+    fmv.d ft2, ft1
+init:
+    fsd  ft1, 0(s0)
+    fadd.d ft3, ft1, ft1
+    fsd  ft3, 0(s1)
+    fsd  ft2, 0(s2)
+    fadd.d ft1, ft1, ft0
+    addi s0, s0, 8
+    addi s1, s1, 8
+    addi s2, s2, 8
+    addi t1, t1, 1
+    blt  t1, t2, init
+
+main_loop:
+    # ---- COPY: c = a ----
+    la   s0, arr_a
+    la   s2, arr_c
+    li   t1, N
+copy:
+    fld  ft0, 0(s0)
+    fsd  ft0, 0(s2)
+    addi s0, s0, 8
+    addi s2, s2, 8
+    addi t1, t1, -1
+    bnez t1, copy
+    # ---- SCALE: b = 3*c ----
+    la   s1, arr_b
+    la   s2, arr_c
+    la   t3, fthree
+    fld  ft1, 0(t3)
+    li   t1, N
+scale:
+    fld  ft0, 0(s2)
+    fmul.d ft0, ft0, ft1
+    fsd  ft0, 0(s1)
+    addi s1, s1, 8
+    addi s2, s2, 8
+    addi t1, t1, -1
+    bnez t1, scale
+    # ---- ADD: c = a + b ----
+    la   s0, arr_a
+    la   s1, arr_b
+    la   s2, arr_c
+    li   t1, N
+vadd:
+    fld  ft0, 0(s0)
+    fld  ft1, 0(s1)
+    fadd.d ft0, ft0, ft1
+    fsd  ft0, 0(s2)
+    addi s0, s0, 8
+    addi s1, s1, 8
+    addi s2, s2, 8
+    addi t1, t1, -1
+    bnez t1, vadd
+    # ---- TRIAD: a = b + 3*c ----
+    la   s0, arr_a
+    la   s1, arr_b
+    la   s2, arr_c
+    la   t3, fthree
+    fld  ft2, 0(t3)
+    li   t1, N
+triad:
+    fld  ft0, 0(s1)
+    fld  ft1, 0(s2)
+    fmadd.d ft0, ft1, ft2, ft0
+    fsd  ft0, 0(s0)
+    addi s0, s0, 8
+    addi s1, s1, 8
+    addi s2, s2, 8
+    addi t1, t1, -1
+    bnez t1, triad
+    addi s11, s11, -1
+    bnez s11, main_loop
+
+    # checksum: a[1] + a[N/2] + a[N-1], scaled to an integer
+    la   s0, arr_a
+    fld  ft0, 8(s0)
+    li   t1, %d
+    add  t2, s0, t1
+    fld  ft1, 0(t2)
+    fadd.d ft0, ft0, ft1
+    li   t1, N*8-8
+    add  t2, s0, t1
+    fld  ft1, 0(t2)
+    fadd.d ft0, ft0, ft1
+    fcvt.l.d a0, ft0
+`, iters, StreamN, StreamN/2*8))
+	b.WriteString(exit)
+	b.WriteString(fmt.Sprintf(`
+.align 3
+fzero:  .dword 0x%016x
+fone:   .dword 0x%016x
+fthree: .dword 0x%016x
+.align 6
+arr_a: .space N*8
+arr_b: .space N*8
+arr_c: .space N*8
+`, math.Float64bits(0), math.Float64bits(1), math.Float64bits(3)))
+	return b.String()
+}

@@ -1,0 +1,119 @@
+package workloads
+
+import (
+	"testing"
+
+	"xt910/internal/cache"
+	"xt910/internal/coherence"
+	"xt910/internal/core"
+	"xt910/internal/emu"
+	"xt910/internal/mem"
+)
+
+// runEmu returns the workload's architectural exit code from the golden model.
+func runEmu(t *testing.T, w Workload, iters int) int {
+	t.Helper()
+	p, err := w.Program(iters, false)
+	if err != nil {
+		t.Fatalf("%s: %v", w.Name, err)
+	}
+	m := emu.New(mem.NewMemory())
+	p.LoadInto(m.Mem)
+	m.PC = p.Entry
+	m.X[2] = 0x400000
+	if err := m.Run(100_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Halted {
+		t.Fatalf("%s did not halt on the emulator", w.Name)
+	}
+	return m.ExitCode
+}
+
+// runPipe returns the exit code and stats from the XT-910 pipeline.
+func runPipe(t *testing.T, w Workload, iters int, cfg core.Config) *core.Core {
+	t.Helper()
+	p, err := w.Program(iters, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	memory := mem.NewMemory()
+	dram := mem.NewDRAM()
+	l2 := coherence.NewL2(cache.Config{SizeBytes: 2 << 20, Ways: 16, LineBytes: 64, HitLatency: 10}, dram)
+	c := core.New(cfg, 0, memory, l2)
+	p.LoadInto(memory)
+	c.Reset(p.Entry, 0x400000)
+	c.Run(400_000_000)
+	if !c.Halted {
+		t.Fatalf("%s did not halt on the pipeline: %s", w.Name, c.Stats.String())
+	}
+	return c
+}
+
+// checkWorkload cross-validates a workload on the pipeline vs the emulator.
+func checkWorkload(t *testing.T, w Workload, iters int) {
+	t.Helper()
+	want := runEmu(t, w, iters)
+	c := runPipe(t, w, iters, core.XT910Config())
+	if c.ExitCode != want {
+		t.Fatalf("%s: pipeline=%d emulator=%d", w.Name, c.ExitCode, want)
+	}
+	if c.Stats.Retired == 0 || c.Stats.IPC() <= 0 {
+		t.Fatalf("%s: empty run", w.Name)
+	}
+}
+
+func TestCoreMarkKernel(t *testing.T) { checkWorkload(t, CoreMark, 3) }
+
+func TestAllWorkloadsCrossValidate(t *testing.T) {
+	for _, w := range All() {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			checkWorkload(t, w, 1)
+		})
+	}
+}
+
+func TestWorkloadsDeterministic(t *testing.T) {
+	a := runEmu(t, CoreMark, 2)
+	b := runEmu(t, CoreMark, 2)
+	if a != b {
+		t.Fatal("workload must be deterministic")
+	}
+	if a == 0 {
+		t.Fatal("checksum should be nonzero")
+	}
+}
+
+func TestStreamValidates(t *testing.T) {
+	checkWorkload(t, Stream, 1)
+}
+
+func TestSpecLikeValidates(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large footprint")
+	}
+	checkWorkload(t, SpecLike, 1)
+}
+
+func TestVectorBeatsScalarOnMACs(t *testing.T) {
+	sc := runPipe(t, AIDotScalar, 4, core.XT910Config())
+	vec := runPipe(t, AIDotVector, 4, core.XT910Config())
+	scC := float64(sc.Stats.Cycles)
+	vecC := float64(vec.Stats.Cycles)
+	if vecC >= scC {
+		t.Fatalf("vector MACs must beat scalar: scalar=%v vector=%v cycles", scC, vecC)
+	}
+	t.Logf("int16 MAC speedup: %.1fx", scC/vecC)
+}
+
+func TestBlockchainExtFasterThanBase(t *testing.T) {
+	base := runPipe(t, BlockchainBase, 20, core.XT910Config())
+	ext := runPipe(t, BlockchainExt, 20, core.XT910Config())
+	if ext.Stats.Cycles >= base.Stats.Cycles {
+		t.Fatalf("custom extensions must accelerate the hash kernel: base=%d ext=%d",
+			base.Stats.Cycles, ext.Stats.Cycles)
+	}
+	t.Logf("blockchain ext speedup: %.2fx",
+		float64(base.Stats.Cycles)/float64(ext.Stats.Cycles))
+}

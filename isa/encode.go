@@ -1,0 +1,375 @@
+package isa
+
+import "fmt"
+
+// Major opcodes (bits [6:0] of a 32-bit instruction).
+const (
+	opcLoad    = 0x03
+	opcLoadFP  = 0x07
+	opcMiscMem = 0x0F
+	opcOpImm   = 0x13
+	opcAuipc   = 0x17
+	opcOpImm32 = 0x1B
+	opcStore   = 0x23
+	opcStoreFP = 0x27
+	opcAMO     = 0x2F
+	opcOp      = 0x33
+	opcLui     = 0x37
+	opcOp32    = 0x3B
+	opcFMAdd   = 0x43
+	opcFMSub   = 0x47
+	opcOpFP    = 0x53
+	opcOpV     = 0x57
+	opcBranch  = 0x63
+	opcJALR    = 0x67
+	opcJAL     = 0x6F
+	opcSystem  = 0x73
+	opcCustom0 = 0x0B
+)
+
+func encR(opc, f3, f7 uint32, rd, rs1, rs2 Reg) uint32 {
+	return opc | uint32(rd.Index())<<7 | f3<<12 | uint32(rs1.Index())<<15 |
+		uint32(rs2.Index())<<20 | f7<<25
+}
+
+func encI(opc, f3 uint32, rd, rs1 Reg, imm int64) uint32 {
+	return opc | uint32(rd.Index())<<7 | f3<<12 | uint32(rs1.Index())<<15 |
+		uint32(imm&0xFFF)<<20
+}
+
+func encS(opc, f3 uint32, rs1, rs2 Reg, imm int64) uint32 {
+	return opc | uint32(imm&0x1F)<<7 | f3<<12 | uint32(rs1.Index())<<15 |
+		uint32(rs2.Index())<<20 | uint32((imm>>5)&0x7F)<<25
+}
+
+func encB(opc, f3 uint32, rs1, rs2 Reg, imm int64) uint32 {
+	u := uint32(imm)
+	return opc | (u>>11&1)<<7 | (u>>1&0xF)<<8 | f3<<12 |
+		uint32(rs1.Index())<<15 | uint32(rs2.Index())<<20 |
+		(u>>5&0x3F)<<25 | (u>>12&1)<<31
+}
+
+func encU(opc uint32, rd Reg, imm int64) uint32 {
+	return opc | uint32(rd.Index())<<7 | uint32(imm)&0xFFFFF000
+}
+
+func encJ(opc uint32, rd Reg, imm int64) uint32 {
+	u := uint32(imm)
+	return opc | uint32(rd.Index())<<7 | (u>>12&0xFF)<<12 | (u>>11&1)<<20 |
+		(u>>1&0x3FF)<<21 | (u>>20&1)<<31
+}
+
+func encR4(opc, fmt2 uint32, rd, rs1, rs2, rs3 Reg) uint32 {
+	return opc | uint32(rd.Index())<<7 | uint32(rs1.Index())<<15 |
+		uint32(rs2.Index())<<20 | fmt2<<25 | uint32(rs3.Index())<<27
+}
+
+// rEnc describes a plain R-type encoding.
+type rEnc struct{ f3, f7 uint32 }
+
+var opRType = map[Op]rEnc{
+	ADD: {0, 0x00}, SUB: {0, 0x20}, SLL: {1, 0}, SLT: {2, 0}, SLTU: {3, 0},
+	XOR: {4, 0}, SRL: {5, 0}, SRA: {5, 0x20}, OR: {6, 0}, AND: {7, 0},
+	MUL: {0, 1}, MULH: {1, 1}, MULHSU: {2, 1}, MULHU: {3, 1},
+	DIV: {4, 1}, DIVU: {5, 1}, REM: {6, 1}, REMU: {7, 1},
+}
+
+var op32RType = map[Op]rEnc{
+	ADDW: {0, 0x00}, SUBW: {0, 0x20}, SLLW: {1, 0}, SRLW: {5, 0}, SRAW: {5, 0x20},
+	MULW: {0, 1}, DIVW: {4, 1}, DIVUW: {5, 1}, REMW: {6, 1}, REMUW: {7, 1},
+}
+
+var opImmF3 = map[Op]uint32{
+	ADDI: 0, SLTI: 2, SLTIU: 3, XORI: 4, ORI: 6, ANDI: 7,
+}
+
+var loadF3 = map[Op]uint32{
+	LB: 0, LH: 1, LW: 2, LD: 3, LBU: 4, LHU: 5, LWU: 6,
+}
+
+var storeF3 = map[Op]uint32{SB: 0, SH: 1, SW: 2, SD: 3}
+
+var branchF3 = map[Op]uint32{
+	BEQ: 0, BNE: 1, BLT: 4, BGE: 5, BLTU: 6, BGEU: 7,
+}
+
+var csrF3 = map[Op]uint32{
+	CSRRW: 1, CSRRS: 2, CSRRC: 3, CSRRWI: 5, CSRRSI: 6, CSRRCI: 7,
+}
+
+// amoF5 holds funct5 values (instruction bits [31:27]).
+var amoF5 = map[Op]struct {
+	f3 uint32
+	f5 uint32
+}{
+	LRW: {2, 0x02}, LRD: {3, 0x02}, SCW: {2, 0x03}, SCD: {3, 0x03},
+	AMOSWAPW: {2, 0x01}, AMOSWAPD: {3, 0x01},
+	AMOADDW: {2, 0x00}, AMOADDD: {3, 0x00},
+	AMOXORW: {2, 0x04}, AMOXORD: {3, 0x04},
+	AMOANDW: {2, 0x0C}, AMOANDD: {3, 0x0C},
+	AMOORW: {2, 0x08}, AMOORD: {3, 0x08},
+	AMOMINW: {2, 0x10}, AMOMIND: {3, 0x10},
+	AMOMAXW: {2, 0x14}, AMOMAXD: {3, 0x14},
+}
+
+// fpREnc: OP-FP encodings. f3 is the funct3 value (rounding-mode field for
+// arithmetic, selector for sign-injection/min-max/compare); rs2sel is the
+// rs2 field value for single-source conversions (-1 when rs2 is a register).
+type fpEnc struct {
+	f7     uint32
+	f3     int8 // -1: rounding mode field, encoded as 0
+	rs2sel int8 // -1: real rs2 operand
+}
+
+var opFPEnc = map[Op]fpEnc{
+	FADDS: {0x00, -1, -1}, FSUBS: {0x04, -1, -1}, FMULS: {0x08, -1, -1},
+	FDIVS: {0x0C, -1, -1}, FSQRTS: {0x2C, -1, 0},
+	FADDD: {0x01, -1, -1}, FSUBD: {0x05, -1, -1}, FMULD: {0x09, -1, -1},
+	FDIVD: {0x0D, -1, -1}, FSQRTD: {0x2D, -1, 0},
+	FSGNJS: {0x10, 0, -1}, FSGNJNS: {0x10, 1, -1}, FSGNJXS: {0x10, 2, -1},
+	FSGNJD: {0x11, 0, -1}, FSGNJND: {0x11, 1, -1}, FSGNJXD: {0x11, 2, -1},
+	FMINS: {0x14, 0, -1}, FMAXS: {0x14, 1, -1},
+	FMIND: {0x15, 0, -1}, FMAXD: {0x15, 1, -1},
+	FCVTWS: {0x60, -1, 0}, FCVTLS: {0x60, -1, 2},
+	FCVTSW: {0x68, -1, 0}, FCVTSL: {0x68, -1, 2},
+	FCVTWD: {0x61, -1, 0}, FCVTLD: {0x61, -1, 2},
+	FCVTDW: {0x69, -1, 0}, FCVTDL: {0x69, -1, 2},
+	FCVTSD: {0x20, -1, 1}, FCVTDS: {0x21, -1, 0},
+	FMVXW: {0x70, 0, 0}, FMVWX: {0x78, 0, 0},
+	FMVXD: {0x71, 0, 0}, FMVDX: {0x79, 0, 0},
+	FEQS: {0x50, 2, -1}, FLTS: {0x50, 1, -1}, FLES: {0x50, 0, -1},
+	FEQD: {0x51, 2, -1}, FLTD: {0x51, 1, -1}, FLED: {0x51, 0, -1},
+}
+
+// Vector funct6 assignments (mostly following the 0.7.1 layout); f3 selects
+// the operand category: 0=OPIVV, 1=OPFVV, 2=OPMVV, 3=OPIVI, 4=OPIVX, 6=OPMVX.
+type vEnc struct{ f6, f3 uint32 }
+
+var opVEnc = map[Op]vEnc{
+	VADDVV: {0x00, 0}, VADDVX: {0x00, 4}, VADDVI: {0x00, 3},
+	VSUBVV: {0x02, 0}, VSUBVX: {0x02, 4},
+	VMINVV: {0x05, 0}, VMAXVV: {0x07, 0},
+	VANDVV: {0x09, 0}, VORVV: {0x0A, 0}, VXORVV: {0x0B, 0},
+	VSLLVV: {0x25, 0}, VSRLVV: {0x28, 0},
+	VMVVV: {0x17, 0}, VMVVX: {0x17, 4},
+	VMULVV: {0x25, 2}, VMULVX: {0x25, 6},
+	VMACCVV: {0x2D, 2}, VWMACCVV: {0x3D, 2},
+	VDIVVV: {0x21, 2}, VREMVV: {0x23, 2},
+	VREDSUMVS: {0x00, 2}, VREDMAXVS: {0x07, 2},
+	VMVXS: {0x10, 2}, VMVSX: {0x10, 6},
+	VFADDVV: {0x00, 1}, VFSUBVV: {0x02, 1},
+	VFMULVV: {0x24, 1}, VFDIVVV: {0x20, 1},
+	VFMACCVV: {0x2C, 1}, VFREDSUMVS: {0x01, 1},
+}
+
+var xCacheOpImm = map[Op]int64{
+	XDCACHECALL: 0, XDCACHEIALL: 1, XDCACHECVA: 2, XDCACHEIVA: 3,
+	XICACHEIALL: 4, XSYNC: 5, XTLBIASID: 6, XTLBIVA: 7,
+}
+
+var xIdxLoadSub = map[Op]uint32{
+	XLRB: 0, XLRH: 1, XLRW: 2, XLRD: 3, XLURB: 4, XLURH: 5, XLURW: 6,
+}
+
+var xIdxStoreSub = map[Op]uint32{XSRB: 0, XSRH: 1, XSRW: 2, XSRD: 3}
+
+var xRTypeSub = map[Op]uint32{
+	XREV: 0x02, XFF0: 0x03, XFF1: 0x04, XTSTNBZ: 0x05,
+	XMVEQZ: 0x10, XMVNEZ: 0x11,
+	XMULA: 0x20, XMULS: 0x21, XMULAH: 0x22, XMULSH: 0x23,
+	XMULAW: 0x24, XMULSW: 0x25,
+}
+
+// Encode produces the 32-bit encoding of an instruction. RVC compression is a
+// separate, optional step (Compress).
+func Encode(in Inst) (uint32, error) {
+	op := in.Op
+	switch {
+	case op == LUI:
+		return encU(opcLui, in.Rd, in.Imm), nil
+	case op == AUIPC:
+		return encU(opcAuipc, in.Rd, in.Imm), nil
+	case op == JAL:
+		return encJ(opcJAL, in.Rd, in.Imm), nil
+	case op == JALR:
+		return encI(opcJALR, 0, in.Rd, in.Rs1, in.Imm), nil
+	}
+	if f3, ok := branchF3[op]; ok {
+		return encB(opcBranch, f3, in.Rs1, in.Rs2, in.Imm), nil
+	}
+	if f3, ok := loadF3[op]; ok {
+		return encI(opcLoad, f3, in.Rd, in.Rs1, in.Imm), nil
+	}
+	if f3, ok := storeF3[op]; ok {
+		return encS(opcStore, f3, in.Rs1, in.Rs2, in.Imm), nil
+	}
+	if f3, ok := opImmF3[op]; ok {
+		return encI(opcOpImm, f3, in.Rd, in.Rs1, in.Imm), nil
+	}
+	if e, ok := opRType[op]; ok {
+		return encR(opcOp, e.f3, e.f7, in.Rd, in.Rs1, in.Rs2), nil
+	}
+	if e, ok := op32RType[op]; ok {
+		return encR(opcOp32, e.f3, e.f7, in.Rd, in.Rs1, in.Rs2), nil
+	}
+	if f3, ok := csrF3[op]; ok {
+		v := uint32(0)
+		if op == CSRRWI || op == CSRRSI || op == CSRRCI {
+			v = encI(opcSystem, f3, in.Rd, Reg(in.Imm&0x1F), int64(in.CSR))
+		} else {
+			v = encI(opcSystem, f3, in.Rd, in.Rs1, int64(in.CSR))
+		}
+		return v, nil
+	}
+	if e, ok := amoF5[op]; ok {
+		rs2 := in.Rs2
+		if op == LRW || op == LRD {
+			rs2 = X(0)
+		}
+		return encR(opcAMO, e.f3, e.f5<<2, in.Rd, in.Rs1, rs2), nil
+	}
+	if e, ok := opFPEnc[op]; ok {
+		f3 := uint32(0)
+		if e.f3 >= 0 {
+			f3 = uint32(e.f3)
+		}
+		rs2 := in.Rs2
+		if e.rs2sel >= 0 {
+			rs2 = X(int(e.rs2sel))
+		}
+		return encR(opcOpFP, f3, e.f7, in.Rd, in.Rs1, rs2), nil
+	}
+	if e, ok := opVEnc[op]; ok {
+		var second Reg
+		switch e.f3 {
+		case 3: // OPIVI: immediate in rs1 slot
+			second = X(int(in.Imm) & 0x1F)
+		default:
+			second = in.Rs1
+			if second == RegNone {
+				second = X(0)
+			}
+		}
+		vs2 := in.Rs2
+		if vs2 == RegNone {
+			vs2 = V(0)
+		}
+		// vector R-layout: vd | f3 | vs1/rs1/imm | vs2 | vm=1 | funct6
+		return opcOpV | uint32(in.Rd.Index())<<7 | e.f3<<12 |
+			uint32(second.Index())<<15 | uint32(vs2.Index())<<20 |
+			1<<25 | e.f6<<26, nil
+	}
+
+	switch op {
+	case SLLI, SRLI, SRAI:
+		f3, f6 := uint32(1), uint32(0)
+		if op == SRLI {
+			f3 = 5
+		} else if op == SRAI {
+			f3, f6 = 5, 0x10
+		}
+		return encI(opcOpImm, f3, in.Rd, in.Rs1, in.Imm&0x3F|int64(f6)<<6), nil
+	case ADDIW:
+		return encI(opcOpImm32, 0, in.Rd, in.Rs1, in.Imm), nil
+	case SLLIW, SRLIW, SRAIW:
+		f3, f7 := uint32(1), uint32(0)
+		if op == SRLIW {
+			f3 = 5
+		} else if op == SRAIW {
+			f3, f7 = 5, 0x20
+		}
+		return encR(opcOpImm32, f3, f7, in.Rd, in.Rs1, X(int(in.Imm)&0x1F)), nil
+	case FENCE:
+		return encI(opcMiscMem, 0, X(0), X(0), 0x0FF), nil
+	case FENCEI:
+		return encI(opcMiscMem, 1, X(0), X(0), 0), nil
+	case ECALL:
+		return encI(opcSystem, 0, X(0), X(0), 0), nil
+	case EBREAK:
+		return encI(opcSystem, 0, X(0), X(0), 1), nil
+	case MRET:
+		return encI(opcSystem, 0, X(0), X(0), 0x302), nil
+	case SRET:
+		return encI(opcSystem, 0, X(0), X(0), 0x102), nil
+	case WFI:
+		return encI(opcSystem, 0, X(0), X(0), 0x105), nil
+	case SFENCEVMA:
+		rs1, rs2 := in.Rs1, in.Rs2
+		if rs1 == RegNone {
+			rs1 = X(0)
+		}
+		if rs2 == RegNone {
+			rs2 = X(0)
+		}
+		return encR(opcSystem, 0, 0x09, X(0), rs1, rs2), nil
+	case FLW:
+		return encI(opcLoadFP, 2, in.Rd, in.Rs1, in.Imm), nil
+	case FLD:
+		return encI(opcLoadFP, 3, in.Rd, in.Rs1, in.Imm), nil
+	case FSW:
+		return encS(opcStoreFP, 2, in.Rs1, in.Rs2, in.Imm), nil
+	case FSD:
+		return encS(opcStoreFP, 3, in.Rs1, in.Rs2, in.Imm), nil
+	case FMADDS:
+		return encR4(opcFMAdd, 0, in.Rd, in.Rs1, in.Rs2, in.Rs3), nil
+	case FMADDD:
+		return encR4(opcFMAdd, 1, in.Rd, in.Rs1, in.Rs2, in.Rs3), nil
+	case FMSUBS:
+		return encR4(opcFMSub, 0, in.Rd, in.Rs1, in.Rs2, in.Rs3), nil
+	case FMSUBD:
+		return encR4(opcFMSub, 1, in.Rd, in.Rs1, in.Rs2, in.Rs3), nil
+	case VSETVLI:
+		return encI(opcOpV, 7, in.Rd, in.Rs1, in.Imm&0x7FF), nil
+	case VSETVL:
+		return encR(opcOpV, 7, 0x40, in.Rd, in.Rs1, in.Rs2), nil
+	case VLE:
+		return encR(opcLoadFP, 7, 0, in.Rd, in.Rs1, X(0)), nil
+	case VLSE:
+		return encR(opcLoadFP, 7, 0x08, in.Rd, in.Rs1, in.Rs2), nil
+	case VSE:
+		// store layout mirrors the load: vs3 (data) in the rd slot
+		return encR(opcStoreFP, 7, 0, in.Rs2, in.Rs1, X(0)), nil
+	case VSSE:
+		return encR(opcStoreFP, 7, 0x08, in.Rs2, in.Rs1, in.Rs3), nil
+	case XADDSL:
+		return encR(opcCustom0, 3, uint32(in.Imm)&3, in.Rd, in.Rs1, in.Rs2), nil
+	case XEXT:
+		return encI(opcCustom0, 4, in.Rd, in.Rs1, in.Imm&0xFFF), nil
+	case XEXTU:
+		return encI(opcCustom0, 5, in.Rd, in.Rs1, in.Imm&0xFFF), nil
+	case XSRRI:
+		return encI(opcCustom0, 6, in.Rd, in.Rs1, in.Imm&0x3F), nil
+	}
+	if sub, ok := xIdxLoadSub[op]; ok {
+		return encR(opcCustom0, 1, sub<<2|uint32(in.Imm)&3, in.Rd, in.Rs1, in.Rs2), nil
+	}
+	if sub, ok := xIdxStoreSub[op]; ok {
+		// data register travels in the rd field for the custom store form
+		return encR(opcCustom0, 2, sub<<2|uint32(in.Imm)&3, in.Rd, in.Rs1, in.Rs2), nil
+	}
+	if sub, ok := xRTypeSub[op]; ok {
+		rs2 := in.Rs2
+		if rs2 == RegNone {
+			rs2 = X(0)
+		}
+		return encR(opcCustom0, 0, sub, in.Rd, in.Rs1, rs2), nil
+	}
+	if imm, ok := xCacheOpImm[op]; ok {
+		rs1 := in.Rs1
+		if rs1 == RegNone {
+			rs1 = X(0)
+		}
+		return encI(opcCustom0, 7, X(0), rs1, imm), nil
+	}
+	return 0, fmt.Errorf("isa: cannot encode %v", op)
+}
+
+// MustEncode is Encode for known-good instructions (panics on failure); it is
+// used by code generators whose instruction set is fixed.
+func MustEncode(in Inst) uint32 {
+	v, err := Encode(in)
+	if err != nil {
+		panic(err)
+	}
+	return v
+}

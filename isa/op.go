@@ -1,0 +1,595 @@
+package isa
+
+// Op enumerates every operation the XT-910 model implements. The set covers
+// RV64IMAFD, the Zicsr/Zifencei system instructions, a practical subset of the
+// 0.7.1 vector draft, and the XT-910 custom extensions (prefixed X…).
+type Op uint16
+
+// Class groups operations by the execution resource they consume. The pipeline
+// model dispatches on Class when binding micro-ops to issue queues and pipes.
+type Class uint8
+
+// Operation classes.
+const (
+	ClassIllegal Class = iota
+	ClassALU           // single-cycle integer
+	ClassMul           // integer multiply (shares a pipe with the ALUs)
+	ClassDiv           // iterative integer divide (multi-cycle ALU pipe)
+	ClassBranch        // conditional branch
+	ClassJump          // jal/jalr (unconditional control flow)
+	ClassLoad          // integer/FP load
+	ClassStore         // integer/FP store
+	ClassAMO           // atomics (lr/sc/amo*)
+	ClassFPU           // scalar floating point
+	ClassCSR           // CSR read/write
+	ClassSys           // ecall/ebreak/mret/sret/wfi/fence
+	ClassVSet          // vsetvl/vsetvli
+	ClassVALU          // vector integer arithmetic
+	ClassVFPU          // vector floating point
+	ClassVLoad         // vector load
+	ClassVStore        // vector store
+	ClassCacheOp       // custom cache/TLB maintenance
+)
+
+// Operations. Keep this list in sync with opMeta below; TestOpMetaComplete
+// enforces the invariant.
+const (
+	ILLEGAL Op = iota
+
+	// RV64I
+	LUI
+	AUIPC
+	JAL
+	JALR
+	BEQ
+	BNE
+	BLT
+	BGE
+	BLTU
+	BGEU
+	LB
+	LH
+	LW
+	LD
+	LBU
+	LHU
+	LWU
+	SB
+	SH
+	SW
+	SD
+	ADDI
+	SLTI
+	SLTIU
+	XORI
+	ORI
+	ANDI
+	SLLI
+	SRLI
+	SRAI
+	ADD
+	SUB
+	SLL
+	SLT
+	SLTU
+	XOR
+	SRL
+	SRA
+	OR
+	AND
+	ADDIW
+	SLLIW
+	SRLIW
+	SRAIW
+	ADDW
+	SUBW
+	SLLW
+	SRLW
+	SRAW
+	FENCE
+	FENCEI
+	ECALL
+	EBREAK
+	MRET
+	SRET
+	WFI
+	SFENCEVMA
+
+	// Zicsr
+	CSRRW
+	CSRRS
+	CSRRC
+	CSRRWI
+	CSRRSI
+	CSRRCI
+
+	// RV64M
+	MUL
+	MULH
+	MULHSU
+	MULHU
+	DIV
+	DIVU
+	REM
+	REMU
+	MULW
+	DIVW
+	DIVUW
+	REMW
+	REMUW
+
+	// RV64A
+	LRW
+	LRD
+	SCW
+	SCD
+	AMOSWAPW
+	AMOSWAPD
+	AMOADDW
+	AMOADDD
+	AMOANDW
+	AMOANDD
+	AMOORW
+	AMOORD
+	AMOXORW
+	AMOXORD
+	AMOMAXW
+	AMOMAXD
+	AMOMINW
+	AMOMIND
+
+	// RV64F/D (subset)
+	FLW
+	FLD
+	FSW
+	FSD
+	FADDS
+	FSUBS
+	FMULS
+	FDIVS
+	FSQRTS
+	FADDD
+	FSUBD
+	FMULD
+	FDIVD
+	FSQRTD
+	FMADDS
+	FMSUBS
+	FMADDD
+	FMSUBD
+	FSGNJS
+	FSGNJNS
+	FSGNJXS
+	FSGNJD
+	FSGNJND
+	FSGNJXD
+	FMINS
+	FMAXS
+	FMIND
+	FMAXD
+	FCVTWS
+	FCVTLS
+	FCVTSW
+	FCVTSL
+	FCVTWD
+	FCVTLD
+	FCVTDW
+	FCVTDL
+	FCVTSD
+	FCVTDS
+	FMVXW
+	FMVWX
+	FMVXD
+	FMVDX
+	FEQS
+	FLTS
+	FLES
+	FEQD
+	FLTD
+	FLED
+
+	// Vector 0.7.1 subset. Element width and LMUL come from vtype; the loads
+	// and stores are unit-stride with the element size taken from vtype (the
+	// 0.7.1 vle.v/vse.v forms).
+	VSETVLI
+	VSETVL
+	VLE
+	VSE
+	VLSE // strided load
+	VSSE // strided store
+	VADDVV
+	VADDVX
+	VADDVI
+	VSUBVV
+	VSUBVX
+	VMULVV
+	VMULVX
+	VMACCVV
+	VWMACCVV
+	VANDVV
+	VORVV
+	VXORVV
+	VSLLVV
+	VSRLVV
+	VMINVV
+	VMAXVV
+	VDIVVV
+	VREMVV
+	VMVVV
+	VMVVX
+	VMVSX
+	VMVXS
+	VREDSUMVS
+	VREDMAXVS
+	VFADDVV
+	VFSUBVV
+	VFMULVV
+	VFDIVVV
+	VFMACCVV
+	VFREDSUMVS
+
+	// XT-910 custom extensions: indexed memory access (register+register
+	// addressing, optional zero-extended 32-bit index), per §VIII-A.
+	XLRB // rd = sext(mem8 [rs1 + rs2<<imm2])
+	XLRH
+	XLRW
+	XLRD
+	XLURB // rd = mem (rs1 + zext32(rs2)<<imm2), zero-extended load
+	XLURH
+	XLURW
+	XSRB // mem[rs1 + rs2<<imm2] = rd (rd read as store data)
+	XSRH
+	XSRW
+	XSRD
+	XADDSL // rd = rs1 + rs2<<imm2
+
+	// XT-910 custom extensions: bit manipulation and MACs, per §VIII-B.
+	XEXT    // rd = sext(rs1[msb:lsb])       imm = msb<<6 | lsb
+	XEXTU   // rd = zext(rs1[msb:lsb])
+	XFF0    // rd = index of first 0 bit from MSB (64 if none)
+	XFF1    // rd = index of first 1 bit from MSB (64 if none)
+	XREV    // rd = byte-reversed rs1
+	XSRRI   // rd = rs1 rotated right by imm
+	XTSTNBZ // rd = per-byte mask: 0xff where byte==0
+	XMVEQZ  // rd = (rs2 == 0) ? rs1 : rd
+	XMVNEZ  // rd = (rs2 != 0) ? rs1 : rd
+	XMULA   // rd += rs1 * rs2
+	XMULS   // rd -= rs1 * rs2
+	XMULAH  // rd += sext16(rs1) * sext16(rs2)
+	XMULSH  // rd -= sext16(rs1) * sext16(rs2)
+	XMULAW  // rd = sext32(rd + rs1*rs2)
+	XMULSW  // rd = sext32(rd - rs1*rs2)
+
+	// XT-910 custom extensions: cache and TLB operations (§II, §V-E).
+	XDCACHECALL // clean entire D-cache
+	XDCACHEIALL // invalidate entire D-cache
+	XDCACHECVA  // clean D-cache line by virtual address (rs1)
+	XDCACHEIVA  // invalidate D-cache line by virtual address (rs1)
+	XICACHEIALL // invalidate entire I-cache
+	XSYNC       // full memory barrier
+	XTLBIASID   // broadcast TLB invalidate for ASID in rs1
+	XTLBIVA     // broadcast TLB invalidate for VA in rs1
+
+	numOps
+)
+
+// NumOps is the number of defined operations (for table sizing in other
+// packages).
+const NumOps = int(numOps)
+
+type opMetaInfo struct {
+	name  string
+	class Class
+	// latency is the default execution latency in cycles used by the pipeline
+	// model (loads/stores add memory time on top of their pipe latency).
+	latency uint8
+}
+
+var opMeta = [numOps]opMetaInfo{
+	ILLEGAL: {"illegal", ClassIllegal, 1},
+
+	LUI:   {"lui", ClassALU, 1},
+	AUIPC: {"auipc", ClassALU, 1},
+	JAL:   {"jal", ClassJump, 1},
+	JALR:  {"jalr", ClassJump, 1},
+	BEQ:   {"beq", ClassBranch, 1},
+	BNE:   {"bne", ClassBranch, 1},
+	BLT:   {"blt", ClassBranch, 1},
+	BGE:   {"bge", ClassBranch, 1},
+	BLTU:  {"bltu", ClassBranch, 1},
+	BGEU:  {"bgeu", ClassBranch, 1},
+	LB:    {"lb", ClassLoad, 1},
+	LH:    {"lh", ClassLoad, 1},
+	LW:    {"lw", ClassLoad, 1},
+	LD:    {"ld", ClassLoad, 1},
+	LBU:   {"lbu", ClassLoad, 1},
+	LHU:   {"lhu", ClassLoad, 1},
+	LWU:   {"lwu", ClassLoad, 1},
+	SB:    {"sb", ClassStore, 1},
+	SH:    {"sh", ClassStore, 1},
+	SW:    {"sw", ClassStore, 1},
+	SD:    {"sd", ClassStore, 1},
+	ADDI:  {"addi", ClassALU, 1},
+	SLTI:  {"slti", ClassALU, 1},
+	SLTIU: {"sltiu", ClassALU, 1},
+	XORI:  {"xori", ClassALU, 1},
+	ORI:   {"ori", ClassALU, 1},
+	ANDI:  {"andi", ClassALU, 1},
+	SLLI:  {"slli", ClassALU, 1},
+	SRLI:  {"srli", ClassALU, 1},
+	SRAI:  {"srai", ClassALU, 1},
+	ADD:   {"add", ClassALU, 1},
+	SUB:   {"sub", ClassALU, 1},
+	SLL:   {"sll", ClassALU, 1},
+	SLT:   {"slt", ClassALU, 1},
+	SLTU:  {"sltu", ClassALU, 1},
+	XOR:   {"xor", ClassALU, 1},
+	SRL:   {"srl", ClassALU, 1},
+	SRA:   {"sra", ClassALU, 1},
+	OR:    {"or", ClassALU, 1},
+	AND:   {"and", ClassALU, 1},
+	ADDIW: {"addiw", ClassALU, 1},
+	SLLIW: {"slliw", ClassALU, 1},
+	SRLIW: {"srliw", ClassALU, 1},
+	SRAIW: {"sraiw", ClassALU, 1},
+	ADDW:  {"addw", ClassALU, 1},
+	SUBW:  {"subw", ClassALU, 1},
+	SLLW:  {"sllw", ClassALU, 1},
+	SRLW:  {"srlw", ClassALU, 1},
+	SRAW:  {"sraw", ClassALU, 1},
+
+	FENCE:     {"fence", ClassSys, 1},
+	FENCEI:    {"fence.i", ClassSys, 1},
+	ECALL:     {"ecall", ClassSys, 1},
+	EBREAK:    {"ebreak", ClassSys, 1},
+	MRET:      {"mret", ClassSys, 1},
+	SRET:      {"sret", ClassSys, 1},
+	WFI:       {"wfi", ClassSys, 1},
+	SFENCEVMA: {"sfence.vma", ClassSys, 1},
+
+	CSRRW:  {"csrrw", ClassCSR, 1},
+	CSRRS:  {"csrrs", ClassCSR, 1},
+	CSRRC:  {"csrrc", ClassCSR, 1},
+	CSRRWI: {"csrrwi", ClassCSR, 1},
+	CSRRSI: {"csrrsi", ClassCSR, 1},
+	CSRRCI: {"csrrci", ClassCSR, 1},
+
+	MUL:    {"mul", ClassMul, 3},
+	MULH:   {"mulh", ClassMul, 3},
+	MULHSU: {"mulhsu", ClassMul, 3},
+	MULHU:  {"mulhu", ClassMul, 3},
+	DIV:    {"div", ClassDiv, 12},
+	DIVU:   {"divu", ClassDiv, 12},
+	REM:    {"rem", ClassDiv, 12},
+	REMU:   {"remu", ClassDiv, 12},
+	MULW:   {"mulw", ClassMul, 3},
+	DIVW:   {"divw", ClassDiv, 8},
+	DIVUW:  {"divuw", ClassDiv, 8},
+	REMW:   {"remw", ClassDiv, 8},
+	REMUW:  {"remuw", ClassDiv, 8},
+
+	LRW:      {"lr.w", ClassAMO, 1},
+	LRD:      {"lr.d", ClassAMO, 1},
+	SCW:      {"sc.w", ClassAMO, 1},
+	SCD:      {"sc.d", ClassAMO, 1},
+	AMOSWAPW: {"amoswap.w", ClassAMO, 1},
+	AMOSWAPD: {"amoswap.d", ClassAMO, 1},
+	AMOADDW:  {"amoadd.w", ClassAMO, 1},
+	AMOADDD:  {"amoadd.d", ClassAMO, 1},
+	AMOANDW:  {"amoand.w", ClassAMO, 1},
+	AMOANDD:  {"amoand.d", ClassAMO, 1},
+	AMOORW:   {"amoor.w", ClassAMO, 1},
+	AMOORD:   {"amoor.d", ClassAMO, 1},
+	AMOXORW:  {"amoxor.w", ClassAMO, 1},
+	AMOXORD:  {"amoxor.d", ClassAMO, 1},
+	AMOMAXW:  {"amomax.w", ClassAMO, 1},
+	AMOMAXD:  {"amomax.d", ClassAMO, 1},
+	AMOMINW:  {"amomin.w", ClassAMO, 1},
+	AMOMIND:  {"amomin.d", ClassAMO, 1},
+
+	FLW:     {"flw", ClassLoad, 1},
+	FLD:     {"fld", ClassLoad, 1},
+	FSW:     {"fsw", ClassStore, 1},
+	FSD:     {"fsd", ClassStore, 1},
+	FADDS:   {"fadd.s", ClassFPU, 3},
+	FSUBS:   {"fsub.s", ClassFPU, 3},
+	FMULS:   {"fmul.s", ClassFPU, 5},
+	FDIVS:   {"fdiv.s", ClassFPU, 12},
+	FSQRTS:  {"fsqrt.s", ClassFPU, 14},
+	FADDD:   {"fadd.d", ClassFPU, 3},
+	FSUBD:   {"fsub.d", ClassFPU, 3},
+	FMULD:   {"fmul.d", ClassFPU, 5},
+	FDIVD:   {"fdiv.d", ClassFPU, 18},
+	FSQRTD:  {"fsqrt.d", ClassFPU, 20},
+	FMADDS:  {"fmadd.s", ClassFPU, 5},
+	FMSUBS:  {"fmsub.s", ClassFPU, 5},
+	FMADDD:  {"fmadd.d", ClassFPU, 5},
+	FMSUBD:  {"fmsub.d", ClassFPU, 5},
+	FSGNJS:  {"fsgnj.s", ClassFPU, 1},
+	FSGNJNS: {"fsgnjn.s", ClassFPU, 1},
+	FSGNJXS: {"fsgnjx.s", ClassFPU, 1},
+	FSGNJD:  {"fsgnj.d", ClassFPU, 1},
+	FSGNJND: {"fsgnjn.d", ClassFPU, 1},
+	FSGNJXD: {"fsgnjx.d", ClassFPU, 1},
+	FMINS:   {"fmin.s", ClassFPU, 2},
+	FMAXS:   {"fmax.s", ClassFPU, 2},
+	FMIND:   {"fmin.d", ClassFPU, 2},
+	FMAXD:   {"fmax.d", ClassFPU, 2},
+	FCVTWS:  {"fcvt.w.s", ClassFPU, 3},
+	FCVTLS:  {"fcvt.l.s", ClassFPU, 3},
+	FCVTSW:  {"fcvt.s.w", ClassFPU, 3},
+	FCVTSL:  {"fcvt.s.l", ClassFPU, 3},
+	FCVTWD:  {"fcvt.w.d", ClassFPU, 3},
+	FCVTLD:  {"fcvt.l.d", ClassFPU, 3},
+	FCVTDW:  {"fcvt.d.w", ClassFPU, 3},
+	FCVTDL:  {"fcvt.d.l", ClassFPU, 3},
+	FCVTSD:  {"fcvt.s.d", ClassFPU, 3},
+	FCVTDS:  {"fcvt.d.s", ClassFPU, 3},
+	FMVXW:   {"fmv.x.w", ClassFPU, 1},
+	FMVWX:   {"fmv.w.x", ClassFPU, 1},
+	FMVXD:   {"fmv.x.d", ClassFPU, 1},
+	FMVDX:   {"fmv.d.x", ClassFPU, 1},
+	FEQS:    {"feq.s", ClassFPU, 2},
+	FLTS:    {"flt.s", ClassFPU, 2},
+	FLES:    {"fle.s", ClassFPU, 2},
+	FEQD:    {"feq.d", ClassFPU, 2},
+	FLTD:    {"flt.d", ClassFPU, 2},
+	FLED:    {"fle.d", ClassFPU, 2},
+
+	VSETVLI:    {"vsetvli", ClassVSet, 1},
+	VSETVL:     {"vsetvl", ClassVSet, 1},
+	VLE:        {"vle.v", ClassVLoad, 1},
+	VSE:        {"vse.v", ClassVStore, 1},
+	VLSE:       {"vlse.v", ClassVLoad, 1},
+	VSSE:       {"vsse.v", ClassVStore, 1},
+	VADDVV:     {"vadd.vv", ClassVALU, 3},
+	VADDVX:     {"vadd.vx", ClassVALU, 3},
+	VADDVI:     {"vadd.vi", ClassVALU, 3},
+	VSUBVV:     {"vsub.vv", ClassVALU, 3},
+	VSUBVX:     {"vsub.vx", ClassVALU, 3},
+	VMULVV:     {"vmul.vv", ClassVALU, 4},
+	VMULVX:     {"vmul.vx", ClassVALU, 4},
+	VMACCVV:    {"vmacc.vv", ClassVALU, 4},
+	VWMACCVV:   {"vwmacc.vv", ClassVALU, 4},
+	VANDVV:     {"vand.vv", ClassVALU, 3},
+	VORVV:      {"vor.vv", ClassVALU, 3},
+	VXORVV:     {"vxor.vv", ClassVALU, 3},
+	VSLLVV:     {"vsll.vv", ClassVALU, 3},
+	VSRLVV:     {"vsrl.vv", ClassVALU, 3},
+	VMINVV:     {"vmin.vv", ClassVALU, 3},
+	VMAXVV:     {"vmax.vv", ClassVALU, 3},
+	VDIVVV:     {"vdiv.vv", ClassVALU, 16},
+	VREMVV:     {"vrem.vv", ClassVALU, 16},
+	VMVVV:      {"vmv.v.v", ClassVALU, 1},
+	VMVVX:      {"vmv.v.x", ClassVALU, 1},
+	VMVSX:      {"vmv.s.x", ClassVALU, 1},
+	VMVXS:      {"vmv.x.s", ClassVALU, 1},
+	VREDSUMVS:  {"vredsum.vs", ClassVALU, 4},
+	VREDMAXVS:  {"vredmax.vs", ClassVALU, 4},
+	VFADDVV:    {"vfadd.vv", ClassVFPU, 3},
+	VFSUBVV:    {"vfsub.vv", ClassVFPU, 3},
+	VFMULVV:    {"vfmul.vv", ClassVFPU, 5},
+	VFDIVVV:    {"vfdiv.vv", ClassVFPU, 16},
+	VFMACCVV:   {"vfmacc.vv", ClassVFPU, 5},
+	VFREDSUMVS: {"vfredsum.vs", ClassVFPU, 4},
+
+	XLRB:   {"lrb", ClassLoad, 1},
+	XLRH:   {"lrh", ClassLoad, 1},
+	XLRW:   {"lrw", ClassLoad, 1},
+	XLRD:   {"lrd", ClassLoad, 1},
+	XLURB:  {"lurb", ClassLoad, 1},
+	XLURH:  {"lurh", ClassLoad, 1},
+	XLURW:  {"lurw", ClassLoad, 1},
+	XSRB:   {"srb", ClassStore, 1},
+	XSRH:   {"srh", ClassStore, 1},
+	XSRW:   {"srw", ClassStore, 1},
+	XSRD:   {"srd", ClassStore, 1},
+	XADDSL: {"addsl", ClassALU, 1},
+
+	XEXT:    {"ext", ClassALU, 1},
+	XEXTU:   {"extu", ClassALU, 1},
+	XFF0:    {"ff0", ClassALU, 1},
+	XFF1:    {"ff1", ClassALU, 1},
+	XREV:    {"rev", ClassALU, 1},
+	XSRRI:   {"srri", ClassALU, 1},
+	XTSTNBZ: {"tstnbz", ClassALU, 1},
+	XMVEQZ:  {"mveqz", ClassALU, 1},
+	XMVNEZ:  {"mvnez", ClassALU, 1},
+	XMULA:   {"mula", ClassMul, 3},
+	XMULS:   {"muls", ClassMul, 3},
+	XMULAH:  {"mulah", ClassMul, 3},
+	XMULSH:  {"mulsh", ClassMul, 3},
+	XMULAW:  {"mulaw", ClassMul, 3},
+	XMULSW:  {"mulsw", ClassMul, 3},
+
+	XDCACHECALL: {"dcache.call", ClassCacheOp, 1},
+	XDCACHEIALL: {"dcache.iall", ClassCacheOp, 1},
+	XDCACHECVA:  {"dcache.cva", ClassCacheOp, 1},
+	XDCACHEIVA:  {"dcache.iva", ClassCacheOp, 1},
+	XICACHEIALL: {"icache.iall", ClassCacheOp, 1},
+	XSYNC:       {"sync", ClassCacheOp, 1},
+	XTLBIASID:   {"tlbi.asid", ClassCacheOp, 1},
+	XTLBIVA:     {"tlbi.va", ClassCacheOp, 1},
+}
+
+// String returns the assembler mnemonic for the operation.
+func (o Op) String() string {
+	if int(o) < len(opMeta) && opMeta[o].name != "" {
+		return opMeta[o].name
+	}
+	return "op?"
+}
+
+// Class returns the execution class of the operation.
+func (o Op) Class() Class {
+	if int(o) < len(opMeta) {
+		return opMeta[o].class
+	}
+	return ClassIllegal
+}
+
+// Latency returns the default execution latency in cycles. Memory operations
+// add cache/DRAM time on top of this pipe latency; divides return the default
+// and the core adjusts by operand magnitude.
+func (o Op) Latency() int { return int(opMeta[o].latency) }
+
+// IsLoad reports whether the operation reads data memory (scalar loads,
+// indexed custom loads, and FP loads; vector loads are ClassVLoad).
+func (o Op) IsLoad() bool { return o.Class() == ClassLoad }
+
+// IsStore reports whether the operation writes data memory (scalar stores;
+// vector stores are ClassVStore).
+func (o Op) IsStore() bool { return o.Class() == ClassStore }
+
+// IsBranch reports whether the operation is a conditional branch.
+func (o Op) IsBranch() bool { return o.Class() == ClassBranch }
+
+// IsControlFlow reports whether the operation can redirect the PC.
+func (o Op) IsControlFlow() bool {
+	c := o.Class()
+	return c == ClassBranch || c == ClassJump || o == MRET || o == SRET || o == ECALL || o == EBREAK
+}
+
+// MemBytes returns the access width in bytes for scalar loads/stores/AMOs,
+// or 0 for non-memory operations.
+func (o Op) MemBytes() int {
+	switch o {
+	case LB, LBU, SB, XLRB, XLURB, XSRB:
+		return 1
+	case LH, LHU, SH, XLRH, XLURH, XSRH:
+		return 2
+	case LW, LWU, SW, FLW, FSW, XLRW, XLURW, XSRW,
+		LRW, SCW, AMOSWAPW, AMOADDW, AMOANDW, AMOORW, AMOXORW, AMOMAXW, AMOMINW:
+		return 4
+	case LD, SD, FLD, FSD, XLRD, XSRD,
+		LRD, SCD, AMOSWAPD, AMOADDD, AMOANDD, AMOORD, AMOXORD, AMOMAXD, AMOMIND:
+		return 8
+	}
+	return 0
+}
+
+// LoadUnsigned reports whether a load zero-extends its result.
+func (o Op) LoadUnsigned() bool {
+	switch o {
+	case LBU, LHU, LWU, XLURB, XLURH, XLURW:
+		return true
+	}
+	return false
+}
+
+// opsByName resolves mnemonics for the assembler.
+var opsByName = map[string]Op{}
+
+func init() {
+	for op := Op(1); op < numOps; op++ {
+		if opMeta[op].name != "" {
+			opsByName[opMeta[op].name] = op
+		}
+	}
+}
+
+// ParseOp resolves an assembler mnemonic to an Op.
+func ParseOp(name string) (Op, bool) {
+	op, ok := opsByName[name]
+	return op, ok
+}

@@ -1,0 +1,352 @@
+package isa
+
+// RVC (compressed) support. The XT-910 fetches 128-bit lines holding up to 8
+// compressed instructions (§III), so code density directly shapes front-end
+// behaviour. The model implements the RV64C subset that covers the compiler
+// and assembler output: loads/stores (including stack-relative), immediates,
+// register arithmetic, and control flow.
+
+func cReg(v uint32) Reg  { return X(int(8 + v&7)) } // the x8–x15 window
+func cFReg(v uint32) Reg { return F(int(8 + v&7)) } // the f8–f15 window
+
+// Decode16 expands a 16-bit compressed instruction to its full Inst.
+// Unrecognized encodings decode to ILLEGAL with Size 2.
+func Decode16(raw uint16) Inst {
+	in := NewInst(ILLEGAL)
+	in.Size = 2
+	r := uint32(raw)
+	f3 := bf(r, 15, 13)
+	switch r & 3 {
+	case 0: // quadrant 0
+		switch f3 {
+		case 1: // c.fld
+			imm := bf(r, 12, 10)<<3 | bf(r, 6, 5)<<6
+			in.Op, in.Rd, in.Rs1, in.Imm = FLD, cFReg(bf(r, 4, 2)), cReg(bf(r, 9, 7)), int64(imm)
+		case 5: // c.fsd
+			imm := bf(r, 12, 10)<<3 | bf(r, 6, 5)<<6
+			in.Op, in.Rs1, in.Rs2, in.Imm = FSD, cReg(bf(r, 9, 7)), cFReg(bf(r, 4, 2)), int64(imm)
+		case 0: // c.addi4spn
+			imm := bf(r, 12, 11)<<4 | bf(r, 10, 7)<<6 | bf(r, 6, 6)<<2 | bf(r, 5, 5)<<3
+			if imm == 0 {
+				return in // reserved (includes the all-zero illegal encoding)
+			}
+			in.Op, in.Rd, in.Rs1, in.Imm = ADDI, cReg(bf(r, 4, 2)), SP, int64(imm)
+		case 2: // c.lw
+			imm := bf(r, 12, 10)<<3 | bf(r, 6, 6)<<2 | bf(r, 5, 5)<<6
+			in.Op, in.Rd, in.Rs1, in.Imm = LW, cReg(bf(r, 4, 2)), cReg(bf(r, 9, 7)), int64(imm)
+		case 3: // c.ld
+			imm := bf(r, 12, 10)<<3 | bf(r, 6, 5)<<6
+			in.Op, in.Rd, in.Rs1, in.Imm = LD, cReg(bf(r, 4, 2)), cReg(bf(r, 9, 7)), int64(imm)
+		case 6: // c.sw
+			imm := bf(r, 12, 10)<<3 | bf(r, 6, 6)<<2 | bf(r, 5, 5)<<6
+			in.Op, in.Rs1, in.Rs2, in.Imm = SW, cReg(bf(r, 9, 7)), cReg(bf(r, 4, 2)), int64(imm)
+		case 7: // c.sd
+			imm := bf(r, 12, 10)<<3 | bf(r, 6, 5)<<6
+			in.Op, in.Rs1, in.Rs2, in.Imm = SD, cReg(bf(r, 9, 7)), cReg(bf(r, 4, 2)), int64(imm)
+		}
+	case 1: // quadrant 1
+		switch f3 {
+		case 0: // c.addi / c.nop
+			rd := X(int(bf(r, 11, 7)))
+			imm := signExtend(bf(r, 12, 12)<<5|bf(r, 6, 2), 6)
+			in.Op, in.Rd, in.Rs1, in.Imm = ADDI, rd, rd, imm
+		case 1: // c.addiw
+			rd := X(int(bf(r, 11, 7)))
+			if rd == Zero {
+				return in
+			}
+			imm := signExtend(bf(r, 12, 12)<<5|bf(r, 6, 2), 6)
+			in.Op, in.Rd, in.Rs1, in.Imm = ADDIW, rd, rd, imm
+		case 2: // c.li
+			rd := X(int(bf(r, 11, 7)))
+			imm := signExtend(bf(r, 12, 12)<<5|bf(r, 6, 2), 6)
+			in.Op, in.Rd, in.Rs1, in.Imm = ADDI, rd, Zero, imm
+		case 3:
+			rd := X(int(bf(r, 11, 7)))
+			if rd == SP { // c.addi16sp
+				imm := signExtend(bf(r, 12, 12)<<9|bf(r, 6, 6)<<4|bf(r, 5, 5)<<6|
+					bf(r, 4, 3)<<7|bf(r, 2, 2)<<5, 10)
+				if imm == 0 {
+					return in
+				}
+				in.Op, in.Rd, in.Rs1, in.Imm = ADDI, SP, SP, imm
+			} else { // c.lui
+				imm := signExtend(bf(r, 12, 12)<<17|bf(r, 6, 2)<<12, 18)
+				if imm == 0 || rd == Zero {
+					return in
+				}
+				in.Op, in.Rd, in.Imm = LUI, rd, imm
+			}
+		case 4:
+			rd := cReg(bf(r, 9, 7))
+			switch bf(r, 11, 10) {
+			case 0: // c.srli
+				in.Op, in.Rd, in.Rs1, in.Imm = SRLI, rd, rd, int64(bf(r, 12, 12)<<5|bf(r, 6, 2))
+			case 1: // c.srai
+				in.Op, in.Rd, in.Rs1, in.Imm = SRAI, rd, rd, int64(bf(r, 12, 12)<<5|bf(r, 6, 2))
+			case 2: // c.andi
+				in.Op, in.Rd, in.Rs1, in.Imm = ANDI, rd, rd, signExtend(bf(r, 12, 12)<<5|bf(r, 6, 2), 6)
+			case 3:
+				rs2 := cReg(bf(r, 4, 2))
+				sel := bf(r, 6, 5)
+				if bf(r, 12, 12) == 0 {
+					ops := [4]Op{SUB, XOR, OR, AND}
+					in.Op, in.Rd, in.Rs1, in.Rs2 = ops[sel], rd, rd, rs2
+				} else {
+					switch sel {
+					case 0:
+						in.Op, in.Rd, in.Rs1, in.Rs2 = SUBW, rd, rd, rs2
+					case 1:
+						in.Op, in.Rd, in.Rs1, in.Rs2 = ADDW, rd, rd, rs2
+					}
+				}
+			}
+		case 5: // c.j
+			imm := signExtend(bf(r, 12, 12)<<11|bf(r, 11, 11)<<4|bf(r, 10, 9)<<8|
+				bf(r, 8, 8)<<10|bf(r, 7, 7)<<6|bf(r, 6, 6)<<7|
+				bf(r, 5, 3)<<1|bf(r, 2, 2)<<5, 12)
+			in.Op, in.Rd, in.Imm = JAL, Zero, imm
+		case 6, 7: // c.beqz / c.bnez
+			imm := signExtend(bf(r, 12, 12)<<8|bf(r, 11, 10)<<3|bf(r, 6, 5)<<6|
+				bf(r, 4, 3)<<1|bf(r, 2, 2)<<5, 9)
+			op := BEQ
+			if f3 == 7 {
+				op = BNE
+			}
+			in.Op, in.Rs1, in.Rs2, in.Imm = op, cReg(bf(r, 9, 7)), Zero, imm
+		}
+	case 2: // quadrant 2
+		rd := X(int(bf(r, 11, 7)))
+		rs2 := X(int(bf(r, 6, 2)))
+		switch f3 {
+		case 0: // c.slli
+			in.Op, in.Rd, in.Rs1, in.Imm = SLLI, rd, rd, int64(bf(r, 12, 12)<<5|bf(r, 6, 2))
+		case 1: // c.fldsp
+			imm := bf(r, 12, 12)<<5 | bf(r, 6, 5)<<3 | bf(r, 4, 2)<<6
+			in.Op, in.Rd, in.Rs1, in.Imm = FLD, F(int(bf(r, 11, 7))), SP, int64(imm)
+		case 5: // c.fsdsp
+			imm := bf(r, 12, 10)<<3 | bf(r, 9, 7)<<6
+			in.Op, in.Rs1, in.Rs2, in.Imm = FSD, SP, F(int(bf(r, 6, 2))), int64(imm)
+		case 2: // c.lwsp
+			if rd == Zero {
+				return in
+			}
+			imm := bf(r, 12, 12)<<5 | bf(r, 6, 4)<<2 | bf(r, 3, 2)<<6
+			in.Op, in.Rd, in.Rs1, in.Imm = LW, rd, SP, int64(imm)
+		case 3: // c.ldsp
+			if rd == Zero {
+				return in
+			}
+			imm := bf(r, 12, 12)<<5 | bf(r, 6, 5)<<3 | bf(r, 4, 2)<<6
+			in.Op, in.Rd, in.Rs1, in.Imm = LD, rd, SP, int64(imm)
+		case 4:
+			if bf(r, 12, 12) == 0 {
+				if rs2 == Zero { // c.jr
+					if rd == Zero {
+						return in
+					}
+					in.Op, in.Rd, in.Rs1, in.Imm = JALR, Zero, rd, 0
+				} else { // c.mv
+					in.Op, in.Rd, in.Rs1, in.Rs2 = ADD, rd, Zero, rs2
+				}
+			} else {
+				switch {
+				case rd == Zero && rs2 == Zero: // c.ebreak
+					in.Op = EBREAK
+				case rs2 == Zero: // c.jalr
+					in.Op, in.Rd, in.Rs1, in.Imm = JALR, RA, rd, 0
+				default: // c.add
+					in.Op, in.Rd, in.Rs1, in.Rs2 = ADD, rd, rd, rs2
+				}
+			}
+		case 6: // c.swsp
+			imm := bf(r, 12, 9)<<2 | bf(r, 8, 7)<<6
+			in.Op, in.Rs1, in.Rs2, in.Imm = SW, SP, rs2, int64(imm)
+		case 7: // c.sdsp
+			imm := bf(r, 12, 10)<<3 | bf(r, 9, 7)<<6
+			in.Op, in.Rs1, in.Rs2, in.Imm = SD, SP, rs2, int64(imm)
+		}
+	}
+	return in
+}
+
+func isCReg(r Reg) bool  { return r.IsX() && r >= 8 && r <= 15 }
+func isCFReg(r Reg) bool { return r.IsF() && r.Index() >= 8 && r.Index() <= 15 }
+
+// Compress attempts to produce a 16-bit encoding of the instruction. It
+// returns (0, false) when no compressed form exists. The assembler uses it to
+// model the code density the XT-910 front end was designed around.
+func Compress(in Inst) (uint16, bool) {
+	u := func(v int64, bits uint) bool { return v >= 0 && v < int64(1)<<bits }
+	s := func(v int64, bits uint) bool {
+		return v >= -(int64(1)<<(bits-1)) && v < int64(1)<<(bits-1)
+	}
+	switch in.Op {
+	case ADDI:
+		switch {
+		case in.Rs1 == Zero && s(in.Imm, 6): // c.li
+			return uint16(1 | 2<<13 | uint32(in.Rd.Index())<<7 |
+				uint32(in.Imm>>5&1)<<12 | uint32(in.Imm&0x1F)<<2), true
+		case in.Rd == in.Rs1 && in.Rd != Zero && s(in.Imm, 6) && in.Imm != 0: // c.addi
+			return uint16(1 | uint32(in.Rd.Index())<<7 |
+				uint32(in.Imm>>5&1)<<12 | uint32(in.Imm&0x1F)<<2), true
+		case in.Rd == SP && in.Rs1 == SP && in.Imm != 0 && in.Imm&15 == 0 && s(in.Imm, 10): // c.addi16sp
+			v := uint32(in.Imm)
+			return uint16(1 | 3<<13 | uint32(SP)<<7 |
+				(v>>9&1)<<12 | (v>>4&1)<<6 | (v>>6&1)<<5 | (v>>7&3)<<3 | (v>>5&1)<<2), true
+		case in.Rs1 == SP && isCReg(in.Rd) && in.Imm > 0 && in.Imm&3 == 0 && u(in.Imm, 10): // c.addi4spn
+			v := uint32(in.Imm)
+			return uint16(0 | (v>>4&3)<<11 | (v>>6&15)<<7 |
+				(v>>2&1)<<6 | (v>>3&1)<<5 | uint32(in.Rd.Index()-8)<<2), true
+		}
+	case ADDIW:
+		if in.Rd == in.Rs1 && in.Rd != Zero && s(in.Imm, 6) {
+			return uint16(1 | 1<<13 | uint32(in.Rd.Index())<<7 |
+				uint32(in.Imm>>5&1)<<12 | uint32(in.Imm&0x1F)<<2), true
+		}
+	case LUI:
+		if in.Rd != Zero && in.Rd != SP && in.Imm != 0 && s(in.Imm>>12, 6) {
+			v := uint32(in.Imm >> 12)
+			return uint16(1 | 3<<13 | uint32(in.Rd.Index())<<7 | (v>>5&1)<<12 | (v&0x1F)<<2), true
+		}
+	case LW:
+		switch {
+		case in.Rs1 == SP && in.Rd != Zero && in.Rd.IsX() && in.Imm&3 == 0 && u(in.Imm, 8): // c.lwsp
+			v := uint32(in.Imm)
+			return uint16(2 | 2<<13 | uint32(in.Rd.Index())<<7 |
+				(v>>5&1)<<12 | (v>>2&7)<<4 | (v>>6&3)<<2), true
+		case isCReg(in.Rd) && isCReg(in.Rs1) && in.Imm&3 == 0 && u(in.Imm, 7): // c.lw
+			v := uint32(in.Imm)
+			return uint16(0 | 2<<13 | (v>>3&7)<<10 | uint32(in.Rs1.Index()-8)<<7 |
+				(v>>2&1)<<6 | (v>>6&1)<<5 | uint32(in.Rd.Index()-8)<<2), true
+		}
+	case LD:
+		switch {
+		case in.Rs1 == SP && in.Rd != Zero && in.Rd.IsX() && in.Imm&7 == 0 && u(in.Imm, 9): // c.ldsp
+			v := uint32(in.Imm)
+			return uint16(2 | 3<<13 | uint32(in.Rd.Index())<<7 |
+				(v>>5&1)<<12 | (v>>3&3)<<5 | (v>>6&7)<<2), true
+		case isCReg(in.Rd) && isCReg(in.Rs1) && in.Imm&7 == 0 && u(in.Imm, 8): // c.ld
+			v := uint32(in.Imm)
+			return uint16(0 | 3<<13 | (v>>3&7)<<10 | uint32(in.Rs1.Index()-8)<<7 |
+				(v>>6&3)<<5 | uint32(in.Rd.Index()-8)<<2), true
+		}
+	case SW:
+		switch {
+		case in.Rs1 == SP && in.Rs2.IsX() && in.Imm&3 == 0 && u(in.Imm, 8): // c.swsp
+			v := uint32(in.Imm)
+			return uint16(2 | 6<<13 | (v>>2&15)<<9 | (v>>6&3)<<7 | uint32(in.Rs2.Index())<<2), true
+		case isCReg(in.Rs1) && isCReg(in.Rs2) && in.Imm&3 == 0 && u(in.Imm, 7): // c.sw
+			v := uint32(in.Imm)
+			return uint16(0 | 6<<13 | (v>>3&7)<<10 | uint32(in.Rs1.Index()-8)<<7 |
+				(v>>2&1)<<6 | (v>>6&1)<<5 | uint32(in.Rs2.Index()-8)<<2), true
+		}
+	case SD:
+		switch {
+		case in.Rs1 == SP && in.Rs2.IsX() && in.Imm&7 == 0 && u(in.Imm, 9): // c.sdsp
+			v := uint32(in.Imm)
+			return uint16(2 | 7<<13 | (v>>3&7)<<10 | (v>>6&7)<<7 | uint32(in.Rs2.Index())<<2), true
+		case isCReg(in.Rs1) && isCReg(in.Rs2) && in.Imm&7 == 0 && u(in.Imm, 8): // c.sd
+			v := uint32(in.Imm)
+			return uint16(0 | 7<<13 | (v>>3&7)<<10 | uint32(in.Rs1.Index()-8)<<7 |
+				(v>>6&3)<<5 | uint32(in.Rs2.Index()-8)<<2), true
+		}
+	case FLD:
+		switch {
+		case in.Rs1 == SP && in.Rd.IsF() && in.Imm&7 == 0 && u(in.Imm, 9): // c.fldsp
+			v := uint32(in.Imm)
+			return uint16(2 | 1<<13 | uint32(in.Rd.Index())<<7 |
+				(v>>5&1)<<12 | (v>>3&3)<<5 | (v>>6&7)<<2), true
+		case isCFReg(in.Rd) && isCReg(in.Rs1) && in.Imm&7 == 0 && u(in.Imm, 8): // c.fld
+			v := uint32(in.Imm)
+			return uint16(0 | 1<<13 | (v>>3&7)<<10 | uint32(in.Rs1.Index()-8)<<7 |
+				(v>>6&3)<<5 | uint32(in.Rd.Index()-8)<<2), true
+		}
+	case FSD:
+		switch {
+		case in.Rs1 == SP && in.Rs2.IsF() && in.Imm&7 == 0 && u(in.Imm, 9): // c.fsdsp
+			v := uint32(in.Imm)
+			return uint16(2 | 5<<13 | (v>>3&7)<<10 | (v>>6&7)<<7 | uint32(in.Rs2.Index())<<2), true
+		case isCReg(in.Rs1) && isCFReg(in.Rs2) && in.Imm&7 == 0 && u(in.Imm, 8): // c.fsd
+			v := uint32(in.Imm)
+			return uint16(0 | 5<<13 | (v>>3&7)<<10 | uint32(in.Rs1.Index()-8)<<7 |
+				(v>>6&3)<<5 | uint32(in.Rs2.Index()-8)<<2), true
+		}
+	case SLLI:
+		if in.Rd == in.Rs1 && in.Rd != Zero && in.Imm != 0 && u(in.Imm, 6) {
+			return uint16(2 | uint32(in.Rd.Index())<<7 |
+				uint32(in.Imm>>5&1)<<12 | uint32(in.Imm&0x1F)<<2), true
+		}
+	case SRLI, SRAI:
+		if in.Rd == in.Rs1 && isCReg(in.Rd) && in.Imm != 0 && u(in.Imm, 6) {
+			sel := uint32(0)
+			if in.Op == SRAI {
+				sel = 1
+			}
+			return uint16(1 | 4<<13 | uint32(in.Imm>>5&1)<<12 | sel<<10 |
+				uint32(in.Rd.Index()-8)<<7 | uint32(in.Imm&0x1F)<<2), true
+		}
+	case ANDI:
+		if in.Rd == in.Rs1 && isCReg(in.Rd) && s(in.Imm, 6) {
+			return uint16(1 | 4<<13 | uint32(in.Imm>>5&1)<<12 | 2<<10 |
+				uint32(in.Rd.Index()-8)<<7 | uint32(in.Imm&0x1F)<<2), true
+		}
+	case SUB, XOR, OR, AND, SUBW, ADDW:
+		if in.Rd != in.Rs1 || !isCReg(in.Rd) || !isCReg(in.Rs2) {
+			break
+		}
+		var hi, sel uint32
+		switch in.Op {
+		case SUB:
+			hi, sel = 0, 0
+		case XOR:
+			hi, sel = 0, 1
+		case OR:
+			hi, sel = 0, 2
+		case AND:
+			hi, sel = 0, 3
+		case SUBW:
+			hi, sel = 1, 0
+		case ADDW:
+			hi, sel = 1, 1
+		}
+		return uint16(1 | 4<<13 | hi<<12 | 3<<10 |
+			uint32(in.Rd.Index()-8)<<7 | sel<<5 | uint32(in.Rs2.Index()-8)<<2), true
+	case ADD:
+		switch {
+		case in.Rs1 == Zero && in.Rd != Zero && in.Rs2 != Zero: // c.mv
+			return uint16(2 | 4<<13 | uint32(in.Rd.Index())<<7 | uint32(in.Rs2.Index())<<2), true
+		case in.Rd == in.Rs1 && in.Rd != Zero && in.Rs2 != Zero: // c.add
+			return uint16(2 | 4<<13 | 1<<12 | uint32(in.Rd.Index())<<7 | uint32(in.Rs2.Index())<<2), true
+		}
+	case JAL:
+		if in.Rd == Zero && s(in.Imm, 12) && in.Imm&1 == 0 { // c.j
+			v := uint32(in.Imm)
+			return uint16(1 | 5<<13 | (v>>11&1)<<12 | (v>>4&1)<<11 | (v>>8&3)<<9 |
+				(v>>10&1)<<8 | (v>>6&1)<<7 | (v>>7&1)<<6 | (v>>1&7)<<3 | (v>>5&1)<<2), true
+		}
+	case JALR:
+		if in.Imm != 0 || in.Rs1 == Zero {
+			break
+		}
+		if in.Rd == Zero { // c.jr
+			return uint16(2 | 4<<13 | uint32(in.Rs1.Index())<<7), true
+		}
+		if in.Rd == RA { // c.jalr
+			return uint16(2 | 4<<13 | 1<<12 | uint32(in.Rs1.Index())<<7), true
+		}
+	case BEQ, BNE:
+		if in.Rs2 == Zero && isCReg(in.Rs1) && s(in.Imm, 9) && in.Imm&1 == 0 {
+			f3 := uint32(6)
+			if in.Op == BNE {
+				f3 = 7
+			}
+			v := uint32(in.Imm)
+			return uint16(1 | f3<<13 | (v>>8&1)<<12 | (v>>3&3)<<10 |
+				uint32(in.Rs1.Index()-8)<<7 | (v>>6&3)<<5 | (v>>1&3)<<3 | (v>>5&1)<<2), true
+		}
+	case EBREAK:
+		return uint16(2 | 4<<13 | 1<<12), true
+	}
+	return 0, false
+}

@@ -1,0 +1,72 @@
+package isa
+
+import "fmt"
+
+// VType models the vtype CSR as laid out in the 0.7.1 vector draft that the
+// XT-910 implements: vlmul in bits [1:0], vsew in bits [4:2]. The element
+// width and register-group multiplier are configured by vsetvl/vsetvli and the
+// hardware derives VLMAX from them (§VII).
+type VType uint64
+
+// SEW element-width encodings (vsew field values).
+const (
+	SEW8  = 0
+	SEW16 = 1
+	SEW32 = 2
+	SEW64 = 3
+)
+
+// MakeVType composes a vtype value from a vsew code (SEW8…SEW64) and an LMUL
+// exponent (0→m1, 1→m2, 2→m4, 3→m8).
+func MakeVType(vsew, vlmulExp int) VType {
+	return VType(uint64(vlmulExp&3) | uint64(vsew&7)<<2)
+}
+
+// SEW returns the element width in bits (8, 16, 32 or 64).
+func (v VType) SEW() int { return 8 << ((v >> 2) & 7) }
+
+// LMUL returns the register-group multiplier (1, 2, 4 or 8).
+func (v VType) LMUL() int { return 1 << (v & 3) }
+
+// VLMAX returns the maximum vector length for the given VLEN in bits.
+func (v VType) VLMAX(vlenBits int) int {
+	return vlenBits / v.SEW() * v.LMUL()
+}
+
+// Valid reports whether the vtype encodes a supported configuration.
+func (v VType) Valid() bool { return (v>>2)&7 <= 3 }
+
+// String renders the configuration in assembler syntax ("e32,m2").
+func (v VType) String() string {
+	return fmt.Sprintf("e%d,m%d", v.SEW(), v.LMUL())
+}
+
+// ParseVTypeArgs parses the assembler spelling of vtype arguments
+// ("e32", "m2") into a VType. Both parts are optional; defaults are e8,m1.
+func ParseVTypeArgs(parts []string) (VType, error) {
+	vsew, vlmul := 0, 0
+	for _, p := range parts {
+		switch p {
+		case "e8":
+			vsew = SEW8
+		case "e16":
+			vsew = SEW16
+		case "e32":
+			vsew = SEW32
+		case "e64":
+			vsew = SEW64
+		case "m1":
+			vlmul = 0
+		case "m2":
+			vlmul = 1
+		case "m4":
+			vlmul = 2
+		case "m8":
+			vlmul = 3
+		case "d1", "d2", "d4", "d8": // 0.7.1 EDIV hints: accepted, ignored
+		default:
+			return 0, fmt.Errorf("isa: unknown vtype element %q", p)
+		}
+	}
+	return MakeVType(vsew, vlmul), nil
+}

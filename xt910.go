@@ -1,0 +1,114 @@
+// Package xt910 is the public API of the XT-910 processor model: a
+// cycle-approximate, value-carrying simulator of the Xuantie-910 (ISCA 2020)
+// 12-stage out-of-order RV64GCV core, its vector engine, memory subsystem
+// (L1/L2 caches with MOSEI coherence, multi-size TLBs, multi-mode multi-stream
+// prefetch) and multi-core/multi-cluster SMP topology, together with the
+// assembler and the functional (golden) emulator.
+//
+// Quick start:
+//
+//	sys, _ := xt910.NewSystem(xt910.DefaultConfig())
+//	prog, _ := xt910.Assemble(src, xt910.AsmOptions{})
+//	sys.LoadProgram(prog)
+//	sys.Run(10_000_000)
+//	fmt.Println(sys.ExitCode(0), sys.Stats(0).IPC())
+package xt910
+
+import (
+	"xt910/internal/asm"
+	"xt910/internal/core"
+	"xt910/internal/emu"
+	"xt910/internal/mem"
+	"xt910/internal/soc"
+	"xt910/isa"
+)
+
+// CoreConfig selects a core microarchitecture; see XT910Core, U74Core and
+// A73Core for the paper's three comparison points.
+type CoreConfig = core.Config
+
+// XT910Core returns the paper's machine: triple-issue decode, 8-slot
+// out-of-order issue, 192-entry ROB, dual-issue OoO LSU, vector engine,
+// custom extensions, full prediction and prefetch machinery.
+func XT910Core() CoreConfig { return core.XT910Config() }
+
+// U74Core returns the dual-issue in-order comparison core (Fig. 17).
+func U74Core() CoreConfig { return core.U74Config() }
+
+// A73Core returns the Cortex-A73-class out-of-order comparison core
+// (Figs. 18/19).
+func A73Core() CoreConfig { return core.A73Config() }
+
+// Config sizes a full system (cores per cluster, clusters, L2, DRAM).
+type Config = soc.Config
+
+// DefaultConfig returns a single-core XT-910 with 1 MB L2 and the paper's
+// 200-cycle memory latency.
+func DefaultConfig() Config { return soc.DefaultConfig() }
+
+// Stats exposes the per-core performance counters.
+type Stats = core.Stats
+
+// Program is an assembled binary image.
+type Program = asm.Program
+
+// AsmOptions configures assembly.
+type AsmOptions = asm.Options
+
+// Assemble assembles XT-910 assembly source (RV64GCV plus the custom
+// extensions, GNU-flavoured syntax).
+func Assemble(src string, opts AsmOptions) (*Program, error) {
+	return asm.Assemble(src, opts)
+}
+
+// System is a simulated XT-910 machine.
+type System struct {
+	*soc.System
+}
+
+// NewSystem builds a system from cfg (validated against Table I).
+func NewSystem(cfg Config) (*System, error) {
+	s, err := soc.New(cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &System{System: s}, nil
+}
+
+// LoadAssembly assembles src and loads it, resetting all cores to its entry.
+func (s *System) LoadAssembly(src string, opts AsmOptions) (*Program, error) {
+	p, err := asm.Assemble(src, opts)
+	if err != nil {
+		return nil, err
+	}
+	s.LoadProgram(p)
+	return p, nil
+}
+
+// Core returns hart i's core model (predictors, caches, MMU, counters).
+func (s *System) Core(i int) *core.Core { return s.Cores[i] }
+
+// ExitCode returns hart i's exit status (valid after it halts).
+func (s *System) ExitCode(i int) int { return s.Cores[i].ExitCode }
+
+// Output returns the bytes hart i wrote through the host write syscall.
+func (s *System) Output(i int) []byte { return s.Cores[i].Output }
+
+// Stats returns hart i's performance counters.
+func (s *System) Stats(i int) *Stats { return &s.Cores[i].Stats }
+
+// Reg reads hart i's architectural register.
+func (s *System) Reg(hart int, r isa.Reg) uint64 { return s.Cores[hart].Reg(r) }
+
+// Emulator is the functional golden model (the "instruction accurate
+// simulator" of the paper's CDS toolchain, §IX).
+type Emulator = emu.Machine
+
+// NewEmulator builds a functional emulator with the program loaded.
+func NewEmulator(p *Program) *Emulator {
+	m := emu.New(mem.NewMemory())
+	p.LoadInto(m.Mem)
+	m.PC = p.Entry
+	m.X[2] = 0x400000
+	return m
+}

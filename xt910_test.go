@@ -1,0 +1,100 @@
+package xt910_test
+
+import (
+	"testing"
+
+	"xt910"
+	"xt910/isa"
+)
+
+// The public-API tests exercise the facade exactly the way examples and
+// downstream users do.
+
+const apiProgram = `
+_start:
+    li   a0, 0
+    li   t0, 64
+loop:
+    add  a0, a0, t0
+    addi t0, t0, -1
+    bnez t0, loop
+    li   a7, 93
+    ecall
+`
+
+func TestPublicAPIRoundTrip(t *testing.T) {
+	sys, err := xt910.NewSystem(xt910.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	prog, err := sys.LoadAssembly(apiProgram, xt910.AsmOptions{Base: 0x1000, Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(1_000_000)
+	if !sys.AllHalted() {
+		t.Fatal("system did not halt")
+	}
+	want := 64 * 65 / 2
+	if sys.ExitCode(0) != want {
+		t.Fatalf("exit = %d, want %d", sys.ExitCode(0), want)
+	}
+	if sys.Stats(0).IPC() <= 0 {
+		t.Fatal("stats empty")
+	}
+	if sys.Reg(0, isa.A0) != uint64(want) {
+		t.Fatal("register readback")
+	}
+
+	// the emulator must agree
+	m := xt910.NewEmulator(prog)
+	if err := m.Run(1_000_000); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExitCode != want {
+		t.Fatalf("emulator exit = %d", m.ExitCode)
+	}
+}
+
+func TestPublicConfigs(t *testing.T) {
+	for _, cfg := range []xt910.CoreConfig{
+		xt910.XT910Core(), xt910.U74Core(), xt910.A73Core(),
+	} {
+		if err := cfg.Validate(); err != nil {
+			t.Errorf("%s: %v", cfg.Name, err)
+		}
+	}
+}
+
+func TestPublicMultiCore(t *testing.T) {
+	cfg := xt910.DefaultConfig()
+	cfg.CoresPerCluster = 2
+	sys, err := xt910.NewSystem(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := `
+_start:
+    csrr a0, mhartid
+    li   a7, 93
+    ecall
+`
+	if _, err := sys.LoadAssembly(src, xt910.AsmOptions{Base: 0x1000}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(100000)
+	if sys.ExitCode(0) != 0 || sys.ExitCode(1) != 1 {
+		t.Fatalf("hart ids: %d, %d", sys.ExitCode(0), sys.ExitCode(1))
+	}
+}
+
+func TestAssembleErrorsSurface(t *testing.T) {
+	if _, err := xt910.Assemble("bogus a0", xt910.AsmOptions{}); err == nil {
+		t.Fatal("expected assembly error")
+	}
+	cfg := xt910.DefaultConfig()
+	cfg.CoresPerCluster = 3
+	if _, err := xt910.NewSystem(cfg); err == nil {
+		t.Fatal("expected Table I validation error")
+	}
+}
