@@ -1,0 +1,39 @@
+# xt910 build/test entry points. `make tier1` is the CI gate.
+
+GO ?= go
+
+.PHONY: all build vet test race tier1 bench xtbench clean
+
+all: tier1
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# race runs the packages where goroutines actually interact (the worker-pool
+# engine and the parallel bench harness) under the race detector.
+race:
+	$(GO) test -race ./internal/sched ./internal/bench
+
+# tier1 is the required bar for every change: everything compiles, vet is
+# clean, and the full suite passes with the race detector enabled.
+tier1:
+	$(GO) build ./...
+	$(GO) vet ./...
+	$(GO) test -race ./...
+
+# bench regenerates the paper's tables/figures as testing.B benchmarks.
+bench:
+	$(GO) test -bench=. -benchmem -run '^$$'
+
+# xtbench runs the reproduction harness in smoke mode, one worker per CPU.
+xtbench:
+	$(GO) run ./cmd/xtbench -quick
+
+clean:
+	$(GO) clean ./...

@@ -5,6 +5,7 @@
 package xt910_test
 
 import (
+	"context"
 	"testing"
 
 	"xt910/internal/bench"
@@ -13,12 +14,12 @@ import (
 
 // runFigure executes one reproduction inside a testing.B, reporting every row
 // as a custom benchmark metric.
-func runFigure(b *testing.B, fn func(bench.Options) (*perf.Result, error)) {
+func runFigure(b *testing.B, fn func(context.Context, bench.Options) (*perf.Result, error)) {
 	b.ReportAllocs()
 	var res *perf.Result
 	var err error
 	for i := 0; i < b.N; i++ {
-		res, err = fn(bench.Options{Quick: true})
+		res, err = fn(context.Background(), bench.Options{Quick: true})
 		if err != nil {
 			b.Fatal(err)
 		}

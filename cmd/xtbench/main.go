@@ -3,57 +3,137 @@
 //
 // Usage:
 //
-//	xtbench                # run everything (paper order)
-//	xtbench -quick         # smoke mode (reduced iteration counts)
-//	xtbench -only fig21    # one experiment: table1 table2 fig17 fig18 fig19
-//	                       # spec fig20 fig21 vector asid hugepage blockchain
+//	xtbench                  # run everything (paper order), one worker per CPU
+//	xtbench -quick           # smoke mode (reduced iteration counts)
+//	xtbench -jobs 1          # serial; the tables are byte-identical to -jobs N
+//	xtbench -timeout 5m      # per-experiment deadline
+//	xtbench -only fig21      # one experiment: table1 table2 fig17 fig18 fig19
+//	                         # spec fig20 fig21 vector asid hugepage blockchain
+//	                         # ablation density
+//	xtbench -json            # machine-readable results + host metrics
+//
+// Tables go to stdout; progress and host metrics go to stderr, so stdout is
+// byte-stable across -jobs settings and safe to diff or redirect.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"strings"
+	"time"
 
 	"xt910/internal/bench"
 	"xt910/internal/perf"
+	"xt910/internal/sched"
 )
+
+// jsonResult is the -json record for one experiment: the reproduced table
+// plus the host-side metrics from the scheduler.
+type jsonResult struct {
+	ID           string       `json:"id"`
+	Result       *perf.Result `json:"result,omitempty"`
+	Error        string       `json:"error,omitempty"`
+	WallSeconds  float64      `json:"wall_seconds"`
+	SimCycles    uint64       `json:"sim_cycles"`
+	CyclesPerSec float64      `json:"sim_cycles_per_sec"`
+}
 
 func main() {
 	quick := flag.Bool("quick", false, "reduced iteration counts")
 	only := flag.String("only", "", "run a single experiment by id")
+	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool width (1 = serial)")
+	timeout := flag.Duration("timeout", 0, "per-experiment deadline (0 = none)")
+	jsonOut := flag.Bool("json", false, "emit JSON results and metrics to stdout")
 	flag.Parse()
 
-	o := bench.Options{Quick: *quick}
-	runners := map[string]func(bench.Options) (*perf.Result, error){
-		"table1": bench.Table1, "table2": bench.Table2,
-		"fig17": bench.Fig17, "fig18": bench.Fig18, "fig19": bench.Fig19,
-		"spec": bench.SpecInt, "fig20": bench.Fig20, "fig21": bench.Fig21,
-		"vector": bench.VectorMAC, "asid": bench.ASID,
-		"hugepage": bench.HugePages, "blockchain": bench.Blockchain,
-		"ablation": bench.Ablations, "density": bench.Density,
+	o := bench.Options{Quick: *quick, Jobs: *jobs, Timeout: *timeout}
+	if !*jsonOut {
+		o.OnProgress = func(r sched.Result) {
+			status := "ok"
+			if r.Err != nil {
+				status = "FAIL"
+			}
+			fmt.Fprintf(os.Stderr, "xtbench: %-10s %-4s %8.2fs  %12d cycles  %8.2f Mcyc/s\n",
+				r.ID, status, r.Wall.Seconds(), r.Cycles, r.CyclesPerSec()/1e6)
+		}
 	}
 
 	if *only != "" {
-		fn, ok := runners[*only]
+		e, ok := bench.Find(*only)
 		if !ok {
-			fmt.Fprintf(os.Stderr, "xtbench: unknown experiment %q\n", *only)
+			var ids []string
+			for _, x := range bench.Experiments() {
+				ids = append(ids, x.ID)
+			}
+			fmt.Fprintf(os.Stderr, "xtbench: unknown experiment %q (have: %s)\n",
+				*only, strings.Join(ids, " "))
 			os.Exit(2)
 		}
-		r, err := fn(o)
+		ctx := context.Background()
+		if *timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			defer cancel()
+		}
+		start := time.Now()
+		r, err := e.Fn(ctx, o)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "xtbench: %v\n", err)
 			os.Exit(1)
+		}
+		if *jsonOut {
+			emitJSON([]jsonResult{{ID: e.ID, Result: r, WallSeconds: time.Since(start).Seconds()}})
+			return
 		}
 		fmt.Print(r.Format())
 		return
 	}
 
-	results, err := bench.All(o)
-	for _, r := range results {
-		fmt.Print(r.Format())
+	rs := bench.RunAll(context.Background(), o)
+	if *jsonOut {
+		out := make([]jsonResult, len(rs))
+		for i, r := range rs {
+			out[i] = jsonResult{
+				ID:           r.ID,
+				WallSeconds:  r.Wall.Seconds(),
+				SimCycles:    r.Cycles,
+				CyclesPerSec: r.CyclesPerSec(),
+			}
+			if r.Err != nil {
+				out[i].Error = r.Err.Error()
+			} else {
+				out[i].Result = r.Value.(*perf.Result)
+			}
+		}
+		emitJSON(out)
+		if sched.FirstError(rs) != nil {
+			os.Exit(1)
+		}
+		return
+	}
+	failed := false
+	for _, r := range rs {
+		if r.Err != nil {
+			failed = true
+			fmt.Fprintf(os.Stderr, "xtbench: %v\n", r.Err)
+			continue
+		}
+		fmt.Print(r.Value.(*perf.Result).Format())
 		fmt.Println()
 	}
-	if err != nil {
+	if failed {
+		os.Exit(1)
+	}
+}
+
+func emitJSON(v any) {
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(v); err != nil {
 		fmt.Fprintf(os.Stderr, "xtbench: %v\n", err)
 		os.Exit(1)
 	}

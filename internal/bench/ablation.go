@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"xt910/internal/core"
@@ -12,8 +13,9 @@ import (
 // Ablations quantifies the individual XT-910 design choices the paper
 // describes, by disabling each mechanism in isolation and re-running the
 // workload that exercises it. Rows report the slowdown relative to the full
-// machine (>1: the mechanism pays for itself).
-func Ablations(o Options) (*perf.Result, error) {
+// machine (>1: the mechanism pays for itself). Every (study, arm) pair is an
+// independent job on the worker pool.
+func Ablations(ctx context.Context, o Options) (*perf.Result, error) {
 	res := &perf.Result{ID: "ablation", Title: "design-choice ablations (slowdown when disabled)"}
 
 	type study struct {
@@ -42,21 +44,30 @@ func Ablations(o Options) (*perf.Result, error) {
 			func(c *core.Config) { c.DecodeWidth = 1 }},
 	}
 
+	var ids []string
+	var fns []func(context.Context) (runResult, error)
 	for _, s := range studies {
+		s := s
 		iters := o.iters(s.w)
 		if s.w.Name == workloads.SpecLike.Name {
 			iters = 1
 		}
-		full, err := runWorkload(s.w, iters, core.XT910Config(), defaultSys())
-		if err != nil {
-			return nil, err
+		cut := core.XT910Config()
+		s.mut(&cut)
+		for ai, cfg := range []core.Config{core.XT910Config(), cut} {
+			cfg := cfg
+			ids = append(ids, "ablation/"+s.name+"/"+[2]string{"full", "cut"}[ai])
+			fns = append(fns, func(ctx context.Context) (runResult, error) {
+				return runWorkload(ctx, s.w, iters, cfg, defaultSys())
+			})
 		}
-		cfg := core.XT910Config()
-		s.mut(&cfg)
-		cut, err := runWorkload(s.w, iters, cfg, defaultSys())
-		if err != nil {
-			return nil, fmt.Errorf("%s: %w", s.name, err)
-		}
+	}
+	runs, err := runJobs(ctx, o, ids, fns)
+	if err != nil {
+		return nil, err
+	}
+	for i, s := range studies {
+		full, cut := runs[2*i], runs[2*i+1]
 		if cut.Exit != full.Exit {
 			return nil, fmt.Errorf("%s: ablated config changed the result", s.name)
 		}
@@ -74,35 +85,44 @@ func Ablations(o Options) (*perf.Result, error) {
 // Density quantifies the §II/§III RVC story: XT-910 fetches 128-bit lines
 // holding "a maximum of 8 instructions" because compressed encodings shrink
 // the footprint. The experiment assembles the CoreMark workload with and
-// without RVC auto-compression and compares code size and runtime.
-func Density(o Options) (*perf.Result, error) {
+// without RVC auto-compression (one job per image) and compares code size
+// and runtime.
+func Density(ctx context.Context, o Options) (*perf.Result, error) {
 	iters := o.iters(workloads.CoreMark)
-	res := &perf.Result{ID: "density", Title: "RVC code density (CoreMark image)"}
-	var sizes [2]int
-	var cycles [2]uint64
-	var exits [2]int
-	for i, compress := range []bool{false, true} {
-		p, err := workloads.CoreMark.Program(iters, compress)
-		if err != nil {
-			return nil, err
-		}
-		sizes[i] = len(p.Data)
-		r, err := runProgram(p, core.XT910Config(), defaultSys(), nil)
-		if err != nil {
-			return nil, err
-		}
-		cycles[i] = r.Cycles
-		exits[i] = r.Exit
+	type armOut struct {
+		size   int
+		cycles uint64
+		exit   int
 	}
-	if exits[0] != exits[1] {
+	arm := func(compress bool) func(context.Context) (armOut, error) {
+		return func(ctx context.Context) (armOut, error) {
+			p, err := workloads.CoreMark.Program(iters, compress)
+			if err != nil {
+				return armOut{}, err
+			}
+			r, err := runProgram(ctx, p, core.XT910Config(), defaultSys(), nil)
+			if err != nil {
+				return armOut{}, err
+			}
+			return armOut{size: len(p.Data), cycles: r.Cycles, exit: r.Exit}, nil
+		}
+	}
+	runs, err := runJobs(ctx, o, []string{"density/rv64g", "density/rvc"},
+		[]func(context.Context) (armOut, error){arm(false), arm(true)})
+	if err != nil {
+		return nil, err
+	}
+	plain, rvc := runs[0], runs[1]
+	if plain.exit != rvc.exit {
 		return nil, fmt.Errorf("bench: density runs disagree architecturally")
 	}
+	res := &perf.Result{ID: "density", Title: "RVC code density (CoreMark image)"}
 	res.Rows = append(res.Rows,
-		perf.Row{Label: "image bytes, RV64G only", Measured: float64(sizes[0]), Unit: "bytes"},
-		perf.Row{Label: "image bytes, with RVC", Measured: float64(sizes[1]), Unit: "bytes"},
-		perf.Row{Label: "size ratio", Measured: float64(sizes[1]) / float64(sizes[0]), Unit: "x",
+		perf.Row{Label: "image bytes, RV64G only", Measured: float64(plain.size), Unit: "bytes"},
+		perf.Row{Label: "image bytes, with RVC", Measured: float64(rvc.size), Unit: "bytes"},
+		perf.Row{Label: "size ratio", Measured: float64(rvc.size) / float64(plain.size), Unit: "x",
 			Note: "image includes data tables; label-referencing control flow stays 4-byte for deterministic two-pass layout"},
-		perf.Row{Label: "cycle ratio (RVC/uncompressed)", Measured: float64(cycles[1]) / float64(cycles[0]), Unit: "x"},
+		perf.Row{Label: "cycle ratio (RVC/uncompressed)", Measured: float64(rvc.cycles) / float64(plain.cycles), Unit: "x"},
 	)
 	return res, nil
 }

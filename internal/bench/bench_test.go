@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"strings"
 	"testing"
 )
@@ -8,7 +9,7 @@ import (
 // quick runs each figure in smoke mode and sanity-checks its shape claims.
 
 func TestFig17Shape(t *testing.T) {
-	r, err := Fig17(Options{Quick: true})
+	r, err := Fig17(context.Background(), Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -20,7 +21,7 @@ func TestFig17Shape(t *testing.T) {
 }
 
 func TestFig18Shape(t *testing.T) {
-	r, err := Fig18(Options{Quick: true})
+	r, err := Fig18(context.Background(), Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -32,7 +33,7 @@ func TestFig18Shape(t *testing.T) {
 }
 
 func TestFig19Shape(t *testing.T) {
-	r, err := Fig19(Options{Quick: true})
+	r, err := Fig19(context.Background(), Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -44,7 +45,7 @@ func TestFig19Shape(t *testing.T) {
 }
 
 func TestFig20Shape(t *testing.T) {
-	r, err := Fig20(Options{Quick: true})
+	r, err := Fig20(context.Background(), Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -59,7 +60,7 @@ func TestFig21Shape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("memory-bound sweep")
 	}
-	r, err := Fig21(Options{Quick: true})
+	r, err := Fig21(context.Background(), Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -96,7 +97,7 @@ func TestSpecShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("large footprint")
 	}
-	r, err := SpecInt(Options{Quick: true})
+	r, err := SpecInt(context.Background(), Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -108,15 +109,12 @@ func TestSpecShape(t *testing.T) {
 }
 
 func TestTableReproductions(t *testing.T) {
-	for _, fn := range []func(Options) (*struct{}, error){} {
-		_ = fn
-	}
-	r1, err := Table1(Options{})
+	r1, err := Table1(context.Background(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
 	t.Log("\n" + r1.Format())
-	r2, err := Table2(Options{})
+	r2, err := Table2(context.Background(), Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +122,7 @@ func TestTableReproductions(t *testing.T) {
 }
 
 func TestVectorMACShape(t *testing.T) {
-	r, err := VectorMAC(Options{Quick: true})
+	r, err := VectorMAC(context.Background(), Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -144,7 +142,7 @@ func TestVectorMACShape(t *testing.T) {
 }
 
 func TestASIDShape(t *testing.T) {
-	r, err := ASID(Options{Quick: true})
+	r, err := ASID(context.Background(), Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +157,7 @@ func TestHugePagesShape(t *testing.T) {
 	if testing.Short() {
 		t.Skip("memory-bound sweep")
 	}
-	r, err := HugePages(Options{Quick: true})
+	r, err := HugePages(context.Background(), Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,7 +174,7 @@ func TestHugePagesShape(t *testing.T) {
 }
 
 func TestBlockchainShape(t *testing.T) {
-	r, err := Blockchain(Options{Quick: true})
+	r, err := Blockchain(context.Background(), Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +186,7 @@ func TestBlockchainShape(t *testing.T) {
 }
 
 func TestAblationsRun(t *testing.T) {
-	r, err := Ablations(Options{Quick: true})
+	r, err := Ablations(context.Background(), Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -202,7 +200,7 @@ func TestAblationsRun(t *testing.T) {
 }
 
 func TestDensityShape(t *testing.T) {
-	r, err := Density(Options{Quick: true})
+	r, err := Density(context.Background(), Options{Quick: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,12 +1,14 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"xt910/internal/core"
 	"xt910/internal/mmu"
 	"xt910/internal/perf"
 	"xt910/internal/prefetch"
+	"xt910/internal/sched"
 	"xt910/internal/soc"
 	"xt910/internal/workloads"
 )
@@ -16,20 +18,23 @@ import (
 // delivered by Cortex-A73." The SPEC-like large-footprint workload is run on
 // both configurations; the reproduced quantity is the XT-910/A73 ratio
 // (paper: 6.11/6.75 ≈ 0.905).
-func SpecInt(o Options) (*perf.Result, error) {
+func SpecInt(ctx context.Context, o Options) (*perf.Result, error) {
 	w := workloads.SpecLike
 	iters := 1
 	if !o.Quick {
 		iters = w.DefaultIters
 	}
-	xt, err := runWorkload(w, iters, core.XT910Config(), defaultSys())
+	arm := func(cfg core.Config) func(context.Context) (runResult, error) {
+		return func(ctx context.Context) (runResult, error) {
+			return runWorkload(ctx, w, iters, cfg, defaultSys())
+		}
+	}
+	runs, err := runJobs(ctx, o, []string{"spec/xt910", "spec/a73"},
+		[]func(context.Context) (runResult, error){arm(core.XT910Config()), arm(core.A73Config())})
 	if err != nil {
 		return nil, err
 	}
-	a73, err := runWorkload(w, iters, core.A73Config(), defaultSys())
-	if err != nil {
-		return nil, err
-	}
+	xt, a73 := runs[0], runs[1]
 	if xt.Exit != a73.Exit {
 		return nil, fmt.Errorf("bench: speclike architectural mismatch")
 	}
@@ -46,7 +51,7 @@ func SpecInt(o Options) (*perf.Result, error) {
 
 // Table1 validates the configuration matrix of Table I: every legal
 // combination constructs, every illegal one is rejected.
-func Table1(Options) (*perf.Result, error) {
+func Table1(ctx context.Context, _ Options) (*perf.Result, error) {
 	res := &perf.Result{ID: "table1", Title: "XT-910 core configurations (Table I)"}
 	legal := 0
 	for _, cores := range []int{1, 2, 4} {
@@ -92,7 +97,7 @@ func Table1(Options) (*perf.Result, error) {
 
 // Table2 reports the analytical area/frequency/power model next to the
 // paper's silicon numbers (see internal/perf/areapower.go and DESIGN.md).
-func Table2(Options) (*perf.Result, error) {
+func Table2(ctx context.Context, _ Options) (*perf.Result, error) {
 	withVec := perf.XT910AreaPower(true, true)
 	noVec := perf.XT910AreaPower(false, false)
 	res := &perf.Result{ID: "table2", Title: "core performance in 12nm (analytical model)"}
@@ -110,23 +115,24 @@ func Table2(Options) (*perf.Result, error) {
 // VectorMAC reproduces the §X AI claim: XT-910 sustains 16 16-bit MACs per
 // cycle (two 64-bit slices at e16 with widening accumulate) versus the A73's
 // NEON 8. Measured as MAC throughput of the vector vs scalar dot product.
-func VectorMAC(o Options) (*perf.Result, error) {
+func VectorMAC(ctx context.Context, o Options) (*perf.Result, error) {
 	iters := 4
 	if !o.Quick {
 		iters = workloads.AIDotVector.DefaultIters
 	}
-	sc, err := runWorkload(workloads.AIDotScalar, iters, core.XT910Config(), defaultSys())
+	arm := func(w workloads.Workload) func(context.Context) (runResult, error) {
+		return func(ctx context.Context) (runResult, error) {
+			return runWorkload(ctx, w, iters, core.XT910Config(), defaultSys())
+		}
+	}
+	runs, err := runJobs(ctx, o, []string{"vector/scalar", "vector/vector", "vector/fp16"},
+		[]func(context.Context) (runResult, error){
+			arm(workloads.AIDotScalar), arm(workloads.AIDotVector), arm(workloads.AIDotFP16),
+		})
 	if err != nil {
 		return nil, err
 	}
-	vec, err := runWorkload(workloads.AIDotVector, iters, core.XT910Config(), defaultSys())
-	if err != nil {
-		return nil, err
-	}
-	fp16, err := runWorkload(workloads.AIDotFP16, iters, core.XT910Config(), defaultSys())
-	if err != nil {
-		return nil, err
-	}
+	sc, vec, fp16 := runs[0], runs[1], runs[2]
 	const macsPerIter = 2048
 	totalMACs := float64(macsPerIter * iters)
 	res := &perf.Result{ID: "vector", Title: "16-bit MAC throughput (§VII/§X AI claim)"}
@@ -144,7 +150,7 @@ func VectorMAC(o Options) (*perf.Result, error) {
 // ASID reproduces the §V-E claim: "the number of TLB flushes caused by
 // context switch is decreased by almost 10X" with the 16-bit ASID. A
 // process-churn trace drives the OS ASID allocator at both widths.
-func ASID(o Options) (*perf.Result, error) {
+func ASID(ctx context.Context, o Options) (*perf.Result, error) {
 	procs := 1 << 20
 	if o.Quick {
 		procs = 1 << 16
@@ -177,7 +183,7 @@ func max64(a, b uint64) uint64 {
 
 // HugePages reproduces the §V-E huge-page claim: 2 MB mappings cut TLB misses
 // and page-table walks on a big-array sweep versus 4 KB pages.
-func HugePages(o Options) (*perf.Result, error) {
+func HugePages(ctx context.Context, o Options) (*perf.Result, error) {
 	iters := 1
 	if !o.Quick {
 		iters = 2
@@ -187,22 +193,22 @@ func HugePages(o Options) (*perf.Result, error) {
 		return nil, err
 	}
 	sys := sysConfig{L2Size: 256 << 10, L2Ways: 8, DRAMLatency: 200, DRAMGap: 12}
-	run := func(huge bool) (runResult, error) {
-		cfg := core.XT910Config()
-		cfg.UTLBEntries = 8
-		cfg.JTLBEntries = 32
-		cfg.L1D.MSHRs = 2
-		cfg.Prefetch.Mode = prefetch.ModeOff // expose the raw TLB behaviour
-		return runProgram(prog, cfg, sys, pagedSetup(0x600000, 0x800000, huge))
+	arm := func(huge bool) func(context.Context) (runResult, error) {
+		return func(ctx context.Context) (runResult, error) {
+			cfg := core.XT910Config()
+			cfg.UTLBEntries = 8
+			cfg.JTLBEntries = 32
+			cfg.L1D.MSHRs = 2
+			cfg.Prefetch.Mode = prefetch.ModeOff // expose the raw TLB behaviour
+			return runProgram(ctx, prog, cfg, sys, pagedSetup(0x600000, 0x800000, huge))
+		}
 	}
-	small, err := run(false)
+	runs, err := runJobs(ctx, o, []string{"hugepage/4k", "hugepage/2m"},
+		[]func(context.Context) (runResult, error){arm(false), arm(true)})
 	if err != nil {
 		return nil, err
 	}
-	big, err := run(true)
-	if err != nil {
-		return nil, err
-	}
+	small, big := runs[0], runs[1]
 	if small.Exit != big.Exit {
 		return nil, fmt.Errorf("bench: hugepage runs disagree architecturally")
 	}
@@ -219,16 +225,21 @@ func HugePages(o Options) (*perf.Result, error) {
 
 // Blockchain reproduces the §I deployment claim qualitatively: the custom
 // extensions accelerate the hash-style kernel behind blockchain transactions.
-func Blockchain(o Options) (*perf.Result, error) {
+func Blockchain(ctx context.Context, o Options) (*perf.Result, error) {
 	iters := o.iters(workloads.BlockchainBase)
-	base, err := runWorkload(workloads.BlockchainBase, iters, core.XT910Config(), defaultSys())
+	arm := func(w workloads.Workload) func(context.Context) (runResult, error) {
+		return func(ctx context.Context) (runResult, error) {
+			return runWorkload(ctx, w, iters, core.XT910Config(), defaultSys())
+		}
+	}
+	runs, err := runJobs(ctx, o, []string{"blockchain/base", "blockchain/ext"},
+		[]func(context.Context) (runResult, error){
+			arm(workloads.BlockchainBase), arm(workloads.BlockchainExt),
+		})
 	if err != nil {
 		return nil, err
 	}
-	ext, err := runWorkload(workloads.BlockchainExt, iters, core.XT910Config(), defaultSys())
-	if err != nil {
-		return nil, err
-	}
+	base, ext := runs[0], runs[1]
 	res := &perf.Result{ID: "blockchain", Title: "hash kernel with custom extensions (§I/§VIII)"}
 	res.Rows = append(res.Rows,
 		perf.Row{Label: "base-ISA cycles", Measured: float64(base.Cycles), Unit: "cycles"},
@@ -239,26 +250,63 @@ func Blockchain(o Options) (*perf.Result, error) {
 	return res, nil
 }
 
-// All runs every reproduction and returns the results in paper order.
-func All(o Options) ([]*perf.Result, error) {
-	type entry struct {
-		name string
-		fn   func(Options) (*perf.Result, error)
-	}
-	entries := []entry{
+// Experiment is one named reproduction in the registry.
+type Experiment struct {
+	ID string
+	Fn func(context.Context, Options) (*perf.Result, error)
+}
+
+// Experiments returns all 14 reproductions in paper order — the order All
+// runs and cmd/xtbench prints.
+func Experiments() []Experiment {
+	return []Experiment{
 		{"table1", Table1}, {"table2", Table2},
 		{"fig17", Fig17}, {"fig18", Fig18}, {"fig19", Fig19},
 		{"spec", SpecInt}, {"fig20", Fig20}, {"fig21", Fig21},
 		{"vector", VectorMAC}, {"asid", ASID}, {"hugepage", HugePages},
-		{"blockchain", Blockchain},
+		{"blockchain", Blockchain}, {"ablation", Ablations}, {"density", Density},
 	}
-	var out []*perf.Result
-	for _, e := range entries {
-		r, err := e.fn(o)
-		if err != nil {
-			return out, fmt.Errorf("%s: %w", e.name, err)
+}
+
+// Find returns the registered experiment with the given id.
+func Find(id string) (Experiment, bool) {
+	for _, e := range Experiments() {
+		if e.ID == id {
+			return e, true
 		}
-		out = append(out, r)
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every experiment on the sched worker pool (Options.Jobs
+// wide) and returns the full per-job results — values, errors and host
+// metrics — in paper order regardless of completion order.
+func RunAll(ctx context.Context, o Options) []sched.Result {
+	exps := Experiments()
+	jobs := make([]sched.Job, len(exps))
+	for i, e := range exps {
+		e := e
+		jobs[i] = sched.Job{ID: e.ID, Run: func(ctx context.Context) (any, error) {
+			return e.Fn(ctx, o)
+		}}
+	}
+	return sched.Run(ctx, jobs, sched.Options{
+		Workers: o.workers(),
+		Timeout: o.Timeout,
+		OnDone:  o.OnProgress,
+	})
+}
+
+// All runs every reproduction and returns the results in paper order: the
+// successful prefix and, when a job failed, the first error in that order
+// (matching what a serial run would have reported).
+func All(ctx context.Context, o Options) ([]*perf.Result, error) {
+	var out []*perf.Result
+	for _, r := range RunAll(ctx, o) {
+		if r.Err != nil {
+			return out, r.Err
+		}
+		out = append(out, r.Value.(*perf.Result))
 	}
 	return out, nil
 }

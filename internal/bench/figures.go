@@ -1,6 +1,7 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 
 	"xt910/internal/asm"
@@ -16,7 +17,7 @@ import (
 // CoreMark/MHz is a property of the real binary; the reproduced quantities
 // are iterations per mega-cycle per configuration and the XT-910/U74 ratio,
 // whose paper value is 7.1/5.1 ≈ 1.39.
-func Fig17(o Options) (*perf.Result, error) {
+func Fig17(ctx context.Context, o Options) (*perf.Result, error) {
 	w := workloads.CoreMark
 	iters := o.iters(w)
 	res := &perf.Result{ID: "fig17", Title: "CoreMark scores (iterations per Mcycle; ratio vs U74-class)"}
@@ -29,12 +30,22 @@ func Fig17(o Options) (*perf.Result, error) {
 		{core.U74Config(), 5.1},
 		{core.A73Config(), 0}, // not in Fig. 17; shown for context
 	}
-	var xt, u74 float64
-	for _, p := range points {
-		r, err := runWorkload(w, iters, p.cfg, defaultSys())
-		if err != nil {
-			return nil, err
+	ids := make([]string, len(points))
+	fns := make([]func(context.Context) (runResult, error), len(points))
+	for i, p := range points {
+		cfg := p.cfg
+		ids[i] = "fig17/" + cfg.Name
+		fns[i] = func(ctx context.Context) (runResult, error) {
+			return runWorkload(ctx, w, iters, cfg, defaultSys())
 		}
+	}
+	runs, err := runJobs(ctx, o, ids, fns)
+	if err != nil {
+		return nil, err
+	}
+	var xt, u74 float64
+	for i, p := range points {
+		r := runs[i]
 		score := float64(iters) / (float64(r.Cycles) / 1e6)
 		res.Rows = append(res.Rows, perf.Row{
 			Label: p.cfg.Name, Measured: score, Paper: p.paper,
@@ -58,28 +69,39 @@ func Fig17(o Options) (*perf.Result, error) {
 
 // Fig18 reproduces the EEMBC comparison, normalized to the Cortex-A73-class
 // machine (§X Fig. 18 shows XT-910 ≈ parity across the suite).
-func Fig18(o Options) (*perf.Result, error) {
-	return suiteVsA73("fig18", "EEMBC kernels, normalized to A73-class", workloads.EEMBC(), o)
+func Fig18(ctx context.Context, o Options) (*perf.Result, error) {
+	return suiteVsA73(ctx, "fig18", "EEMBC kernels, normalized to A73-class", workloads.EEMBC(), o)
 }
 
 // Fig19 reproduces the NBench comparison (§X Fig. 19: ≈ parity with A73).
-func Fig19(o Options) (*perf.Result, error) {
-	return suiteVsA73("fig19", "NBench kernels, normalized to A73-class", workloads.NBench(), o)
+func Fig19(ctx context.Context, o Options) (*perf.Result, error) {
+	return suiteVsA73(ctx, "fig19", "NBench kernels, normalized to A73-class", workloads.NBench(), o)
 }
 
-func suiteVsA73(id, title string, suite []workloads.Workload, o Options) (*perf.Result, error) {
+// suiteVsA73 runs every workload on both configurations — one job per
+// (workload, config) arm — and reports per-workload ratios plus the geomean.
+func suiteVsA73(ctx context.Context, id, title string, suite []workloads.Workload, o Options) (*perf.Result, error) {
+	var ids []string
+	var fns []func(context.Context) (runResult, error)
+	for _, w := range suite {
+		w := w
+		iters := o.iters(w)
+		for _, cfgOf := range []func() core.Config{core.XT910Config, core.A73Config} {
+			cfg := cfgOf()
+			ids = append(ids, id+"/"+w.Name+"/"+cfg.Name)
+			fns = append(fns, func(ctx context.Context) (runResult, error) {
+				return runWorkload(ctx, w, iters, cfg, defaultSys())
+			})
+		}
+	}
+	runs, err := runJobs(ctx, o, ids, fns)
+	if err != nil {
+		return nil, err
+	}
 	res := &perf.Result{ID: id, Title: title}
 	var ratios []float64
-	for _, w := range suite {
-		iters := o.iters(w)
-		xt, err := runWorkload(w, iters, core.XT910Config(), defaultSys())
-		if err != nil {
-			return nil, err
-		}
-		a73, err := runWorkload(w, iters, core.A73Config(), defaultSys())
-		if err != nil {
-			return nil, err
-		}
+	for i, w := range suite {
+		xt, a73 := runs[2*i], runs[2*i+1]
 		if xt.Exit != a73.Exit {
 			return nil, fmt.Errorf("bench: %s architectural mismatch across configs", w.Name)
 		}
@@ -97,45 +119,64 @@ func suiteVsA73(id, title string, suite []workloads.Workload, o Options) (*perf.
 // Fig20 reproduces the toolchain co-optimization study: "the performance of
 // XT-910 with instruction extensions and optimized compiler has been improved
 // by about 20%" (§X). Each IR kernel is compiled by the baseline and the
-// optimized+extensions backends and timed on the XT-910 configuration.
-func Fig20(o Options) (*perf.Result, error) {
-	res := &perf.Result{ID: "fig20", Title: "instruction extensions + optimized compiler vs native"}
-	var ratios []float64
-	for _, f := range compiler.Fig20Kernels() {
+// optimized+extensions backends and timed on the XT-910 configuration — one
+// job per (kernel, backend) arm.
+func Fig20(ctx context.Context, o Options) (*perf.Result, error) {
+	type armOut struct {
+		cycles uint64
+		exit   int
+		static int
+	}
+	kernels := compiler.Fig20Kernels()
+	backends := []compiler.Backend{
+		compiler.Baseline{},
+		compiler.Optimized{UseCustomExt: true},
+	}
+	var ids []string
+	var fns []func(context.Context) (armOut, error)
+	for _, f := range kernels {
+		f := f
 		if o.Quick {
 			f.Repeat = 2
 		}
-		var cycles [2]uint64
-		var exits [2]int
-		var static [2]int
-		for i, be := range []compiler.Backend{
-			compiler.Baseline{},
-			compiler.Optimized{UseCustomExt: true},
-		} {
-			src, err := be.Compile(f)
-			if err != nil {
-				return nil, err
-			}
-			static[i] = compiler.StaticInsts(src)
-			p, err := asm.Assemble(src, asm.Options{Base: 0x1000, Compress: true})
-			if err != nil {
-				return nil, err
-			}
-			r, err := runProgram(p, core.XT910Config(), defaultSys(), nil)
-			if err != nil {
-				return nil, err
-			}
-			cycles[i] = r.Cycles
-			exits[i] = r.Exit
+		for bi, be := range backends {
+			be := be
+			name := [2]string{"base", "opt"}[bi]
+			ids = append(ids, "fig20/"+f.Name+"/"+name)
+			fns = append(fns, func(ctx context.Context) (armOut, error) {
+				src, err := be.Compile(f)
+				if err != nil {
+					return armOut{}, err
+				}
+				static := compiler.StaticInsts(src)
+				p, err := asm.Assemble(src, asm.Options{Base: 0x1000, Compress: true})
+				if err != nil {
+					return armOut{}, err
+				}
+				r, err := runProgram(ctx, p, core.XT910Config(), defaultSys(), nil)
+				if err != nil {
+					return armOut{}, err
+				}
+				return armOut{cycles: r.Cycles, exit: r.Exit, static: static}, nil
+			})
 		}
-		if exits[0] != exits[1] {
+	}
+	runs, err := runJobs(ctx, o, ids, fns)
+	if err != nil {
+		return nil, err
+	}
+	res := &perf.Result{ID: "fig20", Title: "instruction extensions + optimized compiler vs native"}
+	var ratios []float64
+	for i, f := range kernels {
+		base, opt := runs[2*i], runs[2*i+1]
+		if base.exit != opt.exit {
 			return nil, fmt.Errorf("bench: %s backends disagree architecturally", f.Name)
 		}
-		ratio := float64(cycles[0]) / float64(cycles[1])
+		ratio := float64(base.cycles) / float64(opt.cycles)
 		ratios = append(ratios, ratio)
 		res.Rows = append(res.Rows, perf.Row{
 			Label: f.Name, Measured: ratio, Unit: "x speedup",
-			Note: fmt.Sprintf("static insts %d -> %d", static[0], static[1]),
+			Note: fmt.Sprintf("static insts %d -> %d", base.static, opt.static),
 		})
 	}
 	res.Rows = append(res.Rows, perf.Row{
@@ -149,8 +190,9 @@ func Fig20(o Options) (*perf.Result, error) {
 // Fig21 reproduces the prefetch study on STREAM (§X Fig. 21): five scenarios
 // a–e over a ~200-cycle memory, run under SV39 4 KB paging so the TLB
 // prefetcher has work to do. The paper's speedups over scenario a are
-// b=3.8x, c=4.9x, d=5.4x and e ≈ d − 2.4%.
-func Fig21(o Options) (*perf.Result, error) {
+// b=3.8x, c=4.9x, d=5.4x and e ≈ d − 2.4%. Each scenario is one job; the
+// speedup column is computed afterwards against scenario a's cycles.
+func Fig21(ctx context.Context, o Options) (*perf.Result, error) {
 	type scenario struct {
 		label string
 		paper float64
@@ -184,30 +226,36 @@ func Fig21(o Options) (*perf.Result, error) {
 	sys := sysConfig{L2Size: 256 << 10, L2Ways: 8, DRAMLatency: 200, DRAMGap: 12}
 	setup := pagedSetup(0x600000, 0x800000, false)
 
-	res := &perf.Result{ID: "fig21", Title: "prefetch impact on STREAM (speedup vs scenario a)"}
-	var baseCycles uint64
-	var exits []int
-	for _, sc := range scenarios {
-		cfg := core.XT910Config()
-		cfg.Prefetch = sc.pf
-		cfg.L1D.MSHRs = 1 // FPGA-harness memory path concurrency (see DESIGN.md)
-		r, err := runProgram(prog, cfg, sys, setup)
-		if err != nil {
-			return nil, fmt.Errorf("scenario %q: %w", sc.label, err)
+	ids := make([]string, len(scenarios))
+	fns := make([]func(context.Context) (runResult, error), len(scenarios))
+	for i, sc := range scenarios {
+		sc := sc
+		ids[i] = "fig21/" + sc.label[:1]
+		fns[i] = func(ctx context.Context) (runResult, error) {
+			cfg := core.XT910Config()
+			cfg.Prefetch = sc.pf
+			cfg.L1D.MSHRs = 1 // FPGA-harness memory path concurrency (see DESIGN.md)
+			r, err := runProgram(ctx, prog, cfg, sys, setup)
+			if err != nil {
+				return runResult{}, fmt.Errorf("scenario %q: %w", sc.label, err)
+			}
+			return r, nil
 		}
-		exits = append(exits, r.Exit)
-		if baseCycles == 0 {
-			baseCycles = r.Cycles
-		}
-		res.Rows = append(res.Rows, perf.Row{
-			Label: sc.label, Measured: float64(baseCycles) / float64(r.Cycles),
-			Paper: sc.paper, Unit: "x vs a",
-		})
 	}
-	for _, e := range exits[1:] {
-		if e != exits[0] {
+	runs, err := runJobs(ctx, o, ids, fns)
+	if err != nil {
+		return nil, err
+	}
+	res := &perf.Result{ID: "fig21", Title: "prefetch impact on STREAM (speedup vs scenario a)"}
+	baseCycles := runs[0].Cycles
+	for i, sc := range scenarios {
+		if runs[i].Exit != runs[0].Exit {
 			return nil, fmt.Errorf("bench: fig21 scenarios disagree architecturally")
 		}
+		res.Rows = append(res.Rows, perf.Row{
+			Label: sc.label, Measured: float64(baseCycles) / float64(runs[i].Cycles),
+			Paper: sc.paper, Unit: "x vs a",
+		})
 	}
 	res.Notes = append(res.Notes,
 		"single-MSHR demand path models the FPGA memory controller (DESIGN.md)")

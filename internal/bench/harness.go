@@ -2,10 +2,19 @@
 // and figure in the evaluation (§X), each returning a perf.Result with the
 // measured values next to the paper's. cmd/xtbench prints them; bench_test.go
 // wires them into `go test -bench`.
+//
+// Every experiment takes a context.Context and runs its independent simulator
+// instances (core-config arms, scenarios, ablation studies) as jobs on the
+// internal/sched worker pool, so a multi-core host reproduces the whole
+// evaluation in parallel. Results are assembled in a fixed order from
+// per-arm jobs, which makes the output byte-identical whatever Options.Jobs
+// is set to.
 package bench
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"xt910/internal/asm"
 	"xt910/internal/cache"
@@ -13,14 +22,31 @@ import (
 	"xt910/internal/core"
 	"xt910/internal/mem"
 	"xt910/internal/mmu"
+	"xt910/internal/sched"
 	"xt910/internal/workloads"
+	"xt910/internal/xterrors"
 	"xt910/isa"
 )
 
-// Options tunes harness cost. Quick shrinks iteration counts for smoke runs
-// (unit tests); the full settings are sized for the real reproduction.
+// Options tunes harness cost and concurrency. Quick shrinks iteration counts
+// for smoke runs (unit tests); the full settings are sized for the real
+// reproduction.
 type Options struct {
 	Quick bool
+
+	// Jobs bounds worker-pool concurrency for experiments and their arms
+	// (the xtbench -jobs flag). Values <= 1 run everything serially; the
+	// experiment tables are byte-identical either way.
+	Jobs int
+
+	// Timeout, when positive, is the per-experiment deadline (the xtbench
+	// -timeout flag); a deadline overrun surfaces as a *sched.JobError
+	// wrapping context.DeadlineExceeded.
+	Timeout time.Duration
+
+	// OnProgress, when set, receives each experiment's sched.Result as it
+	// completes: wall time, simulated cycles, sim-cycles per host second.
+	OnProgress func(sched.Result)
 }
 
 func (o Options) iters(w workloads.Workload) int {
@@ -32,6 +58,36 @@ func (o Options) iters(w workloads.Workload) int {
 		return n
 	}
 	return w.DefaultIters
+}
+
+// workers is the bounded pool width used for an experiment's internal arms.
+func (o Options) workers() int {
+	if o.Jobs < 1 {
+		return 1
+	}
+	return o.Jobs
+}
+
+// runJobs fans the given thunks out on the experiment's worker pool and
+// returns their values in submission order (deterministic regardless of
+// concurrency), or the first job-order error.
+func runJobs[T any](ctx context.Context, o Options, ids []string, fns []func(context.Context) (T, error)) ([]T, error) {
+	jobs := make([]sched.Job, len(fns))
+	for i := range fns {
+		fn := fns[i]
+		jobs[i] = sched.Job{ID: ids[i], Run: func(ctx context.Context) (any, error) {
+			return fn(ctx)
+		}}
+	}
+	rs := sched.Run(ctx, jobs, sched.Options{Workers: o.workers()})
+	if err := sched.FirstError(rs); err != nil {
+		return nil, err
+	}
+	out := make([]T, len(rs))
+	for i, r := range rs {
+		out[i] = r.Value.(T)
+	}
+	return out, nil
 }
 
 // runResult captures one measured execution.
@@ -57,8 +113,11 @@ func defaultSys() sysConfig {
 	return sysConfig{L2Size: 2 << 20, L2Ways: 16, DRAMLatency: 200, DRAMGap: 4}
 }
 
-// runProgram executes an assembled program on a fresh single-core system.
-func runProgram(p *asm.Program, cfg core.Config, sys sysConfig, setup func(*core.Core, *mem.Memory)) (runResult, error) {
+// runProgram executes an assembled program on a fresh single-core system,
+// polling ctx between simulation chunks so a cancelled or timed-out
+// experiment stops promptly. Simulated cycles are credited to the enclosing
+// sched job for the metrics stream.
+func runProgram(ctx context.Context, p *asm.Program, cfg core.Config, sys sysConfig, setup func(*core.Core, *mem.Memory)) (runResult, error) {
 	memory := mem.NewMemory()
 	gap := sys.DRAMGap
 	if gap == 0 {
@@ -75,9 +134,18 @@ func runProgram(p *asm.Program, cfg core.Config, sys sysConfig, setup func(*core
 	if setup != nil {
 		setup(c, memory)
 	}
-	c.Run(2_000_000_000)
+	const maxCycles = 2_000_000_000
+	const chunk = 1 << 16
+	for !c.Halted && c.Stats.Cycles < maxCycles {
+		if err := ctx.Err(); err != nil {
+			sched.AddCycles(ctx, c.Stats.Cycles)
+			return runResult{}, err
+		}
+		c.Run(chunk)
+	}
+	sched.AddCycles(ctx, c.Stats.Cycles)
 	if !c.Halted {
-		return runResult{}, fmt.Errorf("bench: %s did not halt (%s)", cfg.Name, c.Stats.String())
+		return runResult{}, fmt.Errorf("bench: %s (%s): %w", cfg.Name, c.Stats.String(), xterrors.ErrDidNotHalt)
 	}
 	return runResult{
 		Cycles:  c.Stats.Cycles,
@@ -89,12 +157,12 @@ func runProgram(p *asm.Program, cfg core.Config, sys sysConfig, setup func(*core
 }
 
 // runWorkload assembles and runs a workload.
-func runWorkload(w workloads.Workload, iters int, cfg core.Config, sys sysConfig) (runResult, error) {
+func runWorkload(ctx context.Context, w workloads.Workload, iters int, cfg core.Config, sys sysConfig) (runResult, error) {
 	p, err := w.Program(iters, true)
 	if err != nil {
 		return runResult{}, err
 	}
-	return runProgram(p, cfg, sys, nil)
+	return runProgram(ctx, p, cfg, sys, nil)
 }
 
 // pagedSetup builds identity-mapped SV39 tables (4 KB or huge pages) behind

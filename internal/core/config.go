@@ -71,6 +71,12 @@ type Config struct {
 	// off the core traps on them, operating "fully compatible with the
 	// standard RISC-V" (§II).
 	EnableCustomExt bool
+
+	// PredecodeCache enables the host-side raw-bytes→isa.Inst fetch cache
+	// (predecode.go). It is a simulator speedup, not a modelled structure:
+	// it never serves stale bytes (invalidated on committed stores and
+	// fence.i), but toggling it may shift TLB access patterns slightly.
+	PredecodeCache bool
 }
 
 // XT910Config returns the paper's machine: triple-issue decode, 8-slot issue,
@@ -115,6 +121,7 @@ func XT910Config() Config {
 		EnableVector:    true,
 		VLEN:            128,
 		EnableCustomExt: true,
+		PredecodeCache:  true,
 	}
 }
 

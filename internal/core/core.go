@@ -32,6 +32,10 @@ type Core struct {
 
 	Vec *vector.Unit
 
+	// predec caches raw fetch bytes → decoded instructions (predecode.go);
+	// nil when Cfg.PredecodeCache is off.
+	predec *predecode
+
 	// pipeline state
 	now      uint64
 	seq      uint64
@@ -172,14 +176,31 @@ func New(cfg Config, id int, memory *mem.Memory, l2 *coherence.L2) *Core {
 	c.pf, c.rat = newPhysFile(cfg.IntPhysRegs, cfg.FpPhysRegs)
 	c.archRAT = append([]int16(nil), c.rat...)
 	c.csr[isa.CSRMhartid] = uint64(id)
+	if cfg.PredecodeCache {
+		c.predec = newPredecode()
+	}
 	return c
 }
 
 // Reset re-points the core at a new entry PC with a given stack pointer.
+// Any predecoded instructions are dropped: Reset typically follows a program
+// load that rewrote memory behind the core's back.
 func (c *Core) Reset(pc, sp uint64) {
 	c.fetchPC = pc
 	c.pf.write(c.rat[isa.SP], sp, 0)
 	c.Halted = false
+	if c.predec != nil {
+		c.predec.flush()
+	}
+}
+
+// InvalidatePredecode drops cached decodes covering [pa, pa+size). The SoC
+// calls it on every hart when any hart commits a store, so cross-core
+// self-modifying code behaves exactly as it does without the cache.
+func (c *Core) InvalidatePredecode(pa uint64, size int) {
+	if c.predec != nil {
+		c.predec.invalidate(pa, size)
+	}
 }
 
 // SetReg writes an architectural integer/FP register (pre-run setup).

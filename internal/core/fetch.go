@@ -143,32 +143,49 @@ func (c *Core) redirectFetch(branchPC, target uint64) {
 }
 
 // decodeAt decodes the instruction at pc, reading through the MMU when
-// translation is active.
+// translation is active. With the predecode cache enabled, a prior decode of
+// the same physical address is reused without touching memory or the
+// bit-level decoder; the cache is kept coherent with committed stores and
+// fence.i (see predecode.go).
 func (c *Core) decodeAt(pc uint64) (isa.Inst, bool) {
-	lo, ok := c.fetchHalf(pc)
-	if !ok {
-		return isa.Inst{}, false
-	}
-	if lo&3 == 3 {
-		hi, ok := c.fetchHalf(pc + 2)
-		if !ok {
-			return isa.Inst{}, false
-		}
-		return isa.Decode(uint32(lo) | uint32(hi)<<16), true
-	}
-	return isa.Decode16(lo), true
-}
-
-func (c *Core) fetchHalf(pc uint64) (uint16, bool) {
 	pa := pc
 	if c.MMU.Enabled() {
 		var err error
 		pa, _, err = c.MMU.Translate(pc, mmu.AccFetch, c.now)
 		if err != nil {
-			return 0, false
+			return isa.Inst{}, false
 		}
 	}
-	return uint16(c.Mem.Read(pa, 2)), true
+	if c.predec != nil {
+		if in, ok := c.predec.lookup(pa); ok {
+			c.Stats.PredecodeHits++
+			return in, true
+		}
+		c.Stats.PredecodeMisses++
+	}
+	lo := uint16(c.Mem.Read(pa, 2))
+	if lo&3 != 3 {
+		in := isa.Decode16(lo)
+		if c.predec != nil {
+			c.predec.insert(pa, in)
+		}
+		return in, true
+	}
+	pa2 := pa + 2
+	if c.MMU.Enabled() && (pc+2)&4095 == 0 {
+		// the upper halfword lives on the next virtual page
+		var err error
+		pa2, _, err = c.MMU.Translate(pc+2, mmu.AccFetch, c.now)
+		if err != nil {
+			return isa.Inst{}, false
+		}
+	}
+	in := isa.Decode(uint32(lo) | uint32(uint16(c.Mem.Read(pa2, 2)))<<16)
+	if c.predec != nil && pa2 == pa+2 {
+		// only physically-contiguous instructions are cacheable
+		c.predec.insert(pa, in)
+	}
+	return in, true
 }
 
 // injectFetchFault enqueues a faulting pseudo-instruction so the instruction

@@ -1,0 +1,75 @@
+package core
+
+import "xt910/isa"
+
+// predecode is a direct-mapped cache of decoded instructions keyed by
+// physical address: raw fetch bytes → isa.Inst, so steady-state fetch skips
+// the bit-level decoder (and the second halfword read of 4-byte encodings)
+// on every cycle. It is a host-simulation optimization with no architectural
+// or timing meaning of its own — the real XT-910 has no such structure — so
+// correctness demands it never serve stale bytes: entries covering a
+// committed store (this hart's or, via the coherence fabric, any other
+// hart's) are dropped immediately, and fence.i / icache.iall flush it
+// entirely, mirroring what they do to the L1I.
+//
+// Keying by physical address makes the cache immune to virtual aliasing and
+// satp changes; an instruction whose two halfwords are not physically
+// contiguous (a page-crossing fetch) is simply never cached.
+const (
+	predecodeEntries = 1 << 12 // 2-byte granules, direct-mapped
+	predecodeMask    = predecodeEntries - 1
+)
+
+type predecode struct {
+	// tag[i] holds pa|1 for a valid entry describing the instruction whose
+	// first halfword lives at pa; 0 is free (pa is always 2-byte aligned,
+	// so bit 0 doubles as the valid bit).
+	tag  [predecodeEntries]uint64
+	inst [predecodeEntries]isa.Inst
+}
+
+func newPredecode() *predecode { return &predecode{} }
+
+func predecodeIdx(pa uint64) uint64 { return (pa >> 1) & predecodeMask }
+
+func (p *predecode) lookup(pa uint64) (isa.Inst, bool) {
+	i := predecodeIdx(pa)
+	if p.tag[i] == pa|1 {
+		return p.inst[i], true
+	}
+	return isa.Inst{}, false
+}
+
+func (p *predecode) insert(pa uint64, in isa.Inst) {
+	if pa&1 != 0 {
+		return // misaligned fetch: not cacheable
+	}
+	i := predecodeIdx(pa)
+	p.tag[i] = pa | 1
+	p.inst[i] = in
+}
+
+// invalidate drops every entry whose instruction bytes overlap [pa, pa+size).
+// An entry starting at t covers at most t..t+3, so the scan starts two bytes
+// below the write.
+func (p *predecode) invalidate(pa uint64, size int) {
+	if size <= 0 {
+		return
+	}
+	lo := pa &^ 1
+	if lo >= 2 {
+		lo -= 2
+	} else {
+		lo = 0
+	}
+	for g := lo; g < pa+uint64(size); g += 2 {
+		i := predecodeIdx(g)
+		if p.tag[i] == g|1 {
+			p.tag[i] = 0
+		}
+	}
+}
+
+func (p *predecode) flush() {
+	clear(p.tag[:])
+}

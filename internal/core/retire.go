@@ -194,6 +194,9 @@ func (c *Core) executeAtRetire(u *uop) bool {
 			u.redirectTo = nextPC
 		case isa.FENCEI:
 			c.L1I.Cache.InvalidateAll()
+			if c.predec != nil {
+				c.predec.flush()
+			}
 			u.flushAfter = true
 			u.redirectTo = nextPC
 		case isa.WFI:
@@ -300,8 +303,10 @@ func (c *Core) execAMOAtRetire(u *uop) bool {
 	return true
 }
 
-// notifyWrite publishes a committed write to the SoC fabric.
+// notifyWrite publishes a committed write to the SoC fabric and drops any
+// predecoded instructions the write overlaps (self-modifying code).
 func (c *Core) notifyWrite(pa uint64, size int) {
+	c.InvalidatePredecode(pa, size)
 	if c.MemWriteHook != nil {
 		c.MemWriteHook(pa, size, c.ID)
 	}
@@ -335,6 +340,9 @@ func (c *Core) execCacheOpAtRetire(u *uop) {
 		c.L1D.FlushVA(c.srcVal(u, 0), true, c.now)
 	case isa.XICACHEIALL:
 		c.L1I.Cache.InvalidateAll()
+		if c.predec != nil {
+			c.predec.flush()
+		}
 		u.flushAfter = true
 		u.redirectTo = nextPC
 	case isa.XSYNC:

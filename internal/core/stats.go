@@ -47,6 +47,11 @@ type Stats struct {
 
 	PFDroppedTLB uint64
 
+	// PredecodeHits/Misses count fetch-path decodes served by (or filled
+	// into) the host-side predecode cache.
+	PredecodeHits   uint64
+	PredecodeMisses uint64
+
 	// HeadStall* histogram why retirement was blocked (cycles, by the class
 	// of the ROB-head instruction) — the profiler view of where time goes.
 	HeadStallLoad  uint64

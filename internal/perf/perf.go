@@ -9,21 +9,22 @@ import (
 	"strings"
 )
 
-// Row is one line of a reproduced table or figure.
+// Row is one line of a reproduced table or figure. The JSON names feed the
+// xtbench -json output.
 type Row struct {
-	Label    string
-	Measured float64
-	Paper    float64 // 0: the paper gives no number for this row
-	Unit     string
-	Note     string
+	Label    string  `json:"label"`
+	Measured float64 `json:"measured"`
+	Paper    float64 `json:"paper,omitempty"` // 0: the paper gives no number for this row
+	Unit     string  `json:"unit,omitempty"`
+	Note     string  `json:"note,omitempty"`
 }
 
 // Result is one reproduced experiment.
 type Result struct {
-	ID    string // "fig17", "table2", …
-	Title string
-	Rows  []Row
-	Notes []string
+	ID    string   `json:"id"` // "fig17", "table2", …
+	Title string   `json:"title"`
+	Rows  []Row    `json:"rows"`
+	Notes []string `json:"notes,omitempty"`
 }
 
 // Format renders the result as an aligned text table.

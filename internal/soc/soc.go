@@ -6,6 +6,8 @@
 package soc
 
 import (
+	"context"
+
 	"xt910/internal/asm"
 	"xt910/internal/cache"
 	"xt910/internal/coherence"
@@ -162,11 +164,14 @@ func (s *System) broadcastTLB(op isa.Op, operand uint64, from int) {
 }
 
 // killReservations invalidates other harts' LR/SC reservations covering a
-// committed write (the coherence invalidation a real SC relies on).
+// committed write (the coherence invalidation a real SC relies on), and
+// drops their predecoded instructions over the written range so cross-core
+// self-modifying code stays exact.
 func (s *System) killReservations(pa uint64, size int, from int) {
 	for _, c := range s.Cores {
 		if c.ID != from {
 			c.KillReservation(pa, size)
+			c.InvalidatePredecode(pa, size)
 		}
 	}
 }
@@ -205,11 +210,25 @@ func (s *System) Step() {
 	}
 }
 
-// Run steps until every core halts or maxCycles elapse. It returns the number
-// of cycles simulated.
-func (s *System) Run(maxCycles uint64) uint64 {
+// runCheckMask controls how often RunContext polls for cancellation: every
+// 1024 simulated cycles, cheap enough to disappear in the noise yet prompt
+// enough that a cancelled experiment stops within microseconds of host time.
+const runCheckMask = 1<<10 - 1
+
+// RunContext steps until every core halts, maxCycles elapse, or ctx is
+// cancelled. It returns the number of cycles simulated and the context's
+// error when the run was cut short by cancellation or deadline; the cycle
+// count up to that point is still meaningful. Stepping is identical to Run,
+// so a given program and configuration produce the same cycle count whether
+// or not a context carries a (non-expiring) deadline.
+func (s *System) RunContext(ctx context.Context, maxCycles uint64) (uint64, error) {
 	var cycles uint64
 	for ; cycles < maxCycles; cycles++ {
+		if cycles&runCheckMask == 0 {
+			if err := ctx.Err(); err != nil {
+				return cycles, err
+			}
+		}
 		allHalted := true
 		s.CLINT.Tick()
 		for _, c := range s.Cores {
@@ -222,6 +241,13 @@ func (s *System) Run(maxCycles uint64) uint64 {
 			break
 		}
 	}
+	return cycles, nil
+}
+
+// Run steps until every core halts or maxCycles elapse. It returns the number
+// of cycles simulated.
+func (s *System) Run(maxCycles uint64) uint64 {
+	cycles, _ := s.RunContext(context.Background(), maxCycles)
 	return cycles
 }
 

@@ -1,0 +1,21 @@
+// Package xterrors defines the sentinel errors shared by the public xt910
+// facade and the internal harnesses. They live in an internal package so that
+// internal code (the bench harness, the scheduler) can wrap them with %w
+// while the facade re-exports the same values as xt910.Err*; errors.Is
+// matches across both spellings because they are the identical values.
+package xterrors
+
+import "errors"
+
+var (
+	// ErrInvalidConfig reports a system or core configuration outside the
+	// Table I envelope.
+	ErrInvalidConfig = errors.New("invalid configuration")
+
+	// ErrNoProgram reports a run attempted before any program was loaded.
+	ErrNoProgram = errors.New("no program loaded")
+
+	// ErrDidNotHalt reports a simulation that exhausted its cycle budget
+	// without every hart reaching the host exit syscall.
+	ErrDidNotHalt = errors.New("simulation did not halt")
+)

@@ -15,12 +15,29 @@
 package xt910
 
 import (
+	"context"
+	"fmt"
+
 	"xt910/internal/asm"
 	"xt910/internal/core"
 	"xt910/internal/emu"
 	"xt910/internal/mem"
 	"xt910/internal/soc"
+	"xt910/internal/xterrors"
 	"xt910/isa"
+)
+
+// Sentinel errors returned (wrapped) by the facade; match with errors.Is.
+var (
+	// ErrInvalidConfig reports a configuration outside the Table I envelope
+	// (returned by NewSystem).
+	ErrInvalidConfig = xterrors.ErrInvalidConfig
+	// ErrNoProgram reports RunContext called before LoadProgram/LoadAssembly.
+	ErrNoProgram = xterrors.ErrNoProgram
+	// ErrDidNotHalt reports a run that exhausted its cycle budget with at
+	// least one hart still executing (returned by RunContext and the bench
+	// harness).
+	ErrDidNotHalt = xterrors.ErrDidNotHalt
 )
 
 // CoreConfig selects a core microarchitecture; see XT910Core, U74Core and
@@ -64,41 +81,115 @@ func Assemble(src string, opts AsmOptions) (*Program, error) {
 // System is a simulated XT-910 machine.
 type System struct {
 	*soc.System
+	loaded bool
 }
 
-// NewSystem builds a system from cfg (validated against Table I).
+// NewSystem builds a system from cfg (validated against Table I). A rejected
+// configuration satisfies errors.Is(err, ErrInvalidConfig); the wrapped
+// *core.ConfigError carries the specific Table I bound that failed.
 func NewSystem(cfg Config) (*System, error) {
 	s, err := soc.New(cfg)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("xt910: %w: %w", ErrInvalidConfig, err)
 	}
 	return &System{System: s}, nil
+}
+
+// LoadProgram loads an assembled image and resets every core to its entry.
+func (s *System) LoadProgram(p *Program) {
+	s.System.LoadProgram(p)
+	s.loaded = true
 }
 
 // LoadAssembly assembles src and loads it, resetting all cores to its entry.
 func (s *System) LoadAssembly(src string, opts AsmOptions) (*Program, error) {
 	p, err := asm.Assemble(src, opts)
 	if err != nil {
-		return nil, err
+		return nil, fmt.Errorf("xt910: assemble: %w", err)
 	}
 	s.LoadProgram(p)
 	return p, nil
 }
 
-// Core returns hart i's core model (predictors, caches, MMU, counters).
-func (s *System) Core(i int) *core.Core { return s.Cores[i] }
+// RunContext steps the machine until every hart halts, maxCycles elapse, or
+// ctx is cancelled. It returns the number of cycles simulated along with:
+//
+//   - nil when every hart reached the host exit syscall;
+//   - a ctx error (matching context.Canceled / context.DeadlineExceeded via
+//     errors.Is) when the run was cut short — the machine stays inspectable
+//     and resumable at the cycle it stopped on;
+//   - ErrNoProgram when nothing was loaded;
+//   - ErrDidNotHalt when the cycle budget ran out first.
+func (s *System) RunContext(ctx context.Context, maxCycles uint64) (uint64, error) {
+	if !s.loaded {
+		return 0, fmt.Errorf("xt910: run: %w", ErrNoProgram)
+	}
+	cycles, err := s.System.RunContext(ctx, maxCycles)
+	if err != nil {
+		return cycles, fmt.Errorf("xt910: run cancelled after %d cycles: %w", cycles, err)
+	}
+	if !s.AllHalted() {
+		return cycles, fmt.Errorf("xt910: %w after %d cycles", ErrDidNotHalt, cycles)
+	}
+	return cycles, nil
+}
 
-// ExitCode returns hart i's exit status (valid after it halts).
-func (s *System) ExitCode(i int) int { return s.Cores[i].ExitCode }
+// Run steps until every hart halts or maxCycles elapse and returns the number
+// of cycles simulated — the pre-context API, kept as a thin wrapper so
+// existing callers compile unchanged. Use RunContext for cancellation,
+// deadlines and typed errors.
+func (s *System) Run(maxCycles uint64) uint64 {
+	return s.System.Run(maxCycles)
+}
 
-// Output returns the bytes hart i wrote through the host write syscall.
-func (s *System) Output(i int) []byte { return s.Cores[i].Output }
+// hart returns hart i's core, or nil when i is out of range — accessors below
+// degrade to zero values instead of panicking on a bad hart index.
+func (s *System) hart(i int) *core.Core {
+	if i < 0 || i >= len(s.Cores) {
+		return nil
+	}
+	return s.Cores[i]
+}
 
-// Stats returns hart i's performance counters.
-func (s *System) Stats(i int) *Stats { return &s.Cores[i].Stats }
+// Core returns hart i's core model (predictors, caches, MMU, counters), or
+// nil when i is out of range.
+func (s *System) Core(i int) *core.Core { return s.hart(i) }
 
-// Reg reads hart i's architectural register.
-func (s *System) Reg(hart int, r isa.Reg) uint64 { return s.Cores[hart].Reg(r) }
+// ExitCode returns hart i's exit status (valid after it halts); 0 for an
+// out-of-range hart.
+func (s *System) ExitCode(i int) int {
+	if c := s.hart(i); c != nil {
+		return c.ExitCode
+	}
+	return 0
+}
+
+// Output returns the bytes hart i wrote through the host write syscall; nil
+// for an out-of-range hart.
+func (s *System) Output(i int) []byte {
+	if c := s.hart(i); c != nil {
+		return c.Output
+	}
+	return nil
+}
+
+// Stats returns hart i's performance counters; zeroed counters for an
+// out-of-range hart (never nil, so chained calls like Stats(i).IPC() are
+// always safe).
+func (s *System) Stats(i int) *Stats {
+	if c := s.hart(i); c != nil {
+		return &c.Stats
+	}
+	return &Stats{}
+}
+
+// Reg reads hart i's architectural register; 0 for an out-of-range hart.
+func (s *System) Reg(hart int, r isa.Reg) uint64 {
+	if c := s.hart(hart); c != nil {
+		return c.Reg(r)
+	}
+	return 0
+}
 
 // Emulator is the functional golden model (the "instruction accurate
 // simulator" of the paper's CDS toolchain, §IX).

@@ -1,7 +1,10 @@
 package xt910_test
 
 import (
+	"context"
+	"errors"
 	"testing"
+	"time"
 
 	"xt910"
 	"xt910/isa"
@@ -96,5 +99,158 @@ func TestAssembleErrorsSurface(t *testing.T) {
 	cfg.CoresPerCluster = 3
 	if _, err := xt910.NewSystem(cfg); err == nil {
 		t.Fatal("expected Table I validation error")
+	}
+}
+
+const spinForever = `
+_start:
+loop:
+    j loop
+`
+
+func TestRunContext(t *testing.T) {
+	newSys := func(t *testing.T, src string) *xt910.System {
+		t.Helper()
+		sys, err := xt910.NewSystem(xt910.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if src != "" {
+			if _, err := sys.LoadAssembly(src, xt910.AsmOptions{Base: 0x1000}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return sys
+	}
+
+	t.Run("halts cleanly", func(t *testing.T) {
+		sys := newSys(t, apiProgram)
+		cycles, err := sys.RunContext(context.Background(), 1_000_000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if cycles == 0 || !sys.AllHalted() {
+			t.Fatalf("cycles=%d halted=%v", cycles, sys.AllHalted())
+		}
+		if sys.ExitCode(0) != 64*65/2 {
+			t.Fatalf("exit = %d", sys.ExitCode(0))
+		}
+	})
+
+	t.Run("no program loaded", func(t *testing.T) {
+		sys := newSys(t, "")
+		_, err := sys.RunContext(context.Background(), 1000)
+		if !errors.Is(err, xt910.ErrNoProgram) {
+			t.Fatalf("want ErrNoProgram, got %v", err)
+		}
+	})
+
+	t.Run("cycle budget exhausted", func(t *testing.T) {
+		sys := newSys(t, spinForever)
+		cycles, err := sys.RunContext(context.Background(), 10_000)
+		if !errors.Is(err, xt910.ErrDidNotHalt) {
+			t.Fatalf("want ErrDidNotHalt, got %v", err)
+		}
+		if cycles != 10_000 {
+			t.Fatalf("cycles = %d, want the full budget", cycles)
+		}
+	})
+
+	t.Run("cancelled before start", func(t *testing.T) {
+		sys := newSys(t, spinForever)
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		_, err := sys.RunContext(ctx, 1_000_000)
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	})
+
+	t.Run("deadline mid-run", func(t *testing.T) {
+		sys := newSys(t, spinForever)
+		ctx, cancel := context.WithTimeout(context.Background(), 20*time.Millisecond)
+		defer cancel()
+		cycles, err := sys.RunContext(ctx, 1<<62)
+		if !errors.Is(err, context.DeadlineExceeded) {
+			t.Fatalf("want DeadlineExceeded, got %v", err)
+		}
+		if cycles == 0 {
+			t.Fatal("the run must make progress before the deadline lands")
+		}
+		// the machine remains inspectable and resumable after cancellation
+		if sys.AllHalted() {
+			t.Fatal("spin loop cannot have halted")
+		}
+		if n := sys.Run(5_000); n != 5_000 {
+			t.Fatalf("resume after cancel ran %d cycles, want 5000", n)
+		}
+	})
+
+	t.Run("Run wrapper unchanged", func(t *testing.T) {
+		sys := newSys(t, apiProgram)
+		if sys.Run(1_000_000) == 0 || !sys.AllHalted() {
+			t.Fatal("legacy Run must still drive the machine")
+		}
+	})
+}
+
+func TestTypedErrors(t *testing.T) {
+	cfg := xt910.DefaultConfig()
+	cfg.CoresPerCluster = 3
+	_, err := xt910.NewSystem(cfg)
+	if !errors.Is(err, xt910.ErrInvalidConfig) {
+		t.Fatalf("want ErrInvalidConfig, got %v", err)
+	}
+	cfg = xt910.DefaultConfig()
+	cfg.L2Ways = 5
+	if _, err := xt910.NewSystem(cfg); !errors.Is(err, xt910.ErrInvalidConfig) {
+		t.Fatalf("want ErrInvalidConfig for bad L2 ways, got %v", err)
+	}
+	// sentinels are distinct
+	for _, pair := range [][2]error{
+		{xt910.ErrInvalidConfig, xt910.ErrNoProgram},
+		{xt910.ErrNoProgram, xt910.ErrDidNotHalt},
+		{xt910.ErrDidNotHalt, xt910.ErrInvalidConfig},
+	} {
+		if errors.Is(pair[0], pair[1]) {
+			t.Fatalf("sentinels alias: %v / %v", pair[0], pair[1])
+		}
+	}
+}
+
+func TestHartIndexValidation(t *testing.T) {
+	sys, err := xt910.NewSystem(xt910.DefaultConfig()) // one hart: index 0 only
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := sys.LoadAssembly(apiProgram, xt910.AsmOptions{Base: 0x1000}); err != nil {
+		t.Fatal(err)
+	}
+	sys.Run(1_000_000)
+
+	for _, bad := range []int{-1, 1, 64} {
+		if sys.Core(bad) != nil {
+			t.Fatalf("Core(%d) must be nil", bad)
+		}
+		if got := sys.ExitCode(bad); got != 0 {
+			t.Fatalf("ExitCode(%d) = %d, want 0", bad, got)
+		}
+		if got := sys.Output(bad); got != nil {
+			t.Fatalf("Output(%d) = %v, want nil", bad, got)
+		}
+		st := sys.Stats(bad)
+		if st == nil {
+			t.Fatalf("Stats(%d) must never be nil", bad)
+		}
+		if st.IPC() != 0 {
+			t.Fatalf("Stats(%d) must be zeroed", bad)
+		}
+		if got := sys.Reg(bad, isa.A0); got != 0 {
+			t.Fatalf("Reg(%d) = %d, want 0", bad, got)
+		}
+	}
+	// the valid hart still reads through
+	if sys.Core(0) == nil || sys.ExitCode(0) != 64*65/2 || sys.Stats(0).IPC() <= 0 {
+		t.Fatal("valid hart accessors broken by bounds checking")
 	}
 }
