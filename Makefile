@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race tier1 bench xtbench clean
+.PHONY: all build vet test race fuzz-smoke tier1 bench xtbench clean
 
 all: tier1
 
@@ -20,12 +20,21 @@ test:
 race:
 	$(GO) test -race ./internal/sched ./internal/bench
 
+# fuzz-smoke runs the differential co-simulation fuzzer on a fixed seed set
+# under the race detector: a few seconds of lock-step timing-core-vs-golden-
+# model checking that must stay divergence-free.
+fuzz-smoke:
+	$(GO) run ./cmd/xtfuzz -n 200 -seed 1
+	$(GO) test -race -count=1 -run 'TestFuzzFixedSeeds|TestRunSeedsDeterministic' ./internal/cosim
+
 # tier1 is the required bar for every change: everything compiles, vet is
-# clean, and the full suite passes with the race detector enabled.
+# clean, the full suite passes with the race detector enabled, and the
+# co-simulation smoke sweep finds no divergence.
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
+	$(MAKE) fuzz-smoke
 
 # bench regenerates the paper's tables/figures as testing.B benchmarks.
 bench:

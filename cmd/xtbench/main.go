@@ -14,6 +14,9 @@
 //
 // Tables go to stdout; progress and host metrics go to stderr, so stdout is
 // byte-stable across -jobs settings and safe to diff or redirect.
+//
+// Exit status: 0 on success, 1 when any experiment arm errors (in -json mode
+// the error still produces a JSON record first), 2 on usage errors.
 package main
 
 import (
@@ -21,6 +24,7 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"runtime"
 	"strings"
@@ -43,12 +47,20 @@ type jsonResult struct {
 }
 
 func main() {
-	quick := flag.Bool("quick", false, "reduced iteration counts")
-	only := flag.String("only", "", "run a single experiment by id")
-	jobs := flag.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool width (1 = serial)")
-	timeout := flag.Duration("timeout", 0, "per-experiment deadline (0 = none)")
-	jsonOut := flag.Bool("json", false, "emit JSON results and metrics to stdout")
-	flag.Parse()
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xtbench", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	quick := fs.Bool("quick", false, "reduced iteration counts")
+	only := fs.String("only", "", "run a single experiment by id")
+	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool width (1 = serial)")
+	timeout := fs.Duration("timeout", 0, "per-experiment deadline (0 = none)")
+	jsonOut := fs.Bool("json", false, "emit JSON results and metrics to stdout")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
 
 	o := bench.Options{Quick: *quick, Jobs: *jobs, Timeout: *timeout}
 	if !*jsonOut {
@@ -57,7 +69,7 @@ func main() {
 			if r.Err != nil {
 				status = "FAIL"
 			}
-			fmt.Fprintf(os.Stderr, "xtbench: %-10s %-4s %8.2fs  %12d cycles  %8.2f Mcyc/s\n",
+			fmt.Fprintf(stderr, "xtbench: %-10s %-4s %8.2fs  %12d cycles  %8.2f Mcyc/s\n",
 				r.ID, status, r.Wall.Seconds(), r.Cycles, r.CyclesPerSec()/1e6)
 		}
 	}
@@ -69,9 +81,9 @@ func main() {
 			for _, x := range bench.Experiments() {
 				ids = append(ids, x.ID)
 			}
-			fmt.Fprintf(os.Stderr, "xtbench: unknown experiment %q (have: %s)\n",
+			fmt.Fprintf(stderr, "xtbench: unknown experiment %q (have: %s)\n",
 				*only, strings.Join(ids, " "))
-			os.Exit(2)
+			return 2
 		}
 		ctx := context.Background()
 		if *timeout > 0 {
@@ -82,15 +94,21 @@ func main() {
 		start := time.Now()
 		r, err := e.Fn(ctx, o)
 		if err != nil {
-			fmt.Fprintf(os.Stderr, "xtbench: %v\n", err)
-			os.Exit(1)
+			fmt.Fprintf(stderr, "xtbench: %v\n", err)
+			if *jsonOut {
+				emitJSON(stdout, stderr, []jsonResult{{
+					ID: e.ID, Error: err.Error(),
+					WallSeconds: time.Since(start).Seconds(),
+				}})
+			}
+			return 1
 		}
 		if *jsonOut {
-			emitJSON([]jsonResult{{ID: e.ID, Result: r, WallSeconds: time.Since(start).Seconds()}})
-			return
+			return emitJSON(stdout, stderr,
+				[]jsonResult{{ID: e.ID, Result: r, WallSeconds: time.Since(start).Seconds()}})
 		}
-		fmt.Print(r.Format())
-		return
+		fmt.Fprint(stdout, r.Format())
+		return 0
 	}
 
 	rs := bench.RunAll(context.Background(), o)
@@ -109,32 +127,36 @@ func main() {
 				out[i].Result = r.Value.(*perf.Result)
 			}
 		}
-		emitJSON(out)
-		if sched.FirstError(rs) != nil {
-			os.Exit(1)
+		if rc := emitJSON(stdout, stderr, out); rc != 0 {
+			return rc
 		}
-		return
+		if sched.FirstError(rs) != nil {
+			return 1
+		}
+		return 0
 	}
 	failed := false
 	for _, r := range rs {
 		if r.Err != nil {
 			failed = true
-			fmt.Fprintf(os.Stderr, "xtbench: %v\n", r.Err)
+			fmt.Fprintf(stderr, "xtbench: %v\n", r.Err)
 			continue
 		}
-		fmt.Print(r.Value.(*perf.Result).Format())
-		fmt.Println()
+		fmt.Fprint(stdout, r.Value.(*perf.Result).Format())
+		fmt.Fprintln(stdout)
 	}
 	if failed {
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }
 
-func emitJSON(v any) {
-	enc := json.NewEncoder(os.Stdout)
+func emitJSON(stdout, stderr io.Writer, v any) int {
+	enc := json.NewEncoder(stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(v); err != nil {
-		fmt.Fprintf(os.Stderr, "xtbench: %v\n", err)
-		os.Exit(1)
+		fmt.Fprintf(stderr, "xtbench: %v\n", err)
+		return 1
 	}
+	return 0
 }

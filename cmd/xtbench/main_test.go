@@ -1,0 +1,47 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+// TestJSONErrorExit pins the contract that -json mode still exits non-zero
+// when an experiment arm errors, and that the error is recorded in the JSON
+// output rather than only on stderr. An expired deadline forces the error
+// without running any simulation.
+func TestJSONErrorExit(t *testing.T) {
+	var out, errb bytes.Buffer
+	rc := run([]string{"-json", "-only", "spec", "-timeout", "1ns"}, &out, &errb)
+	if rc != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", rc, errb.String())
+	}
+	var recs []struct {
+		ID    string `json:"id"`
+		Error string `json:"error"`
+	}
+	if err := json.Unmarshal(out.Bytes(), &recs); err != nil {
+		t.Fatalf("stdout is not JSON: %v\n%s", err, out.String())
+	}
+	if len(recs) != 1 || recs[0].ID != "spec" || recs[0].Error == "" {
+		t.Fatalf("want one record for %q with an error, got %+v", "spec", recs)
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-only", "nope"}, &out, &errb); rc != 2 {
+		t.Fatalf("exit = %d, want 2", rc)
+	}
+	if !strings.Contains(errb.String(), "unknown experiment") {
+		t.Fatalf("stderr missing diagnostic: %s", errb.String())
+	}
+}
+
+func TestBadFlag(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-definitely-not-a-flag"}, &out, &errb); rc != 2 {
+		t.Fatalf("exit = %d, want 2", rc)
+	}
+}

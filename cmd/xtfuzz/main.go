@@ -1,0 +1,101 @@
+// Command xtfuzz hunts for divergences between the XT-910 out-of-order
+// timing core (internal/core) and the golden reference emulator
+// (internal/emu) by running seeded random programs under the lock-step
+// checker in internal/cosim.
+//
+// Usage:
+//
+//	xtfuzz                     # seeds 1..100, 40 segments each
+//	xtfuzz -n 1000 -seed 17    # seeds 17..1016
+//	xtfuzz -segs 150           # longer programs
+//	xtfuzz -jobs 1             # serial; results identical at any width
+//	xtfuzz -cycles 1000000     # per-program cycle budget
+//	xtfuzz -repro case.s       # re-run one (shrunk) program under the checker
+//
+// Every divergence prints the first-mismatch report, a windowed commit
+// trace, and a minimized reproducer program. Exit status: 0 when all seeds
+// agree, 1 on any divergence or run error, 2 on usage errors.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"xt910/internal/asm"
+	"xt910/internal/cosim"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xtfuzz", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	n := fs.Int("n", 100, "number of seeds to run")
+	seed := fs.Int64("seed", 1, "first seed")
+	segs := fs.Int("segs", 0, "segments per program (0 = default)")
+	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool width (1 = serial)")
+	cycles := fs.Uint64("cycles", 0, "per-program cycle budget (0 = default)")
+	repro := fs.String("repro", "", "run one assembly file under the checker instead of fuzzing")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	opts := cosim.Options{MaxCycles: *cycles}
+
+	if *repro != "" {
+		src, err := os.ReadFile(*repro)
+		if err != nil {
+			fmt.Fprintf(stderr, "xtfuzz: %v\n", err)
+			return 2
+		}
+		prog, err := asm.Assemble(string(src), asm.Options{Base: 0x1000, Compress: true})
+		if err != nil {
+			fmt.Fprintf(stderr, "xtfuzz: %s: %v\n", *repro, err)
+			return 2
+		}
+		r := cosim.Run(prog, opts)
+		if r.Diverged {
+			fmt.Fprintln(stdout, r.Report)
+			return 1
+		}
+		fmt.Fprintf(stdout, "xtfuzz: %s: no divergence (%d commits, %d cycles, exit %d)\n",
+			*repro, r.Commits, r.Cycles, r.ExitCode)
+		return 0
+	}
+
+	seeds := make([]int64, *n)
+	for i := range seeds {
+		seeds[i] = *seed + int64(i)
+	}
+	start := time.Now()
+	frs, err := cosim.RunSeeds(context.Background(), seeds, *segs, opts, *jobs)
+	if err != nil {
+		fmt.Fprintf(stderr, "xtfuzz: %v\n", err)
+		return 1
+	}
+	var diverged int
+	var commits, cycles2 uint64
+	for _, fr := range frs {
+		commits += fr.Result.Commits
+		cycles2 += fr.Result.Cycles
+		if !fr.Diverged {
+			continue
+		}
+		diverged++
+		fmt.Fprintf(stdout, "=== seed %d ===\n%s\n--- minimized reproducer (run with -repro) ---\n%s\n",
+			fr.Seed, fr.Result.Report, fr.Shrunk)
+	}
+	wall := time.Since(start)
+	fmt.Fprintf(stderr, "xtfuzz: %d seeds  %d diverged  %d commits  %.2f Mcyc/s  %.2fs\n",
+		len(frs), diverged, commits, float64(cycles2)/1e6/wall.Seconds(), wall.Seconds())
+	if diverged > 0 {
+		return 1
+	}
+	return 0
+}

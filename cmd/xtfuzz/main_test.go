@@ -1,0 +1,41 @@
+package main
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestCleanSweep(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-n", "5", "-seed", "1", "-jobs", "2"}, &out, &errb); rc != 0 {
+		t.Fatalf("exit = %d, want 0\nstdout: %s\nstderr: %s", rc, out.String(), errb.String())
+	}
+	if !strings.Contains(errb.String(), "5 seeds  0 diverged") {
+		t.Fatalf("unexpected summary: %s", errb.String())
+	}
+}
+
+func TestRepro(t *testing.T) {
+	p := filepath.Join(t.TempDir(), "case.s")
+	src := "_start:\n    li a0, 0\n    li a7, 93\n    ecall\n"
+	if err := os.WriteFile(p, []byte(src), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-repro", p}, &out, &errb); rc != 0 {
+		t.Fatalf("exit = %d, want 0\nstderr: %s", rc, errb.String())
+	}
+	if !strings.Contains(out.String(), "no divergence") {
+		t.Fatalf("unexpected output: %s", out.String())
+	}
+}
+
+func TestReproMissingFile(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-repro", "/nonexistent/case.s"}, &out, &errb); rc != 2 {
+		t.Fatalf("exit = %d, want 2", rc)
+	}
+}

@@ -79,6 +79,13 @@ type Core struct {
 	// RetireHook observes every retired instruction (co-simulation tests).
 	RetireHook func(pc uint64, in isa.Inst)
 
+	// CommitHook observes every retired instruction with its commit record
+	// (sequence number, destination value, effective address). It fires at
+	// the same point as RetireHook: after the retirement map has been
+	// updated, so Reg() reads post-commit architectural state. Instructions
+	// that take an exception do not commit and are not reported.
+	CommitHook func(Commit)
+
 	// TLBBroadcast, when set by the SoC, carries tlbi.* maintenance to the
 	// other harts over the interconnect (§V-E, no IPIs needed).
 	TLBBroadcast func(op isa.Op, operand uint64, from int)

@@ -129,8 +129,6 @@ func (c *Core) execALU(p pipeID, u *uop) bool {
 	var ok bool
 	// three-source forms read the old destination as their last source
 	if res, ok = isa.EvalIntALU(op, a, b, u.pc, u.inst.Imm, u.inst.Size); !ok {
-		regs, _ := u.inst.Sources()
-		_ = regs
 		v0, v1, v2 := c.opndABC(u)
 		if res, ok = isa.EvalIntALU3(op, v0, v1, v2); !ok {
 			u.excCause = isa.ExcIllegalInst

@@ -72,6 +72,9 @@ func (c *Core) retire() {
 		if c.RetireHook != nil {
 			c.RetireHook(u.pc, u.inst)
 		}
+		if c.CommitHook != nil {
+			c.CommitHook(c.commitRecord(u))
+		}
 		c.Stats.Retired++
 		if u.fromLoop {
 			c.Stats.LoopBufInsts++
@@ -277,6 +280,7 @@ func (c *Core) execAMOAtRetire(u *uop) bool {
 		return true
 	}
 	done, _ := c.L1D.Access(pa, true, doneT)
+	u.addr = pa
 	switch op {
 	case isa.LRW, isa.LRD:
 		v := c.Mem.Read(pa, size)
@@ -304,9 +308,13 @@ func (c *Core) execAMOAtRetire(u *uop) bool {
 }
 
 // notifyWrite publishes a committed write to the SoC fabric and drops any
-// predecoded instructions the write overlaps (self-modifying code).
+// predecoded instructions the write overlaps (self-modifying code). The
+// hart's own LR/SC reservation dies too when the write touches the reserved
+// line — an intervening store must fail a following SC, exactly as in the
+// golden model (the SoC hook covers only the *other* harts).
 func (c *Core) notifyWrite(pa uint64, size int) {
 	c.InvalidatePredecode(pa, size)
+	c.KillReservation(pa, size)
 	if c.MemWriteHook != nil {
 		c.MemWriteHook(pa, size, c.ID)
 	}

@@ -1,0 +1,338 @@
+// Package cosim is the lock-step differential checker of the repo's CDS
+// toolchain (§IX): it runs the 12-stage OoO timing core (internal/core) and
+// the golden architectural emulator (internal/emu) side by side on the same
+// program and compares architectural state at every commit — PC, integer and
+// FP register files, touched memory, the LR/SC reservation and the trap/CSR
+// state. The first divergence is reported with a windowed commit trace.
+//
+// Comparison policy (see DESIGN.md "Differential co-simulation"):
+//
+//   - x/f registers, PC, instret and the LR/SC reservation: every commit.
+//   - touched memory (64-byte lines written by either model): at every scalar
+//     store/AMO commit and once more at halt. Vector stores write memory at
+//     execute time in the pipeline (their own ordered queue guarantees older
+//     stores have drained), so their lines are checked at the next scalar
+//     memory commit or at halt rather than at the vector store's own commit.
+//   - trap CSRs (mstatus, mepc/mcause/mtval, sepc/scause/stval, mscratch,
+//     sscratch, satp, mie, medeleg, mtvec, stvec): at CSR/system commits and
+//     at halt.
+//   - vector register file, vl and vtype: at halt (vector ops execute early
+//     relative to retirement, so per-commit comparison would race younger
+//     in-flight vector ops).
+//   - cycle/time CSRs: never — the golden model has no clock; reading them is
+//     an inherent model divergence and the fuzzer does not emit rdcycle.
+package cosim
+
+import (
+	"fmt"
+	"strings"
+
+	"xt910/internal/asm"
+	"xt910/internal/cache"
+	"xt910/internal/coherence"
+	"xt910/internal/core"
+	"xt910/internal/emu"
+	"xt910/internal/mem"
+	"xt910/isa"
+)
+
+// Options configures one lock-step run.
+type Options struct {
+	Config    core.Config // pipeline configuration; zero value means XT910Config
+	MaxCycles uint64      // core cycle budget before declaring a hang (0: 10M)
+	Window    int         // commit-trace window kept for the report (0: 16)
+}
+
+// Result summarises one lock-step run.
+type Result struct {
+	Commits  uint64
+	Cycles   uint64
+	ExitCode int
+	Diverged bool
+	Kind     string // first divergence class: pc xreg freg mem csr lrsc instret vec halt exit output hang emuerr
+	Report   string // human-readable report with the windowed commit trace
+}
+
+// compareCSRs is the trap/translation state checked at CSR and system-class
+// commits and at halt. Counters are deliberately absent: instret is checked
+// directly against the commit count, and cycle/time have no golden value.
+var compareCSRs = []uint16{
+	isa.CSRMstatus, isa.CSRMtvec, isa.CSRMepc, isa.CSRMcause, isa.CSRMtval,
+	isa.CSRMscratch, isa.CSRMedeleg, isa.CSRMie, isa.CSRSatp,
+	isa.CSRStvec, isa.CSRSepc, isa.CSRScause, isa.CSRStval, isa.CSRSscratch,
+}
+
+// Run assembles nothing: it takes an already-assembled program, loads it into
+// two private memories, and drives the core cycle-by-cycle with the emulator
+// stepping once per commit inside the core's retire hook.
+func Run(p *asm.Program, opts Options) Result {
+	if opts.MaxCycles == 0 {
+		opts.MaxCycles = 10_000_000
+	}
+	if opts.Window == 0 {
+		opts.Window = 16
+	}
+	cfg := opts.Config
+	if cfg.RetireWidth == 0 {
+		cfg = core.XT910Config()
+	}
+
+	cmem := mem.NewMemory()
+	l2 := coherence.NewL2(cache.Config{
+		SizeBytes: 2 << 20, Ways: 16, LineBytes: 64, HitLatency: 10, ECC: true, Parity: true,
+	}, mem.NewDRAM())
+	c := core.New(cfg, 0, cmem, l2)
+	p.LoadInto(cmem)
+	c.Reset(p.Entry, stackBase)
+
+	m := emu.New(mem.NewMemory())
+	p.LoadInto(m.Mem)
+	m.PC = p.Entry
+	m.X[isa.SP] = stackBase
+
+	k := &checker{c: c, m: m, window: opts.Window, dirty: make(map[uint64]struct{})}
+	c.CommitHook = k.onCommit
+	c.MemWriteHook = func(pa uint64, size int, from int) { k.markDirty(pa, size) }
+	m.OnStore = func(va uint64, size int) { k.markDirty(va, size) }
+
+	for cyc := uint64(0); cyc < opts.MaxCycles && !c.Halted && !k.failed; cyc++ {
+		c.Step()
+	}
+
+	res := Result{Commits: k.commits, Cycles: c.Now(), ExitCode: c.ExitCode}
+	if !k.failed {
+		k.drain()
+	}
+	if k.failed {
+		res.Diverged = true
+		res.Kind = k.kind
+		res.Report = k.report()
+	}
+	return res
+}
+
+const stackBase = 0x80000
+
+type checker struct {
+	c      *core.Core
+	m      *emu.Machine
+	window int
+
+	commits uint64
+	dirty   map[uint64]struct{} // 64-byte lines written by either model
+	trace   []string            // rolling window of committed instructions
+
+	failed     bool
+	kind       string
+	detail     []string
+	failCommit uint64
+	failPC     uint64
+	failInst   isa.Inst
+}
+
+func (k *checker) markDirty(addr uint64, size int) {
+	for line := addr >> 6; line <= (addr+uint64(size)-1)>>6; line++ {
+		k.dirty[line] = struct{}{}
+	}
+}
+
+func (k *checker) fail(ci core.Commit, kind string, detail ...string) {
+	if k.failed {
+		return
+	}
+	k.failed = true
+	k.kind = kind
+	k.detail = detail
+	k.failCommit = k.commits
+	k.failPC = ci.PC
+	k.failInst = ci.Inst
+}
+
+// onCommit fires from the core's retire stage for every committed
+// instruction; the emulator is stepped here so both models observe the same
+// retirement order.
+func (k *checker) onCommit(ci core.Commit) {
+	if k.failed {
+		return
+	}
+	if k.m.Halted {
+		k.fail(ci, "halt", "emulator halted while the core is still committing")
+		return
+	}
+	if k.m.PC != ci.PC {
+		// The emulator may be one step behind across a trap the core took
+		// without committing (trap handlers redirect without a commit
+		// record). Give it exactly one catch-up step.
+		if err := k.m.Step(); err != nil {
+			k.fail(ci, "emuerr", err.Error())
+			return
+		}
+	}
+	if k.m.Halted {
+		k.fail(ci, "halt", "emulator halted while the core is still committing")
+		return
+	}
+	if k.m.PC != ci.PC {
+		k.fail(ci, "pc", fmt.Sprintf("core commits pc=%#x but emulator is at pc=%#x", ci.PC, k.m.PC))
+		return
+	}
+	if err := k.m.Step(); err != nil {
+		k.fail(ci, "emuerr", err.Error())
+		return
+	}
+	k.commits++
+	k.pushTrace(ci)
+
+	for i := 1; i < 32; i++ {
+		if cv, ev := k.c.Reg(isa.X(i)), k.m.X[i]; cv != ev {
+			k.fail(ci, "xreg", fmt.Sprintf("%s: core=%#x emu=%#x", isa.X(i), cv, ev))
+			return
+		}
+	}
+	for i := 0; i < 32; i++ {
+		if cv, ev := k.c.Reg(isa.F(i)), k.m.F[i]; cv != ev {
+			k.fail(ci, "freg", fmt.Sprintf("%s: core=%#x emu=%#x", isa.F(i), cv, ev))
+			return
+		}
+	}
+	cOK, cAddr := k.c.Reservation()
+	eOK, eAddr := k.m.Reservation()
+	if cOK != eOK || (cOK && cAddr != eAddr) {
+		k.fail(ci, "lrsc", fmt.Sprintf("reservation: core valid=%v addr=%#x, emu valid=%v addr=%#x",
+			cOK, cAddr, eOK, eAddr))
+		return
+	}
+	if k.m.Instret != k.commits {
+		k.fail(ci, "instret", fmt.Sprintf("emulator instret=%d after %d core commits",
+			k.m.Instret, k.commits))
+		return
+	}
+	switch ci.Inst.Op.Class() {
+	case isa.ClassStore, isa.ClassAMO:
+		k.compareMemory(ci)
+	case isa.ClassCSR, isa.ClassSys:
+		k.compareCSRState(ci)
+	}
+}
+
+// compareMemory checks every 64-byte line either model has written. It is
+// only sound at scalar store/AMO commits and at halt (see the package
+// comment for why vector-store commits are excluded).
+func (k *checker) compareMemory(ci core.Commit) {
+	for line := range k.dirty {
+		base := line << 6
+		for off := uint64(0); off < 64; off += 8 {
+			if cv, ev := k.c.Mem.Read(base+off, 8), k.m.Mem.Read(base+off, 8); cv != ev {
+				k.fail(ci, "mem", fmt.Sprintf("[%#x]: core=%#x emu=%#x", base+off, cv, ev))
+				return
+			}
+		}
+	}
+}
+
+func (k *checker) compareCSRState(ci core.Commit) {
+	for _, n := range compareCSRs {
+		if cv, ev := k.c.CSR(n), k.m.CSR(n); cv != ev {
+			k.fail(ci, "csr", fmt.Sprintf("%s: core=%#x emu=%#x", isa.CSRName(n), cv, ev))
+			return
+		}
+	}
+}
+
+// drain runs the end-of-program comparison after the core stops: halt state,
+// exit code, output, final registers/memory/CSRs and the vector file.
+func (k *checker) drain() {
+	last := core.Commit{PC: k.m.PC}
+	if !k.c.Halted {
+		k.fail(last, "hang", fmt.Sprintf("core did not halt within the cycle budget (%d commits so far)", k.commits))
+		return
+	}
+	// The core may have halted on a trap it never committed; let the
+	// emulator execute that trapping instruction.
+	if !k.m.Halted {
+		if err := k.m.Step(); err != nil {
+			k.fail(last, "emuerr", err.Error())
+			return
+		}
+	}
+	if !k.m.Halted {
+		k.fail(last, "halt", fmt.Sprintf("core halted (exit=%d) but emulator is still running at pc=%#x",
+			k.c.ExitCode, k.m.PC))
+		return
+	}
+	if k.c.ExitCode != k.m.ExitCode {
+		k.fail(last, "exit", fmt.Sprintf("exit code: core=%d emu=%d", k.c.ExitCode, k.m.ExitCode))
+		return
+	}
+	if string(k.c.Output) != string(k.m.Output) {
+		k.fail(last, "output", fmt.Sprintf("output: core=%q emu=%q", k.c.Output, k.m.Output))
+		return
+	}
+	k.compareMemory(last)
+	k.compareCSRState(last)
+	if k.failed {
+		return
+	}
+	if diffs := k.coreState().Diff(k.m.Snapshot(compareCSRs...)); len(diffs) > 0 {
+		k.fail(last, "final", diffs...)
+	}
+}
+
+// coreState assembles the core's architectural state as an emu.ArchState so
+// the final comparison can reuse ArchState.Diff. PC and privilege are
+// normalized to the emulator's (the drained core has no architectural PC to
+// read back, and both models' trap CSRs are compared separately).
+func (k *checker) coreState() emu.ArchState {
+	s := emu.ArchState{PC: k.m.PC, Priv: k.m.Priv, Instret: k.c.Stats.Retired}
+	for i := 0; i < 32; i++ {
+		s.X[i] = k.c.Reg(isa.X(i))
+		s.F[i] = k.c.Reg(isa.F(i))
+	}
+	s.ResValid, s.ResAddr = k.c.Reservation()
+	s.CSR = make(map[uint16]uint64, len(compareCSRs))
+	for _, n := range compareCSRs {
+		s.CSR[n] = k.c.CSR(n)
+	}
+	if k.c.Vec != nil {
+		s.VL = k.c.Vec.VL
+		s.VType = uint64(k.c.Vec.VType)
+		s.V = make([][]byte, 32)
+		for r := 0; r < 32; r++ {
+			s.V[r] = append([]byte(nil), k.c.Vec.File.Bytes(r)...)
+		}
+	}
+	return s
+}
+
+func (k *checker) pushTrace(ci core.Commit) {
+	line := fmt.Sprintf("#%-5d pc=%#06x  %s", k.commits, ci.PC, ci.Inst.String())
+	if ci.HasRd {
+		line += fmt.Sprintf("  => %s=%#x", ci.Inst.Rd, ci.RdVal)
+	}
+	if ci.HasAddr {
+		line += fmt.Sprintf("  [addr=%#x]", ci.Addr)
+	}
+	k.trace = append(k.trace, line)
+	if len(k.trace) > k.window {
+		k.trace = k.trace[1:]
+	}
+}
+
+// report renders the first divergence with its commit-trace window.
+func (k *checker) report() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "cosim divergence: kind=%s commit=%d pc=%#x\n", k.kind, k.failCommit, k.failPC)
+	if k.failInst.Op != 0 {
+		fmt.Fprintf(&b, "  inst: %s\n", k.failInst.String())
+	}
+	for _, d := range k.detail {
+		fmt.Fprintf(&b, "  %s\n", d)
+	}
+	if len(k.trace) > 0 {
+		fmt.Fprintf(&b, "  last %d commits:\n", len(k.trace))
+		for _, t := range k.trace {
+			fmt.Fprintf(&b, "    %s\n", t)
+		}
+	}
+	return b.String()
+}

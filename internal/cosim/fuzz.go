@@ -1,0 +1,498 @@
+package cosim
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+
+	"xt910/internal/asm"
+	"xt910/isa"
+)
+
+// The fuzzer generates deterministic random RV64IMFD+RVC+V-subset programs
+// biased toward the hazards the pipeline gets wrong first: long RAW chains,
+// misaligned and line-crossing loads/stores with store-to-load forwarding,
+// LR/SC pairs with intervening stores, forward branches into compressed
+// regions, counted loops (loop buffer), fence.i after self-modifying stores,
+// AMOs, CSR traffic and the XT custom ops. Programs terminate by
+// construction: all generated branches are forward except counted loops on a
+// dedicated counter register.
+//
+// Register conventions inside generated programs:
+//
+//	x8  (s0)  scratch-buffer base, never written after the prologue
+//	x29 (t4)  loop counter / address temporary, never in the random pool
+//	x17 (a7)  syscall number, written only by the exit epilogue
+//	x2  (sp)  stack pointer, used only as a base for sp-relative accesses
+//
+// Everything else (incl. the FP file) is fair game.
+
+// gpPool is the set of integer registers the generator reads and writes.
+var gpPool = []int{1, 5, 6, 7, 9, 10, 11, 12, 13, 14, 15, 16,
+	18, 19, 20, 21, 22, 23, 24, 25, 26, 27, 28, 30, 31}
+
+const (
+	bufBytes = 2048
+	fpRegs   = 16 // f0..f15 participate
+)
+
+// FuzzResult is the outcome of one seeded fuzz iteration.
+type FuzzResult struct {
+	Seed     int64
+	Err      error // generation/assembly failure: a fuzzer bug, not a model bug
+	Diverged bool
+	Result   Result // run of the full generated program
+	Source   string // full generated program
+	Shrunk   string // minimized reproducer (set when Diverged)
+	ShrunkResult Result
+}
+
+// Fuzz generates the program for seed, runs it in lock-step, and minimizes
+// any divergence. nSegs controls program size (0 means 40 segments).
+func Fuzz(seed int64, nSegs int, opts Options) FuzzResult {
+	if nSegs == 0 {
+		nSegs = 40
+	}
+	fr := FuzzResult{Seed: seed}
+	prog := generate(seed, nSegs)
+	fr.Source = prog.render(nil)
+	p, err := asm.Assemble(fr.Source, asm.Options{Base: 0x1000, Compress: true})
+	if err != nil {
+		fr.Err = fmt.Errorf("seed %d: assemble: %w", seed, err)
+		return fr
+	}
+	fr.Result = Run(p, opts)
+	if !fr.Result.Diverged {
+		return fr
+	}
+	fr.Diverged = true
+	fr.Shrunk, fr.ShrunkResult = shrink(prog, opts)
+	return fr
+}
+
+// program is a generated test program in shrinkable form: a fixed prologue
+// and epilogue around independent segments that can be dropped one by one.
+type program struct {
+	inits   []string   // register initialization (kept through shrinking)
+	segs    [][]string // independent hazard segments
+	trapEnd bool       // end with ebreak instead of the exit ecall
+	data    []string   // scratch-buffer contents
+}
+
+// render emits assembly source with the masked-out segments removed
+// (mask==nil keeps everything).
+func (p *program) render(mask []bool) string {
+	var b strings.Builder
+	b.WriteString("_start:\n")
+	b.WriteString("    la x8, buf\n")
+	for _, l := range p.inits {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	for i, seg := range p.segs {
+		if mask != nil && !mask[i] {
+			continue
+		}
+		for _, l := range seg {
+			b.WriteString(l)
+			b.WriteByte('\n')
+		}
+	}
+	if p.trapEnd {
+		b.WriteString("    ebreak\n")
+	} else {
+		b.WriteString("    li x17, 93\n    li x10, 0\n    ecall\n")
+	}
+	b.WriteString(".align 6\nbuf:\n")
+	for _, l := range p.data {
+		b.WriteString(l)
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+type gen struct {
+	rng      *rand.Rand
+	label    int
+	lastDest string // RAW-chain bias: last integer destination written
+}
+
+func (g *gen) reg() string  { return fmt.Sprintf("x%d", gpPool[g.rng.Intn(len(gpPool))]) }
+func (g *gen) freg() string { return fmt.Sprintf("f%d", g.rng.Intn(fpRegs)) }
+
+// src picks a source operand: usually a pool register, sometimes x0 and
+// sometimes the previous destination (RAW chain).
+func (g *gen) src() string {
+	r := g.rng.Intn(100)
+	switch {
+	case r < 12:
+		return "x0"
+	case r < 55 && g.lastDest != "":
+		return g.lastDest
+	}
+	return g.reg()
+}
+
+func (g *gen) newLabel(stem string) string {
+	g.label++
+	return fmt.Sprintf("%s_%d", stem, g.label)
+}
+
+func generate(seed int64, nSegs int) *program {
+	g := &gen{rng: rand.New(rand.NewSource(seed))}
+	p := &program{trapEnd: g.rng.Intn(10) == 0}
+	for _, r := range gpPool {
+		p.inits = append(p.inits, fmt.Sprintf("    li x%d, %d", r, int64(g.rng.Uint64())))
+	}
+	for f := 0; f < fpRegs; f++ {
+		p.inits = append(p.inits, fmt.Sprintf("    fmv.d.x f%d, x%d", f, gpPool[g.rng.Intn(len(gpPool))]))
+	}
+	for i := 0; i < nSegs; i++ {
+		p.segs = append(p.segs, g.segment())
+	}
+	for i := 0; i < bufBytes/8; i += 4 {
+		p.data = append(p.data, fmt.Sprintf("    .dword %d, %d, %d, %d",
+			int64(g.rng.Uint64()), int64(g.rng.Uint64()), int64(g.rng.Uint64()), int64(g.rng.Uint64())))
+	}
+	return p
+}
+
+// segment emits one self-contained hazard segment.
+func (g *gen) segment() []string {
+	switch r := g.rng.Intn(100); {
+	case r < 28:
+		return g.segALU()
+	case r < 44:
+		return g.segMem()
+	case r < 52:
+		return g.segBranch()
+	case r < 59:
+		return g.segLoop()
+	case r < 66:
+		return g.segLRSC()
+	case r < 72:
+		return g.segAMO()
+	case r < 81:
+		return g.segFPU()
+	case r < 87:
+		return g.segCSR()
+	case r < 93:
+		return g.segCustom()
+	case r < 96:
+		return g.segSMC()
+	default:
+		return g.segVector()
+	}
+}
+
+var aluRR = []string{"add", "sub", "sll", "srl", "sra", "slt", "sltu", "xor", "or", "and",
+	"addw", "subw", "sllw", "srlw", "sraw",
+	"mul", "mulh", "mulhsu", "mulhu", "mulw",
+	"div", "divu", "rem", "remu", "divw", "divuw", "remw", "remuw"}
+var aluRI = []string{"addi", "slti", "sltiu", "xori", "ori", "andi", "addiw"}
+
+// aluInst emits one random integer ALU instruction.
+func (g *gen) aluInst() string {
+	rd := g.reg()
+	defer func() { g.lastDest = rd }()
+	switch g.rng.Intn(10) {
+	case 0, 1, 2:
+		return fmt.Sprintf("    %s %s, %s, %d", aluRI[g.rng.Intn(len(aluRI))], rd, g.src(), g.rng.Intn(4096)-2048)
+	case 3:
+		return fmt.Sprintf("    lui %s, %d", rd, g.rng.Intn(1<<20))
+	case 4:
+		sh := []string{"slli", "srli", "srai"}[g.rng.Intn(3)]
+		return fmt.Sprintf("    %s %s, %s, %d", sh, rd, g.src(), g.rng.Intn(64))
+	case 5:
+		sh := []string{"slliw", "srliw", "sraiw"}[g.rng.Intn(3)]
+		return fmt.Sprintf("    %s %s, %s, %d", sh, rd, g.src(), g.rng.Intn(32))
+	default:
+		return fmt.Sprintf("    %s %s, %s, %s", aluRR[g.rng.Intn(len(aluRR))], rd, g.src(), g.src())
+	}
+}
+
+func (g *gen) segALU() []string {
+	n := 1 + g.rng.Intn(4)
+	var out []string
+	for i := 0; i < n; i++ {
+		out = append(out, g.aluInst())
+	}
+	return out
+}
+
+// segMem mixes scalar loads and stores over the scratch buffer (misaligned
+// and line-crossing offsets included) and sp-relative accesses that compress
+// to c.ldsp/c.sdsp.
+func (g *gen) segMem() []string {
+	var out []string
+	n := 2 + g.rng.Intn(4)
+	for i := 0; i < n; i++ {
+		if g.rng.Intn(10) < 2 { // sp-relative (RVC stack forms)
+			off := g.rng.Intn(32) * 8
+			if g.rng.Intn(2) == 0 {
+				out = append(out, fmt.Sprintf("    sd %s, %d(x2)", g.reg(), off))
+			} else {
+				rd := g.reg()
+				out = append(out, fmt.Sprintf("    ld %s, %d(x2)", rd, off))
+				g.lastDest = rd
+			}
+			continue
+		}
+		size := []int{1, 2, 4, 8}[g.rng.Intn(4)]
+		off := g.rng.Intn(bufBytes - 8)
+		if g.rng.Intn(10) < 6 { // mostly aligned, often not
+			off &^= size - 1
+		}
+		if g.rng.Intn(2) == 0 {
+			st := map[int]string{1: "sb", 2: "sh", 4: "sw", 8: "sd"}[size]
+			if size >= 4 && g.rng.Intn(6) == 0 {
+				st = map[int]string{4: "fsw", 8: "fsd"}[size]
+				out = append(out, fmt.Sprintf("    %s %s, %d(x8)", st, g.freg(), off))
+				continue
+			}
+			out = append(out, fmt.Sprintf("    %s %s, %d(x8)", st, g.src(), off))
+		} else {
+			lds := map[int][]string{1: {"lb", "lbu"}, 2: {"lh", "lhu"}, 4: {"lw", "lwu"}, 8: {"ld"}}[size]
+			ld := lds[g.rng.Intn(len(lds))]
+			if size >= 4 && g.rng.Intn(6) == 0 {
+				ld = map[int]string{4: "flw", 8: "fld"}[size]
+				out = append(out, fmt.Sprintf("    %s %s, %d(x8)", ld, g.freg(), off))
+				continue
+			}
+			rd := g.reg()
+			out = append(out, fmt.Sprintf("    %s %s, %d(x8)", ld, rd, off))
+			g.lastDest = rd
+		}
+	}
+	return out
+}
+
+var branchOps = []string{"beq", "bne", "blt", "bge", "bltu", "bgeu"}
+
+// segBranch emits a forward conditional branch over a short block; the
+// target lands on whatever alignment compression produces, so branches into
+// compressed regions happen naturally.
+func (g *gen) segBranch() []string {
+	l := g.newLabel("skip")
+	a, b := g.src(), g.src()
+	if g.rng.Intn(5) == 0 {
+		a = "x0"
+	}
+	out := []string{fmt.Sprintf("    %s %s, %s, %s", branchOps[g.rng.Intn(len(branchOps))], a, b, l)}
+	for i := 0; i < 1+g.rng.Intn(3); i++ {
+		out = append(out, g.aluInst())
+	}
+	return append(out, l+":")
+}
+
+// segLoop emits a counted loop on the dedicated counter (loop-buffer food).
+func (g *gen) segLoop() []string {
+	l := g.newLabel("loop")
+	out := []string{fmt.Sprintf("    li x29, %d", 2+g.rng.Intn(5)), l + ":"}
+	for i := 0; i < 1+g.rng.Intn(3); i++ {
+		out = append(out, g.aluInst())
+	}
+	return append(out, "    addi x29, x29, -1", fmt.Sprintf("    bnez x29, %s", l))
+}
+
+// segLRSC emits an LR/SC pair over the buffer, often with an intervening
+// store to the same or a different cache line, and sometimes an orphan SC.
+func (g *gen) segLRSC() []string {
+	w := g.rng.Intn(2) == 0 // word vs double
+	suffix, align := ".d", 8
+	if w {
+		suffix, align = ".w", 4
+	}
+	off := g.rng.Intn(bufBytes-8) &^ (align - 1)
+	out := []string{fmt.Sprintf("    addi x29, x8, %d", off)}
+	if g.rng.Intn(6) != 0 { // usually a real LR
+		out = append(out, fmt.Sprintf("    lr%s %s, (x29)", suffix, g.reg()))
+	}
+	switch g.rng.Intn(3) {
+	case 0: // intervening store to the same line
+		same := off&^63 + g.rng.Intn(64)&^7
+		out = append(out, fmt.Sprintf("    sd %s, %d(x8)", g.src(), same))
+	case 1: // intervening store to a different line
+		other := (off + 64 + g.rng.Intn(bufBytes-128)) % (bufBytes - 8) &^ 7
+		out = append(out, fmt.Sprintf("    sd %s, %d(x8)", g.src(), other))
+	}
+	out = append(out, fmt.Sprintf("    sc%s %s, %s, (x29)", suffix, g.reg(), g.src()))
+	return out
+}
+
+var amoOps = []string{"amoswap", "amoadd", "amoand", "amoor", "amoxor", "amomax", "amomin"}
+
+func (g *gen) segAMO() []string {
+	w := g.rng.Intn(2) == 0
+	suffix, align := ".d", 8
+	if w {
+		suffix, align = ".w", 4
+	}
+	off := g.rng.Intn(bufBytes-8) &^ (align - 1)
+	rd := g.reg()
+	g.lastDest = rd
+	return []string{
+		fmt.Sprintf("    addi x29, x8, %d", off),
+		fmt.Sprintf("    %s%s %s, %s, (x29)", amoOps[g.rng.Intn(len(amoOps))], suffix, rd, g.src()),
+	}
+}
+
+var fpu2 = []string{"fadd", "fsub", "fmul", "fdiv", "fmin", "fmax", "fsgnj", "fsgnjn", "fsgnjx"}
+var fcmp = []string{"feq", "flt", "fle"}
+
+func (g *gen) segFPU() []string {
+	var out []string
+	n := 1 + g.rng.Intn(3)
+	for i := 0; i < n; i++ {
+		sz := []string{".s", ".d"}[g.rng.Intn(2)]
+		switch g.rng.Intn(8) {
+		case 0:
+			rd := g.reg()
+			out = append(out, fmt.Sprintf("    %s%s %s, %s, %s", fcmp[g.rng.Intn(3)], sz, rd, g.freg(), g.freg()))
+			g.lastDest = rd
+		case 1:
+			out = append(out, fmt.Sprintf("    fsqrt%s %s, %s", sz, g.freg(), g.freg()))
+		case 2:
+			out = append(out, fmt.Sprintf("    fmv.d.x %s, %s", g.freg(), g.src()))
+		case 3:
+			rd := g.reg()
+			out = append(out, fmt.Sprintf("    fmv.x.d %s, %s", rd, g.freg()))
+			g.lastDest = rd
+		case 4:
+			cv := []string{"fcvt.w.d", "fcvt.l.d", "fcvt.w.s", "fcvt.l.s"}[g.rng.Intn(4)]
+			rd := g.reg()
+			out = append(out, fmt.Sprintf("    %s %s, %s", cv, rd, g.freg()))
+			g.lastDest = rd
+		case 5:
+			cv := []string{"fcvt.d.w", "fcvt.d.l", "fcvt.s.w", "fcvt.s.l", "fcvt.d.s", "fcvt.s.d"}[g.rng.Intn(6)]
+			src := g.src()
+			if cv == "fcvt.d.s" || cv == "fcvt.s.d" {
+				src = g.freg()
+			}
+			out = append(out, fmt.Sprintf("    %s %s, %s", cv, g.freg(), src))
+		case 6:
+			fm := []string{"fmadd", "fmsub"}[g.rng.Intn(2)]
+			out = append(out, fmt.Sprintf("    %s%s %s, %s, %s, %s", fm, sz, g.freg(), g.freg(), g.freg(), g.freg()))
+		default:
+			out = append(out, fmt.Sprintf("    %s%s %s, %s, %s", fpu2[g.rng.Intn(len(fpu2))], sz, g.freg(), g.freg(), g.freg()))
+		}
+	}
+	return out
+}
+
+// segCSR reads and writes scratch CSRs and reads identity/counter CSRs
+// (never cycle/time: the golden model has no clock).
+func (g *gen) segCSR() []string {
+	rd := g.reg()
+	g.lastDest = rd
+	switch g.rng.Intn(6) {
+	case 0:
+		return []string{fmt.Sprintf("    csrrw %s, mscratch, %s", rd, g.src())}
+	case 1:
+		return []string{fmt.Sprintf("    csrrs %s, mscratch, %s", rd, g.src())}
+	case 2:
+		return []string{fmt.Sprintf("    csrrc %s, sscratch, %s", rd, g.src())}
+	case 3:
+		op := []string{"csrrwi", "csrrsi", "csrrci"}[g.rng.Intn(3)]
+		return []string{fmt.Sprintf("    %s %s, mscratch, %d", op, rd, g.rng.Intn(32))}
+	case 4:
+		csr := []string{"misa", "mhartid", "mscratch", "sscratch"}[g.rng.Intn(4)]
+		return []string{fmt.Sprintf("    csrr %s, %s", rd, csr)}
+	default:
+		return []string{fmt.Sprintf("    csrr %s, instret", rd)}
+	}
+}
+
+// segCustom exercises the XT extension: address-generation fusion, bit
+// manipulation, MACs, conditional moves and the indexed memory forms.
+func (g *gen) segCustom() []string {
+	rd := g.reg()
+	g.lastDest = rd
+	switch g.rng.Intn(8) {
+	case 0:
+		return []string{fmt.Sprintf("    addsl %s, %s, %s, %d", rd, g.src(), g.src(), g.rng.Intn(4))}
+	case 1:
+		lsb := g.rng.Intn(64)
+		msb := lsb + g.rng.Intn(64-lsb)
+		op := []string{"ext", "extu"}[g.rng.Intn(2)]
+		return []string{fmt.Sprintf("    %s %s, %s, %d, %d", op, rd, g.src(), msb, lsb)}
+	case 2:
+		op := []string{"ff0", "ff1", "rev", "tstnbz"}[g.rng.Intn(4)]
+		return []string{fmt.Sprintf("    %s %s, %s", op, rd, g.src())}
+	case 3:
+		return []string{fmt.Sprintf("    srri %s, %s, %d", rd, g.src(), g.rng.Intn(64))}
+	case 4:
+		op := []string{"mveqz", "mvnez"}[g.rng.Intn(2)]
+		return []string{fmt.Sprintf("    %s %s, %s, %s", op, rd, g.src(), g.src())}
+	case 5:
+		op := []string{"mula", "muls", "mulah", "mulsh", "mulaw", "mulsw"}[g.rng.Intn(6)]
+		return []string{fmt.Sprintf("    %s %s, %s, %s", op, rd, g.src(), g.src())}
+	case 6: // indexed load: x29 holds a bounded index
+		sh := g.rng.Intn(4)
+		op := []string{"lrb", "lrh", "lrw", "lrd", "lurb", "lurh", "lurw"}[g.rng.Intn(7)]
+		return []string{
+			fmt.Sprintf("    andi x29, %s, %d", g.reg(), 127),
+			fmt.Sprintf("    %s %s, x8, x29, %d", op, rd, sh),
+		}
+	default: // indexed store: data travels in rd
+		sh := g.rng.Intn(4)
+		op := []string{"srb", "srh", "srw", "srd"}[g.rng.Intn(4)]
+		return []string{
+			fmt.Sprintf("    andi x29, %s, %d", g.reg(), 127),
+			fmt.Sprintf("    %s %s, x8, x29, %d", op, g.reg(), sh),
+		}
+	}
+}
+
+// segSMC patches the next instruction slot with a freshly encoded ALU
+// instruction, then executes it after a fence.i. The placeholder is a
+// 4-byte `xor x0, x0, x0`, which RVC compression cannot shrink, so the
+// patch overwrites exactly one instruction.
+func (g *gen) segSMC() []string {
+	site := g.newLabel("patch")
+	in := isa.NewInst(isa.Op(0))
+	for {
+		op, ok := isa.ParseOp(aluRR[g.rng.Intn(len(aluRR))])
+		if !ok {
+			continue
+		}
+		in = isa.NewInst(op)
+		break
+	}
+	in.Rd = isa.X(gpPool[g.rng.Intn(len(gpPool))])
+	in.Rs1 = isa.X(gpPool[g.rng.Intn(len(gpPool))])
+	in.Rs2 = isa.X(gpPool[g.rng.Intn(len(gpPool))])
+	raw, err := isa.Encode(in)
+	if err != nil {
+		return g.segALU() // unencodable pick: fall back, keep determinism
+	}
+	g.lastDest = in.Rd.String()
+	carrier := g.reg()
+	return []string{
+		fmt.Sprintf("    la x29, %s", site),
+		fmt.Sprintf("    li %s, %d", carrier, int64(raw)),
+		fmt.Sprintf("    sw %s, 0(x29)", carrier),
+		"    fence.i",
+		site + ":",
+		"    xor x0, x0, x0",
+	}
+}
+
+// segVector emits a small vector block: configure, load, compute, store,
+// extract. Addresses stay inside the buffer (VL <= 16, SEW <= 32 bits).
+func (g *gen) segVector() []string {
+	vops := []string{"vadd.vv", "vsub.vv", "vand.vv", "vor.vv", "vxor.vv", "vmul.vv", "vmin.vv", "vmax.vv"}
+	v := func() string { return fmt.Sprintf("v%d", g.rng.Intn(4)) }
+	rd := g.reg()
+	g.lastDest = rd
+	stOff := 1024 + g.rng.Intn(bufBytes/2-64)&^63
+	return []string{
+		fmt.Sprintf("    li x29, %d", 1+g.rng.Intn(16)),
+		fmt.Sprintf("    vsetvli %s, x29, e32, m1", g.reg()),
+		fmt.Sprintf("    vle.v %s, (x8)", v()),
+		fmt.Sprintf("    %s %s, %s, %s", vops[g.rng.Intn(len(vops))], v(), v(), v()),
+		fmt.Sprintf("    addi x29, x8, %d", stOff),
+		fmt.Sprintf("    vse.v %s, (x29)", v()),
+		fmt.Sprintf("    vmv.x.s %s, %s", rd, v()),
+	}
+}

@@ -58,6 +58,11 @@ type Machine struct {
 	// Trace, when set, observes every retired instruction.
 	Trace func(pc uint64, in isa.Inst)
 
+	// OnStore, when set, observes every architectural memory write (scalar
+	// stores, SC, AMOs and vector stores) with its virtual address. The
+	// co-simulation checker uses it to track touched memory.
+	OnStore func(va uint64, size int)
+
 	// OnCacheOp observes custom cache/TLB maintenance ops (the SoC model
 	// hooks this; standalone emulation treats them as no-ops).
 	OnCacheOp func(op isa.Op, operand uint64)
@@ -186,7 +191,21 @@ func (m *Machine) store(va uint64, size int, v uint64) error {
 		return err
 	}
 	m.Mem.Write(pa, size, v)
+	// Any store that touches the reserved line invalidates an LR/SC
+	// reservation (64-byte granule, mirroring the pipeline's cache line).
+	// SC's own write also lands here; SC clears resValid afterwards anyway.
+	if m.resValid && va>>6 == m.resAddr>>6 {
+		m.resValid = false
+	}
+	if m.OnStore != nil {
+		m.OnStore(va, size)
+	}
 	return nil
+}
+
+// Reservation exposes the LR/SC reservation state for co-simulation.
+func (m *Machine) Reservation() (valid bool, addr uint64) {
+	return m.resValid, m.resAddr
 }
 
 // Fetch decodes the instruction at va.
@@ -226,8 +245,9 @@ func (m *Machine) Step() error {
 	err = m.exec(&in, &nextPC)
 	if err != nil {
 		if te, ok := err.(*trapError); ok {
+			// A trapping instruction does not retire: instret must not
+			// count it (the OoO core flushes it without committing).
 			m.enterTrap(te)
-			m.Instret++
 			return nil
 		}
 		return err

@@ -31,8 +31,13 @@ func NewInst(op Op) Inst {
 // Sources returns the architectural source registers the instruction reads,
 // in a fixed-size array plus a count (to avoid allocation on the hot path).
 func (i *Inst) Sources() (regs [3]Reg, n int) {
+	// x0 is kept: consumers resolve operands positionally (operand k of a
+	// non-commutative op must stay at index k), and the rename stage maps
+	// x0 to the permanently-zero physical register, so including it costs
+	// nothing. Dropping it shifted later sources down a slot and made e.g.
+	// `sra rd, x0, rs2` read the shift amount as the value being shifted.
 	add := func(r Reg) {
-		if r != RegNone && r != Zero {
+		if r != RegNone {
 			regs[n] = r
 			n++
 		}

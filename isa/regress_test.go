@@ -1,0 +1,141 @@
+package isa
+
+import "testing"
+
+// TestSourcesPositional pins the positional contract of Sources(): slot k of
+// the returned array corresponds to the k-th architectural source (Rs1, Rs2,
+// Rs3/Rd-as-source), with only RegNone skipped. An earlier version dropped
+// x0 too, which shifted later operands down a slot and made the OoO core
+// evaluate non-commutative ops like `sra rd, x0, rs2` with swapped operands
+// (found by the co-simulation fuzzer, internal/cosim).
+func TestSourcesPositional(t *testing.T) {
+	cases := []struct {
+		name string
+		in   Inst
+		want []Reg
+	}{
+		{"x0_first_kept", Inst{Op: SRA, Rd: X(5), Rs1: Zero, Rs2: X(22), Rs3: RegNone}, []Reg{Zero, X(22)}},
+		{"x0_second_kept", Inst{Op: SUB, Rd: X(5), Rs1: X(6), Rs2: Zero, Rs3: RegNone}, []Reg{X(6), Zero}},
+		{"regnone_skipped", Inst{Op: ADDI, Rd: X(5), Rs1: X(6), Rs2: RegNone, Rs3: RegNone}, []Reg{X(6)}},
+		{"three_sources", Inst{Op: FMADDD, Rd: F(0), Rs1: F(1), Rs2: F(2), Rs3: F(3)}, []Reg{F(1), F(2), F(3)}},
+		{"branch_x0", Inst{Op: BLT, Rd: RegNone, Rs1: Zero, Rs2: X(6), Rs3: RegNone}, []Reg{Zero, X(6)}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			regs, n := tc.in.Sources()
+			if n != len(tc.want) {
+				t.Fatalf("n = %d, want %d", n, len(tc.want))
+			}
+			for i, r := range tc.want {
+				if regs[i] != r {
+					t.Errorf("regs[%d] = %v, want %v", i, regs[i], r)
+				}
+			}
+		})
+	}
+}
+
+// TestEvalWordWidth pins the sign-extension behaviour of the *W family: the
+// result is always the sign-extended low 32 bits, upper source bits are
+// ignored, and shift amounts mask to 5 bits.
+func TestEvalWordWidth(t *testing.T) {
+	cases := []struct {
+		name string
+		op   Op
+		a, b uint64
+		imm  int64
+		want uint64
+	}{
+		{"addiw_overflow", ADDIW, 0x7fffffff, 0, 1, 0xffffffff80000000},
+		{"addiw_ignores_high", ADDIW, 0xdeadbeef_00000001, 0, 1, 2},
+		{"addw_wrap", ADDW, 0xffffffff, 1, 0, 0},
+		{"subw_borrow", SUBW, 0, 1, 0, 0xffffffffffffffff},
+		{"slliw_sign", SLLIW, 1, 0, 31, 0xffffffff80000000},
+		{"srliw_zero_extends_then_sexts", SRLIW, 0xdeadbeef_80000000, 0, 31, 1},
+		{"sraiw_sign", SRAIW, 0x80000000, 0, 31, 0xffffffffffffffff},
+		{"sllw_ignores_high", SLLW, 0xffffffff_00000001, 1, 0, 2},
+		{"srlw_low32", SRLW, 0x80000000, 4, 0, 0x08000000},
+		{"sraw_mask5", SRAW, 0x80000000, 32, 0, 0xffffffff80000000},
+		{"sraw_neg", SRAW, 0x80000000, 1, 0, 0xffffffffc0000000},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got, ok := EvalIntALU(tc.op, tc.a, tc.b, 0, tc.imm, 4)
+			if !ok {
+				t.Fatalf("EvalIntALU(%v) not handled", tc.op)
+			}
+			if got != tc.want {
+				t.Errorf("got %#x, want %#x", got, tc.want)
+			}
+		})
+	}
+}
+
+// TestDecode16Expansion pins the expansion of compressed encodings with
+// sign-extended immediates and the offset scaling of the load/store forms.
+// Raw values are hand-assembled from the RVC spec tables.
+func TestDecode16Expansion(t *testing.T) {
+	cases := []struct {
+		name string
+		raw  uint16
+		want Inst
+	}{
+		// c.addi a0, -1 → addi x10, x10, -1
+		{"c.addi_neg", 0x157d, Inst{Op: ADDI, Rd: X(10), Rs1: X(10), Imm: -1}},
+		// c.addiw a1, -2 → addiw x11, x11, -2
+		{"c.addiw_neg", 0x35f9, Inst{Op: ADDIW, Rd: X(11), Rs1: X(11), Imm: -2}},
+		// c.lw a0, 4(a1) → lw x10, 4(x11)
+		{"c.lw_scaled", 0x41c8, Inst{Op: LW, Rd: X(10), Rs1: X(11), Imm: 4}},
+		// c.srai a2, 63 → srai x12, x12, 63
+		{"c.srai_full", 0x967d, Inst{Op: SRAI, Rd: X(12), Rs1: X(12), Imm: 63}},
+		// c.beqz a0, +16 → beq x10, x0, 16
+		{"c.beqz_fwd", 0xc901, Inst{Op: BEQ, Rs1: X(10), Rs2: Zero, Imm: 16}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := Decode16(tc.raw)
+			if got.Op != tc.want.Op || got.Imm != tc.want.Imm {
+				t.Fatalf("got %v (op=%v imm=%d), want op=%v imm=%d",
+					got, got.Op, got.Imm, tc.want.Op, tc.want.Imm)
+			}
+			if tc.want.Rd != 0 && got.Rd != tc.want.Rd {
+				t.Errorf("rd = %v, want %v", got.Rd, tc.want.Rd)
+			}
+			if tc.want.Rs1 != 0 && got.Rs1 != tc.want.Rs1 {
+				t.Errorf("rs1 = %v, want %v", got.Rs1, tc.want.Rs1)
+			}
+			if got.Size != 2 {
+				t.Errorf("size = %d, want 2", got.Size)
+			}
+		})
+	}
+}
+
+// TestCompressRoundTrip checks Decode16(Compress(in)) == in over the forms
+// the assembler emits, so the two directions cannot drift apart.
+func TestCompressRoundTrip(t *testing.T) {
+	cases := []Inst{
+		{Op: ADDI, Rd: X(10), Rs1: X(10), Imm: -32},
+		{Op: ADDI, Rd: X(10), Rs1: Zero, Imm: 31},
+		{Op: ADDI, Rd: SP, Rs1: SP, Imm: -496},
+		{Op: ADDI, Rd: X(8), Rs1: SP, Imm: 4},
+		{Op: LW, Rd: X(9), Rs1: X(8), Imm: 124},
+		{Op: LD, Rd: X(14), Rs1: X(15), Imm: 248},
+		{Op: SW, Rs1: X(8), Rs2: X(9), Imm: 64},
+		{Op: SD, Rs1: X(8), Rs2: X(9), Imm: 0},
+		{Op: SRAI, Rd: X(12), Rs1: X(12), Imm: 1},
+		{Op: ANDI, Rd: X(13), Rs1: X(13), Imm: -1},
+		{Op: SUBW, Rd: X(8), Rs1: X(8), Rs2: X(9)},
+	}
+	for _, in := range cases {
+		raw, ok := Compress(in)
+		if !ok {
+			t.Errorf("%v: no compressed form", in)
+			continue
+		}
+		got := Decode16(raw)
+		if got.Op != in.Op || got.Imm != in.Imm {
+			t.Errorf("%v: round-trip gave %v (imm %d)", in, got, got.Imm)
+		}
+	}
+}
