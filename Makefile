@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke tier1 bench xtbench clean
+.PHONY: all build vet test race fuzz-smoke trace-smoke tier1 bench xtbench clean
 
 all: tier1
 
@@ -27,14 +27,30 @@ fuzz-smoke:
 	$(GO) run ./cmd/xtfuzz -n 200 -seed 1
 	$(GO) test -race -count=1 -run 'TestFuzzFixedSeeds|TestRunSeedsDeterministic' ./internal/cosim
 
+# trace-smoke exercises the pipeline-trace subsystem end to end: xttrace runs
+# a pinned workload with both sinks attached and self-checks the outputs (CPI
+# buckets sum exactly to total cycles; the Konata trace validates with one
+# retired uop per retired instruction), then a second identical run must
+# produce byte-identical trace files.
+TRACE_SMOKE_DIR := .trace-smoke
+trace-smoke:
+	@mkdir -p $(TRACE_SMOKE_DIR)
+	$(GO) run ./cmd/xttrace -selfcheck -iters 2 -konata $(TRACE_SMOKE_DIR)/a.kanata -jsonl $(TRACE_SMOKE_DIR)/a.jsonl eembc-a2time
+	$(GO) run ./cmd/xttrace -selfcheck -iters 2 -konata $(TRACE_SMOKE_DIR)/b.kanata -jsonl $(TRACE_SMOKE_DIR)/b.jsonl eembc-a2time
+	cmp $(TRACE_SMOKE_DIR)/a.kanata $(TRACE_SMOKE_DIR)/b.kanata
+	cmp $(TRACE_SMOKE_DIR)/a.jsonl $(TRACE_SMOKE_DIR)/b.jsonl
+	@rm -rf $(TRACE_SMOKE_DIR)
+
 # tier1 is the required bar for every change: everything compiles, vet is
-# clean, the full suite passes with the race detector enabled, and the
-# co-simulation smoke sweep finds no divergence.
+# clean, the full suite passes with the race detector enabled, the
+# co-simulation smoke sweep finds no divergence, and the trace subsystem's
+# smoke checks hold.
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
+	$(MAKE) trace-smoke
 
 # bench regenerates the paper's tables/figures as testing.B benchmarks.
 bench:

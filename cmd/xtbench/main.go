@@ -11,6 +11,7 @@
 //	                         # spec fig20 fig21 vector asid hugepage blockchain
 //	                         # ablation density
 //	xtbench -json            # machine-readable results + host metrics
+//	xtbench -cpistack        # add a top-down CPI-stack line under each run row
 //
 // Tables go to stdout; progress and host metrics go to stderr, so stdout is
 // byte-stable across -jobs settings and safe to diff or redirect.
@@ -58,11 +59,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool width (1 = serial)")
 	timeout := fs.Duration("timeout", 0, "per-experiment deadline (0 = none)")
 	jsonOut := fs.Bool("json", false, "emit JSON results and metrics to stdout")
+	cpistack := fs.Bool("cpistack", false, "attach a pipeline tracer to each run and report its top-down CPI stack")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	o := bench.Options{Quick: *quick, Jobs: *jobs, Timeout: *timeout}
+	o := bench.Options{Quick: *quick, Jobs: *jobs, Timeout: *timeout, CPIStack: *cpistack}
 	if !*jsonOut {
 		o.OnProgress = func(r sched.Result) {
 			status := "ok"

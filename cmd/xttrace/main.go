@@ -1,0 +1,214 @@
+// Command xttrace runs one workload (or an assembly file) on a single-hart
+// XT-910 system with the pipeline tracer attached, writes per-µop Konata
+// and/or JSONL traces, and prints the top-down CPI stack.
+//
+// Usage:
+//
+//	xttrace -konata out.kanata coremark      # trace a named workload
+//	xttrace -jsonl out.jsonl prog.s          # trace an assembly file
+//	xttrace -start 1000 -stop 2000 coremark  # trace a cycle window
+//	xttrace -sample 100 coremark             # keep 1 in 100 µops
+//	xttrace -last 2000 coremark              # flight recorder: last 2000 µops
+//	xttrace -selfcheck -konata t.k coremark  # validate the trace afterwards
+//	xttrace -list                            # list workload names
+//
+// The Konata output opens directly in the Konata pipeline visualizer
+// (https://github.com/shioyadan/Konata). The CPI stack always covers the whole
+// run; with -selfcheck (and no window/sampling) the tool re-reads the Konata
+// file, validates its structure and proves that the traced retire count equals
+// the core's retired-instruction counter and that the CPI-stack buckets sum
+// exactly to the cycle count.
+//
+// Exit status: 0 on success, 1 on simulation or self-check failure, 2 on
+// usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"xt910/internal/asm"
+	"xt910/internal/cache"
+	"xt910/internal/coherence"
+	"xt910/internal/core"
+	"xt910/internal/mem"
+	"xt910/internal/trace"
+	"xt910/internal/workloads"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+func run(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("xttrace", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	iters := fs.Int("iters", 0, "workload iteration count (0 = a small trace-friendly default)")
+	cfgName := fs.String("config", "xt910", "core configuration: xt910, u74 or a73")
+	konataPath := fs.String("konata", "", "write a Kanata pipeline trace to this file")
+	jsonlPath := fs.String("jsonl", "", "write a JSONL µop trace to this file")
+	start := fs.Uint64("start", 0, "first traced cycle")
+	stop := fs.Uint64("stop", 0, "trace µops renamed before this cycle (0 = no limit)")
+	sample := fs.Uint64("sample", 0, "keep one in N µops (0 or 1 = all)")
+	last := fs.Int("last", 0, "flight recorder: keep only the last N completed µops")
+	maxCycles := fs.Uint64("max-cycles", 200_000_000, "simulation cycle budget")
+	selfcheck := fs.Bool("selfcheck", false, "re-read the Konata trace and prove the retire/cycle invariants")
+	list := fs.Bool("list", false, "list workload names and exit")
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	if *list {
+		for _, w := range workloads.All() {
+			fmt.Fprintln(stdout, w.Name)
+		}
+		return 0
+	}
+	if fs.NArg() != 1 {
+		fmt.Fprintln(stderr, "xttrace: exactly one workload name or .s file required (see -list)")
+		return 2
+	}
+
+	var cfg core.Config
+	switch *cfgName {
+	case "xt910":
+		cfg = core.XT910Config()
+	case "u74":
+		cfg = core.U74Config()
+	case "a73":
+		cfg = core.A73Config()
+	default:
+		fmt.Fprintf(stderr, "xttrace: unknown config %q (xt910, u74, a73)\n", *cfgName)
+		return 2
+	}
+
+	prog, err := loadTarget(fs.Arg(0), *iters)
+	if err != nil {
+		fmt.Fprintf(stderr, "xttrace: %v\n", err)
+		return 1
+	}
+
+	// assemble the sink list; files are created up front so a bad path fails
+	// before a long simulation
+	var sinks []trace.Sink
+	var konataFile *os.File
+	for _, out := range []struct {
+		path string
+		mk   func(io.Writer) trace.Sink
+	}{
+		{*konataPath, func(w io.Writer) trace.Sink { return trace.NewKonataWriter(w) }},
+		{*jsonlPath, func(w io.Writer) trace.Sink { return trace.NewJSONLWriter(w) }},
+	} {
+		if out.path == "" {
+			continue
+		}
+		f, err := os.Create(out.path)
+		if err != nil {
+			fmt.Fprintf(stderr, "xttrace: %v\n", err)
+			return 1
+		}
+		defer f.Close()
+		if out.path == *konataPath {
+			konataFile = f
+		}
+		sinks = append(sinks, out.mk(f))
+	}
+
+	tr := trace.New(trace.Config{
+		StartCycle:  *start,
+		StopCycle:   *stop,
+		SampleEvery: *sample,
+		KeepLast:    *last,
+	}, sinks...)
+
+	// a fresh single-hart system, mirroring the bench harness environment
+	memory := mem.NewMemory()
+	dram := &mem.DRAM{Latency: 200, GapCycles: 4}
+	l2 := coherence.NewL2(cache.Config{
+		SizeBytes: 2 << 20, Ways: 16, LineBytes: 64,
+		HitLatency: 10, ECC: true, Parity: true,
+	}, dram)
+	c := core.New(cfg, 0, memory, l2)
+	prog.LoadInto(memory)
+	c.Reset(prog.Entry, 0x400000)
+	c.AttachTracer(tr)
+
+	c.Run(*maxCycles)
+	if !c.Halted {
+		fmt.Fprintf(stderr, "xttrace: did not halt within %d cycles\n", *maxCycles)
+		return 1
+	}
+	if err := tr.Close(); err != nil {
+		fmt.Fprintf(stderr, "xttrace: trace sink: %v\n", err)
+		return 1
+	}
+
+	st := &c.Stats
+	fmt.Fprintf(stdout, "exit %d  cycles %d  retired %d  IPC %.3f\n",
+		c.ExitCode, st.Cycles, st.Retired, st.IPC())
+	fmt.Fprintf(stdout, "cpi-stack: %s\n", tr.CPI())
+	if tr.Dropped > 0 {
+		fmt.Fprintf(stdout, "dropped %d in-flight records (raise BufferCap)\n", tr.Dropped)
+	}
+
+	if *selfcheck {
+		if err := check(tr, st, konataFile, *start, *stop, *sample, *last); err != nil {
+			fmt.Fprintf(stderr, "xttrace: selfcheck: %v\n", err)
+			return 1
+		}
+		fmt.Fprintln(stdout, "selfcheck: ok")
+	}
+	return 0
+}
+
+// check proves the trace invariants after a run: the CPI-stack buckets
+// partition the cycle count, and (for a full, unsampled trace) the Konata log
+// is structurally valid with exactly one retire line per retired instruction.
+func check(tr *trace.Tracer, st *core.Stats, konataFile *os.File, start, stop, sample uint64, last int) error {
+	if err := tr.CPI().Check(st.Cycles); err != nil {
+		return err
+	}
+	if konataFile == nil {
+		return nil
+	}
+	if _, err := konataFile.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	ks, err := trace.ValidateKonata(konataFile)
+	if err != nil {
+		return err
+	}
+	full := start == 0 && stop == 0 && sample <= 1 && last == 0 && tr.Dropped == 0
+	if full && ks.Retired != st.Retired {
+		return fmt.Errorf("konata trace retires %d µops, core retired %d", ks.Retired, st.Retired)
+	}
+	return nil
+}
+
+// loadTarget assembles a named workload or, when the argument names an
+// existing .s file, that file's source.
+func loadTarget(name string, iters int) (*asm.Program, error) {
+	if strings.HasSuffix(name, ".s") {
+		src, err := os.ReadFile(name)
+		if err != nil {
+			return nil, err
+		}
+		return asm.Assemble(string(src), asm.Options{Base: 0x1000, Compress: true})
+	}
+	for _, w := range workloads.All() {
+		if w.Name == name {
+			n := iters
+			if n <= 0 {
+				// traces get big fast: default to a handful of iterations
+				n = w.DefaultIters / 10
+				if n < 1 {
+					n = 1
+				}
+			}
+			return w.Program(n, true)
+		}
+	}
+	return nil, fmt.Errorf("unknown workload %q (see -list)", name)
+}

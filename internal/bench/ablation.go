@@ -58,7 +58,7 @@ func Ablations(ctx context.Context, o Options) (*perf.Result, error) {
 			cfg := cfg
 			ids = append(ids, "ablation/"+s.name+"/"+[2]string{"full", "cut"}[ai])
 			fns = append(fns, func(ctx context.Context) (runResult, error) {
-				return runWorkload(ctx, s.w, iters, cfg, defaultSys())
+				return runWorkload(ctx, o, s.w, iters, cfg, defaultSys())
 			})
 		}
 	}
@@ -100,7 +100,7 @@ func Density(ctx context.Context, o Options) (*perf.Result, error) {
 			if err != nil {
 				return armOut{}, err
 			}
-			r, err := runProgram(ctx, p, core.XT910Config(), defaultSys(), nil)
+			r, err := runProgram(ctx, o, p, core.XT910Config(), defaultSys(), nil)
 			if err != nil {
 				return armOut{}, err
 			}

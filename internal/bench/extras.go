@@ -26,7 +26,7 @@ func SpecInt(ctx context.Context, o Options) (*perf.Result, error) {
 	}
 	arm := func(cfg core.Config) func(context.Context) (runResult, error) {
 		return func(ctx context.Context) (runResult, error) {
-			return runWorkload(ctx, w, iters, cfg, defaultSys())
+			return runWorkload(ctx, o, w, iters, cfg, defaultSys())
 		}
 	}
 	runs, err := runJobs(ctx, o, []string{"spec/xt910", "spec/a73"},
@@ -122,7 +122,7 @@ func VectorMAC(ctx context.Context, o Options) (*perf.Result, error) {
 	}
 	arm := func(w workloads.Workload) func(context.Context) (runResult, error) {
 		return func(ctx context.Context) (runResult, error) {
-			return runWorkload(ctx, w, iters, core.XT910Config(), defaultSys())
+			return runWorkload(ctx, o, w, iters, core.XT910Config(), defaultSys())
 		}
 	}
 	runs, err := runJobs(ctx, o, []string{"vector/scalar", "vector/vector", "vector/fp16"},
@@ -200,7 +200,7 @@ func HugePages(ctx context.Context, o Options) (*perf.Result, error) {
 			cfg.JTLBEntries = 32
 			cfg.L1D.MSHRs = 2
 			cfg.Prefetch.Mode = prefetch.ModeOff // expose the raw TLB behaviour
-			return runProgram(ctx, prog, cfg, sys, pagedSetup(0x600000, 0x800000, huge))
+			return runProgram(ctx, o, prog, cfg, sys, pagedSetup(0x600000, 0x800000, huge))
 		}
 	}
 	runs, err := runJobs(ctx, o, []string{"hugepage/4k", "hugepage/2m"},
@@ -229,7 +229,7 @@ func Blockchain(ctx context.Context, o Options) (*perf.Result, error) {
 	iters := o.iters(workloads.BlockchainBase)
 	arm := func(w workloads.Workload) func(context.Context) (runResult, error) {
 		return func(ctx context.Context) (runResult, error) {
-			return runWorkload(ctx, w, iters, core.XT910Config(), defaultSys())
+			return runWorkload(ctx, o, w, iters, core.XT910Config(), defaultSys())
 		}
 	}
 	runs, err := runJobs(ctx, o, []string{"blockchain/base", "blockchain/ext"},

@@ -36,7 +36,7 @@ func Fig17(ctx context.Context, o Options) (*perf.Result, error) {
 		cfg := p.cfg
 		ids[i] = "fig17/" + cfg.Name
 		fns[i] = func(ctx context.Context) (runResult, error) {
-			return runWorkload(ctx, w, iters, cfg, defaultSys())
+			return runWorkload(ctx, o, w, iters, cfg, defaultSys())
 		}
 	}
 	runs, err := runJobs(ctx, o, ids, fns)
@@ -51,6 +51,7 @@ func Fig17(ctx context.Context, o Options) (*perf.Result, error) {
 			Label: p.cfg.Name, Measured: score, Paper: p.paper,
 			Unit: "iter/Mcycle (paper: CoreMark/MHz)",
 			Note: fmt.Sprintf("IPC %.2f", r.IPC()),
+			CPI:  cpiColumn(r),
 		})
 		switch p.cfg.Name {
 		case "XT-910":
@@ -90,7 +91,7 @@ func suiteVsA73(ctx context.Context, id, title string, suite []workloads.Workloa
 			cfg := cfgOf()
 			ids = append(ids, id+"/"+w.Name+"/"+cfg.Name)
 			fns = append(fns, func(ctx context.Context) (runResult, error) {
-				return runWorkload(ctx, w, iters, cfg, defaultSys())
+				return runWorkload(ctx, o, w, iters, cfg, defaultSys())
 			})
 		}
 	}
@@ -107,7 +108,10 @@ func suiteVsA73(ctx context.Context, id, title string, suite []workloads.Workloa
 		}
 		ratio := float64(a73.Cycles) / float64(xt.Cycles) // >1: XT-910 faster
 		ratios = append(ratios, ratio)
-		res.Rows = append(res.Rows, perf.Row{Label: w.Name, Measured: ratio, Unit: "x vs A73-class"})
+		res.Rows = append(res.Rows, perf.Row{
+			Label: w.Name, Measured: ratio, Unit: "x vs A73-class",
+			CPI: cpiColumn(xt), // the XT-910 arm's breakdown
+		})
 	}
 	res.Rows = append(res.Rows, perf.Row{
 		Label: "geomean", Measured: perf.Geomean(ratios), Paper: 1.0,
@@ -153,7 +157,7 @@ func Fig20(ctx context.Context, o Options) (*perf.Result, error) {
 				if err != nil {
 					return armOut{}, err
 				}
-				r, err := runProgram(ctx, p, core.XT910Config(), defaultSys(), nil)
+				r, err := runProgram(ctx, o, p, core.XT910Config(), defaultSys(), nil)
 				if err != nil {
 					return armOut{}, err
 				}
@@ -235,7 +239,7 @@ func Fig21(ctx context.Context, o Options) (*perf.Result, error) {
 			cfg := core.XT910Config()
 			cfg.Prefetch = sc.pf
 			cfg.L1D.MSHRs = 1 // FPGA-harness memory path concurrency (see DESIGN.md)
-			r, err := runProgram(ctx, prog, cfg, sys, setup)
+			r, err := runProgram(ctx, o, prog, cfg, sys, setup)
 			if err != nil {
 				return runResult{}, fmt.Errorf("scenario %q: %w", sc.label, err)
 			}
@@ -255,6 +259,7 @@ func Fig21(ctx context.Context, o Options) (*perf.Result, error) {
 		res.Rows = append(res.Rows, perf.Row{
 			Label: sc.label, Measured: float64(baseCycles) / float64(runs[i].Cycles),
 			Paper: sc.paper, Unit: "x vs a",
+			CPI: cpiColumn(runs[i]),
 		})
 	}
 	res.Notes = append(res.Notes,

@@ -23,6 +23,7 @@ import (
 	"xt910/internal/mem"
 	"xt910/internal/mmu"
 	"xt910/internal/sched"
+	"xt910/internal/trace"
 	"xt910/internal/workloads"
 	"xt910/internal/xterrors"
 	"xt910/isa"
@@ -47,6 +48,11 @@ type Options struct {
 	// OnProgress, when set, receives each experiment's sched.Result as it
 	// completes: wall time, simulated cycles, sim-cycles per host second.
 	OnProgress func(sched.Result)
+
+	// CPIStack attaches a sink-less pipeline tracer to every measured run and
+	// adds a top-down cycle breakdown (retiring / frontend / badspec / mem /
+	// core) to the per-run table rows (the xtbench -cpistack flag).
+	CPIStack bool
 }
 
 func (o Options) iters(w workloads.Workload) int {
@@ -97,6 +103,7 @@ type runResult struct {
 	Exit    int
 	Core    *core.Core
 	DRAM    *mem.DRAM
+	CPI     *trace.CPIStack // non-nil when a tracer observed the run
 }
 
 func (r runResult) IPC() float64 { return float64(r.Retired) / float64(r.Cycles) }
@@ -116,8 +123,10 @@ func defaultSys() sysConfig {
 // runProgram executes an assembled program on a fresh single-core system,
 // polling ctx between simulation chunks so a cancelled or timed-out
 // experiment stops promptly. Simulated cycles are credited to the enclosing
-// sched job for the metrics stream.
-func runProgram(ctx context.Context, p *asm.Program, cfg core.Config, sys sysConfig, setup func(*core.Core, *mem.Memory)) (runResult, error) {
+// sched job for the metrics stream. With o.CPIStack set a sink-less tracer is
+// attached before setup runs, so a setup that attaches its own (sink-carrying)
+// tracer wins; whichever tracer observed the run supplies runResult.CPI.
+func runProgram(ctx context.Context, o Options, p *asm.Program, cfg core.Config, sys sysConfig, setup func(*core.Core, *mem.Memory)) (runResult, error) {
 	memory := mem.NewMemory()
 	gap := sys.DRAMGap
 	if gap == 0 {
@@ -131,6 +140,9 @@ func runProgram(ctx context.Context, p *asm.Program, cfg core.Config, sys sysCon
 	c := core.New(cfg, 0, memory, l2)
 	p.LoadInto(memory)
 	c.Reset(p.Entry, 0x400000)
+	if o.CPIStack {
+		c.AttachTracer(trace.New(trace.Config{}))
+	}
 	if setup != nil {
 		setup(c, memory)
 	}
@@ -147,22 +159,35 @@ func runProgram(ctx context.Context, p *asm.Program, cfg core.Config, sys sysCon
 	if !c.Halted {
 		return runResult{}, fmt.Errorf("bench: %s (%s): %w", cfg.Name, c.Stats.String(), xterrors.ErrDidNotHalt)
 	}
-	return runResult{
+	rr := runResult{
 		Cycles:  c.Stats.Cycles,
 		Retired: c.Stats.Retired,
 		Exit:    c.ExitCode,
 		Core:    c,
 		DRAM:    dram,
-	}, nil
+	}
+	if t := c.Tracer(); t != nil {
+		rr.CPI = t.CPI()
+	}
+	return rr, nil
 }
 
 // runWorkload assembles and runs a workload.
-func runWorkload(ctx context.Context, w workloads.Workload, iters int, cfg core.Config, sys sysConfig) (runResult, error) {
+func runWorkload(ctx context.Context, o Options, w workloads.Workload, iters int, cfg core.Config, sys sysConfig) (runResult, error) {
 	p, err := w.Program(iters, true)
 	if err != nil {
 		return runResult{}, err
 	}
-	return runProgram(ctx, p, cfg, sys, nil)
+	return runProgram(ctx, o, p, cfg, sys, nil)
+}
+
+// cpiColumn renders a run's CPI-stack breakdown for a table row ("" when no
+// tracer observed the run, which keeps the column out of untraced tables).
+func cpiColumn(r runResult) string {
+	if r.CPI == nil {
+		return ""
+	}
+	return r.CPI.String()
 }
 
 // pagedSetup builds identity-mapped SV39 tables (4 KB or huge pages) behind

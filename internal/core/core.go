@@ -6,6 +6,7 @@ import (
 	"xt910/internal/mem"
 	"xt910/internal/mmu"
 	"xt910/internal/prefetch"
+	"xt910/internal/trace"
 	"xt910/internal/vector"
 	"xt910/isa"
 )
@@ -63,6 +64,16 @@ type Core struct {
 	// memory-dependence predictor: load PCs that caused ordering violations
 	// are tagged and later forced to wait for older store addresses (§V-A).
 	memDep map[uint64]bool
+
+	// tr, when non-nil, receives per-µop pipeline lifecycle events and the
+	// per-cycle CPI-stack attribution (internal/trace). Every call site is
+	// guarded by a nil check, so a detached core pays one predictable branch
+	// per event point and nothing else.
+	tr *trace.Tracer
+	// badSpecUntil marks the recovery window after a misprediction or
+	// memory-order squash; empty-ROB cycles inside it are attributed to the
+	// bad-speculation CPI bucket rather than frontend-bound.
+	badSpecUntil uint64
 
 	// architectural system state (CSRs, privilege) — owned by retire.
 	csr     map[uint16]uint64
@@ -133,10 +144,14 @@ type sqEntry struct {
 }
 
 type fqEntry struct {
-	inst       isa.Inst
-	pc         uint64
-	readyAt    uint64
-	predTaken  bool
+	inst      isa.Inst
+	pc        uint64
+	readyAt   uint64
+	predTaken bool
+	// fetchLag is readyAt minus the cycle the fetch group was initiated
+	// (trace StageFetch). Packed into the padding after predTaken so the
+	// entry stays 120 bytes — it is copied on the rename hot path.
+	fetchLag   uint32
 	predTarget uint64
 	dirIdx     uint64
 	histBefore uint64
@@ -224,6 +239,14 @@ func (c *Core) Reg(r isa.Reg) uint64 {
 // Now returns the current cycle.
 func (c *Core) Now() uint64 { return c.now }
 
+// AttachTracer connects the pipeline-event tracer (nil detaches). Attach
+// before the first Step: the CPI stack's exact-partition property (buckets
+// sum to Stats.Cycles) holds only over cycles the tracer observed.
+func (c *Core) AttachTracer(t *trace.Tracer) { c.tr = t }
+
+// Tracer returns the attached tracer, or nil.
+func (c *Core) Tracer() *trace.Tracer { return c.tr }
+
 // SetPrivilege places the core in the given privilege level (harness setup
 // for runs under SV39 translation).
 func (c *Core) SetPrivilege(p int) {
@@ -310,9 +333,17 @@ func (c *Core) Step() {
 		c.sampleInterrupts()
 	}
 	if c.wfiWait {
+		if c.tr != nil {
+			// a parked hart supplies nothing: frontend-bound by convention
+			c.tr.Cycle(trace.CycleFrontend)
+		}
 		c.now++
 		c.Stats.Cycles = c.now
 		return
+	}
+	var retiredBefore uint64
+	if c.tr != nil {
+		retiredBefore = c.Stats.Retired
 	}
 	c.retire()
 	if c.Halted {
@@ -321,8 +352,32 @@ func (c *Core) Step() {
 	c.issueAndExecute()
 	c.renameDispatch()
 	c.fetch()
+	if c.tr != nil {
+		c.tr.Cycle(c.cycleClass(c.Stats.Retired - retiredBefore))
+	}
 	c.now++
 	c.Stats.Cycles = c.now
+}
+
+// cycleClass implements the top-down CPI-stack attribution rule (see
+// DESIGN.md): exactly one bucket per counted cycle, evaluated on end-of-cycle
+// state. The halting cycle is not counted in Stats.Cycles and gets no bucket,
+// so the partition stays exact.
+func (c *Core) cycleClass(retired uint64) trace.CycleClass {
+	if retired > 0 {
+		return trace.CycleRetiring
+	}
+	if c.robQ.empty() {
+		if c.now < c.badSpecUntil {
+			return trace.CycleBadSpec
+		}
+		return trace.CycleFrontend
+	}
+	switch c.robQ.headEntry().inst.Op.Class() {
+	case isa.ClassLoad, isa.ClassStore, isa.ClassAMO, isa.ClassVLoad, isa.ClassVStore:
+		return trace.CycleBackendMem
+	}
+	return trace.CycleBackendCore
 }
 
 // Run steps until halt or maxCycles.

@@ -47,7 +47,7 @@ func (c *Core) fetch() {
 			// crosses a page we cannot translate yet: stop the group here
 			break
 		}
-		e := fqEntry{inst: in, pc: pc, readyAt: groupReady, excCause: -1, fromLoop: fromLoop}
+		e := fqEntry{inst: in, pc: pc, readyAt: groupReady, fetchLag: uint32(groupReady - c.now), excCause: -1, fromLoop: fromLoop}
 		nextPC := pc + uint64(in.Size)
 
 		switch {
@@ -199,6 +199,7 @@ func (c *Core) injectFetchFault(pc uint64, err error) {
 		inst:     isa.NewInst(isa.ILLEGAL),
 		pc:       pc,
 		readyAt:  c.now + 1,
+		fetchLag: 1,
 		excCause: cause,
 		excTval:  pc,
 	})

@@ -1,6 +1,9 @@
 package core
 
-import "xt910/isa"
+import (
+	"xt910/internal/trace"
+	"xt910/isa"
+)
 
 // recoverFromBranch restores front-end state from the branch's rename-time
 // checkpoint (§IV speculative allocation) and squashes everything younger.
@@ -29,6 +32,7 @@ func (c *Core) recoverFromBranch(u *uop, target uint64, actTaken bool) {
 	c.fetchWait = false
 	c.fetchPC = target
 	c.fetchAllowed = c.now + uint64(c.Cfg.MispredictMin)
+	c.badSpecUntil = c.fetchAllowed // wrong-path recovery window (CPI stack)
 	c.Stats.Flushes++
 }
 
@@ -37,6 +41,10 @@ func (c *Core) recoverFromBranch(u *uop, target uint64, actTaken bool) {
 // checkpoints.
 func (c *Core) squashYounger(keepSeq uint64) {
 	c.robQ.squashAfter(keepSeq, func(u *uop) {
+		if c.tr != nil {
+			// squashYounger is only reached from branch recovery
+			c.tr.Squash(u.seq, c.now, trace.SquashMispredict)
+		}
 		if u.newPhys != noPhys {
 			// undo the rename: the checkpointed RAT no longer references it
 			c.pf.release(u.newPhys)
@@ -80,11 +88,15 @@ func filterSQ(q []sqEntry, keepSeq uint64) []sqEntry {
 
 // flushAll empties the whole pipeline (taken at retirement for exceptions,
 // serializing instructions and memory-ordering squashes, Fig. 8) and
-// restarts fetch at pc. The speculative RAT is rebuilt from the retirement
-// RAT and the free list from scratch.
-func (c *Core) flushAll(pc uint64) {
+// restarts fetch at pc, attributing every killed µop to cause. The
+// speculative RAT is rebuilt from the retirement RAT and the free list from
+// scratch.
+func (c *Core) flushAll(pc uint64, cause trace.SquashCause) {
 	// release every in-flight rename
 	c.robQ.forEach(func(_ int, u *uop) bool {
+		if c.tr != nil {
+			c.tr.Squash(u.seq, c.now, cause)
+		}
 		if u.newPhys != noPhys {
 			c.pf.release(u.newPhys)
 		}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"xt910/internal/trace"
 	"xt910/internal/vector"
 	"xt910/isa"
 )
@@ -33,6 +34,9 @@ func (c *Core) issueAndExecute() {
 				break
 			}
 			if c.tryExecute(p, idx, u) {
+				if c.tr != nil {
+					c.traceIssue(p, u.seq)
+				}
 				// tryExecute may itself rewrite the queues (branch recovery
 				// squashes younger entries), so remove the issued entry from
 				// the queue's current contents rather than the stale slice.
@@ -56,6 +60,27 @@ func (c *Core) issueAndExecute() {
 				break
 			}
 		}
+	}
+}
+
+// traceIssue stamps the issue-side lifecycle events for a µop that just left
+// pipe p's queue: the scheduler selection itself, then the pipe-specific
+// execution point (AGU leg, store-data capture, or EX1).
+func (c *Core) traceIssue(p pipeID, seq uint64) {
+	c.tr.StageAt(seq, trace.StageIssue, c.now)
+	switch p {
+	case pipeLD:
+		c.tr.StageAt(seq, trace.StageAddr, c.now)
+	case pipeSTA:
+		c.tr.StageAt(seq, trace.StageAddr, c.now)
+		if !c.Cfg.SplitStores {
+			// unified store µOp captures its data on the same pipe
+			c.tr.StageAt(seq, trace.StageData, c.now)
+		}
+	case pipeSTD:
+		c.tr.StageAt(seq, trace.StageData, c.now)
+	default:
+		c.tr.StageAt(seq, trace.StageExec, c.now)
 	}
 }
 

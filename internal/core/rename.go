@@ -1,6 +1,9 @@
 package core
 
-import "xt910/isa"
+import (
+	"xt910/internal/trace"
+	"xt910/isa"
+)
 
 // renameDispatch models ID/IR/IS dispatch (§IV): up to DecodeWidth
 // instructions leave the IBUF per cycle, are cracked into micro-ops (stores
@@ -169,6 +172,10 @@ func (c *Core) tryRename(e *fqEntry) bool {
 	idx := c.robQ.push(u)
 	pu := c.robQ.at(idx)
 
+	if c.tr != nil {
+		c.traceRename(pu, e)
+	}
+
 	if pu.isLoad() && pu.excCause < 0 {
 		pu.lqIdx = len(c.lq)
 		c.lq = append(c.lq, lqEntry{seq: pu.seq, robIdx: idx})
@@ -188,6 +195,17 @@ func (c *Core) tryRename(e *fqEntry) bool {
 	}
 	c.Stats.Renamed++
 	return true
+}
+
+// traceRename opens the µop's trace record — seq exists only from rename on —
+// with the frontend stamps back-dated from the fetch-queue entry. Kept out of
+// tryRename so the untraced hot path pays only the nil check.
+func (c *Core) traceRename(pu *uop, e *fqEntry) {
+	c.tr.Begin(pu.seq, pu.pc, pu.inst, c.now)
+	c.tr.StageAt(pu.seq, trace.StageFetch, e.readyAt-uint64(e.fetchLag))
+	c.tr.StageAt(pu.seq, trace.StagePredecode, e.readyAt)
+	c.tr.StageAt(pu.seq, trace.StageRename, c.now)
+	c.tr.StageAt(pu.seq, trace.StageDispatch, c.now)
 }
 
 func isCustomOp(op isa.Op) bool {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"xt910/internal/emu"
+	"xt910/internal/trace"
 	"xt910/isa"
 )
 
@@ -19,7 +20,8 @@ func (c *Core) retire() {
 		// squash-at-commit for §V-A ordering violations: re-execute the load
 		if u.squashRetry {
 			pc := u.pc
-			c.flushAll(pc)
+			c.flushAll(pc, trace.SquashMemOrder)
+			c.badSpecUntil = c.fetchAllowed // wrong-path recovery window
 			c.memDep[pc] = true
 			c.Stats.MemOrderFlushes++
 			return
@@ -29,6 +31,9 @@ func (c *Core) retire() {
 			if u.atRetire {
 				if !c.executeAtRetire(u) {
 					return // stalled at head (e.g. AMO memory access)
+				}
+				if c.tr != nil {
+					c.traceAtRetireExec(u.seq)
 				}
 			} else {
 				if n == 0 {
@@ -69,6 +74,9 @@ func (c *Core) retire() {
 			c.ckpts[u.ckptID].used = false
 		}
 
+		if c.tr != nil {
+			c.traceRetire(u.seq, u.readyAt)
+		}
 		if c.RetireHook != nil {
 			c.RetireHook(u.pc, u.inst)
 		}
@@ -87,11 +95,25 @@ func (c *Core) retire() {
 			return
 		}
 		if flushAfter {
-			c.flushAll(redirect)
+			c.flushAll(redirect, trace.SquashSerialize)
 			c.Stats.SerializeFlushes++
 			return
 		}
 	}
+}
+
+// traceAtRetireExec stamps an at-retire op, which issues and executes at the
+// ROB head. Kept out of retire so the untraced path pays only the nil check.
+func (c *Core) traceAtRetireExec(seq uint64) {
+	c.tr.StageAt(seq, trace.StageIssue, c.now)
+	c.tr.StageAt(seq, trace.StageExec, c.now)
+}
+
+// traceRetire stamps writeback (the µop's ready time) and completes the
+// record as committed.
+func (c *Core) traceRetire(seq, readyAt uint64) {
+	c.tr.StageAt(seq, trace.StageWriteback, readyAt)
+	c.tr.Retire(seq, c.now)
 }
 
 // countHeadStall attributes a blocked-retirement cycle to the head's class.
@@ -461,7 +483,7 @@ func (c *Core) takeInterrupt(cause uint64) {
 	c.priv = isa.PrivM
 	c.MMU.Priv = c.priv
 	c.Stats.Interrupts++
-	c.flushAll(target)
+	c.flushAll(target, trace.SquashInterrupt)
 }
 
 // takeTrap implements precise exception entry with medeleg delegation,
@@ -505,5 +527,5 @@ func (c *Core) takeTrap(u *uop) {
 		c.ExitCode = -(16 + cause)
 		return
 	}
-	c.flushAll(target)
+	c.flushAll(target, trace.SquashException)
 }

@@ -1,0 +1,128 @@
+package cosim
+
+import (
+	"strings"
+	"testing"
+
+	"xt910/isa"
+)
+
+// TestClockCSRReadsCompareModuloClock pins the clock-CSR comparison policy:
+// reads of cycle/time/mcycle land different values in the two models, but the
+// checker adopts the core's committed value, so arithmetic, branches and
+// stores computed *from* the timestamp are still compared exactly.
+func TestClockCSRReadsCompareModuloClock(t *testing.T) {
+	checkClean(t, `
+_start:
+    la x8, buf
+    csrr x5, cycle
+    csrr x6, time
+    csrr x7, mcycle
+    sub  x9, x7, x5
+    sd   x5, 0(x8)
+    sd   x9, 8(x8)
+    csrr x10, cycle
+    bltu x10, x5, bad       # the clock never goes backwards
+    csrr x11, instret
+    add  x12, x11, x9
+`+exitEpilogue+`
+bad:
+    li a7, 93
+    li a0, 1
+    ecall
+.align 6
+buf:
+    .dword 0, 0, 0, 0
+`)
+}
+
+// TestSPRelativeFPSpills pins the c.fldsp/c.fsdsp path outside the scratch
+// buffer: FP doubles spilled sp-relative across the full 9-bit compressed
+// offset range (0..504) and reloaded into different registers.
+func TestSPRelativeFPSpills(t *testing.T) {
+	checkClean(t, `
+_start:
+    la x8, buf
+    li x5, 0x3ff0000000000001
+    fmv.d.x f8, x5
+    li x6, -1
+    fmv.d.x f3, x6
+    fsd f8, 0(x2)
+    fsd f3, 504(x2)
+    fsd f8, 248(x2)
+    fld f9, 0(x2)
+    fld f10, 504(x2)
+    fld f11, 248(x2)
+    fmv.x.d x7, f10
+    sd x7, 0(x8)
+    fadd.d f12, f9, f11
+`+exitEpilogue+`
+.align 6
+buf:
+    .dword 0, 0, 0, 0
+`)
+}
+
+// TestCompressedFPSpillEncodings proves the spill forms the fuzzer emits
+// actually exercise the compressed encodings: sp-relative FP doubles at
+// 8-byte offsets within 0..504 must shrink to c.fldsp/c.fsdsp.
+func TestCompressedFPSpillEncodings(t *testing.T) {
+	for _, off := range []int64{0, 24, 248, 504} {
+		fsd := isa.Inst{Op: isa.FSD, Rs1: isa.SP, Rs2: isa.F(8), Imm: off}
+		if _, ok := isa.Compress(fsd); !ok {
+			t.Errorf("fsd f8, %d(sp) did not compress to c.fsdsp", off)
+		}
+		fld := isa.Inst{Op: isa.FLD, Rd: isa.F(9), Rs1: isa.SP, Imm: off}
+		if _, ok := isa.Compress(fld); !ok {
+			t.Errorf("fld f9, %d(sp) did not compress to c.fldsp", off)
+		}
+	}
+	// outside the 9-bit uimm range there is no compressed form
+	if _, ok := isa.Compress(isa.Inst{Op: isa.FSD, Rs1: isa.SP, Rs2: isa.F(8), Imm: 512}); ok {
+		t.Error("fsd f8, 512(sp) must not compress (offset out of range)")
+	}
+}
+
+// TestFuzzerEmitsFPSpillsAndClockReads is the fixed-seed coverage regression:
+// across the standard seed sweep the generator must produce sp-relative FP
+// spills (compressing to c.fsdsp/c.fldsp) and clock-CSR reads, and those
+// programs must stay divergence-free (TestFuzzFixedSeeds runs the same range).
+func TestFuzzerEmitsFPSpillsAndClockReads(t *testing.T) {
+	var fsdsp, fldsp, clock int
+	for seed := int64(1); seed <= 60; seed++ {
+		src := generate(seed, 40).render(nil)
+		for _, line := range strings.Split(src, "\n") {
+			switch {
+			case strings.Contains(line, "fsd f") && strings.Contains(line, "(x2)"):
+				fsdsp++
+			case strings.Contains(line, "fld f") && strings.Contains(line, "(x2)"):
+				fldsp++
+			case strings.Contains(line, "csrr") &&
+				(strings.HasSuffix(line, " cycle") || strings.HasSuffix(line, " time") ||
+					strings.HasSuffix(line, " mcycle")):
+				clock++
+			}
+		}
+	}
+	for what, n := range map[string]int{"c.fsdsp spills": fsdsp, "c.fldsp reloads": fldsp, "clock CSR reads": clock} {
+		if n == 0 {
+			t.Errorf("seed sweep 1..60 generated no %s", what)
+		}
+	}
+	t.Logf("coverage: %d fsdsp, %d fldsp, %d clock reads", fsdsp, fldsp, clock)
+}
+
+// TestFuzzClockSeedRegression replays a handful of fixed seeds end to end at a
+// larger segment count than the sweep, as a dedicated regression for the
+// clock-CSR and FP-spill generator paths.
+func TestFuzzClockSeedRegression(t *testing.T) {
+	for _, seed := range []int64{7, 19, 42} {
+		fr := Fuzz(seed, 80, Options{})
+		if fr.Err != nil {
+			t.Fatalf("seed %d: %v", seed, fr.Err)
+		}
+		if fr.Diverged {
+			t.Errorf("seed %d diverged:\n%s\nshrunk:\n%s", seed, fr.Result.Report, fr.Shrunk)
+		}
+	}
+}

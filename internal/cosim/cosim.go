@@ -19,8 +19,13 @@
 //   - vector register file, vl and vtype: at halt (vector ops execute early
 //     relative to retirement, so per-commit comparison would race younger
 //     in-flight vector ops).
-//   - cycle/time CSRs: never — the golden model has no clock; reading them is
-//     an inherent model divergence and the fuzzer does not emit rdcycle.
+//   - cycle/time/mcycle CSR reads: compared modulo the clock. The golden
+//     model has no cycle-accurate clock (emu.Machine.Cycles is a coarse
+//     retired-instruction model), so after the emulator steps such a read the
+//     checker overwrites its destination register with the value the core
+//     committed. Everything downstream of the read — arithmetic on the
+//     timestamp, branches over deltas — is then compared exactly, which lets
+//     the fuzzer emit rdcycle/rdtime/csrr-mcycle instead of excluding them.
 package cosim
 
 import (
@@ -183,6 +188,14 @@ func (k *checker) onCommit(ci core.Commit) {
 	k.commits++
 	k.pushTrace(ci)
 
+	// cycle/time reads diverge by construction (the golden model has no
+	// clock): adopt the core's committed value so the comparison covers
+	// everything computed *from* the timestamp rather than the timestamp
+	// itself (see the package comment).
+	if isCycleCSRRead(ci) {
+		k.m.X[ci.Inst.Rd.Index()] = ci.RdVal
+	}
+
 	for i := 1; i < 32; i++ {
 		if cv, ev := k.c.Reg(isa.X(i)), k.m.X[i]; cv != ev {
 			k.fail(ci, "xreg", fmt.Sprintf("%s: core=%#x emu=%#x", isa.X(i), cv, ev))
@@ -213,6 +226,22 @@ func (k *checker) onCommit(ci core.Commit) {
 	case isa.ClassCSR, isa.ClassSys:
 		k.compareCSRState(ci)
 	}
+}
+
+// isCycleCSRRead reports whether a commit is a CSR-class access of a clock
+// CSR landing in a comparable integer register.
+func isCycleCSRRead(ci core.Commit) bool {
+	if ci.Inst.Op.Class() != isa.ClassCSR || !ci.HasRd {
+		return false
+	}
+	if !ci.Inst.Rd.IsX() || ci.Inst.Rd == isa.Zero {
+		return false
+	}
+	switch ci.Inst.CSR {
+	case isa.CSRCycle, isa.CSRTime, isa.CSRMcycle:
+		return true
+	}
+	return false
 }
 
 // compareMemory checks every 64-byte line either model has written. It is

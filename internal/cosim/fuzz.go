@@ -222,19 +222,23 @@ func (g *gen) segALU() []string {
 
 // segMem mixes scalar loads and stores over the scratch buffer (misaligned
 // and line-crossing offsets included) and sp-relative accesses that compress
-// to c.ldsp/c.sdsp.
+// to the RVC stack forms: c.ldsp/c.sdsp and the FP spills c.fldsp/c.fsdsp.
 func (g *gen) segMem() []string {
 	var out []string
 	n := 2 + g.rng.Intn(4)
 	for i := 0; i < n; i++ {
 		if g.rng.Intn(10) < 2 { // sp-relative (RVC stack forms)
-			off := g.rng.Intn(32) * 8
-			if g.rng.Intn(2) == 0 {
-				out = append(out, fmt.Sprintf("    sd %s, %d(x2)", g.reg(), off))
-			} else {
+			switch g.rng.Intn(4) {
+			case 0:
+				out = append(out, fmt.Sprintf("    sd %s, %d(x2)", g.reg(), g.rng.Intn(32)*8))
+			case 1:
 				rd := g.reg()
-				out = append(out, fmt.Sprintf("    ld %s, %d(x2)", rd, off))
+				out = append(out, fmt.Sprintf("    ld %s, %d(x2)", rd, g.rng.Intn(32)*8))
 				g.lastDest = rd
+			case 2: // FP spill: the full 9-bit c.fsdsp range (0..504)
+				out = append(out, fmt.Sprintf("    fsd %s, %d(x2)", g.freg(), g.rng.Intn(64)*8))
+			default: // FP reload via c.fldsp
+				out = append(out, fmt.Sprintf("    fld %s, %d(x2)", g.freg(), g.rng.Intn(64)*8))
 			}
 			continue
 		}
@@ -380,12 +384,13 @@ func (g *gen) segFPU() []string {
 	return out
 }
 
-// segCSR reads and writes scratch CSRs and reads identity/counter CSRs
-// (never cycle/time: the golden model has no clock).
+// segCSR reads and writes scratch CSRs and reads identity/counter CSRs,
+// including the clock CSRs — the checker compares those modulo the clock by
+// adopting the core's committed read value (see isCycleCSRRead).
 func (g *gen) segCSR() []string {
 	rd := g.reg()
 	g.lastDest = rd
-	switch g.rng.Intn(6) {
+	switch g.rng.Intn(7) {
 	case 0:
 		return []string{fmt.Sprintf("    csrrw %s, mscratch, %s", rd, g.src())}
 	case 1:
@@ -397,6 +402,9 @@ func (g *gen) segCSR() []string {
 		return []string{fmt.Sprintf("    %s %s, mscratch, %d", op, rd, g.rng.Intn(32))}
 	case 4:
 		csr := []string{"misa", "mhartid", "mscratch", "sscratch"}[g.rng.Intn(4)]
+		return []string{fmt.Sprintf("    csrr %s, %s", rd, csr)}
+	case 5: // clock CSRs: compared modulo the clock, then folded into state
+		csr := []string{"cycle", "time", "mcycle"}[g.rng.Intn(3)]
 		return []string{fmt.Sprintf("    csrr %s, %s", rd, csr)}
 	default:
 		return []string{fmt.Sprintf("    csrr %s, instret", rd)}

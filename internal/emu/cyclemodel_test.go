@@ -1,0 +1,64 @@
+package emu
+
+import (
+	"testing"
+
+	"xt910/internal/asm"
+	"xt910/internal/mem"
+	"xt910/isa"
+)
+
+// TestClockCSRsDefaultToInstret pins the historical behaviour: without a
+// CycleModel the clock CSRs read the retired-instruction count.
+func TestClockCSRsDefaultToInstret(t *testing.T) {
+	m := run(t, `
+_start:
+    li   t0, 1
+    li   t1, 2
+    add  t2, t0, t1
+    csrr a0, cycle
+`+exitSeq)
+	// a0 was read after 3 instructions retired (csrr itself retires after the
+	// read), and exit reports a0
+	if m.ExitCode != 3 {
+		t.Fatalf("rdcycle = %d, want 3 (instret at the read)", m.ExitCode)
+	}
+	for _, n := range []uint16{isa.CSRCycle, isa.CSRTime, isa.CSRMcycle} {
+		if got := m.CSR(n); got != m.Instret {
+			t.Errorf("CSR %#x = %d, want Instret %d", n, got, m.Instret)
+		}
+	}
+}
+
+// TestCycleModelDrivesClockCSRs installs a retired-instruction-derived cycle
+// model (here: a fixed CPI of 3) and checks every clock CSR reads through it
+// while instret stays untouched.
+func TestCycleModelDrivesClockCSRs(t *testing.T) {
+	p, err := asm.Assemble(`
+_start:
+    li   t0, 5
+    add  t1, t0, t0
+    csrr a0, mcycle
+    li   a7, 93
+    ecall
+`, asm.Options{Base: 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := New(mem.NewMemory())
+	p.LoadInto(m.Mem)
+	m.PC = p.Entry
+	m.CycleModel = func(instret uint64) uint64 { return instret * 3 }
+	if err := m.Run(100); err != nil {
+		t.Fatal(err)
+	}
+	if m.ExitCode != 6 { // 2 retired instructions * CPI 3
+		t.Fatalf("rdcycle under CPI-3 model = %d, want 6", m.ExitCode)
+	}
+	if got := m.CSR(isa.CSRInstret); got != m.Instret {
+		t.Fatalf("instret = %d, want %d (cycle model must not touch it)", got, m.Instret)
+	}
+	if got, want := m.Cycles(), m.Instret*3; got != want {
+		t.Fatalf("Cycles() = %d, want %d", got, want)
+	}
+}

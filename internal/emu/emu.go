@@ -72,6 +72,12 @@ type Machine struct {
 
 	// BreakOnEbreak stops execution at ebreak instead of trapping.
 	BreakOnEbreak bool
+
+	// CycleModel, when set, derives the value the cycle/time/mcycle CSRs read
+	// from the retired-instruction count — a coarse timing model for the
+	// functional machine (e.g. instret/IPC from a prior pipeline run). Nil
+	// keeps the historical behaviour of reporting Instret.
+	CycleModel func(instret uint64) uint64
 }
 
 type stlbEntry struct {
@@ -113,11 +119,21 @@ func (m *Machine) setReg(r isa.Reg, v uint64) {
 	}
 }
 
+// Cycles is the functional machine's notion of elapsed cycles: CycleModel
+// applied to the retired-instruction count, or Instret itself (an IPC-1
+// machine) when no model is installed.
+func (m *Machine) Cycles() uint64 {
+	if m.CycleModel != nil {
+		return m.CycleModel(m.Instret)
+	}
+	return m.Instret
+}
+
 // CSR reads a CSR (modelled subset; unknown CSRs read as 0).
 func (m *Machine) CSR(num uint16) uint64 {
 	switch num {
 	case isa.CSRCycle, isa.CSRMcycle, isa.CSRTime:
-		return m.Instret // the functional model has no cycles
+		return m.Cycles() // the functional model has no real cycles
 	case isa.CSRInstret, isa.CSRMinstret:
 		return m.Instret
 	case isa.CSRVl:

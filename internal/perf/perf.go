@@ -17,6 +17,10 @@ type Row struct {
 	Paper    float64 `json:"paper,omitempty"` // 0: the paper gives no number for this row
 	Unit     string  `json:"unit,omitempty"`
 	Note     string  `json:"note,omitempty"`
+
+	// CPI, when non-empty, is the row's top-down CPI-stack breakdown
+	// (xtbench -cpistack), rendered on a continuation line.
+	CPI string `json:"cpi,omitempty"`
 }
 
 // Result is one reproduced experiment.
@@ -48,6 +52,9 @@ func (r *Result) Format() string {
 			fmt.Fprintf(&b, "   (%s)", row.Note)
 		}
 		b.WriteByte('\n')
+		if row.CPI != "" {
+			fmt.Fprintf(&b, "  %-*s    cpi: %s\n", width, "", row.CPI)
+		}
 	}
 	for _, n := range r.Notes {
 		fmt.Fprintf(&b, "  note: %s\n", n)

@@ -13,6 +13,7 @@ import (
 	"xt910/internal/coherence"
 	"xt910/internal/core"
 	"xt910/internal/mem"
+	"xt910/internal/trace"
 	"xt910/isa"
 )
 
@@ -145,6 +146,14 @@ func New(cfg Config) (*System, error) {
 		s.Clusters = append(s.Clusters, cluster)
 	}
 	return s, nil
+}
+
+// AttachTracer connects a pipeline tracer to one hart. Each hart needs its
+// own tracer (a Tracer is single-core state); attaching nil detaches.
+func (s *System) AttachTracer(hart int, t *trace.Tracer) {
+	if hart >= 0 && hart < len(s.Cores) {
+		s.Cores[hart].AttachTracer(t)
+	}
 }
 
 // broadcastTLB implements the §V-E hardware TLB maintenance broadcast: the

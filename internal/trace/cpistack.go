@@ -1,0 +1,90 @@
+package trace
+
+import (
+	"fmt"
+	"strings"
+)
+
+// CycleClass is the top-down bucket one simulated cycle is attributed to.
+// Exactly one class per cycle, so the buckets partition total cycles — see
+// the attribution rules in DESIGN.md ("CPI-stack attribution").
+type CycleClass uint8
+
+const (
+	// CycleRetiring: at least one instruction retired this cycle.
+	CycleRetiring CycleClass = iota
+	// CycleFrontend: nothing retired and the ROB is empty — the front end
+	// failed to supply work (I-cache/ITLB misses, redirect bubbles, fetch
+	// stalls on unpredictable jalr, WFI parking).
+	CycleFrontend
+	// CycleBadSpec: nothing retired, ROB empty, and the machine is inside a
+	// misprediction or memory-order squash recovery window — the cycle was
+	// spent recovering from wrong-path work.
+	CycleBadSpec
+	// CycleBackendMem: nothing retired and the ROB head is a memory-class
+	// instruction (load/store/AMO/vector memory) still executing.
+	CycleBackendMem
+	// CycleBackendCore: nothing retired and the ROB head is a non-memory
+	// instruction still executing (ALU/FPU/divider/vector-arith latency).
+	CycleBackendCore
+	NumCycleClasses
+)
+
+var classNames = [NumCycleClasses]string{"retiring", "frontend", "badspec", "mem", "core"}
+
+func (c CycleClass) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("CycleClass(%d)", uint8(c))
+}
+
+// CPIStack is the per-class cycle histogram: the top-down first level of
+// "where did every cycle go" (the observability the paper's CDS profiler,
+// §IX Fig. 16, provides for the real silicon).
+type CPIStack struct {
+	Buckets [NumCycleClasses]uint64
+}
+
+// Add attributes one cycle.
+func (s *CPIStack) Add(cl CycleClass) { s.Buckets[cl]++ }
+
+// Total is the sum over all buckets.
+func (s *CPIStack) Total() uint64 {
+	var sum uint64
+	for _, b := range s.Buckets {
+		sum += b
+	}
+	return sum
+}
+
+// Check proves the partition property: the buckets must sum exactly to the
+// core's total cycle count.
+func (s *CPIStack) Check(cycles uint64) error {
+	if got := s.Total(); got != cycles {
+		return fmt.Errorf("trace: CPI-stack buckets sum to %d, want %d cycles", got, cycles)
+	}
+	return nil
+}
+
+// Fraction returns a bucket's share of all attributed cycles (0 when empty).
+func (s *CPIStack) Fraction(cl CycleClass) float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Buckets[cl]) / float64(t)
+}
+
+// String renders the stack as a compact one-line breakdown, e.g.
+// "retiring 58.1% frontend 22.4% badspec 4.0% mem 12.9% core 2.6%".
+func (s *CPIStack) String() string {
+	var b strings.Builder
+	for cl := CycleClass(0); cl < NumCycleClasses; cl++ {
+		if cl > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s %.1f%%", cl, 100*s.Fraction(cl))
+	}
+	return b.String()
+}

@@ -1,0 +1,61 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+)
+
+// JSONLWriter streams completed µop records as one JSON object per line —
+// the machine-readable twin of the Konata sink, for ad-hoc analysis
+// (jq-friendly). Field order is fixed by hand so output is byte-deterministic
+// and golden-testable.
+type JSONLWriter struct {
+	w *bufio.Writer
+
+	// Retired/Squashed mirror KonataWriter's counters.
+	Retired  uint64
+	Squashed uint64
+}
+
+// NewJSONLWriter wraps w.
+func NewJSONLWriter(w io.Writer) *JSONLWriter {
+	return &JSONLWriter{w: bufio.NewWriter(w)}
+}
+
+// Emit writes one record:
+//
+//	{"seq":12,"pc":"0x1000","asm":"add x1, x2, x3","retired":true,
+//	 "end":40,"stages":{"F":30,"Pd":31,"Rn":33,"Ds":33,"Is":36,"Ex":36,"Wb":37,"Cm":40}}
+//
+// Squashed records carry "cause" instead of "retired":true.
+func (j *JSONLWriter) Emit(r *Record) error {
+	fmt.Fprintf(j.w, `{"seq":%d,"pc":"%#x","asm":%q`, r.Seq, r.PC, r.Inst.String())
+	if r.Retired {
+		j.Retired++
+		fmt.Fprintf(j.w, `,"retired":true`)
+	} else {
+		j.Squashed++
+		fmt.Fprintf(j.w, `,"retired":false,"cause":%q`, r.Cause.String())
+	}
+	fmt.Fprintf(j.w, `,"end":%d,"stages":{`, r.End)
+	first := true
+	for st := Stage(0); st < NumStages; st++ {
+		if !r.Has[st] {
+			continue
+		}
+		if !first {
+			j.w.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(j.w, `%q:%d`, st.String(), r.Cycle[st])
+	}
+	_, err := j.w.WriteString("}}\n")
+	return err
+}
+
+// Close flushes buffered output.
+func (j *JSONLWriter) Close() error { return j.w.Flush() }
+
+var _ Sink = (*JSONLWriter)(nil)
+var _ Sink = (*KonataWriter)(nil)

@@ -1,0 +1,200 @@
+package trace
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// konataHeader is the Kanata file signature Konata's parser expects on the
+// first line.
+const konataHeader = "Kanata\t0004\n"
+
+// KonataWriter streams completed µop records in the Kanata log format, the
+// input of the Konata pipeline visualizer. Records are written in completion
+// (retirement) order, each as a self-contained block that positions its stage
+// segments with explicit `C=` cycle seeks — the emission style of the common
+// simulator-to-Kanata converters, which the viewer handles regardless of
+// cross-instruction cycle ordering.
+type KonataWriter struct {
+	w      *bufio.Writer
+	nextID uint64
+	nextR  uint64
+
+	// Retired / Squashed count the R-type-0 / R-type-1 lines written; with
+	// sampling off and the whole run windowed, Retired equals the core's
+	// Stats.Retired (the property tests pin this).
+	Retired  uint64
+	Squashed uint64
+}
+
+// NewKonataWriter wraps w; the header is written on the first record.
+func NewKonataWriter(w io.Writer) *KonataWriter {
+	return &KonataWriter{w: bufio.NewWriter(w)}
+}
+
+// stageStamp is one set stage of a record, ordered for emission.
+type stageStamp struct {
+	st    Stage
+	cycle uint64
+}
+
+// stamps collects a record's set stages sorted by cycle (stable on stage
+// order, so the independent LSU legs interleave correctly).
+func stamps(r *Record) []stageStamp {
+	out := make([]stageStamp, 0, NumStages)
+	for st := Stage(0); st < NumStages; st++ {
+		if r.Has[st] {
+			out = append(out, stageStamp{st, r.Cycle[st]})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].cycle < out[j].cycle })
+	return out
+}
+
+// Emit writes one µop block: I/L identity lines, one stage segment per set
+// lifecycle stamp, and the closing R line (type 0 retired, type 1 flushed).
+func (k *KonataWriter) Emit(r *Record) error {
+	if k.nextID == 0 {
+		if _, err := k.w.WriteString(konataHeader); err != nil {
+			return err
+		}
+	}
+	id := k.nextID
+	k.nextID++
+	ss := stamps(r)
+	if len(ss) == 0 {
+		return nil // a record with no stamps renders nothing useful
+	}
+	fmt.Fprintf(k.w, "I\t%d\t%d\t0\n", id, r.Seq)
+	fmt.Fprintf(k.w, "L\t%d\t0\t%#x: %s\n", id, r.PC, r.Inst.String())
+	for _, s := range ss {
+		fmt.Fprintf(k.w, "C=\t%d\n", s.cycle)
+		fmt.Fprintf(k.w, "S\t%d\t0\t%s\n", id, s.st)
+	}
+	end := r.End
+	if last := ss[len(ss)-1].cycle; end < last {
+		end = last
+	}
+	fmt.Fprintf(k.w, "C=\t%d\n", end+1)
+	fmt.Fprintf(k.w, "E\t%d\t0\t%s\n", id, ss[len(ss)-1].st)
+	typ := 0
+	if r.Retired {
+		k.Retired++
+	} else {
+		typ = 1
+		k.Squashed++
+	}
+	rid := k.nextR
+	k.nextR++
+	_, err := fmt.Fprintf(k.w, "R\t%d\t%d\t%d\n", id, rid, typ)
+	return err
+}
+
+// Close flushes buffered output. An empty trace still gets a valid header.
+func (k *KonataWriter) Close() error {
+	if k.nextID == 0 {
+		if _, err := k.w.WriteString(konataHeader); err != nil {
+			return err
+		}
+	}
+	return k.w.Flush()
+}
+
+// KonataStats summarizes a validated Kanata log.
+type KonataStats struct {
+	Uops     uint64 // I lines
+	Retired  uint64 // R lines with type 0
+	Squashed uint64 // R lines with type 1
+}
+
+// ValidateKonata structurally checks a Kanata log produced by KonataWriter:
+// the header, per-line syntax, that every S/E/R references an announced
+// instruction id, and that every instruction is closed by exactly one R. It
+// returns the counts the smoke tests compare against the core's counters.
+func ValidateKonata(r io.Reader) (KonataStats, error) {
+	var st KonataStats
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	if !sc.Scan() {
+		return st, fmt.Errorf("trace: empty Kanata log")
+	}
+	if sc.Text()+"\n" != konataHeader {
+		return st, fmt.Errorf("trace: bad Kanata header %q", sc.Text())
+	}
+	open := make(map[uint64]bool)
+	line := 1
+	for sc.Scan() {
+		line++
+		f := strings.Split(sc.Text(), "\t")
+		bad := func() error { return fmt.Errorf("trace: Kanata line %d malformed: %q", line, sc.Text()) }
+		ref := func(idx int) (uint64, error) {
+			var id uint64
+			if _, err := fmt.Sscanf(f[idx], "%d", &id); err != nil {
+				return 0, bad()
+			}
+			if !open[id] {
+				return 0, fmt.Errorf("trace: Kanata line %d references unopened id %d", line, id)
+			}
+			return id, nil
+		}
+		switch f[0] {
+		case "C=", "C":
+			if len(f) != 2 {
+				return st, bad()
+			}
+		case "I":
+			if len(f) != 4 {
+				return st, bad()
+			}
+			var id uint64
+			if _, err := fmt.Sscanf(f[1], "%d", &id); err != nil {
+				return st, bad()
+			}
+			open[id] = true
+			st.Uops++
+		case "L":
+			if len(f) != 4 {
+				return st, bad()
+			}
+			if _, err := ref(1); err != nil {
+				return st, err
+			}
+		case "S", "E":
+			if len(f) != 4 {
+				return st, bad()
+			}
+			if _, err := ref(1); err != nil {
+				return st, err
+			}
+		case "R":
+			if len(f) != 4 {
+				return st, bad()
+			}
+			id, err := ref(1)
+			if err != nil {
+				return st, err
+			}
+			delete(open, id)
+			switch f[3] {
+			case "0":
+				st.Retired++
+			case "1":
+				st.Squashed++
+			default:
+				return st, bad()
+			}
+		default:
+			return st, bad()
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return st, err
+	}
+	if len(open) > 0 {
+		return st, fmt.Errorf("trace: %d instructions never closed by an R line", len(open))
+	}
+	return st, nil
+}

@@ -17,12 +17,14 @@ package xt910
 import (
 	"context"
 	"fmt"
+	"io"
 
 	"xt910/internal/asm"
 	"xt910/internal/core"
 	"xt910/internal/emu"
 	"xt910/internal/mem"
 	"xt910/internal/soc"
+	"xt910/internal/trace"
 	"xt910/internal/xterrors"
 	"xt910/isa"
 )
@@ -190,6 +192,39 @@ func (s *System) Reg(hart int, r isa.Reg) uint64 {
 	}
 	return 0
 }
+
+// Tracer is the per-hart pipeline observability hook set: per-µop lifecycle
+// tracing (Konata/JSONL) plus the always-on top-down CPI stack. Attach one to
+// a hart with AttachTracer (inherited from the SoC layer) before running, and
+// Close it after the run to flush the sinks:
+//
+//	t := xt910.NewTracer(xt910.TraceConfig{}, xt910.NewKonataWriter(f))
+//	sys.AttachTracer(0, t)
+//	sys.Run(budget)
+//	t.Close()
+//	fmt.Println(t.CPI())
+type Tracer = trace.Tracer
+
+// TraceConfig bounds tracer cost: cycle window, sampling, flight-recorder
+// depth and the in-flight buffer cap.
+type TraceConfig = trace.Config
+
+// CPIStack is the top-down cycle-attribution histogram accumulated by a
+// Tracer; its buckets sum exactly to the traced hart's Stats.Cycles.
+type CPIStack = trace.CPIStack
+
+// NewTracer builds a tracer feeding the given sinks; with no sinks it still
+// accumulates the CPI stack.
+func NewTracer(cfg TraceConfig, sinks ...trace.Sink) *Tracer {
+	return trace.New(cfg, sinks...)
+}
+
+// NewKonataWriter returns a sink streaming the Kanata log format understood
+// by the Konata pipeline visualizer.
+func NewKonataWriter(w io.Writer) trace.Sink { return trace.NewKonataWriter(w) }
+
+// NewJSONLWriter returns a sink streaming one JSON object per µop.
+func NewJSONLWriter(w io.Writer) trace.Sink { return trace.NewJSONLWriter(w) }
 
 // Emulator is the functional golden model (the "instruction accurate
 // simulator" of the paper's CDS toolchain, §IX).
