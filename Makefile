@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke trace-smoke tier1 bench xtbench clean
+.PHONY: all build vet test race fuzz-smoke fuzz-paged-smoke trace-smoke tier1 bench xtbench clean
 
 all: tier1
 
@@ -27,6 +27,13 @@ fuzz-smoke:
 	$(GO) run ./cmd/xtfuzz -n 200 -seed 1
 	$(GO) test -race -count=1 -run 'TestFuzzFixedSeeds|TestRunSeedsDeterministic' ./internal/cosim
 
+# fuzz-paged-smoke repeats the sweep under the S-mode/SV39 paged profile
+# (identity mapping plus a +1GB alias window), which adds page-crossing,
+# page-fault and VA-vs-PA reservation segments to the generated programs.
+fuzz-paged-smoke:
+	$(GO) run ./cmd/xtfuzz -paged -n 60 -seed 1
+	$(GO) test -race -count=1 -run 'TestPagedFixedSeeds|TestPagedDeterministic' ./internal/cosim
+
 # trace-smoke exercises the pipeline-trace subsystem end to end: xttrace runs
 # a pinned workload with both sinks attached and self-checks the outputs (CPI
 # buckets sum exactly to total cycles; the Konata trace validates with one
@@ -50,6 +57,7 @@ tier1:
 	$(GO) vet ./...
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
+	$(MAKE) fuzz-paged-smoke
 	$(MAKE) trace-smoke
 
 # bench regenerates the paper's tables/figures as testing.B benchmarks.

@@ -10,7 +10,9 @@
 //	xtfuzz -segs 150           # longer programs
 //	xtfuzz -jobs 1             # serial; results identical at any width
 //	xtfuzz -cycles 1000000     # per-program cycle budget
+//	xtfuzz -paged              # S-mode under SV39 (identity + alias window)
 //	xtfuzz -repro case.s       # re-run one (shrunk) program under the checker
+//	xtfuzz -paged -repro c.s   # ...under the paged profile
 //
 // Every divergence prints the first-mismatch report, a windowed commit
 // trace, and a minimized reproducer program. Exit status: 0 when all seeds
@@ -42,11 +44,12 @@ func run(args []string, stdout, stderr io.Writer) int {
 	segs := fs.Int("segs", 0, "segments per program (0 = default)")
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool width (1 = serial)")
 	cycles := fs.Uint64("cycles", 0, "per-program cycle budget (0 = default)")
+	paged := fs.Bool("paged", false, "boot programs in S-mode under SV39 translation")
 	repro := fs.String("repro", "", "run one assembly file under the checker instead of fuzzing")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	opts := cosim.Options{MaxCycles: *cycles}
+	opts := cosim.Options{MaxCycles: *cycles, Paged: *paged}
 
 	if *repro != "" {
 		src, err := os.ReadFile(*repro)

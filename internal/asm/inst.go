@@ -432,8 +432,13 @@ func (a *assembler) asmVSet(line srcLine, op isa.Op, in isa.Inst, ops []string) 
 // loads are "op vd, (rs1)[, rs2stride]", stores "op vs, (rs1)[, rs2stride]".
 func (a *assembler) asmVector(line srcLine, op isa.Op, in isa.Inst, ops []string) error {
 	var err error
+	// a trailing "v0.t" operand marks a masked form
+	if n := len(ops); n > 0 && ops[n-1] == "v0.t" {
+		in.Masked = true
+		ops = ops[:n-1]
+	}
 	switch op {
-	case isa.VLE, isa.VLSE:
+	case isa.VLE, isa.VLSE, isa.VLXEI:
 		if in.Rd, err = a.reg(line, ops[0]); err != nil {
 			return err
 		}
@@ -442,18 +447,18 @@ func (a *assembler) asmVector(line srcLine, op isa.Op, in isa.Inst, ops []string
 			return err
 		}
 		in.Rs1 = base
-		if op == isa.VLSE {
+		if op != isa.VLE {
 			if len(ops) != 3 {
-				return a.errf(line, "vlse.v needs vd, (rs1), rs2")
+				return a.errf(line, "%v needs vd, (rs1), rs2", op)
 			}
 			if in.Rs2, err = a.reg(line, ops[2]); err != nil {
 				return err
 			}
-			// loads keep the vector dest in Rd; stride register goes in Rs2.
-			// Encoding-wise VLSE uses (Rd, Rs1, Rs2) which matches.
+			// loads keep the vector dest in Rd; the stride register (vlse)
+			// or index vector (vlxei) goes in Rs2.
 		}
 		return a.emitInst(line, in, false)
-	case isa.VSE, isa.VSSE:
+	case isa.VSE, isa.VSSE, isa.VSXEI:
 		if in.Rs2, err = a.reg(line, ops[0]); err != nil { // data vector
 			return err
 		}
@@ -462,9 +467,9 @@ func (a *assembler) asmVector(line srcLine, op isa.Op, in isa.Inst, ops []string
 			return err
 		}
 		in.Rs1 = base
-		if op == isa.VSSE {
+		if op != isa.VSE {
 			if len(ops) != 3 {
-				return a.errf(line, "vsse.v needs vs, (rs1), rs2")
+				return a.errf(line, "%v needs vs, (rs1), rs2", op)
 			}
 			if in.Rs3, err = a.reg(line, ops[2]); err != nil {
 				return err

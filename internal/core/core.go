@@ -57,9 +57,10 @@ type Core struct {
 	fetchWait    bool // stalled on an unpredictable jalr / post-flush hold
 
 	// vector scoreboard and configuration speculation state
-	vregReady [32]uint64
-	vecBusy   uint64
-	lastVL    uint64
+	vregReady  [32]uint64
+	vecBusy    uint64
+	lastVL     uint64
+	lastVecSeq uint64 // youngest executed vector op (see LastVectorSeq)
 
 	// memory-dependence predictor: load PCs that caused ordering violations
 	// are tagged and later forced to wait for older store addresses (§V-A).
@@ -304,6 +305,10 @@ func (c *Core) CSR(num uint16) uint64 {
 		return c.MMU.Stats.Walks
 	case isa.CSRMhpmcounter12:
 		return c.Stats.VecOps
+	case isa.CSRFflags:
+		return c.csr[isa.CSRFcsr] & 0x1F
+	case isa.CSRFrm:
+		return c.csr[isa.CSRFcsr] >> 5 & 7
 	}
 	return c.csr[num]
 }
@@ -316,6 +321,17 @@ func (c *Core) SetCSR(num uint16, v uint64) {
 		c.MMU.Satp = v
 	case isa.CSRVl, isa.CSRVtype, isa.CSRVlenb, isa.CSRCycle, isa.CSRInstret:
 		// read-only
+	// The fflags/frm windows alias into fcsr, which is the canonical
+	// storage; any write to the family dirties mstatus.FS.
+	case isa.CSRFflags:
+		c.csr[isa.CSRFcsr] = c.csr[isa.CSRFcsr]&^uint64(0x1F) | v&0x1F
+		c.csr[isa.CSRMstatus] |= isa.MstatusFSDirty
+	case isa.CSRFrm:
+		c.csr[isa.CSRFcsr] = c.csr[isa.CSRFcsr]&^uint64(0xE0) | v&7<<5
+		c.csr[isa.CSRMstatus] |= isa.MstatusFSDirty
+	case isa.CSRFcsr:
+		c.csr[isa.CSRFcsr] = v & 0xFF
+		c.csr[isa.CSRMstatus] |= isa.MstatusFSDirty
 	default:
 		c.csr[num] = v
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"xt910/internal/mmu"
 	"xt910/internal/trace"
 	"xt910/internal/vector"
 	"xt910/isa"
@@ -180,11 +181,12 @@ func (c *Core) execFPU(p pipeID, u *uop) bool {
 		return false
 	}
 	a, b, cc := c.opndABC(u)
-	res, ok := isa.EvalFPU(u.inst.Op, a, b, cc)
+	res, flags, ok := isa.EvalFPUFlags(u.inst.Op, a, b, cc)
 	if !ok {
 		u.excCause = isa.ExcIllegalInst
 		u.excTval = u.pc
 	}
+	u.fpFlags = flags
 	lat := uint64(u.inst.Op.Latency())
 	if lat > 8 {
 		c.pipeBusy[p] = c.now + lat/2 // long-latency FP ops partially block
@@ -299,7 +301,12 @@ func (c *Core) execVector(p pipeID, idx int, u *uop) bool {
 		}
 		return true
 	}
-	if !checkGroup(u.inst.Rs1) || !checkGroup(u.inst.Rs2) || !checkGroup(u.inst.Rd) {
+	if !checkGroup(u.inst.Rs1) || !checkGroup(u.inst.Rs2) || !checkGroup(u.inst.Rs3) ||
+		!checkGroup(u.inst.Rd) {
+		return false
+	}
+	// masked ops read v0 as the mask source regardless of operand fields
+	if u.inst.Masked && c.vregReady[0] > c.now {
 		return false
 	}
 
@@ -326,6 +333,7 @@ func (c *Core) execVector(p pipeID, idx int, u *uop) bool {
 			c.vecBusy = c.now + 6
 		}
 		c.lastVL = vl
+		c.lastVecSeq = u.seq
 		u.done, u.issued = true, true
 		u.readyAt = c.now + 1
 		return true
@@ -345,10 +353,14 @@ func (c *Core) execVector(p pipeID, idx int, u *uop) bool {
 	}
 	memDone := c.now
 	var memErr error
+	var memErrVA uint64
 	ld := func(addr uint64, size int) uint64 {
 		pa, done, err := c.translateData(addr, false)
-		if err != nil && memErr == nil {
-			memErr = err
+		if err != nil {
+			if memErr == nil {
+				memErr, memErrVA = err, addr
+			}
+			return 0 // matches the golden model: a faulting element reads 0
 		}
 		if done > memDone {
 			memDone = done
@@ -359,7 +371,7 @@ func (c *Core) execVector(p pipeID, idx int, u *uop) bool {
 		pa, done, err := c.translateData(addr, true)
 		if err != nil {
 			if memErr == nil {
-				memErr = err
+				memErr, memErrVA = err, addr
 			}
 			return
 		}
@@ -371,8 +383,16 @@ func (c *Core) execVector(p pipeID, idx int, u *uop) bool {
 	}
 	xres, hasX, err := c.Vec.Exec(vin, scalar, ld, st)
 	if err != nil || memErr != nil {
-		u.excCause = isa.ExcIllegalInst
-		u.excTval = u.pc
+		// same precedence as the golden model: a vector-unit error is an
+		// illegal instruction; otherwise the first element fault reports its
+		// real page-fault cause with the faulting element's virtual address
+		if pf, ok := memErr.(*mmu.PageFault); err == nil && ok {
+			u.excCause = pf.Cause()
+			u.excTval = memErrVA
+		} else {
+			u.excCause = isa.ExcIllegalInst
+			u.excTval = u.pc
+		}
 		u.done, u.issued = true, true
 		u.readyAt = c.now + 1
 		return true
@@ -429,11 +449,19 @@ func (c *Core) execVector(p pipeID, idx int, u *uop) bool {
 	if hasX {
 		c.pf.write(u.newPhys, xres, c.now+lat)
 	}
+	c.lastVecSeq = u.seq
 	u.done, u.issued = true, true
 	u.readyAt = c.now + lat
 	c.Stats.VecOps++
 	return true
 }
+
+// LastVectorSeq reports the sequence number of the youngest vector-queue
+// operation that has executed. Vector ops mutate the architectural vector
+// file (and vl/vtype) at execute time, ahead of their own retirement, so a
+// checker can compare vector state at a vector op's commit only when that op
+// is still the youngest executed one.
+func (c *Core) LastVectorSeq() uint64 { return c.lastVecSeq }
 
 // olderQuiesced reports whether everything older than seq is safe to commit
 // past: no unresolved control flow, no unexecuted memory op, no pending

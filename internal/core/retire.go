@@ -74,6 +74,21 @@ func (c *Core) retire() {
 			c.ckpts[u.ckptID].used = false
 		}
 
+		// Floating-point architectural side effects land here, before the
+		// commit hooks observe state: IEEE flags accrue into fcsr, and any
+		// FP execution or f-register load leaves mstatus.FS dirty. The same
+		// rule runs in the golden model's exec, keeping fcsr and mstatus
+		// comparable per commit.
+		switch u.inst.Op.Class() {
+		case isa.ClassFPU:
+			c.csr[isa.CSRFcsr] |= uint64(u.fpFlags)
+			c.csr[isa.CSRMstatus] |= isa.MstatusFSDirty
+		case isa.ClassLoad:
+			if u.inst.Rd.IsF() {
+				c.csr[isa.CSRMstatus] |= isa.MstatusFSDirty
+			}
+		}
+
 		if c.tr != nil {
 			c.traceRetire(u.seq, u.readyAt)
 		}

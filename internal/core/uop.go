@@ -75,6 +75,11 @@ type uop struct {
 	squashRetry bool // §V-A ordering violation: squash at retire, refetch
 	excCause    int  // -1: none
 	excTval     uint64
+
+	// fpFlags holds the IEEE exception flags an FPU op raised at execute.
+	// They are speculative until retirement, where they accrue into fcsr —
+	// a squashed FP op must leave fflags untouched.
+	fpFlags uint8
 }
 
 func (u *uop) isLoad() bool {

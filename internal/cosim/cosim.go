@@ -7,18 +7,22 @@
 //
 // Comparison policy (see DESIGN.md "Differential co-simulation"):
 //
-//   - x/f registers, PC, instret and the LR/SC reservation: every commit.
+//   - x/f registers, PC, instret, fcsr and the LR/SC reservation: every
+//     commit (IEEE flags are speculative in the pipeline and accrue into
+//     fcsr only at retire, which is what makes the per-commit compare sound).
 //   - touched memory (64-byte lines written by either model): at every scalar
 //     store/AMO commit and once more at halt. Vector stores write memory at
 //     execute time in the pipeline (their own ordered queue guarantees older
-//     stores have drained), so their lines are checked at the next scalar
-//     memory commit or at halt rather than at the vector store's own commit.
+//     stores have drained), so their lines are checked at the vector store's
+//     own commit when no younger vector op has executed yet, and otherwise at
+//     the next scalar memory commit or at halt.
 //   - trap CSRs (mstatus, mepc/mcause/mtval, sepc/scause/stval, mscratch,
 //     sscratch, satp, mie, medeleg, mtvec, stvec): at CSR/system commits and
 //     at halt.
-//   - vector register file, vl and vtype: at halt (vector ops execute early
-//     relative to retirement, so per-commit comparison would race younger
-//     in-flight vector ops).
+//   - vector register file, vl and vtype: at each vector store's commit while
+//     that store is still the youngest executed vector op (vector ops execute
+//     early relative to retirement, so an unconditional per-commit comparison
+//     would race younger in-flight vector ops), and again at halt.
 //   - cycle/time/mcycle CSR reads: compared modulo the clock. The golden
 //     model has no cycle-accurate clock (emu.Machine.Cycles is a coarse
 //     retired-instruction model), so after the emulator steps such a read the
@@ -29,6 +33,7 @@
 package cosim
 
 import (
+	"bytes"
 	"fmt"
 	"strings"
 
@@ -38,6 +43,7 @@ import (
 	"xt910/internal/core"
 	"xt910/internal/emu"
 	"xt910/internal/mem"
+	"xt910/internal/mmu"
 	"xt910/isa"
 )
 
@@ -46,7 +52,30 @@ type Options struct {
 	Config    core.Config // pipeline configuration; zero value means XT910Config
 	MaxCycles uint64      // core cycle budget before declaring a hang (0: 10M)
 	Window    int         // commit-trace window kept for the report (0: 16)
+
+	// Paged boots the program in S-mode under SV39 translation using the
+	// identity-plus-offset layout (see mmu.IdentityPlusOffset): [0, 640K)
+	// mapped onto itself RWX in 4K pages, plus a read-write non-executable
+	// alias of the same physical range at +1GB. All exceptions are delegated
+	// to S-mode and stvec is left at 0, so a page fault halts both models
+	// with exit code -(16+cause) and the trap CSRs (scause/stval/sepc) are
+	// compared like any other run.
+	Paged bool
 }
+
+// Paged-mode memory layout. The program, stack and scratch buffer live in
+// the identity window; the page tables sit just above it, outside every
+// mapping, so the guest cannot scribble over them.
+const (
+	pagedPhysSize  = 0xA0000
+	pagedOffset    = 0x40000000
+	pagedTableBase = 0x100000
+)
+
+// hookModels, when set (tests only), runs after both models are constructed
+// and configured, immediately before the first cycle. Tests use it to
+// perturb one model and prove the checker catches a given divergence class.
+var hookModels func(c *core.Core, m *emu.Machine)
 
 // Result summarises one lock-step run.
 type Result struct {
@@ -65,6 +94,7 @@ var compareCSRs = []uint16{
 	isa.CSRMstatus, isa.CSRMtvec, isa.CSRMepc, isa.CSRMcause, isa.CSRMtval,
 	isa.CSRMscratch, isa.CSRMedeleg, isa.CSRMie, isa.CSRSatp,
 	isa.CSRStvec, isa.CSRSepc, isa.CSRScause, isa.CSRStval, isa.CSRSscratch,
+	isa.CSRFcsr,
 }
 
 // Run assembles nothing: it takes an already-assembled program, loads it into
@@ -95,10 +125,17 @@ func Run(p *asm.Program, opts Options) Result {
 	m.PC = p.Entry
 	m.X[isa.SP] = stackBase
 
+	if opts.Paged {
+		setupPaged(c, m)
+	}
+
 	k := &checker{c: c, m: m, window: opts.Window, dirty: make(map[uint64]struct{})}
 	c.CommitHook = k.onCommit
 	c.MemWriteHook = func(pa uint64, size int, from int) { k.markDirty(pa, size) }
-	m.OnStore = func(va uint64, size int) { k.markDirty(va, size) }
+	m.OnStore = func(pa uint64, size int) { k.markDirty(pa, size) }
+	if hookModels != nil {
+		hookModels(c, m)
+	}
 
 	for cyc := uint64(0); cyc < opts.MaxCycles && !c.Halted && !k.failed; cyc++ {
 		c.Step()
@@ -117,6 +154,27 @@ func Run(p *asm.Program, opts Options) Result {
 }
 
 const stackBase = 0x80000
+
+// setupPaged builds the identity-plus-offset SV39 page table into both
+// models' memories and drops them to S-mode with every exception delegated.
+// The layout parameters are compile-time constants, so a build failure here
+// is a programming error, not a run outcome.
+func setupPaged(c *core.Core, m *emu.Machine) {
+	var satp uint64
+	for _, mm := range []*mem.Memory{c.Mem, m.Mem} {
+		b, err := mmu.IdentityPlusOffset(mm, pagedTableBase, pagedPhysSize, pagedOffset)
+		if err != nil {
+			panic(err)
+		}
+		satp = b.Satp(0)
+	}
+	c.SetCSR(isa.CSRSatp, satp)
+	c.SetCSR(isa.CSRMedeleg, 0xFFFF)
+	c.SetPrivilege(isa.PrivS)
+	m.SetCSR(isa.CSRSatp, satp)
+	m.SetCSR(isa.CSRMedeleg, 0xFFFF)
+	m.Priv = isa.PrivS
+}
 
 type checker struct {
 	c      *core.Core
@@ -220,12 +278,49 @@ func (k *checker) onCommit(ci core.Commit) {
 			k.m.Instret, k.commits))
 		return
 	}
+	// fcsr accrues on every FP commit in both models (flags at execute are
+	// speculative in the core and land at retire), so it is comparable at
+	// every commit, unlike the clocked counters.
+	if cv, ev := k.c.CSR(isa.CSRFcsr), k.m.CSR(isa.CSRFcsr); cv != ev {
+		k.fail(ci, "fcsr", fmt.Sprintf("fcsr: core=%#x emu=%#x", cv, ev))
+		return
+	}
 	switch ci.Inst.Op.Class() {
 	case isa.ClassStore, isa.ClassAMO:
 		k.compareMemory(ci)
 	case isa.ClassCSR, isa.ClassSys:
 		k.compareCSRState(ci)
+	case isa.ClassVStore:
+		k.compareVector(ci)
 	}
+}
+
+// compareVector checks the full vector file, vl and vtype at a vector
+// store's commit — plus the dirty memory lines, which are safe to compare
+// here for the same reason the file is. Vector ops execute (and mutate the
+// architectural file) ahead of retirement, so the comparison only runs when
+// the committing op is still the youngest executed vector op; otherwise a
+// younger in-flight vector op would make the core look diverged. Halt-time
+// comparison in drain covers whatever this skips.
+func (k *checker) compareVector(ci core.Commit) {
+	if k.c.Vec == nil || k.c.LastVectorSeq() != ci.Seq {
+		return
+	}
+	if cv, ev := k.c.Vec.VL, k.m.CSR(isa.CSRVl); cv != ev {
+		k.fail(ci, "vec", fmt.Sprintf("vl: core=%d emu=%d", cv, ev))
+		return
+	}
+	if cv, ev := uint64(k.c.Vec.VType), k.m.CSR(isa.CSRVtype); cv != ev {
+		k.fail(ci, "vec", fmt.Sprintf("vtype: core=%#x emu=%#x", cv, ev))
+		return
+	}
+	for r := 0; r < 32; r++ {
+		if cb, eb := k.c.Vec.File.Bytes(r), k.m.Vec.File.Bytes(r); !bytes.Equal(cb, eb) {
+			k.fail(ci, "vec", fmt.Sprintf("v%d: core=%x emu=%x", r, cb, eb))
+			return
+		}
+	}
+	k.compareMemory(ci)
 }
 
 // isCycleCSRRead reports whether a commit is a CSR-class access of a clock

@@ -54,7 +54,7 @@ func Fuzz(seed int64, nSegs int, opts Options) FuzzResult {
 		nSegs = 40
 	}
 	fr := FuzzResult{Seed: seed}
-	prog := generate(seed, nSegs)
+	prog := generate(seed, nSegs, opts.Paged)
 	fr.Source = prog.render(nil)
 	p, err := asm.Assemble(fr.Source, asm.Options{Base: 0x1000, Compress: true})
 	if err != nil {
@@ -115,6 +115,7 @@ type gen struct {
 	rng      *rand.Rand
 	label    int
 	lastDest string // RAW-chain bias: last integer destination written
+	paged    bool   // S-mode/SV39 profile: alias-window segments enabled
 }
 
 func (g *gen) reg() string  { return fmt.Sprintf("x%d", gpPool[g.rng.Intn(len(gpPool))]) }
@@ -138,8 +139,8 @@ func (g *gen) newLabel(stem string) string {
 	return fmt.Sprintf("%s_%d", stem, g.label)
 }
 
-func generate(seed int64, nSegs int) *program {
-	g := &gen{rng: rand.New(rand.NewSource(seed))}
+func generate(seed int64, nSegs int, paged bool) *program {
+	g := &gen{rng: rand.New(rand.NewSource(seed)), paged: paged}
 	p := &program{trapEnd: g.rng.Intn(10) == 0}
 	for _, r := range gpPool {
 		p.inits = append(p.inits, fmt.Sprintf("    li x%d, %d", r, int64(g.rng.Uint64())))
@@ -159,6 +160,9 @@ func generate(seed int64, nSegs int) *program {
 
 // segment emits one self-contained hazard segment.
 func (g *gen) segment() []string {
+	if g.paged && g.rng.Intn(12) == 0 {
+		return g.segPaged()
+	}
 	switch r := g.rng.Intn(100); {
 	case r < 28:
 		return g.segALU()
@@ -172,10 +176,12 @@ func (g *gen) segment() []string {
 		return g.segLRSC()
 	case r < 72:
 		return g.segAMO()
-	case r < 81:
+	case r < 79:
 		return g.segFPU()
-	case r < 87:
+	case r < 84:
 		return g.segCSR()
+	case r < 89:
+		return g.segFFlags()
 	case r < 93:
 		return g.segCustom()
 	case r < 96:
@@ -486,10 +492,25 @@ func (g *gen) segSMC() []string {
 	}
 }
 
+var vecVVOps = []string{"vadd.vv", "vsub.vv", "vand.vv", "vor.vv", "vxor.vv", "vmul.vv", "vmin.vv", "vmax.vv"}
+
 // segVector emits a small vector block: configure, load, compute, store,
-// extract. Addresses stay inside the buffer (VL <= 16, SEW <= 32 bits).
+// extract. Four variants cover unit-stride, masked, strided and indexed
+// accesses; addresses stay inside the buffer (VL <= 16, SEW == 32 bits).
 func (g *gen) segVector() []string {
-	vops := []string{"vadd.vv", "vsub.vv", "vand.vv", "vor.vv", "vxor.vv", "vmul.vv", "vmin.vv", "vmax.vv"}
+	switch g.rng.Intn(4) {
+	case 0:
+		return g.segVectorUnit()
+	case 1:
+		return g.segVectorMasked()
+	case 2:
+		return g.segVectorStrided()
+	default:
+		return g.segVectorIndexed()
+	}
+}
+
+func (g *gen) segVectorUnit() []string {
 	v := func() string { return fmt.Sprintf("v%d", g.rng.Intn(4)) }
 	rd := g.reg()
 	g.lastDest = rd
@@ -498,9 +519,239 @@ func (g *gen) segVector() []string {
 		fmt.Sprintf("    li x29, %d", 1+g.rng.Intn(16)),
 		fmt.Sprintf("    vsetvli %s, x29, e32, m1", g.reg()),
 		fmt.Sprintf("    vle.v %s, (x8)", v()),
-		fmt.Sprintf("    %s %s, %s, %s", vops[g.rng.Intn(len(vops))], v(), v(), v()),
+		fmt.Sprintf("    %s %s, %s, %s", vecVVOps[g.rng.Intn(len(vecVVOps))], v(), v(), v()),
 		fmt.Sprintf("    addi x29, x8, %d", stOff),
 		fmt.Sprintf("    vse.v %s, (x29)", v()),
 		fmt.Sprintf("    vmv.x.s %s, %s", rd, v()),
 	}
+}
+
+// segVectorMasked builds a data-dependent mask in v0 with vmseq and runs a
+// masked ALU op plus a masked unit-stride store through it: masked-off
+// elements must stay undisturbed in both the destination register and the
+// stored-to memory in both models.
+func (g *gen) segVectorMasked() []string {
+	rd := g.reg()
+	g.lastDest = rd
+	one := g.reg()
+	ldOff := g.rng.Intn(256) &^ 3
+	stOff := 1024 + g.rng.Intn(bufBytes/2-64)&^63
+	return []string{
+		fmt.Sprintf("    li x29, %d", 1+g.rng.Intn(16)),
+		fmt.Sprintf("    vsetvli %s, x29, e32, m1", rd),
+		fmt.Sprintf("    addi x29, x8, %d", ldOff),
+		"    vle.v v1, (x29)",
+		fmt.Sprintf("    li %s, 1", one),
+		fmt.Sprintf("    vmv.v.x v2, %s", one),
+		"    vand.vv v3, v1, v2",
+		"    vmseq.vv v0, v3, v2", // mask: elements of v1 with bit 0 set
+		fmt.Sprintf("    %s v3, v1, v1, v0.t", vecVVOps[g.rng.Intn(len(vecVVOps))]),
+		fmt.Sprintf("    addi x29, x8, %d", stOff),
+		"    vse.v v3, (x29), v0.t",
+		fmt.Sprintf("    vmv.x.s %s, v3", rd),
+	}
+}
+
+// segVectorStrided loads and stores with a constant byte stride, including
+// stride 0 (every element hits the same address; ascending element order
+// makes the final value deterministic in both models).
+func (g *gen) segVectorStrided() []string {
+	rd := g.reg()
+	g.lastDest = rd
+	sreg := g.reg()
+	stride := 4 * g.rng.Intn(15) // 0..56 bytes
+	stOff := 1024 + g.rng.Intn(256)&^7
+	return []string{
+		fmt.Sprintf("    li x29, %d", 1+g.rng.Intn(8)),
+		fmt.Sprintf("    vsetvli %s, x29, e32, m1", rd),
+		fmt.Sprintf("    li %s, %d", sreg, stride),
+		fmt.Sprintf("    vlse.v v1, (x8), %s", sreg),
+		fmt.Sprintf("    %s v2, v1, v1", vecVVOps[g.rng.Intn(len(vecVVOps))]),
+		fmt.Sprintf("    addi x29, x8, %d", stOff),
+		fmt.Sprintf("    vsse.v v2, (x29), %s", sreg),
+		fmt.Sprintf("    vmv.x.s %s, v2", rd),
+	}
+}
+
+// segVectorIndexed derives a bounded index vector from buffer data (each
+// offset masked to an 8-byte-aligned value <= 504) and gathers/scatters
+// through it; half the scatters are additionally masked through v0.
+func (g *gen) segVectorIndexed() []string {
+	rd := g.reg()
+	g.lastDest = rd
+	mreg := g.reg()
+	ldOff := g.rng.Intn(512) &^ 3
+	out := []string{
+		fmt.Sprintf("    li x29, %d", 1+g.rng.Intn(8)),
+		fmt.Sprintf("    vsetvli %s, x29, e32, m1", rd),
+		fmt.Sprintf("    addi x29, x8, %d", ldOff),
+		"    vle.v v2, (x29)",
+		fmt.Sprintf("    li %s, %d", mreg, 0x1F8),
+		fmt.Sprintf("    vmv.v.x v3, %s", mreg),
+		"    vand.vv v2, v2, v3", // offsets: 8-aligned, 0..504
+		"    vlxei.v v1, (x8), v2",
+		"    vadd.vv v1, v1, v2",
+		"    addi x29, x8, 1024",
+	}
+	if g.rng.Intn(2) == 0 {
+		out = append(out,
+			fmt.Sprintf("    li %s, 8", mreg),
+			fmt.Sprintf("    vmv.v.x v3, %s", mreg),
+			"    vand.vv v4, v2, v3",
+			"    vmseq.vv v0, v4, v3", // mask: offsets with bit 3 set
+			"    vsxei.v v1, (x29), v2, v0.t")
+	} else {
+		out = append(out, "    vsxei.v v1, (x29), v2")
+	}
+	return append(out, fmt.Sprintf("    vmv.x.s %s, v1", rd))
+}
+
+// segFFlags provokes IEEE exception flags and reads them straight back:
+// the fflags/frm/fcsr windows and mstatus.FS dirtying are the conformance
+// surface the checker compares per commit.
+func (g *gen) segFFlags() []string {
+	rd := g.reg()
+	g.lastDest = rd
+	t := g.reg()
+	f := g.freg()
+	switch g.rng.Intn(6) {
+	case 0: // a random divide is almost always inexact, sometimes much worse
+		return []string{
+			fmt.Sprintf("    fdiv.d %s, %s, %s", g.freg(), g.freg(), g.freg()),
+			fmt.Sprintf("    csrr %s, fflags", rd),
+		}
+	case 1: // invalid: signaling NaN through an add
+		return []string{
+			fmt.Sprintf("    li %s, %d", t, int64(0x7FF0000000000001)),
+			fmt.Sprintf("    fmv.d.x %s, %s", f, t),
+			fmt.Sprintf("    fadd.d %s, %s, %s", g.freg(), f, g.freg()),
+			fmt.Sprintf("    csrr %s, fflags", rd),
+		}
+	case 2: // overflow: square the largest finite exponent
+		return []string{
+			fmt.Sprintf("    li %s, %d", t, int64(0x7FE0000000000000)),
+			fmt.Sprintf("    fmv.d.x %s, %s", f, t),
+			fmt.Sprintf("    fmul.d %s, %s, %s", g.freg(), f, f),
+			fmt.Sprintf("    csrr %s, fcsr", rd),
+		}
+	case 3: // underflow: square the smallest normal
+		return []string{
+			fmt.Sprintf("    li %s, %d", t, int64(0x0010000000000000)),
+			fmt.Sprintf("    fmv.d.x %s, %s", f, t),
+			fmt.Sprintf("    fmul.d %s, %s, %s", g.freg(), f, f),
+			fmt.Sprintf("    csrr %s, fflags", rd),
+		}
+	case 4: // clear, accrue, read back
+		return []string{
+			"    csrrwi x0, fflags, 0",
+			fmt.Sprintf("    fsqrt.d %s, %s", g.freg(), g.freg()),
+			fmt.Sprintf("    csrr %s, fflags", rd),
+		}
+	default: // frm write (non-functional rounding, but state must match)
+		return []string{
+			fmt.Sprintf("    csrrwi %s, frm, %d", rd, g.rng.Intn(8)),
+			fmt.Sprintf("    csrr %s, fcsr", t),
+		}
+	}
+}
+
+// segPaged emits segments that only make sense under translation: accesses
+// through the +1GB alias window sharing physical lines with identity
+// addresses, page-crossing accesses, and (rarely) an outright page fault
+// that ends the program.
+func (g *gen) segPaged() []string {
+	switch g.rng.Intn(8) {
+	case 0:
+		return g.segPageFault()
+	case 1, 2:
+		return g.segAliasStore()
+	case 3:
+		return g.segPageCross()
+	default:
+		return g.segAliasLRSC()
+	}
+}
+
+// segAliasLRSC stresses the VA-vs-PA reservation granule: a reservation
+// taken through one virtual window must interact with accesses through the
+// other exactly as the shared physical line dictates.
+func (g *gen) segAliasLRSC() []string {
+	w := g.rng.Intn(2) == 0
+	suffix, align := ".d", 8
+	if w {
+		suffix, align = ".w", 4
+	}
+	off := g.rng.Intn(bufBytes-8) &^ (align - 1)
+	t := g.reg()
+	if g.rng.Intn(2) == 0 {
+		// LR through the alias, SC through the identity VA: the reservation
+		// is physical, so the SC must succeed in both models.
+		return []string{
+			fmt.Sprintf("    addi x29, x8, %d", off),
+			fmt.Sprintf("    li %s, %d", t, pagedOffset),
+			fmt.Sprintf("    add %s, %s, x29", t, t),
+			fmt.Sprintf("    lr%s %s, (%s)", suffix, g.reg(), t),
+			fmt.Sprintf("    sc%s %s, %s, (x29)", suffix, g.reg(), g.src()),
+		}
+	}
+	// LR through the identity VA, intervening store through the alias —
+	// same physical line kills the reservation, a different line keeps it.
+	var aliasOff int
+	if g.rng.Intn(3) == 0 {
+		aliasOff = (off + 64 + g.rng.Intn(bufBytes-128)) % (bufBytes - 8) &^ 7
+	} else {
+		aliasOff = off&^63 + g.rng.Intn(64)&^7
+	}
+	return []string{
+		fmt.Sprintf("    addi x29, x8, %d", off),
+		fmt.Sprintf("    lr%s %s, (x29)", suffix, g.reg()),
+		fmt.Sprintf("    li %s, %d", t, pagedOffset),
+		fmt.Sprintf("    add %s, %s, x8", t, t),
+		fmt.Sprintf("    sd %s, %d(%s)", g.src(), aliasOff, t),
+		fmt.Sprintf("    sc%s %s, %s, (x29)", suffix, g.reg(), g.src()),
+	}
+}
+
+// segAliasStore writes through one window and reads through the other: both
+// models must observe the store at the shared physical address.
+func (g *gen) segAliasStore() []string {
+	rd := g.reg()
+	g.lastDest = rd
+	t := g.reg()
+	off := g.rng.Intn(bufBytes-8) &^ 7
+	return []string{
+		fmt.Sprintf("    li %s, %d", t, pagedOffset),
+		fmt.Sprintf("    add %s, %s, x8", t, t),
+		fmt.Sprintf("    sd %s, %d(%s)", g.src(), off, t),
+		fmt.Sprintf("    ld %s, %d(x8)", rd, off),
+	}
+}
+
+// segPageCross accesses a doubleword straddling a 4K page boundary through
+// the alias window (the pages map physically contiguous memory, so the
+// access is legal in both models). The boundary at the stack base is used
+// because the bytes on either side are plain data in every profile.
+func (g *gen) segPageCross() []string {
+	rd := g.reg()
+	g.lastDest = rd
+	t := g.reg()
+	addr := pagedOffset + stackBase - uint64(1+g.rng.Intn(7))
+	out := []string{fmt.Sprintf("    li %s, %d", t, addr)}
+	if g.rng.Intn(2) == 0 {
+		out = append(out, fmt.Sprintf("    sd %s, 0(%s)", g.src(), t))
+	}
+	return append(out, fmt.Sprintf("    ld %s, 0(%s)", rd, t))
+}
+
+// segPageFault runs off the end of the alias window into the first unmapped
+// page. With every exception delegated and stvec=0, both models must latch
+// the same scause/stval/sepc and halt with -(16+cause).
+func (g *gen) segPageFault() []string {
+	t := g.reg()
+	addr := pagedOffset + pagedPhysSize + uint64(g.rng.Intn(4096)&^7)
+	out := []string{fmt.Sprintf("    li %s, %d", t, addr)}
+	if g.rng.Intn(2) == 0 {
+		return append(out, fmt.Sprintf("    ld %s, 0(%s)", g.reg(), t))
+	}
+	return append(out, fmt.Sprintf("    sd %s, 0(%s)", g.src(), t))
 }

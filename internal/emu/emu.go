@@ -59,9 +59,10 @@ type Machine struct {
 	Trace func(pc uint64, in isa.Inst)
 
 	// OnStore, when set, observes every architectural memory write (scalar
-	// stores, SC, AMOs and vector stores) with its virtual address. The
-	// co-simulation checker uses it to track touched memory.
-	OnStore func(va uint64, size int)
+	// stores, SC, AMOs and vector stores) with its PHYSICAL address, so the
+	// co-simulation checker can track touched memory independently of which
+	// virtual alias the program stored through.
+	OnStore func(pa uint64, size int)
 
 	// OnCacheOp observes custom cache/TLB maintenance ops (the SoC model
 	// hooks this; standalone emulation treats them as no-ops).
@@ -142,19 +143,44 @@ func (m *Machine) CSR(num uint16) uint64 {
 		return uint64(m.Vec.VType)
 	case isa.CSRVlenb:
 		return uint64(m.Vec.File.VLENBits / 8)
+	case isa.CSRFflags:
+		return m.csr[isa.CSRFcsr] & 0x1F
+	case isa.CSRFrm:
+		return m.csr[isa.CSRFcsr] >> 5 & 7
 	}
 	return m.csr[num]
 }
 
-// SetCSR writes a CSR, applying side effects (satp flushes the soft TLB).
+// SetCSR writes a CSR, applying side effects (satp flushes the soft TLB;
+// the fflags/frm windows alias into fcsr, which is the canonical storage).
 func (m *Machine) SetCSR(num uint16, v uint64) {
 	switch num {
 	case isa.CSRSatp:
 		m.stlb = make(map[uint64]stlbEntry)
 	case isa.CSRVl, isa.CSRVtype, isa.CSRVlenb, isa.CSRCycle, isa.CSRInstret:
 		return // read-only
+	case isa.CSRFflags:
+		m.csr[isa.CSRFcsr] = m.csr[isa.CSRFcsr]&^uint64(0x1F) | v&0x1F
+		m.csr[isa.CSRMstatus] |= isa.MstatusFSDirty
+		return
+	case isa.CSRFrm:
+		m.csr[isa.CSRFcsr] = m.csr[isa.CSRFcsr]&^uint64(0xE0) | v&7<<5
+		m.csr[isa.CSRMstatus] |= isa.MstatusFSDirty
+		return
+	case isa.CSRFcsr:
+		m.csr[isa.CSRFcsr] = v & 0xFF
+		m.csr[isa.CSRMstatus] |= isa.MstatusFSDirty
+		return
 	}
 	m.csr[num] = v
+}
+
+// accrueFFlags ORs newly raised IEEE exception flags into fcsr and marks the
+// floating-point context dirty in mstatus. Called for every executed FP
+// instruction even when flags is 0: any FP-unit execution leaves FS=Dirty.
+func (m *Machine) accrueFFlags(flags uint8) {
+	m.csr[isa.CSRFcsr] |= uint64(flags)
+	m.csr[isa.CSRMstatus] |= isa.MstatusFSDirty
 }
 
 // trapError carries an architectural exception through the execute switch.
@@ -209,12 +235,13 @@ func (m *Machine) store(va uint64, size int, v uint64) error {
 	m.Mem.Write(pa, size, v)
 	// Any store that touches the reserved line invalidates an LR/SC
 	// reservation (64-byte granule, mirroring the pipeline's cache line).
-	// SC's own write also lands here; SC clears resValid afterwards anyway.
-	if m.resValid && va>>6 == m.resAddr>>6 {
+	// The granule is tracked in PHYSICAL addresses, like the core's, so a
+	// store through a virtual alias of the reserved line kills it too.
+	if m.resValid && pa>>6 == m.resAddr>>6 {
 		m.resValid = false
 	}
 	if m.OnStore != nil {
-		m.OnStore(va, size)
+		m.OnStore(pa, size)
 	}
 	return nil
 }
@@ -322,6 +349,9 @@ func (m *Machine) exec(in *isa.Inst, nextPC *uint64) error {
 			return err
 		}
 		m.setReg(in.Rd, loadExtend(op, v, size))
+		if in.Rd.IsF() {
+			m.csr[isa.CSRMstatus] |= isa.MstatusFSDirty
+		}
 		return nil
 
 	case isa.ClassStore:
@@ -341,11 +371,12 @@ func (m *Machine) exec(in *isa.Inst, nextPC *uint64) error {
 		a := m.Reg(in.Rs1)
 		b := m.Reg(in.Rs2)
 		c := m.Reg(in.Rs3)
-		res, ok := isa.EvalFPU(op, a, b, c)
+		res, flags, ok := isa.EvalFPUFlags(op, a, b, c)
 		if !ok {
 			return &trapError{cause: isa.ExcIllegalInst, tval: 0}
 		}
 		m.setReg(in.Rd, res)
+		m.accrueFFlags(flags)
 		return nil
 
 	case isa.ClassCSR:
@@ -417,36 +448,45 @@ func (m *Machine) execAMO(in *isa.Inst) error {
 	op := in.Op
 	size := op.MemBytes()
 	addr := m.Reg(in.Rs1)
+	// Every AMO-class op — LR included — translates once with store-class
+	// permission, so a read-only page raises a store page fault up front,
+	// exactly as the pipeline does (it checks writability at retire so SC
+	// can never fault after a successful LR). The reservation is kept as a
+	// physical address: two virtual aliases of one line share one granule.
+	pa, err := m.translate(addr, mmu.AccStore)
+	if err != nil {
+		if te, ok := err.(*trapError); ok {
+			te.cause = isa.ExcStorePageFault
+		}
+		return err
+	}
 	switch op {
 	case isa.LRW, isa.LRD:
-		v, err := m.load(addr, size)
-		if err != nil {
-			return err
-		}
-		m.resValid, m.resAddr = true, addr
+		v := m.Mem.Read(pa, size)
+		m.resValid, m.resAddr = true, pa
 		m.setReg(in.Rd, loadExtendSized(v, size))
-		return nil
 	case isa.SCW, isa.SCD:
-		if m.resValid && m.resAddr == addr {
-			if err := m.store(addr, size, m.Reg(in.Rs2)); err != nil {
-				return err
+		if m.resValid && m.resAddr == pa {
+			m.Mem.Write(pa, size, m.Reg(in.Rs2))
+			if m.OnStore != nil {
+				m.OnStore(pa, size)
 			}
 			m.setReg(in.Rd, 0)
 		} else {
 			m.setReg(in.Rd, 1)
 		}
 		m.resValid = false
-		return nil
+	default:
+		old := m.Mem.Read(pa, size)
+		m.Mem.Write(pa, size, isa.EvalAMO(op, old, m.Reg(in.Rs2)))
+		if m.resValid && pa>>6 == m.resAddr>>6 {
+			m.resValid = false
+		}
+		if m.OnStore != nil {
+			m.OnStore(pa, size)
+		}
+		m.setReg(in.Rd, loadExtendSized(old, size))
 	}
-	old, err := m.load(addr, size)
-	if err != nil {
-		return err
-	}
-	newVal := isa.EvalAMO(op, old, m.Reg(in.Rs2))
-	if err := m.store(addr, size, newVal); err != nil {
-		return err
-	}
-	m.setReg(in.Rd, loadExtendSized(old, size))
 	return nil
 }
 
@@ -619,6 +659,12 @@ func (m *Machine) enterTrap(t *trapError) {
 		m.csr[isa.CSRMstatus] = st
 		m.Priv = isa.PrivS
 		m.PC = m.csr[isa.CSRStvec] &^ 3
+		if m.csr[isa.CSRStvec] == 0 {
+			// Same no-handler convention as the mtvec==0 path below, so a
+			// delegated fault halts instead of spinning at VA 0.
+			m.Halted = true
+			m.ExitCode = -(16 + t.cause)
+		}
 		return
 	}
 	m.csr[isa.CSRMepc] = m.PC

@@ -261,6 +261,110 @@ func TestASIDAllocatorWraps(t *testing.T) {
 	}
 }
 
+func TestWalkSuperpageMisaligned(t *testing.T) {
+	m, tb := newEnv(t)
+	// Hand-craft a level-1 leaf whose PPN is not 2M-aligned: the builder
+	// refuses to create one, but a buggy or hostile guest table can.
+	if err := tb.Map(0x80000000, 0x200000, 21, PteR|PteW); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Walk(plainRead(m), tb.Satp(0), 0x80000000, AccLoad, isa.PrivS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pteAddr := res.PTEAddrs[len(res.PTEAddrs)-1]
+	pte := m.Read(pteAddr, 8)
+	m.Write(pteAddr, 8, pte|1<<10) // PPN[0] |= 1: misaligned superpage
+	_, err = Walk(plainRead(m), tb.Satp(0), 0x80000000, AccStore, isa.PrivS)
+	pf, ok := err.(*PageFault)
+	if !ok {
+		t.Fatalf("misaligned superpage must fault, got %v", err)
+	}
+	if pf.Cause() != isa.ExcStorePageFault || pf.VA != 0x80000000 {
+		t.Fatalf("cause=%d va=%#x", pf.Cause(), pf.VA)
+	}
+}
+
+func TestWalkADBitsModeledAsSet(t *testing.T) {
+	m, tb := newEnv(t)
+	if err := tb.Map(0x3000, 0x5000, 12, PteR|PteW); err != nil {
+		t.Fatal(err)
+	}
+	res, err := Walk(plainRead(m), tb.Satp(0), 0x3000, AccLoad, isa.PrivS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The model treats A/D as hardware-managed and always set (the builder
+	// pre-sets them); a cleared A or D bit neither faults nor gets written
+	// back — the walker is read-only. Pin both properties.
+	pteAddr := res.PTEAddrs[len(res.PTEAddrs)-1]
+	pte := m.Read(pteAddr, 8)
+	m.Write(pteAddr, 8, pte&^uint64(PteA|PteD))
+	if _, err := Walk(plainRead(m), tb.Satp(0), 0x3008, AccStore, isa.PrivS); err != nil {
+		t.Fatalf("A/D-clear store should translate in the always-set model: %v", err)
+	}
+	if got := m.Read(pteAddr, 8); got != pte&^uint64(PteA|PteD) {
+		t.Fatalf("walker must not write PTEs back: %#x", got)
+	}
+}
+
+// TestIdentityPlusOffsetAliases pins the layout the paged fuzz profile boots
+// with: identity RWX, an RW alias window at offset, and — the property the
+// LR/SC checker depends on — both virtual views of one line landing in the
+// same physical reservation granule.
+func TestIdentityPlusOffsetAliases(t *testing.T) {
+	m := mem.NewMemory()
+	const physSize, offset = 0xA0000, 0x40000000
+	tb, err := IdentityPlusOffset(m, 0x100000, physSize, offset)
+	if err != nil {
+		t.Fatal(err)
+	}
+	idRes, err := Walk(plainRead(m), tb.Satp(1), 0x5018, AccStore, isa.PrivS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	alRes, err := Walk(plainRead(m), tb.Satp(1), offset+0x5018, AccStore, isa.PrivS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if idRes.PA != 0x5018 || alRes.PA != idRes.PA {
+		t.Fatalf("alias pa=%#x, identity pa=%#x", alRes.PA, idRes.PA)
+	}
+	if idRes.PA>>6 != alRes.PA>>6 {
+		t.Fatal("aliases must share a physical reservation granule")
+	}
+	// VA granules differ even though the PA granule is shared
+	if (uint64(0x5018)>>6) == (offset+0x5018)>>6 {
+		t.Fatal("test premise broken: VA granules should differ")
+	}
+	// the alias window must not be executable, and identity must be
+	if _, err := Walk(plainRead(m), tb.Satp(1), offset+0x5000, AccFetch, isa.PrivS); err == nil {
+		t.Fatal("fetch from alias window must fault")
+	}
+	if _, err := Walk(plainRead(m), tb.Satp(1), 0x5000, AccFetch, isa.PrivS); err != nil {
+		t.Fatalf("identity fetch: %v", err)
+	}
+	// a page-crossing 8-byte window translates page by page: last byte of
+	// one page and first of the next both map, contiguously here
+	a, err := Walk(plainRead(m), tb.Satp(1), offset+0x5FF8, AccStore, isa.PrivS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bRes, err := Walk(plainRead(m), tb.Satp(1), offset+0x6000, AccStore, isa.PrivS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.PA+8 != bRes.PA {
+		t.Fatalf("page-crossing pair: %#x then %#x", a.PA, bRes.PA)
+	}
+	// beyond the mapped window: faults with the faulting VA reported
+	_, err = Walk(plainRead(m), tb.Satp(1), offset+physSize, AccLoad, isa.PrivS)
+	pf, ok := err.(*PageFault)
+	if !ok || pf.VA != offset+physSize {
+		t.Fatalf("unmapped alias access: %v", err)
+	}
+}
+
 func TestWalkRandomizedAgainstTables(t *testing.T) {
 	m, tb := newEnv(t)
 	rng := rand.New(rand.NewSource(99))

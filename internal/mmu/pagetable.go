@@ -95,6 +95,27 @@ func (b *TableBuilder) IdentityMap(base, size uint64, perms uint8, huge bool) er
 	return nil
 }
 
+// IdentityPlusOffset builds the standard S-mode test layout shared by the
+// paged cosim profile and the MMU tests: an identity RWX mapping of
+// [0, physSize) in 4K pages, plus a read-write alias window mapping
+// [offset, offset+physSize) onto the same physical range. The alias window
+// is deliberately non-executable and gives every physical line two virtual
+// addresses, which is what exposes VA-vs-PA confusion in reservation and
+// dirty-line tracking. tableBase itself must lie outside [0, physSize) so
+// the guest cannot scribble over its own page tables.
+func IdentityPlusOffset(m *mem.Memory, tableBase, physSize, offset uint64) (*TableBuilder, error) {
+	b := NewTableBuilder(m, tableBase)
+	if err := b.IdentityMap(0, physSize, PteR|PteW|PteX, false); err != nil {
+		return nil, err
+	}
+	for va := uint64(0); va < physSize; va += 4096 {
+		if err := b.Map(offset+va, va, 12, PteR|PteW); err != nil {
+			return nil, err
+		}
+	}
+	return b, nil
+}
+
 // ASIDAllocator models the OS-side ASID assignment policy whose behaviour
 // §V-E measures: when the ASID space wraps, every TLB must be flushed. The
 // XT-910 widens the field to 16 bits so wraps (and hence flushes) become

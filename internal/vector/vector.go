@@ -135,6 +135,12 @@ func (u *Unit) SetVL(requested uint64, vt isa.VType) uint64 {
 	return requested
 }
 
+// maskBit reads bit i of the mask register v0 (mask layout: one bit per
+// element, packed LSB-first).
+func (f *File) maskBit(i int) bool {
+	return f.regs[0][i/8]>>(uint(i)%8)&1 == 1
+}
+
 func sextTo(v uint64, sew int) int64 {
 	sh := 64 - uint(sew)
 	return int64(v<<sh) >> sh
@@ -149,11 +155,17 @@ func (u *Unit) Exec(in isa.Inst, scalar uint64, ld MemLoad, st MemStore) (xres u
 	vl := int(u.VL)
 	vd := in.Rd.Index()
 	op := in.Op
+	// Masked-off elements are skipped entirely: destinations stay
+	// undisturbed and no memory access is issued for them.
+	active := func(i int) bool { return !in.Masked || f.maskBit(i) }
 
 	switch op {
 	case isa.VLE:
 		base := scalar
 		for i := 0; i < vl; i++ {
+			if !active(i) {
+				continue
+			}
 			f.setElem(vd, i, sew, ld(base+uint64(i*sew/8), sew/8))
 		}
 		return 0, false, nil
@@ -161,13 +173,29 @@ func (u *Unit) Exec(in isa.Inst, scalar uint64, ld MemLoad, st MemStore) (xres u
 		base := scalar
 		stride := in.Imm // core/emu pass the stride via Imm after reading rs2
 		for i := 0; i < vl; i++ {
+			if !active(i) {
+				continue
+			}
 			f.setElem(vd, i, sew, ld(base+uint64(int64(i)*stride), sew/8))
+		}
+		return 0, false, nil
+	case isa.VLXEI:
+		base := scalar
+		vidx := in.Rs2.Index()
+		for i := 0; i < vl; i++ {
+			if !active(i) {
+				continue
+			}
+			f.setElem(vd, i, sew, ld(base+f.elem(vidx, i, sew), sew/8))
 		}
 		return 0, false, nil
 	case isa.VSE:
 		vs := in.Rs2.Index()
 		base := scalar
 		for i := 0; i < vl; i++ {
+			if !active(i) {
+				continue
+			}
 			st(base+uint64(i*sew/8), sew/8, f.elem(vs, i, sew))
 		}
 		return 0, false, nil
@@ -176,7 +204,36 @@ func (u *Unit) Exec(in isa.Inst, scalar uint64, ld MemLoad, st MemStore) (xres u
 		base := scalar
 		stride := in.Imm
 		for i := 0; i < vl; i++ {
+			if !active(i) {
+				continue
+			}
 			st(base+uint64(int64(i)*stride), sew/8, f.elem(vs, i, sew))
+		}
+		return 0, false, nil
+	case isa.VSXEI:
+		vs, vidx := in.Rs2.Index(), in.Rs3.Index()
+		base := scalar
+		for i := 0; i < vl; i++ {
+			if !active(i) {
+				continue
+			}
+			st(base+f.elem(vidx, i, sew), sew/8, f.elem(vs, i, sew))
+		}
+		return 0, false, nil
+	case isa.VMSEQVV:
+		// mask-register result: bit i of vd = (vs2[i] == vs1[i]);
+		// masked-off bits stay undisturbed
+		vs1, vs2 := in.Rs1.Index(), in.Rs2.Index()
+		for i := 0; i < vl; i++ {
+			if !active(i) {
+				continue
+			}
+			bit := byte(1) << (uint(i) % 8)
+			if f.elem(vs2, i, sew) == f.elem(vs1, i, sew) {
+				f.regs[vd][i/8] |= bit
+			} else {
+				f.regs[vd][i/8] &^= bit
+			}
 		}
 		return 0, false, nil
 	case isa.VMVXS:
@@ -186,20 +243,30 @@ func (u *Unit) Exec(in isa.Inst, scalar uint64, ld MemLoad, st MemStore) (xres u
 		return 0, false, nil
 	case isa.VMVVX:
 		for i := 0; i < vl; i++ {
+			if !active(i) {
+				continue
+			}
 			f.setElem(vd, i, sew, scalar)
 		}
 		return 0, false, nil
 	case isa.VMVVV:
 		vs := in.Rs1.Index()
 		for i := 0; i < vl; i++ {
+			if !active(i) {
+				continue
+			}
 			f.setElem(vd, i, sew, f.elem(vs, i, sew))
 		}
 		return 0, false, nil
 	case isa.VREDSUMVS, isa.VREDMAXVS:
-		// vd[0] = op(vs1[0], vs2[0..vl-1])
+		// vd[0] = op(vs1[0], vs2[0..vl-1]); masked-off elements don't
+		// participate in the reduction
 		vs1, vs2 := in.Rs1.Index(), in.Rs2.Index()
 		acc := sextTo(f.elem(vs1, 0, sew), sew)
 		for i := 0; i < vl; i++ {
+			if !active(i) {
+				continue
+			}
 			e := sextTo(f.elem(vs2, i, sew), sew)
 			if op == isa.VREDSUMVS {
 				acc += e
@@ -213,6 +280,9 @@ func (u *Unit) Exec(in isa.Inst, scalar uint64, ld MemLoad, st MemStore) (xres u
 		vs1, vs2 := in.Rs1.Index(), in.Rs2.Index()
 		acc := u.fbits2f(f.elem(vs1, 0, sew), sew)
 		for i := 0; i < vl; i++ {
+			if !active(i) {
+				continue
+			}
 			acc += u.fbits2f(f.elem(vs2, i, sew), sew)
 		}
 		f.setElem(vd, 0, sew, u.f2fbits(acc, sew))
@@ -225,6 +295,9 @@ func (u *Unit) Exec(in isa.Inst, scalar uint64, ld MemLoad, st MemStore) (xres u
 			return 0, false, fmt.Errorf("vector: vwmacc with sew=%d unsupported", sew)
 		}
 		for i := 0; i < vl; i++ {
+			if !active(i) {
+				continue
+			}
 			a := sextTo(f.elem(vs1, i, sew), sew)
 			b := sextTo(f.elem(vs2, i, sew), sew)
 			c := sextTo(f.elem(vd, i, wide), wide)
@@ -245,6 +318,9 @@ func (u *Unit) Exec(in isa.Inst, scalar uint64, ld MemLoad, st MemStore) (xres u
 	}
 	vs2 := in.Rs2.Index()
 	for i := 0; i < vl; i++ {
+		if !active(i) {
+			continue
+		}
 		a := f.elem(vs2, i, sew)
 		b := getB(i)
 		var r uint64

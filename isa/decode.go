@@ -220,11 +220,17 @@ func Decode(raw uint32) Inst {
 		case 3:
 			in.Op, in.Rd, in.Rs1, in.Imm = FLD, F(rd.Index()), rs1, immI(raw)
 		case 7:
-			switch f7 {
+			// funct7 bit 0 (instruction bit 25) marks a masked access.
+			switch f7 &^ 1 {
 			case 0:
 				in.Op, in.Rd, in.Rs1 = VLE, V(rd.Index()), rs1
 			case 0x08:
 				in.Op, in.Rd, in.Rs1, in.Rs2 = VLSE, V(rd.Index()), rs1, rs2
+			case 0x0C:
+				in.Op, in.Rd, in.Rs1, in.Rs2 = VLXEI, V(rd.Index()), rs1, V(rs2.Index())
+			}
+			if in.Op != ILLEGAL {
+				in.Masked = f7&1 == 1
 			}
 		}
 	case opcStoreFP:
@@ -234,11 +240,16 @@ func Decode(raw uint32) Inst {
 		case 3:
 			in.Op, in.Rs1, in.Rs2, in.Imm = FSD, rs1, F(rs2.Index()), immS(raw)
 		case 7:
-			switch f7 {
+			switch f7 &^ 1 {
 			case 0:
 				in.Op, in.Rs1, in.Rs2 = VSE, rs1, V(rd.Index())
 			case 0x08:
 				in.Op, in.Rs1, in.Rs2, in.Rs3 = VSSE, rs1, V(rd.Index()), rs2
+			case 0x0C:
+				in.Op, in.Rs1, in.Rs2, in.Rs3 = VSXEI, rs1, V(rd.Index()), V(rs2.Index())
+			}
+			if in.Op != ILLEGAL {
+				in.Masked = f7&1 == 1
 			}
 		}
 	case opcFMAdd, opcFMSub:
@@ -328,6 +339,7 @@ func decodeV(raw uint32, rd, rs1, rs2 Reg, f3 uint32) Inst {
 		return in
 	}
 	in.Op = op
+	in.Masked = bf(raw, 25, 25) == 0 // vm=0: masked by v0
 	in.Rd = V(rd.Index())
 	vs2 := V(rs2.Index())
 	switch f3 {

@@ -160,6 +160,18 @@ var opVEnc = map[Op]vEnc{
 	VFADDVV: {0x00, 1}, VFSUBVV: {0x02, 1},
 	VFMULVV: {0x24, 1}, VFDIVVV: {0x20, 1},
 	VFMACCVV: {0x2C, 1}, VFREDSUMVS: {0x01, 1},
+	VMSEQVV: {0x18, 0},
+}
+
+// vmemF7 composes the funct7 field of a vector memory op: bit 0 (instruction
+// bit 25) set marks a masked access. Note the polarity is inverted relative
+// to the opcOpV vm bit (where vm=1 means unmasked) so that the pre-existing
+// unit-stride/strided encodings with f7=0x00/0x08 stay byte-identical.
+func vmemF7(base uint32, masked bool) uint32 {
+	if masked {
+		return base | 1
+	}
+	return base
 }
 
 var xCacheOpImm = map[Op]int64{
@@ -254,10 +266,14 @@ func Encode(in Inst) (uint32, error) {
 		if vs2 == RegNone {
 			vs2 = V(0)
 		}
-		// vector R-layout: vd | f3 | vs1/rs1/imm | vs2 | vm=1 | funct6
+		vm := uint32(1) // vm=1: unmasked
+		if in.Masked {
+			vm = 0
+		}
+		// vector R-layout: vd | f3 | vs1/rs1/imm | vs2 | vm | funct6
 		return opcOpV | uint32(in.Rd.Index())<<7 | e.f3<<12 |
 			uint32(second.Index())<<15 | uint32(vs2.Index())<<20 |
-			1<<25 | e.f6<<26, nil
+			vm<<25 | e.f6<<26, nil
 	}
 
 	switch op {
@@ -323,14 +339,19 @@ func Encode(in Inst) (uint32, error) {
 	case VSETVL:
 		return encR(opcOpV, 7, 0x40, in.Rd, in.Rs1, in.Rs2), nil
 	case VLE:
-		return encR(opcLoadFP, 7, 0, in.Rd, in.Rs1, X(0)), nil
+		return encR(opcLoadFP, 7, vmemF7(0, in.Masked), in.Rd, in.Rs1, X(0)), nil
 	case VLSE:
-		return encR(opcLoadFP, 7, 0x08, in.Rd, in.Rs1, in.Rs2), nil
+		return encR(opcLoadFP, 7, vmemF7(0x08, in.Masked), in.Rd, in.Rs1, in.Rs2), nil
+	case VLXEI:
+		// index vector travels in the rs2 field
+		return encR(opcLoadFP, 7, vmemF7(0x0C, in.Masked), in.Rd, in.Rs1, in.Rs2), nil
 	case VSE:
 		// store layout mirrors the load: vs3 (data) in the rd slot
-		return encR(opcStoreFP, 7, 0, in.Rs2, in.Rs1, X(0)), nil
+		return encR(opcStoreFP, 7, vmemF7(0, in.Masked), in.Rs2, in.Rs1, X(0)), nil
 	case VSSE:
-		return encR(opcStoreFP, 7, 0x08, in.Rs2, in.Rs1, in.Rs3), nil
+		return encR(opcStoreFP, 7, vmemF7(0x08, in.Masked), in.Rs2, in.Rs1, in.Rs3), nil
+	case VSXEI:
+		return encR(opcStoreFP, 7, vmemF7(0x0C, in.Masked), in.Rs2, in.Rs1, in.Rs3), nil
 	case XADDSL:
 		return encR(opcCustom0, 3, uint32(in.Imm)&3, in.Rd, in.Rs1, in.Rs2), nil
 	case XEXT:

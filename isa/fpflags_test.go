@@ -1,0 +1,129 @@
+package isa
+
+import (
+	"math"
+	"testing"
+)
+
+const (
+	sNaN64 = uint64(0x7FF0000000000001)
+	qNaN64 = uint64(0x7FF8000000000000)
+)
+
+func sNaN32() uint64 { return BoxF32(0x7F800001) }
+func qNaN32() uint64 { return BoxF32(0x7FC00000) }
+
+func TestFPUFlags(t *testing.T) {
+	cases := []struct {
+		name    string
+		op      Op
+		a, b, c uint64
+		want    uint8
+	}{
+		{"add exact", FADDD, F64(1), F64(2), 0, 0},
+		{"add inexact", FADDD, F64(1), F64(0x1p-60), 0, FFlagNX},
+		{"add inf exact", FADDD, F64(math.Inf(1)), F64(1), 0, 0},
+		{"inf minus inf", FSUBD, F64(math.Inf(1)), F64(math.Inf(1)), 0, FFlagNV},
+		{"add qnan quiet", FADDD, qNaN64, F64(1), 0, 0},
+		{"add snan", FADDD, sNaN64, F64(1), 0, FFlagNV},
+		{"add.s overflow", FADDS, F32(math.MaxFloat32), F32(math.MaxFloat32), 0, FFlagOF | FFlagNX},
+		{"mul underflow", FMULD, F64(0x1p-1000), F64(0x1p-100), 0, FFlagUF | FFlagNX},
+		{"mul zero times inf", FMULD, F64(0), F64(math.Inf(1)), 0, FFlagNV},
+		{"div inexact", FDIVD, F64(1), F64(3), 0, FFlagNX},
+		{"div exact", FDIVD, F64(1), F64(4), 0, 0},
+		{"div by zero", FDIVD, F64(1), F64(0), 0, FFlagDZ},
+		{"zero over zero", FDIVD, F64(0), F64(0), 0, FFlagNV},
+		{"div.s by zero", FDIVS, F32(2), F32(0), 0, FFlagDZ},
+		{"sqrt negative", FSQRTD, F64(-1), 0, 0, FFlagNV},
+		{"sqrt inexact", FSQRTD, F64(2), 0, 0, FFlagNX},
+		{"sqrt exact", FSQRTD, F64(4), 0, 0, 0},
+		{"sqrt.s exact", FSQRTS, F32(9), 0, 0, 0},
+		{"fma exact", FMADDD, F64(2), F64(3), F64(4), 0},
+		{"fma inexact", FMADDD, F64(1 + 0x1p-52), F64(1 + 0x1p-52), F64(0), FFlagNX},
+		{"fma inf times zero", FMADDD, F64(math.Inf(1)), F64(0), F64(1), FFlagNV},
+		{"min snan", FMIND, sNaN64, F64(1), 0, FFlagNV},
+		{"min qnan", FMIND, qNaN64, F64(1), 0, 0},
+		{"cvt.w.d inexact", FCVTWD, F64(3.5), 0, 0, FFlagNX},
+		{"cvt.w.d exact", FCVTWD, F64(-3), 0, 0, 0},
+		{"cvt.w.d nan", FCVTWD, qNaN64, 0, 0, FFlagNV},
+		{"cvt.w.d range", FCVTWD, F64(0x1p40), 0, 0, FFlagNV},
+		{"cvt.l.d range", FCVTLD, F64(0x1p63), 0, 0, FFlagNV},
+		{"cvt.l.d max ok", FCVTLD, F64(0x1p62), 0, 0, 0},
+		{"cvt.s.d inexact", FCVTSD, F64(1 + 0x1p-40), 0, 0, FFlagNX},
+		{"cvt.s.d exact", FCVTSD, F64(1.5), 0, 0, 0},
+		{"cvt.d.s snan", FCVTDS, sNaN32(), 0, 0, FFlagNV},
+		{"cvt.s.l inexact", FCVTSL, uint64(1)<<60 + 1, 0, 0, FFlagNX},
+		{"cvt.d.l inexact", FCVTDL, uint64(1)<<60 + 1, 0, 0, FFlagNX},
+		{"cvt.s.w exact", FCVTSW, 16, 0, 0, 0},
+		{"feq qnan quiet", FEQD, qNaN64, F64(1), 0, 0},
+		{"feq snan", FEQD, sNaN64, F64(1), 0, FFlagNV},
+		{"flt qnan", FLTD, qNaN64, F64(1), 0, FFlagNV},
+		{"flt.s qnan", FLTS, qNaN32(), F32(1), 0, FFlagNV},
+		{"sgnj no flags", FSGNJD, sNaN64, F64(-1), 0, 0},
+		{"fmv no flags", FMVXD, sNaN64, 0, 0, 0},
+	}
+	for _, tc := range cases {
+		res, flags, ok := EvalFPUFlags(tc.op, tc.a, tc.b, tc.c)
+		if !ok {
+			t.Fatalf("%s: EvalFPUFlags not ok", tc.name)
+		}
+		want, _ := EvalFPU(tc.op, tc.a, tc.b, tc.c)
+		if res != want {
+			t.Errorf("%s: result %x diverges from EvalFPU %x", tc.name, res, want)
+		}
+		if flags != tc.want {
+			t.Errorf("%s: flags = %05b, want %05b", tc.name, flags, tc.want)
+		}
+	}
+}
+
+// TestFPUFlagsResultUntouched: EvalFPUFlags must return EvalFPU's result
+// bit-for-bit for every FP op, so adopting it can never change state.
+func TestFPUFlagsResultUntouched(t *testing.T) {
+	vals := []uint64{
+		F64(0), F64(1.5), F64(-2.25), F64(math.Inf(1)), qNaN64, sNaN64,
+		F64(0x1p-1050), F64(math.MaxFloat64), F32(3.5), F32(-0.5),
+		sNaN32(), qNaN32(), 0x12345678, // improperly boxed
+	}
+	for op := FADDS; op <= FLED; op++ {
+		if _, ok := EvalFPU(op, vals[0], vals[1], vals[2]); !ok {
+			continue
+		}
+		for i, a := range vals {
+			b, c := vals[(i+3)%len(vals)], vals[(i+7)%len(vals)]
+			want, _ := EvalFPU(op, a, b, c)
+			got, _, ok := EvalFPUFlags(op, a, b, c)
+			if !ok || got != want {
+				t.Fatalf("%v(%x,%x,%x): result %x, want %x", op, a, b, c, got, want)
+			}
+		}
+	}
+}
+
+// TestFcsrCSRForms pins the fcsr-family CSR addresses and their assembler
+// names, and round-trips a CSR access to each through encode/decode.
+func TestFcsrCSRForms(t *testing.T) {
+	for _, c := range []struct {
+		name string
+		addr uint16
+	}{{"fflags", CSRFflags}, {"frm", CSRFrm}, {"fcsr", CSRFcsr}} {
+		got, ok := ParseCSR(c.name)
+		if !ok || got != c.addr {
+			t.Fatalf("ParseCSR(%q) = %#x, %v", c.name, got, ok)
+		}
+		in := NewInst(CSRRS)
+		in.Rd, in.Rs1, in.CSR = A0, Zero, c.addr
+		raw, err := Encode(in)
+		if err != nil {
+			t.Fatalf("encode csrrs %s: %v", c.name, err)
+		}
+		out := Decode(raw)
+		if out.Op != CSRRS || out.CSR != c.addr {
+			t.Fatalf("decode csrrs %s: %+v", c.name, out)
+		}
+		raw2, _ := Encode(out)
+		if raw2 != raw {
+			t.Fatalf("csrrs %s not byte-identical: %08x vs %08x", c.name, raw, raw2)
+		}
+	}
+}

@@ -20,6 +20,9 @@ type Inst struct {
 	Imm  int64
 	CSR  uint16
 	Size uint8 // encoded size in bytes: 2 (RVC) or 4
+	// Masked marks a vector operation predicated on v0 (vm=0 in the
+	// encoding): elements whose mask bit is clear are left undisturbed.
+	Masked bool
 }
 
 // NewInst returns an instruction with unused register fields set to RegNone
@@ -72,6 +75,14 @@ func (i *Inst) WritesReg() bool {
 	return true
 }
 
+// vmSuffix renders the v0-mask operand of a masked vector instruction.
+func (i Inst) vmSuffix() string {
+	if i.Masked {
+		return ", v0.t"
+	}
+	return ""
+}
+
 // String disassembles the instruction.
 func (i Inst) String() string {
 	op := i.Op
@@ -116,15 +127,15 @@ func (i Inst) String() string {
 		}
 		return fmt.Sprintf("vsetvl %s, %s, %s", i.Rd, i.Rs1, i.Rs2)
 	case ClassVLoad:
-		if op == VLSE {
-			return fmt.Sprintf("%s %s, (%s), %s", op, i.Rd, i.Rs1, i.Rs2)
+		if op == VLSE || op == VLXEI {
+			return fmt.Sprintf("%s %s, (%s), %s%s", op, i.Rd, i.Rs1, i.Rs2, i.vmSuffix())
 		}
-		return fmt.Sprintf("%s %s, (%s)", op, i.Rd, i.Rs1)
+		return fmt.Sprintf("%s %s, (%s)%s", op, i.Rd, i.Rs1, i.vmSuffix())
 	case ClassVStore:
-		if op == VSSE {
-			return fmt.Sprintf("%s %s, (%s), %s", op, i.Rs2, i.Rs1, i.Rs3)
+		if op == VSSE || op == VSXEI {
+			return fmt.Sprintf("%s %s, (%s), %s%s", op, i.Rs2, i.Rs1, i.Rs3, i.vmSuffix())
 		}
-		return fmt.Sprintf("%s %s, (%s)", op, i.Rs2, i.Rs1)
+		return fmt.Sprintf("%s %s, (%s)%s", op, i.Rs2, i.Rs1, i.vmSuffix())
 	case ClassCacheOp:
 		switch op {
 		case XDCACHECVA, XDCACHEIVA, XTLBIASID, XTLBIVA:
@@ -139,9 +150,9 @@ func (i Inst) String() string {
 		case VMVSX, VMVVX, VMVVV:
 			return fmt.Sprintf("%s %s, %s", op, i.Rd, i.Rs1)
 		case VADDVI:
-			return fmt.Sprintf("%s %s, %s, %d", op, i.Rd, i.Rs2, i.Imm)
+			return fmt.Sprintf("%s %s, %s, %d%s", op, i.Rd, i.Rs2, i.Imm, i.vmSuffix())
 		}
-		return fmt.Sprintf("%s %s, %s, %s", op, i.Rd, i.Rs2, i.Rs1)
+		return fmt.Sprintf("%s %s, %s, %s%s", op, i.Rd, i.Rs2, i.Rs1, i.vmSuffix())
 	}
 	switch op {
 	case LUI, AUIPC:

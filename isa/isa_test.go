@@ -94,6 +94,12 @@ func randInst(rng *rand.Rand, op Op) (Inst, bool) {
 		in.Rd, in.Rs1 = rv(), rx()
 	case VMVXS:
 		in.Rd, in.Rs2 = rx(), rv()
+	case VMSEQVV:
+		in.Rd, in.Rs1, in.Rs2 = rv(), rv(), rv()
+	case VLXEI:
+		in.Rd, in.Rs1, in.Rs2 = rv(), rx(), rv()
+	case VSXEI:
+		in.Rs1, in.Rs2, in.Rs3 = rx(), rv(), rv()
 	case XLRB, XLRH, XLRW, XLRD, XLURB, XLURH, XLURW:
 		in.Rd, in.Rs1, in.Rs2, in.Imm = rx(), rx(), rx(), int64(rng.Intn(4))
 	case XSRB, XSRH, XSRW, XSRD:
@@ -118,6 +124,11 @@ func randInst(rng *rand.Rand, op Op) (Inst, bool) {
 	default:
 		return in, false
 	}
+	// Every vector compute/memory op can carry a v0 mask.
+	switch op.Class() {
+	case ClassVALU, ClassVFPU, ClassVLoad, ClassVStore:
+		in.Masked = rng.Intn(2) == 0
+	}
 	return in, true
 }
 
@@ -136,8 +147,16 @@ func TestEncodeDecodeRoundTrip(t *testing.T) {
 			got := Decode(raw)
 			if got.Op != in.Op || got.Rd != in.Rd || got.Rs1 != in.Rs1 ||
 				got.Rs2 != in.Rs2 || got.Rs3 != in.Rs3 ||
-				got.Imm != in.Imm || got.CSR != in.CSR {
+				got.Imm != in.Imm || got.CSR != in.CSR || got.Masked != in.Masked {
 				t.Fatalf("%v: round trip mismatch\n in: %+v\nout: %+v (raw %08x)", op, in, got, raw)
+			}
+			// re-encode: decode must preserve everything Encode consumes
+			raw2, err := Encode(got)
+			if err != nil {
+				t.Fatalf("re-encode %v: %v", op, err)
+			}
+			if raw2 != raw {
+				t.Fatalf("%v: encode→decode→encode not byte-identical: %08x vs %08x", op, raw, raw2)
 			}
 		}
 	}

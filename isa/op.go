@@ -227,6 +227,9 @@ const (
 	VFDIVVV
 	VFMACCVV
 	VFREDSUMVS
+	VLXEI   // indexed load: element i comes from rs1 + offsets[i]
+	VSXEI   // indexed store: element i goes to rs1 + offsets[i]
+	VMSEQVV // mask compare: bit i of vd = (vs2[i] == vs1[i])
 
 	// XT-910 custom extensions: indexed memory access (register+register
 	// addressing, optional zero-extended 32-bit index), per §VIII-A.
@@ -472,6 +475,9 @@ var opMeta = [numOps]opMetaInfo{
 	VFDIVVV:    {"vfdiv.vv", ClassVFPU, 16},
 	VFMACCVV:   {"vfmacc.vv", ClassVFPU, 5},
 	VFREDSUMVS: {"vfredsum.vs", ClassVFPU, 4},
+	VLXEI:      {"vlxei.v", ClassVLoad, 1},
+	VSXEI:      {"vsxei.v", ClassVStore, 1},
+	VMSEQVV:    {"vmseq.vv", ClassVALU, 3},
 
 	XLRB:   {"lrb", ClassLoad, 1},
 	XLRH:   {"lrh", ClassLoad, 1},
