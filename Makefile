@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke fuzz-paged-smoke trace-smoke tier1 bench xtbench clean
+.PHONY: all build vet test race fuzz-smoke fuzz-paged-smoke fuzz-irq-smoke inject-smoke trace-smoke tier1 bench xtbench clean
 
 all: tier1
 
@@ -34,6 +34,26 @@ fuzz-paged-smoke:
 	$(GO) run ./cmd/xtfuzz -paged -n 60 -seed 1
 	$(GO) test -race -count=1 -run 'TestPagedFixedSeeds|TestPagedDeterministic' ./internal/cosim
 
+# fuzz-irq-smoke repeats the sweep with the asynchronous-interrupt protocol
+# armed: every seed carries a deterministic commit-indexed mip schedule driven
+# into both models, so delivery points, mcause/mepc/mstatus CSR state and
+# SquashInterrupt recovery are checked in lock step.
+fuzz-irq-smoke:
+	$(GO) run ./cmd/xtfuzz -irq -n 60 -seed 1
+	$(GO) test -race -count=1 -run 'TestIRQFixedSeeds|TestIRQDeterministic|TestIRQSquashInterruptInFlight' ./internal/cosim
+
+# inject-smoke runs the transient-fault campaign on a fixed seed set: control
+# runs must be divergence-free (no false positives), no architectural-state
+# fault may go silent (the cosim checker must catch or the fault must mask),
+# and the formatted report must be byte-identical at any worker width.
+INJECT_SMOKE_DIR := .inject-smoke
+inject-smoke:
+	@mkdir -p $(INJECT_SMOKE_DIR)
+	$(GO) run ./cmd/xtinject -seeds 6 -faults 6 -jobs 1 > $(INJECT_SMOKE_DIR)/a.txt
+	$(GO) run ./cmd/xtinject -seeds 6 -faults 6 > $(INJECT_SMOKE_DIR)/b.txt
+	cmp $(INJECT_SMOKE_DIR)/a.txt $(INJECT_SMOKE_DIR)/b.txt
+	@rm -rf $(INJECT_SMOKE_DIR)
+
 # trace-smoke exercises the pipeline-trace subsystem end to end: xttrace runs
 # a pinned workload with both sinks attached and self-checks the outputs (CPI
 # buckets sum exactly to total cycles; the Konata trace validates with one
@@ -58,6 +78,8 @@ tier1:
 	$(GO) test -race ./...
 	$(MAKE) fuzz-smoke
 	$(MAKE) fuzz-paged-smoke
+	$(MAKE) fuzz-irq-smoke
+	$(MAKE) inject-smoke
 	$(MAKE) trace-smoke
 
 # bench regenerates the paper's tables/figures as testing.B benchmarks.

@@ -11,16 +11,22 @@
 //	xtfuzz -jobs 1             # serial; results identical at any width
 //	xtfuzz -cycles 1000000     # per-program cycle budget
 //	xtfuzz -paged              # S-mode under SV39 (identity + alias window)
+//	xtfuzz -irq                # interrupt-injection mode (WFI, MIE toggles,
+//	                           # per-seed deterministic mip schedules)
+//	xtfuzz -budget 30s         # per-seed watchdog (timeout ≠ failure)
+//	xtfuzz -json               # one JSON record per seed on stdout
 //	xtfuzz -repro case.s       # re-run one (shrunk) program under the checker
 //	xtfuzz -paged -repro c.s   # ...under the paged profile
 //
 // Every divergence prints the first-mismatch report, a windowed commit
-// trace, and a minimized reproducer program. Exit status: 0 when all seeds
-// agree, 1 on any divergence or run error, 2 on usage errors.
+// trace, and a minimized reproducer program. A watchdog-killed seed is
+// reported as status "timeout" and does NOT fail the run. Exit status: 0
+// when all seeds agree, 1 on any divergence or run error, 2 on usage errors.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -36,6 +42,16 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
+// seedRecord is the per-seed JSON row emitted under -json.
+type seedRecord struct {
+	Seed    int64  `json:"seed"`
+	Status  string `json:"status"` // ok | diverged | timeout
+	Commits uint64 `json:"commits"`
+	Cycles  uint64 `json:"cycles"`
+	Kind    string `json:"kind,omitempty"`
+	Retried bool   `json:"retried,omitempty"`
+}
+
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("xtfuzz", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -45,11 +61,18 @@ func run(args []string, stdout, stderr io.Writer) int {
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool width (1 = serial)")
 	cycles := fs.Uint64("cycles", 0, "per-program cycle budget (0 = default)")
 	paged := fs.Bool("paged", false, "boot programs in S-mode under SV39 translation")
+	irq := fs.Bool("irq", false, "interrupt-injection mode: deterministic per-seed mip schedules")
+	budget := fs.Duration("budget", 0, "per-seed wall-clock watchdog (0 = none; timed-out seeds retry once at 2x)")
+	jsonOut := fs.Bool("json", false, "emit one JSON record per seed on stdout")
 	repro := fs.String("repro", "", "run one assembly file under the checker instead of fuzzing")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	opts := cosim.Options{MaxCycles: *cycles, Paged: *paged}
+	if *irq && *paged {
+		fmt.Fprintln(stderr, "xtfuzz: -irq and -paged cannot be combined (interrupt CSR traffic is M-mode)")
+		return 2
+	}
+	opts := cosim.Options{MaxCycles: *cycles, Paged: *paged, IRQ: *irq, SeedTimeout: *budget}
 
 	if *repro != "" {
 		src, err := os.ReadFile(*repro)
@@ -82,21 +105,42 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintf(stderr, "xtfuzz: %v\n", err)
 		return 1
 	}
-	var diverged int
+	enc := json.NewEncoder(stdout)
+	var diverged, timedOut int
 	var commits, cycles2 uint64
 	for _, fr := range frs {
 		commits += fr.Result.Commits
 		cycles2 += fr.Result.Cycles
+		if *jsonOut {
+			rec := seedRecord{Seed: fr.Seed, Status: "ok", Commits: fr.Result.Commits,
+				Cycles: fr.Result.Cycles, Kind: fr.Result.Kind, Retried: fr.Retried}
+			switch {
+			case fr.TimedOut:
+				rec.Status = "timeout"
+			case fr.Diverged:
+				rec.Status = "diverged"
+			}
+			if err := enc.Encode(rec); err != nil {
+				fmt.Fprintf(stderr, "xtfuzz: %v\n", err)
+				return 1
+			}
+		}
+		if fr.TimedOut {
+			timedOut++
+			continue
+		}
 		if !fr.Diverged {
 			continue
 		}
 		diverged++
-		fmt.Fprintf(stdout, "=== seed %d ===\n%s\n--- minimized reproducer (run with -repro) ---\n%s\n",
-			fr.Seed, fr.Result.Report, fr.Shrunk)
+		if !*jsonOut {
+			fmt.Fprintf(stdout, "=== seed %d ===\n%s\n--- minimized reproducer (run with -repro) ---\n%s\n",
+				fr.Seed, fr.Result.Report, fr.Shrunk)
+		}
 	}
 	wall := time.Since(start)
-	fmt.Fprintf(stderr, "xtfuzz: %d seeds  %d diverged  %d commits  %.2f Mcyc/s  %.2fs\n",
-		len(frs), diverged, commits, float64(cycles2)/1e6/wall.Seconds(), wall.Seconds())
+	fmt.Fprintf(stderr, "xtfuzz: %d seeds  %d diverged  %d timeout  %d commits  %.2f Mcyc/s  %.2fs\n",
+		len(frs), diverged, timedOut, commits, float64(cycles2)/1e6/wall.Seconds(), wall.Seconds())
 	if diverged > 0 {
 		return 1
 	}

@@ -146,8 +146,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	st := &c.Stats
-	fmt.Fprintf(stdout, "exit %d  cycles %d  retired %d  IPC %.3f\n",
-		c.ExitCode, st.Cycles, st.Retired, st.IPC())
+	fmt.Fprintf(stdout, "exit %d  cycles %d  retired %d  IPC %.3f  interrupts %d  wfi-parked %d\n",
+		c.ExitCode, st.Cycles, st.Retired, st.IPC(), st.Interrupts, st.WFIParkedCycles)
 	fmt.Fprintf(stdout, "cpi-stack: %s\n", tr.CPI())
 	if tr.Dropped > 0 {
 		fmt.Fprintf(stdout, "dropped %d in-flight records (raise BufferCap)\n", tr.Dropped)

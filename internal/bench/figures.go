@@ -47,12 +47,12 @@ func Fig17(ctx context.Context, o Options) (*perf.Result, error) {
 	for i, p := range points {
 		r := runs[i]
 		score := float64(iters) / (float64(r.Cycles) / 1e6)
-		res.Rows = append(res.Rows, perf.Row{
+		res.Rows = append(res.Rows, counterRow(perf.Row{
 			Label: p.cfg.Name, Measured: score, Paper: p.paper,
 			Unit: "iter/Mcycle (paper: CoreMark/MHz)",
 			Note: fmt.Sprintf("IPC %.2f", r.IPC()),
 			CPI:  cpiColumn(r),
-		})
+		}, r))
 		switch p.cfg.Name {
 		case "XT-910":
 			xt = score
@@ -108,10 +108,10 @@ func suiteVsA73(ctx context.Context, id, title string, suite []workloads.Workloa
 		}
 		ratio := float64(a73.Cycles) / float64(xt.Cycles) // >1: XT-910 faster
 		ratios = append(ratios, ratio)
-		res.Rows = append(res.Rows, perf.Row{
+		res.Rows = append(res.Rows, counterRow(perf.Row{
 			Label: w.Name, Measured: ratio, Unit: "x vs A73-class",
 			CPI: cpiColumn(xt), // the XT-910 arm's breakdown
-		})
+		}, xt))
 	}
 	res.Rows = append(res.Rows, perf.Row{
 		Label: "geomean", Measured: perf.Geomean(ratios), Paper: 1.0,
@@ -256,11 +256,11 @@ func Fig21(ctx context.Context, o Options) (*perf.Result, error) {
 		if runs[i].Exit != runs[0].Exit {
 			return nil, fmt.Errorf("bench: fig21 scenarios disagree architecturally")
 		}
-		res.Rows = append(res.Rows, perf.Row{
+		res.Rows = append(res.Rows, counterRow(perf.Row{
 			Label: sc.label, Measured: float64(baseCycles) / float64(runs[i].Cycles),
 			Paper: sc.paper, Unit: "x vs a",
 			CPI: cpiColumn(runs[i]),
-		})
+		}, runs[i]))
 	}
 	res.Notes = append(res.Notes,
 		"single-MSHR demand path models the FPGA memory controller (DESIGN.md)")

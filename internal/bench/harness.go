@@ -22,6 +22,7 @@ import (
 	"xt910/internal/core"
 	"xt910/internal/mem"
 	"xt910/internal/mmu"
+	"xt910/internal/perf"
 	"xt910/internal/sched"
 	"xt910/internal/trace"
 	"xt910/internal/workloads"
@@ -188,6 +189,14 @@ func cpiColumn(r runResult) string {
 		return ""
 	}
 	return r.CPI.String()
+}
+
+// counterRow copies the run's interrupt-delivery and WFI-park counters onto a
+// table row (they reach xtbench -json; zero values stay omitted).
+func counterRow(row perf.Row, r runResult) perf.Row {
+	row.Interrupts = r.Core.Stats.Interrupts
+	row.WFIParked = r.Core.Stats.WFIParkedCycles
+	return row
 }
 
 // pagedSetup builds identity-mapped SV39 tables (4 KB or huge pages) behind

@@ -113,11 +113,21 @@ type Core struct {
 	MMIO MMIODevice
 
 	// IntSource, when set by the SoC, returns the externally-driven mip bits
-	// (MSIP/MTIP/MEIP) for this hart, sampled once per cycle.
+	// (MSIP/MTIP/MEIP) for this hart, sampled at every cycle boundary and
+	// between same-cycle retirements.
 	IntSource func(hart int) uint64
+
+	// InterruptHook observes every taken interrupt with its cause and the
+	// resume PC written to mepc (the oldest unretired instruction). It fires
+	// after the flush, so CSRs read post-delivery state.
+	InterruptHook func(cause uint64, resume uint64)
 
 	wfiWait bool
 }
+
+// WFIParked reports whether the hart is parked on a wfi waiting for an
+// interrupt source.
+func (c *Core) WFIParked() bool { return c.wfiWait }
 
 // MMIODevice is a memory-mapped device window.
 type MMIODevice interface {
@@ -332,6 +342,14 @@ func (c *Core) SetCSR(num uint16, v uint64) {
 	case isa.CSRFcsr:
 		c.csr[isa.CSRFcsr] = v & 0xFF
 		c.csr[isa.CSRMstatus] |= isa.MstatusFSDirty
+	// Interrupt CSR WARL windows, identical to emu.SetCSR: unimplemented
+	// bits read back zero, and mip's machine-level bits are source-driven.
+	case isa.CSRMie:
+		c.csr[num] = v & isa.MieWritableMask
+	case isa.CSRMip:
+		c.csr[num] = v & isa.MipWritableMask
+	case isa.CSRMideleg:
+		c.csr[num] = v & isa.MidelegWritableMask
 	default:
 		c.csr[num] = v
 	}
@@ -353,6 +371,7 @@ func (c *Core) Step() {
 			// a parked hart supplies nothing: frontend-bound by convention
 			c.tr.Cycle(trace.CycleFrontend)
 		}
+		c.Stats.WFIParkedCycles++
 		c.now++
 		c.Stats.Cycles = c.now
 		return

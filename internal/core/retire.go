@@ -15,6 +15,14 @@ func (c *Core) retire() {
 		c.Stats.HeadStallEmpty++
 	}
 	for n := 0; n < c.Cfg.RetireWidth && !c.robQ.empty(); n++ {
+		// Re-sample interrupts at every retirement boundary, not just at the
+		// cycle edge: a source that arms between two same-cycle commits (the
+		// cosim injection protocol arms on commit indices) is delivered at
+		// exactly the first boundary where it pends, which is the point the
+		// synchronous golden model checks before each instruction.
+		if n > 0 && c.sampleInterrupts() {
+			return
+		}
 		u := c.robQ.headEntry()
 
 		// squash-at-commit for §V-A ordering violations: re-execute the load
@@ -450,33 +458,35 @@ func (c *Core) pendingBits() uint64 {
 	return c.IntSource(c.ID) & c.csr[isa.CSRMie]
 }
 
-// sampleInterrupts takes the highest-priority enabled machine interrupt at
-// the cycle boundary (MEI > MSI > MTI).
-func (c *Core) sampleInterrupts() {
+// sampleInterrupts takes the highest-priority enabled machine interrupt
+// (MEI > MSI > MTI) and reports whether one was delivered. It runs at the
+// cycle boundary and again between same-cycle retirements.
+func (c *Core) sampleInterrupts() bool {
 	pend := c.pendingBits()
 	if pend == 0 {
-		return
+		return false
 	}
 	c.wfiWait = false
 	// M-mode interrupts fire when running below M, or in M with MIE set
 	if c.priv == isa.PrivM && c.csr[isa.CSRMstatus]&(1<<3) == 0 {
-		return
+		return false
 	}
 	var cause uint64
 	switch {
-	case pend&(1<<11) != 0:
-		cause = 11 // machine external
-	case pend&(1<<3) != 0:
-		cause = 3 // machine software (IPI)
+	case pend&(1<<isa.IntMExt) != 0:
+		cause = isa.IntMExt
+	case pend&(1<<isa.IntMSoft) != 0:
+		cause = isa.IntMSoft
 	default:
-		cause = 7 // machine timer
+		cause = isa.IntMTimer
 	}
-	c.takeInterrupt(cause)
+	return c.takeInterrupt(cause)
 }
 
 // takeInterrupt flushes the pipeline and vectors to mtvec with the interrupt
-// bit set in mcause; mepc points at the oldest unretired instruction.
-func (c *Core) takeInterrupt(cause uint64) {
+// bit set in mcause; mepc points at the oldest unretired instruction. It
+// returns false when no handler is installed (the interrupt stays pending).
+func (c *Core) takeInterrupt(cause uint64) bool {
 	resume := c.fetchPC
 	if !c.robQ.empty() {
 		resume = c.robQ.headEntry().pc
@@ -485,7 +495,7 @@ func (c *Core) takeInterrupt(cause uint64) {
 	}
 	target := c.csr[isa.CSRMtvec] &^ 3
 	if target == 0 {
-		return // no handler installed: leave the interrupt pending
+		return false // no handler installed: leave the interrupt pending
 	}
 	c.csr[isa.CSRMepc] = resume
 	c.csr[isa.CSRMcause] = 1<<63 | cause
@@ -499,6 +509,13 @@ func (c *Core) takeInterrupt(cause uint64) {
 	c.MMU.Priv = c.priv
 	c.Stats.Interrupts++
 	c.flushAll(target, trace.SquashInterrupt)
+	// everything in flight was squashed by the delivery: the refill window is
+	// bad-speculation time, exactly like a mispredict recovery
+	c.badSpecUntil = c.fetchAllowed
+	if c.InterruptHook != nil {
+		c.InterruptHook(cause, resume)
+	}
+	return true
 }
 
 // takeTrap implements precise exception entry with medeleg delegation,

@@ -29,6 +29,7 @@ type Stats struct {
 	SerializeFlushes   uint64
 	Traps              uint64
 	Interrupts         uint64
+	WFIParkedCycles    uint64
 
 	StallROB  uint64
 	StallLQ   uint64

@@ -34,8 +34,10 @@ package cosim
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"strings"
+	"time"
 
 	"xt910/internal/asm"
 	"xt910/internal/cache"
@@ -61,6 +63,34 @@ type Options struct {
 	// with exit code -(16+cause) and the trap CSRs (scause/stval/sepc) are
 	// compared like any other run.
 	Paged bool
+
+	// IRQ makes the fuzzer generate interrupt-driven programs: an mtvec
+	// handler prologue, WFI / MIE-toggle / interrupt-CSR segments, and a
+	// deterministic per-seed schedule of IRQEvents (see below).
+	IRQ bool
+
+	// IRQSchedule, when non-empty, drives both models' external interrupt
+	// sources with the same deterministic schedule of (commit index → mip
+	// bits) events. An event arms once a model has retired AfterCommit
+	// instructions and stays armed until that model delivers the interrupt;
+	// because the core re-samples at every retirement boundary and the
+	// emulator checks before every instruction, both models deliver at the
+	// identical architectural point and the checker compares
+	// mcause/mepc/mstatus at delivery.
+	IRQSchedule []IRQEvent
+
+	// SeedTimeout, when positive, bounds the wall time of one fuzz seed in
+	// RunSeeds. A seed that blows the deadline is retried once at twice the
+	// budget and then reported with TimedOut set instead of failing the run.
+	SeedTimeout time.Duration
+}
+
+// IRQEvent is one entry of an interrupt-injection schedule: the external
+// source drives Bits into mip once the model has retired AfterCommit
+// instructions, until the resulting interrupt is taken.
+type IRQEvent struct {
+	AfterCommit uint64 // commit index at which the source arms
+	Bits        uint64 // driven mip bits: 1<<3 MSI, 1<<7 MTI, 1<<11 MEI
 }
 
 // Paged-mode memory layout. The program, stack and scratch buffer live in
@@ -83,8 +113,16 @@ type Result struct {
 	Cycles   uint64
 	ExitCode int
 	Diverged bool
-	Kind     string // first divergence class: pc xreg freg mem csr lrsc instret vec halt exit output hang emuerr
+	Kind     string // first divergence class: pc xreg freg mem csr lrsc instret vec irq halt exit output hang emuerr
 	Report   string // human-readable report with the windowed commit trace
+
+	// FailCommit is the commit index of the first divergence (fault-injection
+	// campaigns use it to measure detection latency in commits).
+	FailCommit uint64
+
+	// TimedOut marks a run killed by its context deadline (RunContext); the
+	// comparison state is whatever had been checked when the clock ran out.
+	TimedOut bool
 }
 
 // compareCSRs is the trap/translation state checked at CSR and system-class
@@ -92,15 +130,41 @@ type Result struct {
 // directly against the commit count, and cycle/time have no golden value.
 var compareCSRs = []uint16{
 	isa.CSRMstatus, isa.CSRMtvec, isa.CSRMepc, isa.CSRMcause, isa.CSRMtval,
-	isa.CSRMscratch, isa.CSRMedeleg, isa.CSRMie, isa.CSRSatp,
+	isa.CSRMscratch, isa.CSRMedeleg, isa.CSRMie, isa.CSRMip, isa.CSRMideleg,
+	isa.CSRSatp,
 	isa.CSRStvec, isa.CSRSepc, isa.CSRScause, isa.CSRStval, isa.CSRSscratch,
 	isa.CSRFcsr,
 }
 
-// Run assembles nothing: it takes an already-assembled program, loads it into
-// two private memories, and drives the core cycle-by-cycle with the emulator
-// stepping once per commit inside the core's retire hook.
-func Run(p *asm.Program, opts Options) Result {
+// Session is one in-progress lock-step run that the caller drives cycle by
+// cycle. It exposes both models so fault-injection campaigns can perturb
+// microarchitectural state at a chosen cycle and let the checker decide
+// whether the corruption is detected; Run and RunContext are thin loops on
+// top of it.
+type Session struct {
+	c   *core.Core
+	m   *emu.Machine
+	k   *checker
+	arm *irqArm
+
+	maxCycles uint64
+	cyc       uint64
+	parkRun   uint64 // consecutive cycles the hart has been WFI-parked
+}
+
+// irqArm is the shared interrupt-injection schedule state: each model
+// consumes events independently (coreIdx / emuIdx), which stay equal at every
+// comparison point because both models deliver at the same commit index.
+type irqArm struct {
+	events  []IRQEvent
+	coreIdx int
+	emuIdx  int
+}
+
+// NewSession builds both models for an already-assembled program, loads it
+// into two private memories, and wires the lock-step checker (the emulator
+// steps once per commit inside the core's retire hook).
+func NewSession(p *asm.Program, opts Options) *Session {
 	if opts.MaxCycles == 0 {
 		opts.MaxCycles = 10_000_000
 	}
@@ -133,15 +197,112 @@ func Run(p *asm.Program, opts Options) Result {
 	c.CommitHook = k.onCommit
 	c.MemWriteHook = func(pa uint64, size int, from int) { k.markDirty(pa, size) }
 	m.OnStore = func(pa uint64, size int) { k.markDirty(pa, size) }
+
+	s := &Session{c: c, m: m, k: k, maxCycles: opts.MaxCycles}
+	if len(opts.IRQSchedule) > 0 {
+		// Private copy: the WFI force-arm mutates the schedule, and callers
+		// (the shrinker in particular) re-run the same Options.
+		arm := &irqArm{events: append([]IRQEvent(nil), opts.IRQSchedule...)}
+		s.arm = arm
+		k.irq = arm
+		// The core side keys arming on the checker's commit count rather than
+		// Stats.Retired: the commit hook (and hence the checker's CSR
+		// compares) runs before Stats.Retired increments, so k.commits is the
+		// count that matches the emulator's Instret at every point where
+		// either model reads mip or decides deliverability.
+		c.IntSource = func(hart int) uint64 {
+			if arm.coreIdx < len(arm.events) && k.commits >= arm.events[arm.coreIdx].AfterCommit {
+				return arm.events[arm.coreIdx].Bits
+			}
+			return 0
+		}
+		c.InterruptHook = func(cause, resume uint64) {
+			arm.coreIdx++
+			k.coreIRQ = true
+			k.coreCause, k.coreResume = cause, resume
+		}
+		m.IntSource = func() uint64 {
+			if arm.emuIdx < len(arm.events) && m.Instret >= arm.events[arm.emuIdx].AfterCommit {
+				return arm.events[arm.emuIdx].Bits
+			}
+			return 0
+		}
+		m.OnInterrupt = func(cause uint64) {
+			arm.emuIdx++
+			k.emuIRQ = true
+			k.emuCause = cause
+		}
+	}
 	if hookModels != nil {
 		hookModels(c, m)
 	}
+	return s
+}
 
-	for cyc := uint64(0); cyc < opts.MaxCycles && !c.Halted && !k.failed; cyc++ {
-		c.Step()
+// Core exposes the timing model (fault injection, state inspection).
+func (s *Session) Core() *core.Core { return s.c }
+
+// Emu exposes the golden model.
+func (s *Session) Emu() *emu.Machine { return s.m }
+
+// Commits returns the number of lock-step-compared commits so far.
+func (s *Session) Commits() uint64 { return s.k.commits }
+
+// Cycles returns the core cycle count so far.
+func (s *Session) Cycles() uint64 { return s.c.Now() }
+
+// Done reports whether the run is over: the core halted, the checker failed,
+// or the cycle budget ran out.
+func (s *Session) Done() bool {
+	return s.c.Halted || s.k.failed || s.cyc >= s.maxCycles
+}
+
+// wfiParkWindow is how many cycles a WFI-parked hart idles before the session
+// force-arms the next schedule event to wake it. The delay makes the park
+// observable (Stats.WFIParkedCycles, the frontend CPI bucket) while still
+// bounding it — a parked hart can never idle to the cycle budget.
+const wfiParkWindow = 16
+
+// Step advances the core by one cycle (the emulator follows inside the commit
+// hook). A hart parked on WFI for wfiParkWindow cycles force-arms the next
+// schedule event — derived purely from simulation state, so runs stay
+// deterministic — instead of idling to the cycle budget.
+func (s *Session) Step() {
+	if s.Done() {
+		return
 	}
+	s.c.Step()
+	s.cyc++
+	if s.arm != nil && s.c.WFIParked() {
+		s.parkRun++
+		if s.parkRun >= wfiParkWindow {
+			s.forceArm()
+		}
+	} else {
+		s.parkRun = 0
+	}
+}
 
-	res := Result{Commits: k.commits, Cycles: c.Now(), ExitCode: c.ExitCode}
+// forceArm wakes a WFI-parked hart: the next schedule event's arm point is
+// pulled down to the current commit index, or a synthetic timer event is
+// appended when the schedule is exhausted. Both models see the mutation (the
+// schedule is shared), so delivery still happens at the same commit index.
+func (s *Session) forceArm() {
+	arm := s.arm
+	if arm.coreIdx < len(arm.events) {
+		if s.k.commits < arm.events[arm.coreIdx].AfterCommit {
+			arm.events[arm.coreIdx].AfterCommit = s.k.commits
+		}
+		return
+	}
+	arm.events = append(arm.events, IRQEvent{AfterCommit: s.k.commits, Bits: 1 << isa.IntMTimer})
+}
+
+// Finish runs the end-of-program comparison and assembles the Result. Call
+// once, after Done.
+func (s *Session) Finish() Result {
+	k := s.k
+	res := Result{Commits: k.commits, Cycles: s.c.Now(), ExitCode: s.c.ExitCode}
 	if !k.failed {
 		k.drain()
 	}
@@ -149,8 +310,34 @@ func Run(p *asm.Program, opts Options) Result {
 		res.Diverged = true
 		res.Kind = k.kind
 		res.Report = k.report()
+		res.FailCommit = k.failCommit
 	}
 	return res
+}
+
+// Run drives a program to completion under the lock-step checker.
+func Run(p *asm.Program, opts Options) Result {
+	s := NewSession(p, opts)
+	for !s.Done() {
+		s.Step()
+	}
+	return s.Finish()
+}
+
+// RunContext is Run with cancellation: the context is polled every 1024
+// cycles, and an expired deadline returns a Result with TimedOut set (not a
+// divergence) holding whatever had been compared so far.
+func RunContext(ctx context.Context, p *asm.Program, opts Options) Result {
+	s := NewSession(p, opts)
+	for !s.Done() {
+		for i := 0; i < 1024 && !s.Done(); i++ {
+			s.Step()
+		}
+		if ctx.Err() != nil {
+			return Result{Commits: s.k.commits, Cycles: s.c.Now(), ExitCode: s.c.ExitCode, TimedOut: true}
+		}
+	}
+	return s.Finish()
 }
 
 const stackBase = 0x80000
@@ -184,6 +371,17 @@ type checker struct {
 	commits uint64
 	dirty   map[uint64]struct{} // 64-byte lines written by either model
 	trace   []string            // rolling window of committed instructions
+
+	// Interrupt-delivery bookkeeping (IRQ schedule runs only): each model's
+	// delivery latches its cause here; the next commit — the handler's first
+	// instruction — verifies both delivered the same interrupt and compares
+	// the delivery CSRs.
+	irq        *irqArm
+	coreIRQ    bool
+	emuIRQ     bool
+	coreCause  uint64
+	coreResume uint64
+	emuCause   uint64
 
 	failed     bool
 	kind       string
@@ -245,6 +443,38 @@ func (k *checker) onCommit(ci core.Commit) {
 	}
 	k.commits++
 	k.pushTrace(ci)
+
+	// Interrupt-delivery check: the core's delivery latched coreIRQ and the
+	// emulator's catch-up step (which consumed the same schedule event before
+	// executing anything) latched emuIRQ; the first commit after delivery —
+	// the handler's first instruction — must see both or neither, the same
+	// cause, and identical post-delivery trap state.
+	if k.irq != nil && (k.coreIRQ || k.emuIRQ) {
+		if k.coreIRQ != k.emuIRQ {
+			k.fail(ci, "irq", fmt.Sprintf("delivery mismatch: core took=%v (cause=%d) emu took=%v (cause=%d)",
+				k.coreIRQ, k.coreCause, k.emuIRQ, k.emuCause))
+			return
+		}
+		if k.coreCause != k.emuCause {
+			k.fail(ci, "irq", fmt.Sprintf("cause: core=%d emu=%d", k.coreCause, k.emuCause))
+			return
+		}
+		if k.irq.coreIdx != k.irq.emuIdx {
+			k.fail(ci, "irq", fmt.Sprintf("schedule position: core=%d emu=%d", k.irq.coreIdx, k.irq.emuIdx))
+			return
+		}
+		if ev := k.m.CSR(isa.CSRMepc); ev != k.coreResume {
+			k.fail(ci, "irq", fmt.Sprintf("resume pc: core mepc=%#x emu mepc=%#x", k.coreResume, ev))
+			return
+		}
+		for _, n := range []uint16{isa.CSRMcause, isa.CSRMepc, isa.CSRMstatus, isa.CSRMtvec} {
+			if cv, ev := k.c.CSR(n), k.m.CSR(n); cv != ev {
+				k.fail(ci, "irq", fmt.Sprintf("%s at delivery: core=%#x emu=%#x", isa.CSRName(n), cv, ev))
+				return
+			}
+		}
+		k.coreIRQ, k.emuIRQ = false, false
+	}
 
 	// cycle/time reads diverge by construction (the golden model has no
 	// clock): adopt the core's committed value so the comparison covers

@@ -1,6 +1,7 @@
 package cosim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"strings"
@@ -45,29 +46,59 @@ type FuzzResult struct {
 	Source   string // full generated program
 	Shrunk   string // minimized reproducer (set when Diverged)
 	ShrunkResult Result
+
+	// TimedOut marks a seed killed by the per-seed watchdog (after one retry
+	// at twice the budget); Retried marks a seed that needed the retry but
+	// finished within the doubled budget.
+	TimedOut bool
+	Retried  bool
 }
 
 // Fuzz generates the program for seed, runs it in lock-step, and minimizes
 // any divergence. nSegs controls program size (0 means 40 segments).
 func Fuzz(seed int64, nSegs int, opts Options) FuzzResult {
+	return FuzzContext(context.Background(), seed, nSegs, opts)
+}
+
+// FuzzContext is Fuzz with cancellation: an expired deadline marks the result
+// TimedOut instead of blocking on a pathological seed.
+func FuzzContext(ctx context.Context, seed int64, nSegs int, opts Options) FuzzResult {
 	if nSegs == 0 {
 		nSegs = 40
 	}
 	fr := FuzzResult{Seed: seed}
-	prog := generate(seed, nSegs, opts.Paged)
+	prog := generate(seed, nSegs, opts.Paged, opts.IRQ)
 	fr.Source = prog.render(nil)
+	if opts.IRQ {
+		opts.IRQSchedule = prog.irq
+	}
 	p, err := asm.Assemble(fr.Source, asm.Options{Base: 0x1000, Compress: true})
 	if err != nil {
 		fr.Err = fmt.Errorf("seed %d: assemble: %w", seed, err)
 		return fr
 	}
-	fr.Result = Run(p, opts)
+	fr.Result = RunContext(ctx, p, opts)
+	if fr.Result.TimedOut {
+		fr.TimedOut = true
+		return fr
+	}
 	if !fr.Result.Diverged {
 		return fr
 	}
 	fr.Diverged = true
 	fr.Shrunk, fr.ShrunkResult = shrink(prog, opts)
 	return fr
+}
+
+// GenerateSource returns the deterministic fuzz program for a seed together
+// with its interrupt schedule (empty unless opts.IRQ). Fault-injection
+// campaigns use it to rebuild the exact program a seed denotes.
+func GenerateSource(seed int64, nSegs int, opts Options) (string, []IRQEvent) {
+	if nSegs == 0 {
+		nSegs = 40
+	}
+	prog := generate(seed, nSegs, opts.Paged, opts.IRQ)
+	return prog.render(nil), prog.irq
 }
 
 // program is a generated test program in shrinkable form: a fixed prologue
@@ -77,6 +108,7 @@ type program struct {
 	segs    [][]string // independent hazard segments
 	trapEnd bool       // end with ebreak instead of the exit ecall
 	data    []string   // scratch-buffer contents
+	irq     []IRQEvent // interrupt schedule (IRQ mode); implies the handler
 }
 
 // render emits assembly source with the masked-out segments removed
@@ -85,6 +117,15 @@ func (p *program) render(mask []bool) string {
 	var b strings.Builder
 	b.WriteString("_start:\n")
 	b.WriteString("    la x8, buf\n")
+	if len(p.irq) > 0 {
+		// Install the handler and enable all three machine sources. Only x29
+		// (never in the random pool) is clobbered, before its first use.
+		b.WriteString("    la x29, irq_handler\n")
+		b.WriteString("    csrw mtvec, x29\n")
+		b.WriteString("    li x29, 2184\n") // 0x888: MSIE|MTIE|MEIE
+		b.WriteString("    csrw mie, x29\n")
+		b.WriteString("    csrrsi x0, mstatus, 8\n") // mstatus.MIE
+	}
 	for _, l := range p.inits {
 		b.WriteString(l)
 		b.WriteByte('\n')
@@ -103,6 +144,27 @@ func (p *program) render(mask []bool) string {
 	} else {
 		b.WriteString("    li x17, 93\n    li x10, 0\n    ecall\n")
 	}
+	if len(p.irq) > 0 {
+		// The handler is transparent up to its trace in the buffer tail: x29
+		// is preserved through mscratch, mcause/mepc and a delivery counter
+		// are logged where random stores may also land (both models see the
+		// same interleaving, so cross-traffic is welcome), and mret resumes.
+		// Not shrinkable: delivery needs it as long as the schedule exists.
+		// 4-byte alignment matters: mtvec's two mode bits are masked off on
+		// delivery, so a 2-byte-aligned handler (possible under compression)
+		// would vector into the middle of the preceding instruction.
+		b.WriteString(".align 2\nirq_handler:\n")
+		b.WriteString("    csrw mscratch, x29\n")
+		b.WriteString("    csrr x29, mcause\n")
+		b.WriteString("    sd x29, 2024(x8)\n")
+		b.WriteString("    csrr x29, mepc\n")
+		b.WriteString("    sd x29, 2032(x8)\n")
+		b.WriteString("    ld x29, 2040(x8)\n")
+		b.WriteString("    addi x29, x29, 1\n")
+		b.WriteString("    sd x29, 2040(x8)\n")
+		b.WriteString("    csrr x29, mscratch\n")
+		b.WriteString("    mret\n")
+	}
 	b.WriteString(".align 6\nbuf:\n")
 	for _, l := range p.data {
 		b.WriteString(l)
@@ -116,6 +178,7 @@ type gen struct {
 	label    int
 	lastDest string // RAW-chain bias: last integer destination written
 	paged    bool   // S-mode/SV39 profile: alias-window segments enabled
+	irq      bool   // interrupt-injection profile: WFI/MIE-toggle segments
 }
 
 func (g *gen) reg() string  { return fmt.Sprintf("x%d", gpPool[g.rng.Intn(len(gpPool))]) }
@@ -139,9 +202,9 @@ func (g *gen) newLabel(stem string) string {
 	return fmt.Sprintf("%s_%d", stem, g.label)
 }
 
-func generate(seed int64, nSegs int, paged bool) *program {
-	g := &gen{rng: rand.New(rand.NewSource(seed)), paged: paged}
-	p := &program{trapEnd: g.rng.Intn(10) == 0}
+func generate(seed int64, nSegs int, paged, irq bool) *program {
+	g := &gen{rng: rand.New(rand.NewSource(seed)), paged: paged, irq: irq}
+	p := &program{trapEnd: !irq && g.rng.Intn(10) == 0}
 	for _, r := range gpPool {
 		p.inits = append(p.inits, fmt.Sprintf("    li x%d, %d", r, int64(g.rng.Uint64())))
 	}
@@ -155,13 +218,40 @@ func generate(seed int64, nSegs int, paged bool) *program {
 		p.data = append(p.data, fmt.Sprintf("    .dword %d, %d, %d, %d",
 			int64(g.rng.Uint64()), int64(g.rng.Uint64()), int64(g.rng.Uint64()), int64(g.rng.Uint64())))
 	}
+	if irq {
+		p.irq = g.schedule(nSegs)
+	}
 	return p
+}
+
+// schedule derives the interrupt-injection schedule from the same seeded
+// stream: a handful of events spread over the program's estimated dynamic
+// length (segments average a few instructions, loops stretch it — late
+// events that never arm are harmless). One in three events drives several
+// mip bits at once, exercising the MEI > MSI > MTI priority ordering.
+func (g *gen) schedule(nSegs int) []IRQEvent {
+	n := 2 + g.rng.Intn(4)
+	span := uint64(nSegs*6 + 64)
+	evs := make([]IRQEvent, 0, n)
+	var at uint64 = 5
+	for i := 0; i < n; i++ {
+		at += 1 + uint64(g.rng.Int63n(int64(span)/int64(n)+1))
+		bits := uint64(1) << []uint{isa.IntMSoft, isa.IntMTimer, isa.IntMExt}[g.rng.Intn(3)]
+		if g.rng.Intn(3) == 0 {
+			bits |= 1 << []uint{isa.IntMSoft, isa.IntMTimer, isa.IntMExt}[g.rng.Intn(3)]
+		}
+		evs = append(evs, IRQEvent{AfterCommit: at, Bits: bits})
+	}
+	return evs
 }
 
 // segment emits one self-contained hazard segment.
 func (g *gen) segment() []string {
 	if g.paged && g.rng.Intn(12) == 0 {
 		return g.segPaged()
+	}
+	if g.irq && g.rng.Intn(8) == 0 {
+		return g.segIRQ()
 	}
 	switch r := g.rng.Intn(100); {
 	case r < 28:
@@ -604,6 +694,51 @@ func (g *gen) segVectorIndexed() []string {
 		out = append(out, "    vsxei.v v1, (x29), v2")
 	}
 	return append(out, fmt.Sprintf("    vmv.x.s %s, v1", rd))
+}
+
+// segIRQ only appears in interrupt-injection mode: WFI parks (the schedule's
+// force-arm wakes it), mstatus.MIE toggles open windows where an armed source
+// must stay pending and deliver at the exact commit the window reopens, mip
+// and mie reads observe the WARL windows and the source-driven bits, and an
+// mtimecmp-shaped store exercises the CLINT doorbell address (plain memory in
+// the single-hart checker profile, compared like any other line). Segments
+// only ever SET mie bits, so a parked hart is always wakeable.
+func (g *gen) segIRQ() []string {
+	rd := g.reg()
+	switch g.rng.Intn(8) {
+	case 0, 1: // park; delivery or wake-without-take follows
+		return []string{"    wfi"}
+	case 2: // interrupts-off window: delivery defers to the closing csrrsi
+		out := []string{"    csrrci x0, mstatus, 8"}
+		for i := 0; i < 1+g.rng.Intn(3); i++ {
+			out = append(out, g.aluInst())
+		}
+		return append(out, "    csrrsi x0, mstatus, 8")
+	case 3: // nested toggle with a WFI inside: pending-but-disabled unparks
+		return []string{
+			"    csrrci x0, mstatus, 8",
+			g.aluInst(),
+			"    wfi",
+			"    csrrsi x0, mstatus, 8",
+		}
+	case 4: // observe the live mip bits and the interrupt enables
+		g.lastDest = rd
+		csr := []string{"mip", "mie", "mideleg", "mstatus"}[g.rng.Intn(4)]
+		return []string{fmt.Sprintf("    csrr %s, %s", rd, csr)}
+	case 5: // WARL probe: set every bit, read back the writable window
+		g.lastDest = rd
+		t := g.reg()
+		csr := []string{"mie", "mideleg"}[g.rng.Intn(2)]
+		return []string{
+			fmt.Sprintf("    li %s, -1", t),
+			fmt.Sprintf("    csrrs %s, %s, %s", rd, csr, t),
+		}
+	default: // mtimecmp-style doorbell write
+		return []string{
+			"    li x29, 33570816", // 0x02004000: CLINT mtimecmp
+			fmt.Sprintf("    sd %s, 0(x29)", g.src()),
+		}
+	}
 }
 
 // segFFlags provokes IEEE exception flags and reads them straight back:

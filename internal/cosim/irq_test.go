@@ -1,0 +1,144 @@
+package cosim
+
+import (
+	"context"
+	"reflect"
+	"testing"
+	"time"
+
+	"xt910/internal/asm"
+	"xt910/internal/core"
+	"xt910/internal/emu"
+	"xt910/internal/trace"
+)
+
+// irqSession builds and runs one IRQ-mode session for seed, returning the
+// session and result (the caller inspects core stats or the report).
+func irqSession(t *testing.T, seed int64, sinks ...trace.Sink) (*Session, Result) {
+	t.Helper()
+	src, sched := GenerateSource(seed, 0, Options{IRQ: true})
+	prog, err := asm.Assemble(src, asm.Options{Base: 0x1000, Compress: true})
+	if err != nil {
+		t.Fatalf("seed %d: %v", seed, err)
+	}
+	s := NewSession(prog, Options{IRQ: true, IRQSchedule: sched})
+	var tr *trace.Tracer
+	if len(sinks) > 0 {
+		tr = trace.New(trace.Config{}, sinks...)
+		s.Core().AttachTracer(tr)
+	}
+	for !s.Done() {
+		s.Step()
+	}
+	r := s.Finish()
+	if tr != nil {
+		if err := tr.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s, r
+}
+
+// TestIRQFixedSeeds locks the interrupt-injection protocol over seeds 1..60:
+// deterministic per-seed mip schedules delivered to both models at identical
+// commit indices, with delivery-time mcause/mepc/mstatus validation.
+func TestIRQFixedSeeds(t *testing.T) {
+	frs, err := RunSeeds(context.Background(), seedRange(1, 60), 0, Options{IRQ: true}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range frs {
+		if fr.Diverged {
+			t.Errorf("seed %d diverged:\n%s\nshrunk:\n%s", fr.Seed, fr.Result.Report, fr.Shrunk)
+		}
+	}
+}
+
+// TestIRQDeterministic checks IRQ-mode results are identical at any worker
+// count — the schedule mutation done by WFI force-arming must stay inside one
+// session.
+func TestIRQDeterministic(t *testing.T) {
+	seeds := seedRange(1, 12)
+	a, err := RunSeeds(context.Background(), seeds, 0, Options{IRQ: true}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := RunSeeds(context.Background(), seeds, 0, Options{IRQ: true}, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("IRQ results differ between jobs=1 and jobs=8")
+	}
+}
+
+// squashCountSink counts µops killed by asynchronous-interrupt delivery.
+type squashCountSink struct{ n int }
+
+func (s *squashCountSink) Emit(r *trace.Record) error {
+	if !r.Retired && r.Cause == trace.SquashInterrupt {
+		s.n++
+	}
+	return nil
+}
+func (s *squashCountSink) Close() error { return nil }
+
+// TestIRQSquashInterruptInFlight pins the acceptance scenario: on seed 5 an
+// interrupt is delivered while speculative µops are in flight, so delivery
+// must squash them (SquashInterrupt records in the trace) and recovery must
+// stay divergence-free. The seed also parks on WFI, exercising the bounded
+// force-arm wakeup.
+func TestIRQSquashInterruptInFlight(t *testing.T) {
+	sink := &squashCountSink{}
+	s, r := irqSession(t, 5, sink)
+	if r.Diverged {
+		t.Fatalf("seed 5 diverged:\n%s", r.Report)
+	}
+	st := &s.Core().Stats
+	if st.Interrupts == 0 {
+		t.Fatal("seed 5 delivered no interrupts")
+	}
+	if sink.n == 0 {
+		t.Fatal("no µops were squashed by interrupt delivery — every interrupt hit an empty pipeline")
+	}
+	if st.WFIParkedCycles == 0 {
+		t.Fatal("seed 5 contains WFI but no parked cycles were recorded")
+	}
+}
+
+// TestIRQWatchdog checks the per-seed deadline path: an impossible budget
+// reports TimedOut (after one 2× retry), not an error and not a divergence.
+func TestIRQWatchdog(t *testing.T) {
+	frs, err := RunSeeds(context.Background(), []int64{1}, 0,
+		Options{IRQ: true, SeedTimeout: time.Nanosecond}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fr := frs[0]
+	if !fr.TimedOut {
+		t.Fatalf("1ns budget did not time out: %+v", fr.Result)
+	}
+	if !fr.Retried {
+		t.Fatal("timed-out seed was not retried at 2× budget")
+	}
+	if fr.Diverged {
+		t.Fatal("a timeout must not be reported as a divergence")
+	}
+}
+
+// TestIRQDeliveryMismatchCaught proves the checker catches a model that
+// swallows interrupts: the emulator's interrupt source is detached after
+// construction, so the core delivers and the emulator does not.
+func TestIRQDeliveryMismatchCaught(t *testing.T) {
+	src, sched := GenerateSource(1, 0, Options{IRQ: true})
+	prog, err := asm.Assemble(src, asm.Options{Base: 0x1000, Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() { hookModels = nil }()
+	hookModels = func(c *core.Core, m *emu.Machine) { m.IntSource = nil }
+	r := Run(prog, Options{IRQ: true, IRQSchedule: sched})
+	if !r.Diverged {
+		t.Fatal("emulator with a detached interrupt source was not caught")
+	}
+}

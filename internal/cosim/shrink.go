@@ -3,6 +3,7 @@ package cosim
 import (
 	"context"
 	"fmt"
+	"time"
 
 	"xt910/internal/asm"
 	"xt910/internal/sched"
@@ -56,6 +57,11 @@ func shrink(p *program, opts Options) (string, Result) {
 
 // RunSeeds fuzzes each seed on the worker pool (one job per seed) and
 // returns results in seed order — byte-identical at any jobs width.
+//
+// When opts.SeedTimeout is set, each seed runs under a per-run watchdog: a
+// seed that blows the deadline is retried once at twice the budget, and a
+// second timeout yields a FuzzResult with TimedOut set rather than an error —
+// a hung seed is a finding to report, not a reason to stall the campaign.
 func RunSeeds(ctx context.Context, seeds []int64, nSegs int, opts Options, jobs int) ([]FuzzResult, error) {
 	jl := make([]sched.Job, len(seeds))
 	for i, seed := range seeds {
@@ -63,7 +69,7 @@ func RunSeeds(ctx context.Context, seeds []int64, nSegs int, opts Options, jobs 
 		jl[i] = sched.Job{
 			ID: fmt.Sprintf("seed%d", seed),
 			Run: func(ctx context.Context) (any, error) {
-				fr := Fuzz(seed, nSegs, opts)
+				fr := fuzzWatched(ctx, seed, nSegs, opts)
 				sched.AddCycles(ctx, fr.Result.Cycles)
 				return fr, fr.Err
 			},
@@ -78,4 +84,23 @@ func RunSeeds(ctx context.Context, seeds []int64, nSegs int, opts Options, jobs 
 		out[i] = r.Value.(FuzzResult)
 	}
 	return out, nil
+}
+
+// fuzzWatched applies the per-seed deadline with one 2× retry.
+func fuzzWatched(ctx context.Context, seed int64, nSegs int, opts Options) FuzzResult {
+	if opts.SeedTimeout <= 0 {
+		return FuzzContext(ctx, seed, nSegs, opts)
+	}
+	run := func(budget time.Duration) FuzzResult {
+		sctx, cancel := context.WithTimeout(ctx, budget)
+		defer cancel()
+		return FuzzContext(sctx, seed, nSegs, opts)
+	}
+	fr := run(opts.SeedTimeout)
+	if !fr.TimedOut || ctx.Err() != nil {
+		return fr
+	}
+	fr = run(2 * opts.SeedTimeout)
+	fr.Retried = true
+	return fr
 }

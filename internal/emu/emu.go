@@ -79,6 +79,16 @@ type Machine struct {
 	// functional machine (e.g. instret/IPC from a prior pipeline run). Nil
 	// keeps the historical behaviour of reporting Instret.
 	CycleModel func(instret uint64) uint64
+
+	// IntSource, when set, returns the externally-driven mip bits
+	// (MSIP/MTIP/MEIP), checked before every instruction — the synchronous
+	// model's equivalent of the core's per-retirement interrupt sample. mip
+	// reads OR these bits in, mirroring core.CSR.
+	IntSource func() uint64
+
+	// OnInterrupt observes every taken machine interrupt with its cause
+	// (co-simulation delivery checking).
+	OnInterrupt func(cause uint64)
 }
 
 type stlbEntry struct {
@@ -147,6 +157,12 @@ func (m *Machine) CSR(num uint16) uint64 {
 		return m.csr[isa.CSRFcsr] & 0x1F
 	case isa.CSRFrm:
 		return m.csr[isa.CSRFcsr] >> 5 & 7
+	case isa.CSRMip:
+		v := m.csr[num]
+		if m.IntSource != nil {
+			v |= m.IntSource()
+		}
+		return v
 	}
 	return m.csr[num]
 }
@@ -170,6 +186,18 @@ func (m *Machine) SetCSR(num uint16, v uint64) {
 	case isa.CSRFcsr:
 		m.csr[isa.CSRFcsr] = v & 0xFF
 		m.csr[isa.CSRMstatus] |= isa.MstatusFSDirty
+		return
+	// Interrupt CSR WARL windows: unimplemented bits are wired to zero, and
+	// mip's machine-level bits are device-driven (IntSource), never stored.
+	// The same masks live in core.SetCSR — csr_window_test pins the parity.
+	case isa.CSRMie:
+		m.csr[num] = v & isa.MieWritableMask
+		return
+	case isa.CSRMip:
+		m.csr[num] = v & isa.MipWritableMask
+		return
+	case isa.CSRMideleg:
+		m.csr[num] = v & isa.MidelegWritableMask
 		return
 	}
 	m.csr[num] = v
@@ -270,10 +298,60 @@ func (m *Machine) Fetch(va uint64) (isa.Inst, error) {
 	return isa.Decode16(lo), nil
 }
 
+// checkInterrupt takes the highest-priority enabled machine interrupt
+// (MEI > MSI > MTI) before an instruction executes, mirroring the core's
+// retirement-boundary sample: mcause gets bit 63, mepc points at the
+// not-yet-executed instruction, and the MIE/MPIE/MPP dance matches
+// core.takeInterrupt bit for bit. It returns true when a trap was taken —
+// the step is consumed without executing or counting an instruction.
+func (m *Machine) checkInterrupt() bool {
+	if m.IntSource == nil {
+		return false
+	}
+	pend := m.IntSource() & m.csr[isa.CSRMie]
+	if pend == 0 {
+		return false
+	}
+	// M-mode interrupts fire when running below M, or in M with MIE set.
+	if m.Priv == isa.PrivM && m.csr[isa.CSRMstatus]&mstatusMIE == 0 {
+		return false
+	}
+	var cause uint64
+	switch {
+	case pend&(1<<isa.IntMExt) != 0:
+		cause = isa.IntMExt
+	case pend&(1<<isa.IntMSoft) != 0:
+		cause = isa.IntMSoft
+	default:
+		cause = isa.IntMTimer
+	}
+	target := m.csr[isa.CSRMtvec] &^ 3
+	if target == 0 {
+		return false // no handler installed: leave it pending, like the core
+	}
+	m.csr[isa.CSRMepc] = m.PC
+	m.csr[isa.CSRMcause] = 1<<63 | cause
+	m.csr[isa.CSRMtval] = 0
+	st := m.csr[isa.CSRMstatus]
+	st = st&^mstatusMPIE | (st&mstatusMIE)<<4&mstatusMPIE
+	st &^= mstatusMIE
+	st = st&^mstatusMPP | uint64(m.Priv)<<11
+	m.csr[isa.CSRMstatus] = st
+	m.Priv = isa.PrivM
+	m.PC = target
+	if m.OnInterrupt != nil {
+		m.OnInterrupt(cause)
+	}
+	return true
+}
+
 // Step executes one instruction. It returns an error only for simulator-level
 // failures; architectural exceptions are handled via the trap machinery.
 func (m *Machine) Step() error {
 	if m.Halted {
+		return nil
+	}
+	if m.checkInterrupt() {
 		return nil
 	}
 	in, err := m.Fetch(m.PC)

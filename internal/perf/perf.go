@@ -21,6 +21,12 @@ type Row struct {
 	// CPI, when non-empty, is the row's top-down CPI-stack breakdown
 	// (xtbench -cpistack), rendered on a continuation line.
 	CPI string `json:"cpi,omitempty"`
+
+	// Interrupts and WFIParked surface the run's asynchronous-interrupt
+	// deliveries and WFI-parked cycles (omitted for rows without a run, and
+	// for runs that never took an interrupt or parked).
+	Interrupts uint64 `json:"interrupts,omitempty"`
+	WFIParked  uint64 `json:"wfi_parked,omitempty"`
 }
 
 // Result is one reproduced experiment.

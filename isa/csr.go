@@ -61,6 +61,25 @@ const (
 	CSRMhcr     uint16 = 0x7C1 // prefetch control: bit0 L1, bit1 L2, bit2 TLB, bit3 large distance
 )
 
+// WARL masks for the machine interrupt CSRs. The model implements the three
+// machine interrupt sources (MSI/MTI/MEI) plus their S-mode shadows; every
+// other bit is hard-wired to zero. mip's software-writable mask covers only
+// the S-mode bits — MSIP/MTIP/MEIP are driven by the CLINT/PLIC and read
+// through the hart's interrupt-source hook, never stored.
+const (
+	MieWritableMask     uint64 = 0xAAA // SSIP/MSIP, STIP/MTIP, SEIP/MEIP enables
+	MipWritableMask     uint64 = 0x222 // SSIP/STIP/SEIP (machine bits are wired)
+	MidelegWritableMask uint64 = 0x222 // only S-mode interrupts are delegable
+)
+
+// Machine interrupt causes (mcause values with bit 63 set on delivery) and
+// their mip/mie bit positions.
+const (
+	IntMSoft  = 3  // machine software interrupt (IPI)
+	IntMTimer = 7  // machine timer interrupt
+	IntMExt   = 11 // machine external interrupt
+)
+
 // satp field helpers (SV39). The ASID field is 16 bits wide per §V-E.
 const (
 	SatpModeSV39 uint64 = 8
