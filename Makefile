@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke fuzz-paged-smoke fuzz-irq-smoke inject-smoke trace-smoke tier1 bench xtbench clean
+.PHONY: all build vet test race fuzz-smoke fuzz-paged-smoke fuzz-irq-smoke fuzz-smp-smoke inject-smoke trace-smoke tier1 bench xtbench clean
 
 all: tier1
 
@@ -42,6 +42,22 @@ fuzz-irq-smoke:
 	$(GO) run ./cmd/xtfuzz -irq -n 60 -seed 1
 	$(GO) test -race -count=1 -run 'TestIRQFixedSeeds|TestIRQDeterministic|TestIRQSquashInterruptInFlight' ./internal/cosim
 
+# fuzz-smp-smoke repeats the sweep under the SPMD multi-hart profile: every
+# hart runs the generated program against its own golden emulator over one
+# shared memory, with cross-hart contention segments (LR/SC ping-pong, AMO
+# counters, fence-ordered producer/consumer, MSIP IPIs) and the store-order
+# oracle cross-checking every store-class retirement against coherence
+# line ownership. The JSON record stream must be byte-identical at any
+# worker-pool width.
+SMP_SMOKE_DIR := .smp-smoke
+fuzz-smp-smoke:
+	@mkdir -p $(SMP_SMOKE_DIR)
+	$(GO) run ./cmd/xtfuzz -modes smp -n 40 -seed 1 -jobs 1 -json > $(SMP_SMOKE_DIR)/a.jsonl
+	$(GO) run ./cmd/xtfuzz -modes smp -n 40 -seed 1 -json > $(SMP_SMOKE_DIR)/b.jsonl
+	cmp $(SMP_SMOKE_DIR)/a.jsonl $(SMP_SMOKE_DIR)/b.jsonl
+	@rm -rf $(SMP_SMOKE_DIR)
+	$(GO) test -race -count=1 -run 'TestSMP|TestModesParsing' ./internal/cosim
+
 # inject-smoke runs the transient-fault campaign on a fixed seed set: control
 # runs must be divergence-free (no false positives), no architectural-state
 # fault may go silent (the cosim checker must catch or the fault must mask),
@@ -79,6 +95,7 @@ tier1:
 	$(MAKE) fuzz-smoke
 	$(MAKE) fuzz-paged-smoke
 	$(MAKE) fuzz-irq-smoke
+	$(MAKE) fuzz-smp-smoke
 	$(MAKE) inject-smoke
 	$(MAKE) trace-smoke
 

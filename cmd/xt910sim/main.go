@@ -79,28 +79,30 @@ func main() {
 	}
 	sys.LoadProgram(prog)
 	if *trace {
-		sys.Core(0).RetireHook = func(pc uint64, in isa.Inst) {
+		sys.Hart(0).Core().RetireHook = func(pc uint64, in isa.Inst) {
 			fmt.Printf("%8x: %v\n", pc, in)
 		}
 	}
 	sys.Run(*maxCycles)
 
-	for i := 0; i < len(sys.Cores); i++ {
-		os.Stdout.Write(sys.Output(i))
+	for i := 0; i < sys.Harts(); i++ {
+		os.Stdout.Write(sys.Hart(i).Output())
 	}
 	fmt.Println()
-	for i, c := range sys.Cores {
+	for i := 0; i < sys.Harts(); i++ {
+		h := sys.Hart(i)
+		c := h.Core()
 		fmt.Printf("[hart %d] halted=%v exit=%d %s\n", i, c.Halted, c.ExitCode, c.Stats.String())
 		if *stats {
-			printCounters(sys, i)
+			printCounters(h)
 		}
 	}
-	os.Exit(exitCode(sys.ExitCode(0)))
+	os.Exit(exitCode(sys.Hart(0).ExitCode()))
 }
 
-func printCounters(sys *xt910.System, hart int) {
-	c := sys.Core(hart)
-	s := sys.Stats(hart)
+func printCounters(h xt910.Hart) {
+	c := h.Core()
+	s := h.Stats()
 	fmt.Printf("  frontend : branches=%d mispred=%d (%.2f%%) l0btb=%d loopbuf-insts=%d jalr-stalls=%d\n",
 		s.Branches, s.BrMispredicts, 100*s.MispredictRate(),
 		s.L0BTBRedirects, s.LoopBufInsts, s.FetchJalrStalls)

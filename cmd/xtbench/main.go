@@ -27,11 +27,11 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"strings"
 	"time"
 
 	"xt910/internal/bench"
+	"xt910/internal/cliflags"
 	"xt910/internal/perf"
 	"xt910/internal/sched"
 )
@@ -54,17 +54,19 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("xtbench", flag.ContinueOnError)
 	fs.SetOutput(stderr)
+	var cf cliflags.Campaign
+	cf.RegisterPool(fs)
+	cf.RegisterJSON(fs)
+	cf.RegisterTimeout(fs, 0, "per-experiment deadline (0 = none)")
 	quick := fs.Bool("quick", false, "reduced iteration counts")
 	only := fs.String("only", "", "run a single experiment by id")
-	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool width (1 = serial)")
-	timeout := fs.Duration("timeout", 0, "per-experiment deadline (0 = none)")
-	jsonOut := fs.Bool("json", false, "emit JSON results and metrics to stdout")
 	cpistack := fs.Bool("cpistack", false, "attach a pipeline tracer to each run and report its top-down CPI stack")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
+	jsonOut := &cf.JSON
 
-	o := bench.Options{Quick: *quick, Jobs: *jobs, Timeout: *timeout, CPIStack: *cpistack}
+	o := bench.Options{Quick: *quick, Jobs: cf.Jobs, Timeout: cf.Timeout, CPIStack: *cpistack}
 	if !*jsonOut {
 		o.OnProgress = func(r sched.Result) {
 			status := "ok"
@@ -88,9 +90,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 			return 2
 		}
 		ctx := context.Background()
-		if *timeout > 0 {
+		if cf.Timeout > 0 {
 			var cancel context.CancelFunc
-			ctx, cancel = context.WithTimeout(ctx, *timeout)
+			ctx, cancel = context.WithTimeout(ctx, cf.Timeout)
 			defer cancel()
 		}
 		start := time.Now()

@@ -10,13 +10,20 @@
 //	xtfuzz -segs 150           # longer programs
 //	xtfuzz -jobs 1             # serial; results identical at any width
 //	xtfuzz -cycles 1000000     # per-program cycle budget
-//	xtfuzz -paged              # S-mode under SV39 (identity + alias window)
-//	xtfuzz -irq                # interrupt-injection mode (WFI, MIE toggles,
+//	xtfuzz -modes paged        # S-mode under SV39 (identity + alias window)
+//	xtfuzz -modes irq          # interrupt injection (WFI, MIE toggles,
 //	                           # per-seed deterministic mip schedules)
-//	xtfuzz -budget 30s         # per-seed watchdog (timeout ≠ failure)
+//	xtfuzz -modes smp          # SPMD multi-hart with cross-hart contention
+//	                           # segments and the store-order oracle
+//	xtfuzz -modes smp,irq      # combinable when legal (paged excludes both)
+//	xtfuzz -harts 4            # hart pairs for smp (default 2, max 4)
+//	xtfuzz -timeout 30s        # per-seed watchdog (timeout ≠ failure)
 //	xtfuzz -json               # one JSON record per seed on stdout
 //	xtfuzz -repro case.s       # re-run one (shrunk) program under the checker
-//	xtfuzz -paged -repro c.s   # ...under the paged profile
+//	xtfuzz -modes paged -repro c.s  # ...under the paged profile
+//
+// The flags -paged, -irq and -budget remain as deprecated aliases for
+// -modes paged, -modes irq and -timeout.
 //
 // Every divergence prints the first-mismatch report, a windowed commit
 // trace, and a minimized reproducer program. A watchdog-killed seed is
@@ -31,10 +38,10 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"time"
 
 	"xt910/internal/asm"
+	"xt910/internal/cliflags"
 	"xt910/internal/cosim"
 )
 
@@ -49,30 +56,34 @@ type seedRecord struct {
 	Commits uint64 `json:"commits"`
 	Cycles  uint64 `json:"cycles"`
 	Kind    string `json:"kind,omitempty"`
+	Hart    int    `json:"hart,omitempty"`
 	Retried bool   `json:"retried,omitempty"`
 }
 
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("xtfuzz", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	n := fs.Int("n", 100, "number of seeds to run")
-	seed := fs.Int64("seed", 1, "first seed")
+	var cf cliflags.Campaign
+	var ms cliflags.ModeSpec
+	cf.RegisterSeeds(fs, 100)
+	cf.RegisterPool(fs)
+	cf.RegisterJSON(fs)
+	cf.RegisterTimeout(fs, 0,
+		"per-seed wall-clock watchdog (0 = none; timed-out seeds retry once at 2x)", "budget")
+	ms.Register(fs, true)
 	segs := fs.Int("segs", 0, "segments per program (0 = default)")
-	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool width (1 = serial)")
 	cycles := fs.Uint64("cycles", 0, "per-program cycle budget (0 = default)")
-	paged := fs.Bool("paged", false, "boot programs in S-mode under SV39 translation")
-	irq := fs.Bool("irq", false, "interrupt-injection mode: deterministic per-seed mip schedules")
-	budget := fs.Duration("budget", 0, "per-seed wall-clock watchdog (0 = none; timed-out seeds retry once at 2x)")
-	jsonOut := fs.Bool("json", false, "emit one JSON record per seed on stdout")
+	harts := fs.Int("harts", 0, "hart pairs for -modes smp (0 = default 2, max 4)")
 	repro := fs.String("repro", "", "run one assembly file under the checker instead of fuzzing")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
-	if *irq && *paged {
-		fmt.Fprintln(stderr, "xtfuzz: -irq and -paged cannot be combined (interrupt CSR traffic is M-mode)")
+	modes, err := ms.Modes()
+	if err != nil {
+		fmt.Fprintf(stderr, "xtfuzz: %v\n", err)
 		return 2
 	}
-	opts := cosim.Options{MaxCycles: *cycles, Paged: *paged, IRQ: *irq, SeedTimeout: *budget}
+	opts := cosim.Options{MaxCycles: *cycles, Modes: modes, Harts: *harts, SeedTimeout: cf.Timeout}
 
 	if *repro != "" {
 		src, err := os.ReadFile(*repro)
@@ -95,12 +106,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 0
 	}
 
-	seeds := make([]int64, *n)
-	for i := range seeds {
-		seeds[i] = *seed + int64(i)
-	}
 	start := time.Now()
-	frs, err := cosim.RunSeeds(context.Background(), seeds, *segs, opts, *jobs)
+	frs, err := cosim.RunSeeds(context.Background(), cf.Seeds(), *segs, opts, cf.Jobs)
 	if err != nil {
 		fmt.Fprintf(stderr, "xtfuzz: %v\n", err)
 		return 1
@@ -111,9 +118,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	for _, fr := range frs {
 		commits += fr.Result.Commits
 		cycles2 += fr.Result.Cycles
-		if *jsonOut {
+		if cf.JSON {
 			rec := seedRecord{Seed: fr.Seed, Status: "ok", Commits: fr.Result.Commits,
-				Cycles: fr.Result.Cycles, Kind: fr.Result.Kind, Retried: fr.Retried}
+				Cycles: fr.Result.Cycles, Kind: fr.Result.Kind, Hart: fr.Result.Hart, Retried: fr.Retried}
 			switch {
 			case fr.TimedOut:
 				rec.Status = "timeout"
@@ -133,7 +140,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 			continue
 		}
 		diverged++
-		if !*jsonOut {
+		if !cf.JSON {
 			fmt.Fprintf(stdout, "=== seed %d ===\n%s\n--- minimized reproducer (run with -repro) ---\n%s\n",
 				fr.Seed, fr.Result.Report, fr.Shrunk)
 		}

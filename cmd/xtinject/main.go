@@ -6,10 +6,12 @@
 // Usage:
 //
 //	xtinject                      # seeds 1..10, 8 faults each
-//	xtinject -seeds 25 -seed 100  # seeds 100..124
+//	xtinject -n 25 -seed 100      # seeds 100..124
 //	xtinject -faults 16           # more faults per seed
 //	xtinject -jobs 1              # serial; report identical at any width
 //	xtinject -timeout 30s         # per-run wall deadline
+//
+// The flag -seeds remains as a deprecated alias for -n.
 //
 // The report is deterministic (byte-identical at any -jobs). Exit status: 0
 // on a clean campaign, 1 when any architectural-state fault went silent, a
@@ -23,9 +25,9 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"runtime"
 	"time"
 
+	"xt910/internal/cliflags"
 	"xt910/internal/inject"
 )
 
@@ -36,23 +38,21 @@ func main() {
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("xtinject", flag.ContinueOnError)
 	fs.SetOutput(stderr)
-	nSeeds := fs.Int("seeds", 10, "number of program seeds")
-	seed := fs.Int64("seed", 1, "first seed")
+	var cf cliflags.Campaign
+	cf.RegisterSeeds(fs, 10, "seeds")
+	cf.RegisterPool(fs)
+	cf.RegisterTimeout(fs, 60*time.Second, "per-run wall deadline")
 	faults := fs.Int("faults", 8, "faults injected per seed")
 	segs := fs.Int("segs", 0, "segments per program (0 = default)")
-	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0), "worker-pool width (1 = serial)")
-	timeout := fs.Duration("timeout", 60*time.Second, "per-run wall deadline")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	opts := inject.Options{
 		FaultsPerSeed: *faults,
 		Segs:          *segs,
-		Jobs:          *jobs,
-		Timeout:       *timeout,
-	}
-	for i := 0; i < *nSeeds; i++ {
-		opts.Seeds = append(opts.Seeds, *seed+int64(i))
+		Jobs:          cf.Jobs,
+		Timeout:       cf.Timeout,
+		Seeds:         cf.Seeds(),
 	}
 	rep, err := inject.RunCampaign(context.Background(), opts)
 	if err != nil {

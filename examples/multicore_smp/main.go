@@ -65,11 +65,12 @@ func main() {
 	sys.Run(100_000_000)
 
 	want := 500 * (1 + 2 + 3 + 4)
-	fmt.Printf("shared counter = %d (want %d)\n", sys.ExitCode(0), want)
-	for i := range sys.Cores {
-		st := sys.Stats(i)
+	fmt.Printf("shared counter = %d (want %d)\n", sys.Hart(0).ExitCode(), want)
+	for i := 0; i < sys.Harts(); i++ {
+		h := sys.Hart(i)
+		st := h.Stats()
 		fmt.Printf("hart %d: cycles=%d retired=%d IPC=%.2f atomics=%d\n",
-			i, st.Cycles, st.Retired, st.IPC(), st.Atomics)
+			h.ID(), st.Cycles, st.Retired, st.IPC(), st.Atomics)
 	}
 	l2 := sys.Clusters[0].L2
 	fmt.Printf("\ncoherence: %d snoops sent, %d filtered by the snoop filter (§VI)\n",

@@ -48,11 +48,12 @@ func main() {
 		}
 		sys.LoadProgram(prog)
 		sys.Run(2_000_000_000)
-		cycles := sys.Stats(0).Cycles
+		hart := sys.Hart(0)
+		cycles := hart.Stats().Cycles
 		if base == 0 {
 			base = cycles
 		}
-		core := sys.Core(0)
+		core := hart.Core()
 		fmt.Printf("%-26s %10d cycles  %.2fx  (L1 prefetches %d, useful %d)\n",
 			c.name, cycles, float64(base)/float64(cycles),
 			core.PF.Stats.L1Issued, core.L1D.Cache.Stats.PrefetchUseful)

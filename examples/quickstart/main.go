@@ -37,8 +37,9 @@ func main() {
 
 	sys.Run(1_000_000)
 
-	stats := sys.Stats(0)
-	fmt.Printf("exit code : %d (want 338350)\n", sys.ExitCode(0))
+	hart := sys.Hart(0)
+	stats := hart.Stats()
+	fmt.Printf("exit code : %d (want 338350)\n", hart.ExitCode())
 	fmt.Printf("cycles    : %d\n", stats.Cycles)
 	fmt.Printf("retired   : %d\n", stats.Retired)
 	fmt.Printf("IPC       : %.2f\n", stats.IPC())
@@ -52,5 +53,5 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("emulator agrees: %v (exit %d)\n",
-		emu.ExitCode == sys.ExitCode(0), emu.ExitCode)
+		emu.ExitCode == hart.ExitCode(), emu.ExitCode)
 }

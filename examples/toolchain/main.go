@@ -21,7 +21,8 @@ func timeIt(src string) (uint64, int) {
 		log.Fatal(err)
 	}
 	sys.Run(500_000_000)
-	return sys.Stats(0).Cycles, sys.ExitCode(0)
+	h := sys.Hart(0)
+	return h.Stats().Cycles, h.ExitCode()
 }
 
 func main() {

@@ -23,10 +23,11 @@ func run(name string, w workloads.Workload, iters int) (uint64, int) {
 	}
 	sys.LoadProgram(prog)
 	sys.Run(200_000_000)
-	st := sys.Stats(0)
+	h := sys.Hart(0)
+	st := h.Stats()
 	fmt.Printf("%-14s cycles=%9d IPC=%.2f vector-ops=%d exit=%d\n",
-		name, st.Cycles, st.IPC(), st.VecOps, sys.ExitCode(0))
-	return st.Cycles, sys.ExitCode(0)
+		name, st.Cycles, st.IPC(), st.VecOps, h.ExitCode())
+	return st.Cycles, h.ExitCode()
 }
 
 func main() {

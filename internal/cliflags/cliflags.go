@@ -1,0 +1,95 @@
+// Package cliflags defines the flag surface shared by the XT-910 campaign
+// CLIs (xtfuzz, xtinject, xtbench): one definition of the uniform knobs
+// -n / -seed / -jobs / -json / -timeout plus the composable -modes spec, so
+// every tool spells them the same way and the seed-range and mode parsing
+// live in exactly one place. Defaults differ per tool; names and meanings
+// never do.
+package cliflags
+
+import (
+	"flag"
+	"runtime"
+	"time"
+
+	"xt910/internal/cosim"
+)
+
+// Campaign holds the uniform campaign knobs. A tool registers the subset it
+// supports with the Register* helpers and reads the fields after fs.Parse.
+type Campaign struct {
+	N       int
+	Seed    int64
+	Jobs    int
+	JSON    bool
+	Timeout time.Duration
+}
+
+// RegisterSeeds registers -n (seed count, tool-specific default) and -seed
+// (first seed). aliases lists deprecated extra names for -n a tool must keep
+// accepting (xtinject's -seeds); when both are given the last one parsed wins.
+func (c *Campaign) RegisterSeeds(fs *flag.FlagSet, defaultN int, aliases ...string) {
+	fs.IntVar(&c.N, "n", defaultN, "number of seeds to run")
+	for _, a := range aliases {
+		fs.IntVar(&c.N, a, defaultN, "deprecated alias for -n")
+	}
+	fs.Int64Var(&c.Seed, "seed", 1, "first seed")
+}
+
+// Seeds expands (-seed, -n) into the campaign's seed list.
+func (c *Campaign) Seeds() []int64 {
+	s := make([]int64, c.N)
+	for i := range s {
+		s[i] = c.Seed + int64(i)
+	}
+	return s
+}
+
+// RegisterPool registers -jobs with the shared default and wording.
+func (c *Campaign) RegisterPool(fs *flag.FlagSet) {
+	fs.IntVar(&c.Jobs, "jobs", runtime.GOMAXPROCS(0),
+		"worker-pool width (1 = serial; results identical at any width)")
+}
+
+// RegisterJSON registers -json.
+func (c *Campaign) RegisterJSON(fs *flag.FlagSet) {
+	fs.BoolVar(&c.JSON, "json", false, "emit machine-readable JSON on stdout")
+}
+
+// RegisterTimeout registers -timeout (tool-specific default and usage).
+// aliases lists deprecated extra names a tool must keep accepting (xtfuzz's
+// -budget).
+func (c *Campaign) RegisterTimeout(fs *flag.FlagSet, def time.Duration, usage string, aliases ...string) {
+	fs.DurationVar(&c.Timeout, "timeout", def, usage)
+	for _, a := range aliases {
+		fs.DurationVar(&c.Timeout, a, def, "deprecated alias for -timeout")
+	}
+}
+
+// ModeSpec is the composable -modes flag plus the deprecated per-mode boolean
+// aliases. Register it, parse the FlagSet, then call Modes.
+type ModeSpec struct {
+	spec  string
+	paged bool
+	irq   bool
+}
+
+// Register registers -modes and, when aliases is true, the deprecated -paged
+// and -irq booleans that fold into it.
+func (m *ModeSpec) Register(fs *flag.FlagSet, aliases bool) {
+	fs.StringVar(&m.spec, "modes", "", "comma-separated fuzz modes: paged, irq, smp")
+	if aliases {
+		fs.BoolVar(&m.paged, "paged", false, "deprecated alias for -modes paged")
+		fs.BoolVar(&m.irq, "irq", false, "deprecated alias for -modes irq")
+	}
+}
+
+// Modes resolves the spec and aliases into one validated mode set.
+func (m *ModeSpec) Modes() (cosim.Modes, error) {
+	md, err := cosim.ParseModes(m.spec)
+	if err != nil {
+		return md, err
+	}
+	md.Paged = md.Paged || m.paged
+	md.IRQ = md.IRQ || m.irq
+	return md, md.Validate()
+}

@@ -1,0 +1,71 @@
+package cliflags
+
+import (
+	"flag"
+	"io"
+	"testing"
+	"time"
+)
+
+func newFS() *flag.FlagSet {
+	fs := flag.NewFlagSet("t", flag.ContinueOnError)
+	fs.SetOutput(io.Discard)
+	return fs
+}
+
+func TestSeedsExpansion(t *testing.T) {
+	var c Campaign
+	fs := newFS()
+	c.RegisterSeeds(fs, 100)
+	if err := fs.Parse([]string{"-n", "3", "-seed", "7"}); err != nil {
+		t.Fatal(err)
+	}
+	got := c.Seeds()
+	want := []int64{7, 8, 9}
+	if len(got) != len(want) {
+		t.Fatalf("Seeds() = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Seeds() = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestDeprecatedAliases(t *testing.T) {
+	var c Campaign
+	fs := newFS()
+	c.RegisterSeeds(fs, 10, "seeds")
+	c.RegisterTimeout(fs, 0, "per-seed watchdog", "budget")
+	if err := fs.Parse([]string{"-seeds", "25", "-budget", "30s"}); err != nil {
+		t.Fatal(err)
+	}
+	if c.N != 25 || c.Timeout != 30*time.Second {
+		t.Fatalf("aliases: N=%d Timeout=%v, want 25, 30s", c.N, c.Timeout)
+	}
+}
+
+func TestModeSpecFoldsAliases(t *testing.T) {
+	var m ModeSpec
+	fs := newFS()
+	m.Register(fs, true)
+	if err := fs.Parse([]string{"-modes", "smp", "-irq"}); err != nil {
+		t.Fatal(err)
+	}
+	md, err := m.Modes()
+	if err != nil || !md.SMP || !md.IRQ || md.Paged {
+		t.Fatalf("Modes() = %+v, %v", md, err)
+	}
+}
+
+func TestModeSpecRejectsIllegal(t *testing.T) {
+	var m ModeSpec
+	fs := newFS()
+	m.Register(fs, true)
+	if err := fs.Parse([]string{"-modes", "smp", "-paged"}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.Modes(); err == nil {
+		t.Fatal("paged+smp accepted, want error")
+	}
+}

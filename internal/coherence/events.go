@@ -1,0 +1,86 @@
+package coherence
+
+import "xt910/internal/cache"
+
+// OwnerKind classifies a line-ownership transition on the cluster bus. The
+// multi-hart cosimulator's store-order oracle consumes these events to keep
+// an independent model of which port may legally retire a store to each line
+// (DESIGN.md "Store-order oracle").
+type OwnerKind uint8
+
+const (
+	// OwnExcl: port gained write ownership of the line (exclusive fetch,
+	// upgrade of a shared copy, or a read fetch that found no other sharer
+	// and installed Exclusive — which a store may silently promote to
+	// Modified without further bus traffic).
+	OwnExcl OwnerKind = iota
+	// OwnShared: port gained a read-only copy alongside other holders.
+	OwnShared
+	// OwnDowngrade: port kept its copy but lost write ownership
+	// (Modified→Owned or Exclusive→Shared from a remote read).
+	OwnDowngrade
+	// OwnRelease: port lost its copy entirely (invalidation, eviction,
+	// writeback, or back-invalidation from an inclusive L2 eviction).
+	OwnRelease
+)
+
+// String names the transition for divergence reports.
+func (k OwnerKind) String() string {
+	switch k {
+	case OwnExcl:
+		return "excl"
+	case OwnShared:
+		return "shared"
+	case OwnDowngrade:
+		return "downgrade"
+	case OwnRelease:
+		return "release"
+	}
+	return "?"
+}
+
+// OwnerEvent is one ownership transition: port's hold on the 64-byte line
+// containing Line changed as described by Kind.
+type OwnerEvent struct {
+	Line uint64 // line-aligned physical address
+	Port int    // L1 bus port (== hart id within the cluster)
+	Kind OwnerKind
+}
+
+// fireOwner reports a transition to the observer, if any is attached.
+func (l2 *L2) fireOwner(addr uint64, port int, kind OwnerKind) {
+	if l2.OwnerHook != nil {
+		l2.OwnerHook(OwnerEvent{Line: l2.Cache.LineAddr(addr), Port: port, Kind: kind})
+	}
+}
+
+// dropSharer removes port's snoop-filter bit for addr's line and reports the
+// release. L1 clean evictions and cache-maintenance invalidations route
+// through here (instead of mutating the snoop filter directly) so the
+// ownership stream stays complete.
+func (l2 *L2) dropSharer(addr uint64, port int) {
+	l2.snoop.Remove(l2.Cache.LineAddr(addr), port)
+	l2.fireOwner(addr, port, OwnRelease)
+}
+
+// InjectOwnershipGrant corrupts the coherence state the way a dropped
+// invalidation message would: port's L1 gains a Modified copy of addr's line
+// and the snoop filter records it as the sole holder, while every other L1
+// silently keeps its (now stale) copy — no snoops are sent and no ownership
+// events fire. Fault-injection campaigns use this to prove the store-order
+// oracle catches protocol violations that architectural state compare alone
+// misses.
+func (l2 *L2) InjectOwnershipGrant(addr uint64, port int) {
+	if port < 0 || port >= len(l2.l1s) {
+		return
+	}
+	addr = l2.Cache.LineAddr(addr)
+	l1 := l2.l1s[port]
+	if line := l1.Lookup(addr); line != nil && line.State != cache.Invalid {
+		line.State = cache.Modified
+		line.Dirty = true
+	} else {
+		l1.Fill(addr, cache.Modified, 0, false)
+	}
+	l2.snoop.SetExclusive(addr, port)
+}

@@ -109,7 +109,7 @@ func (d *L1D) install(addr uint64, st cache.State, ready, now uint64, prefetched
 			// fill time would serialize the whole port behind it
 			d.l2.Writeback(d.port, evicted, now)
 		} else {
-			d.l2.snoop.Remove(d.Cache.LineAddr(evicted), d.port)
+			d.l2.dropSharer(evicted, d.port)
 		}
 	}
 }
@@ -122,7 +122,7 @@ func (d *L1D) FlushAll(now uint64) {
 			(l.Dirty || l.State == cache.Modified || l.State == cache.Owned) {
 			d.l2.Writeback(d.port, addr, now)
 		} else {
-			d.l2.snoop.Remove(addr, d.port)
+			d.l2.dropSharer(addr, d.port)
 		}
 	})
 	d.Cache.InvalidateAll()
@@ -142,7 +142,7 @@ func (d *L1D) FlushVA(addr uint64, invalidate bool, now uint64) {
 	}
 	if invalidate {
 		d.Cache.Invalidate(addr)
-		d.l2.snoop.Remove(d.Cache.LineAddr(addr), d.port)
+		d.l2.dropSharer(addr, d.port)
 	}
 }
 

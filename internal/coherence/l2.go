@@ -43,6 +43,11 @@ type L2 struct {
 	ncore    *Ncore
 	id       int
 	Stats    Stats
+
+	// OwnerHook, when set, observes every line-ownership transition on the
+	// cluster bus (see OwnerEvent). The SMP cosimulator's store-order oracle
+	// attaches here; nil costs nothing.
+	OwnerHook func(OwnerEvent)
 }
 
 // NewL2 builds a cluster L2 with XT-910-like latencies.
@@ -101,7 +106,7 @@ func (l2 *L2) FetchLine(who int, addr uint64, excl bool, now uint64) (done uint6
 		l2.Stats.SnoopsSent++
 		line := l2.l1s[i].Lookup(addr)
 		if line == nil || line.State == cache.Invalid {
-			l2.snoop.Remove(addr, i)
+			l2.dropSharer(addr, i)
 			continue
 		}
 		if excl {
@@ -109,7 +114,7 @@ func (l2 *L2) FetchLine(who int, addr uint64, excl bool, now uint64) (done uint6
 				dirtySupply = true
 			}
 			l2.l1s[i].Invalidate(addr)
-			l2.snoop.Remove(addr, i)
+			l2.dropSharer(addr, i)
 			l2.Stats.Invalidations++
 		} else {
 			switch line.State {
@@ -117,9 +122,11 @@ func (l2 *L2) FetchLine(who int, addr uint64, excl bool, now uint64) (done uint6
 				line.State = cache.Owned
 				dirtySupply = true
 				l2.Stats.Downgrades++
+				l2.fireOwner(addr, i, OwnDowngrade)
 			case cache.Exclusive:
 				line.State = cache.Shared
 				l2.Stats.Downgrades++
+				l2.fireOwner(addr, i, OwnDowngrade)
 			}
 			remaining++
 		}
@@ -152,12 +159,17 @@ func (l2 *L2) FetchLine(who int, addr uint64, excl bool, now uint64) (done uint6
 			l.Dirty = true // the owner will write back through us eventually
 		}
 		l2.snoop.SetExclusive(addr, who)
+		l2.fireOwner(addr, who, OwnExcl)
 		return done, cache.Modified
 	}
 	l2.snoop.Add(addr, who)
 	if remaining > 0 {
+		l2.fireOwner(addr, who, OwnShared)
 		return done, cache.Shared
 	}
+	// Sole holder: Exclusive install, silently promotable to Modified by a
+	// store — so the oracle must treat it as write ownership.
+	l2.fireOwner(addr, who, OwnExcl)
 	return done, cache.Exclusive
 }
 
@@ -187,6 +199,7 @@ func (l2 *L2) installL2(addr uint64, readyAt, now uint64, prefetched bool) {
 			if l2.snoop.Sharers(evicted)&(1<<uint(i)) != 0 {
 				l1.Invalidate(evicted)
 				l2.Stats.BackInvals++
+				l2.fireOwner(evicted, i, OwnRelease)
 			}
 		}
 		l2.snoop.Drop(evicted)
@@ -204,13 +217,14 @@ func (l2 *L2) Upgrade(who int, addr uint64, now uint64) uint64 {
 		}
 		l2.Stats.SnoopsSent++
 		l2.l1s[i].Invalidate(addr)
-		l2.snoop.Remove(addr, i)
+		l2.dropSharer(addr, i)
 		l2.Stats.Invalidations++
 	}
 	if l := l2.Cache.Lookup(addr); l != nil {
 		l.Dirty = true
 	}
 	l2.snoop.SetExclusive(addr, who)
+	l2.fireOwner(addr, who, OwnExcl)
 	return t + 2
 }
 
@@ -218,7 +232,7 @@ func (l2 *L2) Upgrade(who int, addr uint64, now uint64) uint64 {
 func (l2 *L2) Writeback(who int, addr uint64, now uint64) {
 	addr = l2.Cache.LineAddr(addr)
 	l2.arbitrate(now)
-	l2.snoop.Remove(addr, who)
+	l2.dropSharer(addr, who)
 	if l := l2.Cache.Lookup(addr); l != nil {
 		l.Dirty = true
 		return

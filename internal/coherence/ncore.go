@@ -52,6 +52,7 @@ func (n *Ncore) Fetch(fromCluster int, addr uint64, excl bool, now uint64) uint6
 			for j, l1 := range c.l1s {
 				if c.snoop.Sharers(addr)&(1<<uint(j)) != 0 {
 					l1.Invalidate(addr)
+					c.fireOwner(addr, j, OwnRelease)
 				}
 			}
 			c.snoop.Drop(addr)

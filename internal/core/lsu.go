@@ -155,6 +155,27 @@ func (c *Core) execStoreAddr(idx int, u *uop) bool {
 	return true
 }
 
+// SquashCoherentLoads tags this hart's executed-but-uncommitted loads that
+// overlap a remote hart's committed write for squash-and-retry at the ROB
+// head — the snoop-triggered machine clear a real SMP core performs so a
+// speculatively-read value never survives a conflicting remote store. The
+// SoC fabric (and the multi-hart cosimulator) calls this from its committed-
+// write broadcast; the existing §V-A retire-time squash machinery re-fetches
+// the load and it re-reads coherent memory.
+func (c *Core) SquashCoherentLoads(pa uint64, size int) {
+	for i := range c.lq {
+		le := &c.lq[i]
+		if !le.executed || !overlap(pa, size, le.addr, le.size) {
+			continue
+		}
+		lu := c.robQ.at(le.robIdx)
+		if lu.seq == le.seq && !lu.squashRetry {
+			lu.squashRetry = true
+			c.Stats.CrossHartSquashes++
+		}
+	}
+}
+
 // execStoreData is the st.data µOp: it reads the data operand from the
 // physical register file (or the bypass network) into the SQ entry.
 func (c *Core) execStoreData(u *uop) bool {
@@ -300,7 +321,9 @@ func (c *Core) hasOlderPendingVStore(seq uint64) bool {
 		if u.seq >= seq {
 			return false
 		}
-		if !u.done && (u.inst.Op.Class() == isa.ClassVStore || u.inst.Op.Class() == isa.ClassAMO) {
+		// an amoPending atomic is done for retirement purposes but its memory
+		// effect has not landed yet — younger loads must keep waiting
+		if (!u.done || u.amoPending) && (u.inst.Op.Class() == isa.ClassVStore || u.inst.Op.Class() == isa.ClassAMO) {
 			found = true
 			return false
 		}

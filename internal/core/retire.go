@@ -1,6 +1,7 @@
 package core
 
 import (
+	"xt910/internal/cache"
 	"xt910/internal/emu"
 	"xt910/internal/trace"
 	"xt910/isa"
@@ -61,6 +62,12 @@ func (c *Core) retire() {
 		if u.excCause >= 0 {
 			c.takeTrap(u)
 			return
+		}
+
+		// atomics apply their architectural effects here, at the boundary
+		if u.amoPending {
+			c.commitAMO(u)
+			u.amoPending = false
 		}
 
 		// commit memory effects
@@ -170,10 +177,27 @@ func (c *Core) commitStore(u *uop) {
 		c.Stats.Stores++
 		return
 	}
+	if c.OwnStoresAtCommit {
+		c.ensureOwned(e.addr)
+		if crossesLine(e.addr, e.size, c.Cfg.L1D.LineBytes) {
+			c.ensureOwned(e.addr + uint64(e.size) - 1)
+		}
+	}
 	c.Mem.Write(e.addr, e.size, e.val)
 	c.notifyWrite(e.addr, e.size)
 	c.Stats.Stores++
 	c.PF.Train(e.addr, c.now)
+}
+
+// ensureOwned re-acquires write ownership of addr's line if it was lost (or
+// downgraded) since the st.addr query — the commit-time bus transaction a
+// real machine's write buffer performs when its line was snooped away.
+func (c *Core) ensureOwned(addr uint64) {
+	if l := c.L1D.Cache.Lookup(addr); l != nil &&
+		(l.State == cache.Modified || l.State == cache.Exclusive) {
+		return
+	}
+	c.L1D.Access(addr, true, c.now)
 }
 
 // executeAtRetire performs instructions that must run non-speculatively at
@@ -312,9 +336,15 @@ func (c *Core) execCSRAtRetire(u *uop) {
 	}
 }
 
+// execAMOAtRetire is the timing phase of an atomic: translation and the data
+// cache access (which acquires write ownership of the line) happen when the op
+// reaches the ROB head. By default the architectural read-modify-write runs
+// here too. Under AtomicsAtCommit (multi-hart sessions) it is instead deferred
+// to commitAMO at the pop itself, so no cycle exists where memory holds an
+// atomic's result before its commit hooks have run — another hart's commits
+// interleave with the head-stall window, and an early write would be observed
+// out of global commit order.
 func (c *Core) execAMOAtRetire(u *uop) bool {
-	op := u.inst.Op
-	size := op.MemBytes()
 	va := c.srcVal(u, 0)
 	pa, doneT, err := c.mmuTranslate(va, mmuAccStore)
 	if err != nil {
@@ -326,30 +356,61 @@ func (c *Core) execAMOAtRetire(u *uop) bool {
 	}
 	done, _ := c.L1D.Access(pa, true, doneT)
 	u.addr = pa
+	u.done = true
+	u.readyAt = done
+	c.Stats.Atomics++
+	if c.AtomicsAtCommit {
+		u.amoPending = true
+		return true
+	}
+	c.applyAMO(u, done)
+	return true
+}
+
+// commitAMO is the deferred architectural phase of an atomic, run at the
+// retirement boundary under AtomicsAtCommit. The register result becomes
+// readable at u.readyAt — the cycle it is written, since retirement precedes
+// issue within a cycle — so dependent wakeup timing matches the
+// execute-at-head default exactly. hasOlderPendingVStore keeps the hart's own
+// younger loads blocked while the effect is pending, and ownership lost to
+// another hart during the head-stall window is re-acquired before the write,
+// like commitStore.
+func (c *Core) commitAMO(u *uop) {
+	c.applyAMO(u, u.readyAt)
+}
+
+// applyAMO performs an atomic's architectural read-modify-write; ready is the
+// cycle the register result becomes readable.
+func (c *Core) applyAMO(u *uop, ready uint64) {
+	op := u.inst.Op
+	size := op.MemBytes()
+	pa := u.addr
 	switch op {
 	case isa.LRW, isa.LRD:
 		v := c.Mem.Read(pa, size)
 		c.resAddr, c.resOK = pa, true
-		c.pf.write(u.newPhys, loadExtendSized(v, size), done)
+		c.pf.write(u.newPhys, loadExtendSized(v, size), ready)
 	case isa.SCW, isa.SCD:
 		if c.resOK && c.resAddr == pa {
+			if c.OwnStoresAtCommit {
+				c.ensureOwned(pa)
+			}
 			c.Mem.Write(pa, size, c.srcVal(u, 1))
 			c.notifyWrite(pa, size)
-			c.pf.write(u.newPhys, 0, done)
+			c.pf.write(u.newPhys, 0, ready)
 		} else {
-			c.pf.write(u.newPhys, 1, done)
+			c.pf.write(u.newPhys, 1, ready)
 		}
 		c.resOK = false
 	default:
+		if c.OwnStoresAtCommit {
+			c.ensureOwned(pa)
+		}
 		old := c.Mem.Read(pa, size)
 		c.Mem.Write(pa, size, isa.EvalAMO(op, old, c.srcVal(u, 1)))
 		c.notifyWrite(pa, size)
-		c.pf.write(u.newPhys, loadExtendSized(old, size), done)
+		c.pf.write(u.newPhys, loadExtendSized(old, size), ready)
 	}
-	u.done = true
-	u.readyAt = done
-	c.Stats.Atomics++
-	return true
 }
 
 // notifyWrite publishes a committed write to the SoC fabric and drops any

@@ -26,6 +26,7 @@ type Stats struct {
 	UnalignedAccesses  uint64
 	MemOrderViolations uint64
 	MemOrderFlushes    uint64
+	CrossHartSquashes  uint64
 	SerializeFlushes   uint64
 	Traps              uint64
 	Interrupts         uint64

@@ -70,6 +70,7 @@ type uop struct {
 
 	// retire behaviour
 	atRetire    bool // executes when it reaches the ROB head (CSR/sys/AMO)
+	amoPending  bool // atomic finished its cache access; arch effects at pop
 	flushAfter  bool // serializing: flush the pipeline after retirement
 	redirectTo  uint64
 	squashRetry bool // §V-A ordering violation: squash at retire, refetch

@@ -90,7 +90,7 @@ func TestCompressedFPSpillEncodings(t *testing.T) {
 func TestFuzzerEmitsFPSpillsAndClockReads(t *testing.T) {
 	var fsdsp, fldsp, clock int
 	for seed := int64(1); seed <= 60; seed++ {
-		src := generate(seed, 40, false, false).render(nil)
+		src := generate(seed, 40, Modes{}, 1).render(nil)
 		for _, line := range strings.Split(src, "\n") {
 			switch {
 			case strings.Contains(line, "fsd f") && strings.Contains(line, "(x2)"):

@@ -30,6 +30,27 @@
 //     committed. Everything downstream of the read — arithmetic on the
 //     timestamp, branches over deltas — is then compared exactly, which lets
 //     the fuzzer emit rdcycle/rdtime/csrr-mcycle instead of excluding them.
+//
+// # Multi-hart sessions
+//
+// With Options.Harts > 1 (or Modes.SMP) the session runs N lock-step hart
+// pairs: N timing cores sharing one memory and one coherent L2, and N golden
+// emulators sharing a second memory. Each emulator steps inside its own
+// core's commit hook, so the emulator-world interleaving of architectural
+// effects is exactly the core-world global commit order — which is what makes
+// per-commit register compare and shared-memory compare sound across harts.
+// Cross-hart coupling mirrors the SoC fabric: a committed store kills remote
+// reservations, invalidates remote predecode, and squashes remote
+// speculatively-executed overlapping loads (the snoop-triggered machine
+// clear); the emulators broadcast reservation kills the same way. Each world
+// gets its own CLINT (neither ticks — mtime stays 0 and deterministic) so
+// MSIP IPIs deliver at identical commit positions.
+//
+// On top of the per-hart architectural compare, multi-hart sessions run the
+// store-order oracle (see oracle.go): a global commit log of store/AMO/LR-SC
+// retirement cross-checked against the coherence fabric's ownership
+// transitions, catching protocol bugs — a store retiring on a hart that does
+// not own the line — that register compare is structurally blind to.
 package cosim
 
 import (
@@ -46,6 +67,7 @@ import (
 	"xt910/internal/emu"
 	"xt910/internal/mem"
 	"xt910/internal/mmu"
+	"xt910/internal/soc"
 	"xt910/isa"
 )
 
@@ -55,6 +77,14 @@ type Options struct {
 	MaxCycles uint64      // core cycle budget before declaring a hang (0: 10M)
 	Window    int         // commit-trace window kept for the report (0: 16)
 
+	// Modes is the composable mode set (paged / irq / smp). The legacy
+	// Paged and IRQ booleans below are ORed in, and Harts > 1 implies SMP.
+	Modes Modes
+
+	// Harts is the number of lock-step hart pairs. 0 means 1, or 2 when
+	// Modes.SMP is set; values are clamped to [1, 4] (one cluster, Table I).
+	Harts int
+
 	// Paged boots the program in S-mode under SV39 translation using the
 	// identity-plus-offset layout (see mmu.IdentityPlusOffset): [0, 640K)
 	// mapped onto itself RWX in 4K pages, plus a read-write non-executable
@@ -62,11 +92,15 @@ type Options struct {
 	// to S-mode and stvec is left at 0, so a page fault halts both models
 	// with exit code -(16+cause) and the trap CSRs (scause/stval/sepc) are
 	// compared like any other run.
+	//
+	// Deprecated: set Modes.Paged.
 	Paged bool
 
 	// IRQ makes the fuzzer generate interrupt-driven programs: an mtvec
 	// handler prologue, WFI / MIE-toggle / interrupt-CSR segments, and a
 	// deterministic per-seed schedule of IRQEvents (see below).
+	//
+	// Deprecated: set Modes.IRQ.
 	IRQ bool
 
 	// IRQSchedule, when non-empty, drives both models' external interrupt
@@ -76,13 +110,62 @@ type Options struct {
 	// because the core re-samples at every retirement boundary and the
 	// emulator checks before every instruction, both models deliver at the
 	// identical architectural point and the checker compares
-	// mcause/mepc/mstatus at delivery.
+	// mcause/mepc/mstatus at delivery. In a multi-hart session this is
+	// hart 0's schedule; use IRQSchedules for the rest.
 	IRQSchedule []IRQEvent
+
+	// IRQSchedules are per-hart interrupt schedules for multi-hart runs
+	// (index = hart id). When empty, IRQSchedule serves as hart 0's.
+	IRQSchedules [][]IRQEvent
+
+	// DisableStoreOracle turns the multi-hart store-order oracle off. The
+	// oracle is a passive observer — simulated timing is identical either
+	// way — so A/B runs isolate exactly what only the oracle can see.
+	DisableStoreOracle bool
 
 	// SeedTimeout, when positive, bounds the wall time of one fuzz seed in
 	// RunSeeds. A seed that blows the deadline is retried once at twice the
 	// budget and then reported with TimedOut set instead of failing the run.
 	SeedTimeout time.Duration
+}
+
+// modes folds the deprecated booleans and the hart count into the mode set.
+func (o Options) modes() Modes {
+	m := o.Modes
+	m.Paged = m.Paged || o.Paged
+	m.IRQ = m.IRQ || o.IRQ
+	m.SMP = m.SMP || o.Harts > 1
+	return m
+}
+
+// effectiveHarts resolves the hart-pair count (see Options.Harts).
+func (o Options) effectiveHarts() int {
+	h := o.Harts
+	if h <= 0 {
+		if o.modes().SMP {
+			return 2
+		}
+		return 1
+	}
+	if h > maxHarts {
+		return maxHarts
+	}
+	return h
+}
+
+// hartSchedules normalizes the two schedule fields into one per-hart slice.
+func (o Options) hartSchedules(harts int) [][]IRQEvent {
+	out := make([][]IRQEvent, harts)
+	if len(o.IRQSchedules) > 0 {
+		for i := 0; i < harts && i < len(o.IRQSchedules); i++ {
+			out[i] = o.IRQSchedules[i]
+		}
+		return out
+	}
+	if len(o.IRQSchedule) > 0 {
+		out[0] = o.IRQSchedule
+	}
+	return out
 }
 
 // IRQEvent is one entry of an interrupt-injection schedule: the external
@@ -103,21 +186,26 @@ const (
 )
 
 // hookModels, when set (tests only), runs after both models are constructed
-// and configured, immediately before the first cycle. Tests use it to
-// perturb one model and prove the checker catches a given divergence class.
+// and configured, immediately before the first cycle (single-hart sessions).
+// Tests use it to perturb one model and prove the checker catches a given
+// divergence class.
 var hookModels func(c *core.Core, m *emu.Machine)
 
 // Result summarises one lock-step run.
 type Result struct {
-	Commits  uint64
+	Commits  uint64 // lock-step-compared commits, summed over all harts
 	Cycles   uint64
 	ExitCode int
 	Diverged bool
-	Kind     string // first divergence class: pc xreg freg mem csr lrsc instret vec irq halt exit output hang emuerr
+	Kind     string // first divergence class: pc xreg freg mem csr lrsc instret vec irq order halt exit output hang emuerr
 	Report   string // human-readable report with the windowed commit trace
 
-	// FailCommit is the commit index of the first divergence (fault-injection
-	// campaigns use it to measure detection latency in commits).
+	// Hart is the hart pair that diverged (0 in single-hart runs).
+	Hart int
+
+	// FailCommit is the diverging hart's local commit index of the first
+	// divergence (fault-injection campaigns use it to measure detection
+	// latency in commits).
 	FailCommit uint64
 
 	// TimedOut marks a run killed by its context deadline (RunContext); the
@@ -136,23 +224,50 @@ var compareCSRs = []uint16{
 	isa.CSRFcsr,
 }
 
-// Session is one in-progress lock-step run that the caller drives cycle by
-// cycle. It exposes both models so fault-injection campaigns can perturb
-// microarchitectural state at a chosen cycle and let the checker decide
-// whether the corruption is detected; Run and RunContext are thin loops on
-// top of it.
-type Session struct {
+// HartSession is one lock-step hart pair inside a Session: a timing core, its
+// golden emulator, and the checker comparing them at this hart's own commit
+// boundary.
+type HartSession struct {
+	id  int
 	c   *core.Core
 	m   *emu.Machine
 	k   *checker
 	arm *irqArm
 
-	maxCycles uint64
-	cyc       uint64
-	parkRun   uint64 // consecutive cycles the hart has been WFI-parked
+	parkRun uint64 // consecutive cycles this hart has been WFI-parked
 }
 
-// irqArm is the shared interrupt-injection schedule state: each model
+// ID returns the hart index.
+func (h *HartSession) ID() int { return h.id }
+
+// Core exposes this hart's timing model (fault injection, inspection).
+func (h *HartSession) Core() *core.Core { return h.c }
+
+// Emu exposes this hart's golden model.
+func (h *HartSession) Emu() *emu.Machine { return h.m }
+
+// Commits returns this hart's lock-step-compared commit count.
+func (h *HartSession) Commits() uint64 { return h.k.commits }
+
+// Session is one in-progress lock-step run that the caller drives cycle by
+// cycle: an array of hart pairs (one in single-hart runs) over shared
+// memories, plus the store-order oracle when more than one hart is present.
+// It exposes both models of every pair so fault-injection campaigns can
+// perturb microarchitectural state at a chosen cycle and let the checker
+// decide whether the corruption is detected; Run and RunContext are thin
+// loops on top of it.
+type Session struct {
+	harts  []*HartSession
+	l2     *coherence.L2
+	oracle *storeOracle
+
+	maxCycles     uint64
+	cyc           uint64
+	globalCommits uint64
+	failHart      int // first hart pair to diverge, -1 while clean
+}
+
+// irqArm is one hart's interrupt-injection schedule state: each model
 // consumes events independently (coreIdx / emuIdx), which stay equal at every
 // comparison point because both models deliver at the same commit index.
 type irqArm struct {
@@ -161,9 +276,61 @@ type irqArm struct {
 	emuIdx  int
 }
 
-// NewSession builds both models for an already-assembled program, loads it
-// into two private memories, and wires the lock-step checker (the emulator
-// steps once per commit inside the core's retire hook).
+// armedCore returns the mip bits the schedule drives into the core at the
+// given commit count.
+func (a *irqArm) armedCore(commits uint64) uint64 {
+	if a.coreIdx < len(a.events) && commits >= a.events[a.coreIdx].AfterCommit {
+		return a.events[a.coreIdx].Bits
+	}
+	return 0
+}
+
+func (a *irqArm) armedEmu(instret uint64) uint64 {
+	if a.emuIdx < len(a.events) && instret >= a.events[a.emuIdx].AfterCommit {
+		return a.events[a.emuIdx].Bits
+	}
+	return 0
+}
+
+// consumeCore advances the core-side schedule cursor when the delivered
+// interrupt was (or could have been) the armed event's. The guard matters in
+// mixed CLINT+schedule sessions: an MSIP IPI must not eat a scheduled timer
+// event, or the two models' cursors drift apart when their CLINT traffic
+// interleaves differently with schedule arming. In pure-schedule runs the
+// guard is always true at delivery (the pending bits are exactly the armed
+// event's), so single-hart behaviour is unchanged.
+func (a *irqArm) consumeCore(cause, commits uint64) {
+	if a.coreIdx < len(a.events) {
+		if ev := a.events[a.coreIdx]; commits >= ev.AfterCommit && ev.Bits&(1<<cause) != 0 {
+			a.coreIdx++
+		}
+	}
+}
+
+func (a *irqArm) consumeEmu(cause, instret uint64) {
+	if a.emuIdx < len(a.events) {
+		if ev := a.events[a.emuIdx]; instret >= ev.AfterCommit && ev.Bits&(1<<cause) != 0 {
+			a.emuIdx++
+		}
+	}
+}
+
+const (
+	stackBase = 0x80000
+
+	// maxHarts bounds a session to one cluster's worth of cores (Table I).
+	maxHarts = 4
+
+	// smpStackStride separates per-hart stacks in multi-hart sessions
+	// (32 KB each, descending from stackBase).
+	smpStackStride = 0x8000
+)
+
+// NewSession builds the models for an already-assembled program and wires the
+// lock-step checker (each emulator steps once per commit inside its core's
+// retire hook). Single-hart sessions use two private memories; multi-hart
+// sessions share one memory and one coherent L2 per world and run the program
+// SPMD, one stack per hart.
 func NewSession(p *asm.Program, opts Options) *Session {
 	if opts.MaxCycles == 0 {
 		opts.MaxCycles = 10_000_000
@@ -175,86 +342,232 @@ func NewSession(p *asm.Program, opts Options) *Session {
 	if cfg.RetireWidth == 0 {
 		cfg = core.XT910Config()
 	}
+	modes := opts.modes()
+	harts := opts.effectiveHarts()
+	scheds := opts.hartSchedules(harts)
+
+	s := &Session{maxCycles: opts.MaxCycles, failHart: -1}
 
 	cmem := mem.NewMemory()
-	l2 := coherence.NewL2(cache.Config{
+	s.l2 = coherence.NewL2(cache.Config{
 		SizeBytes: 2 << 20, Ways: 16, LineBytes: 64, HitLatency: 10, ECC: true, Parity: true,
 	}, mem.NewDRAM())
-	c := core.New(cfg, 0, cmem, l2)
+
+	if harts == 1 {
+		c := core.New(cfg, 0, cmem, s.l2)
+		p.LoadInto(cmem)
+		c.Reset(p.Entry, stackBase)
+
+		m := emu.New(mem.NewMemory())
+		p.LoadInto(m.Mem)
+		m.PC = p.Entry
+		m.X[isa.SP] = stackBase
+
+		if modes.Paged {
+			setupPaged(c, m)
+		}
+
+		k := &checker{c: c, m: m, window: opts.Window, dirty: make(map[uint64]struct{})}
+		c.CommitHook = k.onCommit
+		c.MemWriteHook = func(pa uint64, size int, from int) { k.markDirty(pa, size) }
+		m.OnStore = func(pa uint64, size int) { k.markDirty(pa, size) }
+
+		hs := &HartSession{id: 0, c: c, m: m, k: k}
+		s.harts = []*HartSession{hs}
+		if sched := scheds[0]; len(sched) > 0 {
+			s.wireIRQ(hs, sched, nil, nil)
+		}
+		if hookModels != nil {
+			hookModels(c, m)
+		}
+		return s
+	}
+
+	// Multi-hart: one memory image per world, shared by every hart of that
+	// world, and a CLINT per world for MSIP IPIs. Neither CLINT ticks, so
+	// mtime reads 0 in both worlds and every run stays deterministic.
+	clintC := soc.NewCLINT(harts)
+	clintE := soc.NewCLINT(harts)
+	if !opts.DisableStoreOracle {
+		s.oracle = newStoreOracle(s.l2, clintC)
+	}
+	emem := mem.NewMemory()
 	p.LoadInto(cmem)
-	c.Reset(p.Entry, stackBase)
+	p.LoadInto(emem)
+	dirty := make(map[uint64]struct{})
+	for h := 0; h < harts; h++ {
+		c := core.New(cfg, h, cmem, s.l2)
+		// Commit-time ownership re-acquire: makes the oracle's invariant —
+		// a store retires only while its hart owns the line — true by
+		// construction for a healthy fabric.
+		c.OwnStoresAtCommit = true
+		c.AtomicsAtCommit = true
+		c.MMIO = clintC
+		c.Reset(p.Entry, stackBase-uint64(h)*smpStackStride)
 
-	m := emu.New(mem.NewMemory())
-	p.LoadInto(m.Mem)
-	m.PC = p.Entry
-	m.X[isa.SP] = stackBase
+		m := emu.New(emem)
+		m.MMIO = clintE
+		m.PC = p.Entry
+		m.X[isa.SP] = stackBase - uint64(h)*smpStackStride
+		m.SetCSR(isa.CSRMhartid, uint64(h))
 
-	if opts.Paged {
-		setupPaged(c, m)
+		k := &checker{c: c, m: m, window: opts.Window, dirty: dirty, hart: h, multi: true, checkIRQ: true}
+		s.harts = append(s.harts, &HartSession{id: h, c: c, m: m, k: k})
 	}
-
-	k := &checker{c: c, m: m, window: opts.Window, dirty: make(map[uint64]struct{})}
-	c.CommitHook = k.onCommit
-	c.MemWriteHook = func(pa uint64, size int, from int) { k.markDirty(pa, size) }
-	m.OnStore = func(pa uint64, size int) { k.markDirty(pa, size) }
-
-	s := &Session{c: c, m: m, k: k, maxCycles: opts.MaxCycles}
-	if len(opts.IRQSchedule) > 0 {
-		// Private copy: the WFI force-arm mutates the schedule, and callers
-		// (the shrinker in particular) re-run the same Options.
-		arm := &irqArm{events: append([]IRQEvent(nil), opts.IRQSchedule...)}
-		s.arm = arm
-		k.irq = arm
-		// The core side keys arming on the checker's commit count rather than
-		// Stats.Retired: the commit hook (and hence the checker's CSR
-		// compares) runs before Stats.Retired increments, so k.commits is the
-		// count that matches the emulator's Instret at every point where
-		// either model reads mip or decides deliverability.
-		c.IntSource = func(hart int) uint64 {
-			if arm.coreIdx < len(arm.events) && k.commits >= arm.events[arm.coreIdx].AfterCommit {
-				return arm.events[arm.coreIdx].Bits
+	for _, hs := range s.harts {
+		hs := hs
+		c, m, k := hs.c, hs.m, hs.k
+		c.CommitHook = func(ci core.Commit) { s.smpCommit(hs, ci) }
+		// Committed-write broadcast, mirroring soc.System.killReservations:
+		// remote reservations die, remote predecode over the range drops,
+		// and remote speculatively-executed overlapping loads squash.
+		c.MemWriteHook = func(pa uint64, size int, from int) {
+			k.markDirty(pa, size)
+			for _, o := range s.harts {
+				if o.c != c {
+					o.c.KillReservation(pa, size)
+					o.c.InvalidatePredecode(pa, size)
+					o.c.SquashCoherentLoads(pa, size)
+				}
 			}
-			return 0
 		}
-		c.InterruptHook = func(cause, resume uint64) {
-			arm.coreIdx++
-			k.coreIRQ = true
-			k.coreCause, k.coreResume = cause, resume
-		}
-		m.IntSource = func() uint64 {
-			if arm.emuIdx < len(arm.events) && m.Instret >= arm.events[arm.emuIdx].AfterCommit {
-				return arm.events[arm.emuIdx].Bits
+		m.OnStore = func(pa uint64, size int) {
+			k.markDirty(pa, size)
+			for _, o := range s.harts {
+				if o.m != m {
+					o.m.KillReservation(pa, size)
+				}
 			}
-			return 0
 		}
-		m.OnInterrupt = func(cause uint64) {
-			arm.emuIdx++
-			k.emuIRQ = true
-			k.emuCause = cause
-		}
-	}
-	if hookModels != nil {
-		hookModels(c, m)
+		s.wireIRQ(hs, scheds[hs.id], clintC, clintE)
 	}
 	return s
 }
 
-// Core exposes the timing model (fault injection, state inspection).
-func (s *Session) Core() *core.Core { return s.c }
+// wireIRQ connects one hart pair's interrupt sources: the per-hart schedule
+// (when present) and, in multi-hart sessions, the per-world CLINT's MSIP bit.
+// The core side keys schedule arming on the checker's commit count rather
+// than Stats.Retired: the commit hook (and hence the checker's CSR compares)
+// runs before Stats.Retired increments, so k.commits is the count that
+// matches the emulator's Instret at every point where either model reads mip
+// or decides deliverability.
+func (s *Session) wireIRQ(hs *HartSession, sched []IRQEvent, clintC, clintE *soc.CLINT) {
+	c, m, k := hs.c, hs.m, hs.k
+	var arm *irqArm
+	if len(sched) > 0 {
+		// Private copy: the WFI force-arm mutates the schedule, and callers
+		// (the shrinker in particular) re-run the same Options.
+		arm = &irqArm{events: append([]IRQEvent(nil), sched...)}
+		hs.arm = arm
+		k.irq = arm
+		k.checkIRQ = true
+	}
+	if arm == nil && clintC == nil {
+		return
+	}
+	hart := hs.id
+	c.IntSource = func(int) uint64 {
+		var bits uint64
+		if clintC != nil && clintC.SoftPending(hart) {
+			bits |= 1 << isa.IntMSoft
+		}
+		if arm != nil {
+			bits |= arm.armedCore(k.commits)
+		}
+		return bits
+	}
+	c.InterruptHook = func(cause, resume uint64) {
+		if arm != nil {
+			arm.consumeCore(cause, k.commits)
+		}
+		k.coreIRQ = true
+		k.coreCause, k.coreResume = cause, resume
+	}
+	m.IntSource = func() uint64 {
+		var bits uint64
+		if clintE != nil && clintE.SoftPending(hart) {
+			bits |= 1 << isa.IntMSoft
+		}
+		if arm != nil {
+			bits |= arm.armedEmu(m.Instret)
+		}
+		return bits
+	}
+	m.OnInterrupt = func(cause uint64) {
+		if arm != nil {
+			arm.consumeEmu(cause, m.Instret)
+		}
+		k.emuIRQ = true
+		k.emuCause = cause
+	}
+}
 
-// Emu exposes the golden model.
-func (s *Session) Emu() *emu.Machine { return s.m }
+// smpCommit is the multi-hart commit hook: the per-hart checker first, then
+// the store-order oracle over the global retirement stream.
+func (s *Session) smpCommit(hs *HartSession, ci core.Commit) {
+	s.globalCommits++
+	k := hs.k
+	wasFailed := k.failed
+	k.onCommit(ci)
+	if s.oracle != nil && !k.failed {
+		if detail := s.oracle.commit(hs.id, s.globalCommits, ci); detail != nil {
+			k.fail(ci, "order", detail...)
+		}
+	}
+	if k.failed && !wasFailed && s.failHart < 0 {
+		s.failHart = hs.id
+	}
+}
 
-// Commits returns the number of lock-step-compared commits so far.
-func (s *Session) Commits() uint64 { return s.k.commits }
+// Harts returns the number of lock-step hart pairs.
+func (s *Session) Harts() int { return len(s.harts) }
+
+// Hart returns one lock-step hart pair.
+func (s *Session) Hart(i int) *HartSession { return s.harts[i] }
+
+// L2 exposes the (core-world) shared L2 so experiments can perturb coherence
+// state — coherence.InjectOwnershipGrant in particular — mid-run.
+func (s *Session) L2() *coherence.L2 { return s.l2 }
+
+// Core exposes hart 0's timing model.
+//
+// Deprecated: use Hart(0).Core(); kept for single-hart callers.
+func (s *Session) Core() *core.Core { return s.harts[0].c }
+
+// Emu exposes hart 0's golden model.
+//
+// Deprecated: use Hart(0).Emu(); kept for single-hart callers.
+func (s *Session) Emu() *emu.Machine { return s.harts[0].m }
+
+// Commits returns the number of lock-step-compared commits so far, summed
+// over all harts.
+func (s *Session) Commits() uint64 {
+	var n uint64
+	for _, h := range s.harts {
+		n += h.k.commits
+	}
+	return n
+}
 
 // Cycles returns the core cycle count so far.
-func (s *Session) Cycles() uint64 { return s.c.Now() }
+func (s *Session) Cycles() uint64 { return s.harts[0].c.Now() }
 
-// Done reports whether the run is over: the core halted, the checker failed,
-// or the cycle budget ran out.
+// Done reports whether the run is over: every core halted, any checker
+// failed, or the cycle budget ran out.
 func (s *Session) Done() bool {
-	return s.c.Halted || s.k.failed || s.cyc >= s.maxCycles
+	if s.cyc >= s.maxCycles {
+		return true
+	}
+	all := true
+	for _, h := range s.harts {
+		if h.k.failed {
+			return true
+		}
+		if !h.c.Halted {
+			all = false
+		}
+	}
+	return all
 }
 
 // wfiParkWindow is how many cycles a WFI-parked hart idles before the session
@@ -263,23 +576,30 @@ func (s *Session) Done() bool {
 // bounding it — a parked hart can never idle to the cycle budget.
 const wfiParkWindow = 16
 
-// Step advances the core by one cycle (the emulator follows inside the commit
-// hook). A hart parked on WFI for wfiParkWindow cycles force-arms the next
-// schedule event — derived purely from simulation state, so runs stay
-// deterministic — instead of idling to the cycle budget.
+// Step advances every live core by one cycle (each emulator follows inside
+// its core's commit hook; cores step in hart order, so the global commit
+// interleaving is deterministic). A hart parked on WFI for wfiParkWindow
+// cycles force-arms its next schedule event — derived purely from simulation
+// state, so runs stay deterministic — instead of idling to the cycle budget.
 func (s *Session) Step() {
 	if s.Done() {
 		return
 	}
-	s.c.Step()
-	s.cyc++
-	if s.arm != nil && s.c.WFIParked() {
-		s.parkRun++
-		if s.parkRun >= wfiParkWindow {
-			s.forceArm()
+	for _, h := range s.harts {
+		if !h.c.Halted {
+			h.c.Step()
 		}
-	} else {
-		s.parkRun = 0
+	}
+	s.cyc++
+	for _, h := range s.harts {
+		if h.arm != nil && h.c.WFIParked() {
+			h.parkRun++
+			if h.parkRun >= wfiParkWindow {
+				s.forceArm(h)
+			}
+		} else {
+			h.parkRun = 0
+		}
 	}
 }
 
@@ -287,30 +607,47 @@ func (s *Session) Step() {
 // pulled down to the current commit index, or a synthetic timer event is
 // appended when the schedule is exhausted. Both models see the mutation (the
 // schedule is shared), so delivery still happens at the same commit index.
-func (s *Session) forceArm() {
-	arm := s.arm
+func (s *Session) forceArm(h *HartSession) {
+	arm := h.arm
 	if arm.coreIdx < len(arm.events) {
-		if s.k.commits < arm.events[arm.coreIdx].AfterCommit {
-			arm.events[arm.coreIdx].AfterCommit = s.k.commits
+		if h.k.commits < arm.events[arm.coreIdx].AfterCommit {
+			arm.events[arm.coreIdx].AfterCommit = h.k.commits
 		}
 		return
 	}
-	arm.events = append(arm.events, IRQEvent{AfterCommit: s.k.commits, Bits: 1 << isa.IntMTimer})
+	arm.events = append(arm.events, IRQEvent{AfterCommit: h.k.commits, Bits: 1 << isa.IntMTimer})
 }
 
 // Finish runs the end-of-program comparison and assembles the Result. Call
 // once, after Done.
 func (s *Session) Finish() Result {
-	k := s.k
-	res := Result{Commits: k.commits, Cycles: s.c.Now(), ExitCode: s.c.ExitCode}
-	if !k.failed {
-		k.drain()
+	h0 := s.harts[0]
+	res := Result{Commits: s.Commits(), Cycles: h0.c.Now(), ExitCode: h0.c.ExitCode}
+	if s.failHart < 0 {
+		for _, h := range s.harts {
+			if h.k.failed {
+				// Single-hart sessions have no commit wrapper latching this.
+				s.failHart = h.id
+				break
+			}
+		}
 	}
-	if k.failed {
+	if s.failHart < 0 {
+		for _, h := range s.harts {
+			h.k.drain()
+			if h.k.failed {
+				s.failHart = h.id
+				break
+			}
+		}
+	}
+	if s.failHart >= 0 {
+		k := s.harts[s.failHart].k
 		res.Diverged = true
 		res.Kind = k.kind
 		res.Report = k.report()
 		res.FailCommit = k.failCommit
+		res.Hart = s.failHart
 	}
 	return res
 }
@@ -334,13 +671,12 @@ func RunContext(ctx context.Context, p *asm.Program, opts Options) Result {
 			s.Step()
 		}
 		if ctx.Err() != nil {
-			return Result{Commits: s.k.commits, Cycles: s.c.Now(), ExitCode: s.c.ExitCode, TimedOut: true}
+			h0 := s.harts[0]
+			return Result{Commits: s.Commits(), Cycles: h0.c.Now(), ExitCode: h0.c.ExitCode, TimedOut: true}
 		}
 	}
 	return s.Finish()
 }
-
-const stackBase = 0x80000
 
 // setupPaged builds the identity-plus-offset SV39 page table into both
 // models' memories and drops them to S-mode with every exception delegated.
@@ -367,15 +703,20 @@ type checker struct {
 	c      *core.Core
 	m      *emu.Machine
 	window int
+	hart   int  // hart pair index (0 in single-hart sessions)
+	multi  bool // part of a multi-hart session (report labelling)
 
 	commits uint64
-	dirty   map[uint64]struct{} // 64-byte lines written by either model
+	dirty   map[uint64]struct{} // 64-byte lines written by either model (shared across harts)
 	trace   []string            // rolling window of committed instructions
 
-	// Interrupt-delivery bookkeeping (IRQ schedule runs only): each model's
-	// delivery latches its cause here; the next commit — the handler's first
-	// instruction — verifies both delivered the same interrupt and compares
-	// the delivery CSRs.
+	// Interrupt-delivery bookkeeping: each model's delivery latches its
+	// cause here; the next commit — the handler's first instruction —
+	// verifies both delivered the same interrupt and compares the delivery
+	// CSRs. checkIRQ turns the check on (schedule runs and every multi-hart
+	// session); irq is non-nil only when a schedule drives this hart, and
+	// adds the schedule-position compare.
+	checkIRQ   bool
 	irq        *irqArm
 	coreIRQ    bool
 	emuIRQ     bool
@@ -449,7 +790,7 @@ func (k *checker) onCommit(ci core.Commit) {
 	// executing anything) latched emuIRQ; the first commit after delivery —
 	// the handler's first instruction — must see both or neither, the same
 	// cause, and identical post-delivery trap state.
-	if k.irq != nil && (k.coreIRQ || k.emuIRQ) {
+	if k.checkIRQ && (k.coreIRQ || k.emuIRQ) {
 		if k.coreIRQ != k.emuIRQ {
 			k.fail(ci, "irq", fmt.Sprintf("delivery mismatch: core took=%v (cause=%d) emu took=%v (cause=%d)",
 				k.coreIRQ, k.coreCause, k.emuIRQ, k.emuCause))
@@ -459,7 +800,7 @@ func (k *checker) onCommit(ci core.Commit) {
 			k.fail(ci, "irq", fmt.Sprintf("cause: core=%d emu=%d", k.coreCause, k.emuCause))
 			return
 		}
-		if k.irq.coreIdx != k.irq.emuIdx {
+		if k.irq != nil && k.irq.coreIdx != k.irq.emuIdx {
 			k.fail(ci, "irq", fmt.Sprintf("schedule position: core=%d emu=%d", k.irq.coreIdx, k.irq.emuIdx))
 			return
 		}
@@ -571,7 +912,9 @@ func isCycleCSRRead(ci core.Commit) bool {
 
 // compareMemory checks every 64-byte line either model has written. It is
 // only sound at scalar store/AMO commits and at halt (see the package
-// comment for why vector-store commits are excluded).
+// comment for why vector-store commits are excluded). In multi-hart sessions
+// the dirty set spans every hart — sound because the memories are shared and
+// both worlds apply stores in the same global commit order.
 func (k *checker) compareMemory(ci core.Commit) {
 	for line := range k.dirty {
 		base := line << 6
@@ -675,7 +1018,11 @@ func (k *checker) pushTrace(ci core.Commit) {
 // report renders the first divergence with its commit-trace window.
 func (k *checker) report() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "cosim divergence: kind=%s commit=%d pc=%#x\n", k.kind, k.failCommit, k.failPC)
+	if k.multi {
+		fmt.Fprintf(&b, "cosim divergence: hart=%d kind=%s commit=%d pc=%#x\n", k.hart, k.kind, k.failCommit, k.failPC)
+	} else {
+		fmt.Fprintf(&b, "cosim divergence: kind=%s commit=%d pc=%#x\n", k.kind, k.failCommit, k.failPC)
+	}
 	if k.failInst.Op != 0 {
 		fmt.Fprintf(&b, "  inst: %s\n", k.failInst.String())
 	}

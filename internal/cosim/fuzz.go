@@ -67,10 +67,20 @@ func FuzzContext(ctx context.Context, seed int64, nSegs int, opts Options) FuzzR
 		nSegs = 40
 	}
 	fr := FuzzResult{Seed: seed}
-	prog := generate(seed, nSegs, opts.Paged, opts.IRQ)
+	modes := opts.modes()
+	if err := modes.Validate(); err != nil {
+		fr.Err = fmt.Errorf("seed %d: %w", seed, err)
+		return fr
+	}
+	harts := opts.effectiveHarts()
+	prog := generate(seed, nSegs, modes, harts)
 	fr.Source = prog.render(nil)
-	if opts.IRQ {
-		opts.IRQSchedule = prog.irq
+	if modes.IRQ {
+		if harts > 1 {
+			opts.IRQSchedules = prog.irqs
+		} else {
+			opts.IRQSchedule = prog.irq
+		}
 	}
 	p, err := asm.Assemble(fr.Source, asm.Options{Base: 0x1000, Compress: true})
 	if err != nil {
@@ -97,19 +107,26 @@ func GenerateSource(seed int64, nSegs int, opts Options) (string, []IRQEvent) {
 	if nSegs == 0 {
 		nSegs = 40
 	}
-	prog := generate(seed, nSegs, opts.Paged, opts.IRQ)
+	prog := generate(seed, nSegs, opts.modes(), opts.effectiveHarts())
 	return prog.render(nil), prog.irq
 }
 
 // program is a generated test program in shrinkable form: a fixed prologue
 // and epilogue around independent segments that can be dropped one by one.
 type program struct {
-	inits   []string   // register initialization (kept through shrinking)
-	segs    [][]string // independent hazard segments
-	trapEnd bool       // end with ebreak instead of the exit ecall
-	data    []string   // scratch-buffer contents
-	irq     []IRQEvent // interrupt schedule (IRQ mode); implies the handler
+	inits   []string     // register initialization (kept through shrinking)
+	segs    [][]string   // independent hazard segments
+	trapEnd bool         // end with ebreak instead of the exit ecall
+	data    []string     // scratch-buffer contents
+	irq     []IRQEvent   // hart 0's interrupt schedule (IRQ mode); implies the handler
+	irqs    [][]IRQEvent // per-hart schedules (IRQ mode; irqs[0] == irq)
+	smp     bool         // SPMD multi-hart profile; implies the handler
 }
+
+// handler reports whether the program installs the interrupt handler: every
+// scheduled run needs it for delivery, and every SMP run needs it so MSIP
+// IPIs can be taken (and the level-triggered doorbell cleared).
+func (p *program) handler() bool { return p.smp || len(p.irq) > 0 }
 
 // render emits assembly source with the masked-out segments removed
 // (mask==nil keeps everything).
@@ -117,7 +134,7 @@ func (p *program) render(mask []bool) string {
 	var b strings.Builder
 	b.WriteString("_start:\n")
 	b.WriteString("    la x8, buf\n")
-	if len(p.irq) > 0 {
+	if p.handler() {
 		// Install the handler and enable all three machine sources. Only x29
 		// (never in the random pool) is clobbered, before its first use.
 		b.WriteString("    la x29, irq_handler\n")
@@ -144,7 +161,7 @@ func (p *program) render(mask []bool) string {
 	} else {
 		b.WriteString("    li x17, 93\n    li x10, 0\n    ecall\n")
 	}
-	if len(p.irq) > 0 {
+	if p.handler() {
 		// The handler is transparent up to its trace in the buffer tail: x29
 		// is preserved through mscratch, mcause/mepc and a delivery counter
 		// are logged where random stores may also land (both models see the
@@ -155,6 +172,9 @@ func (p *program) render(mask []bool) string {
 		// would vector into the middle of the preceding instruction.
 		b.WriteString(".align 2\nirq_handler:\n")
 		b.WriteString("    csrw mscratch, x29\n")
+		if p.smp {
+			b.WriteString("    csrw sscratch, x30\n")
+		}
 		b.WriteString("    csrr x29, mcause\n")
 		b.WriteString("    sd x29, 2024(x8)\n")
 		b.WriteString("    csrr x29, mepc\n")
@@ -162,6 +182,19 @@ func (p *program) render(mask []bool) string {
 		b.WriteString("    ld x29, 2040(x8)\n")
 		b.WriteString("    addi x29, x29, 1\n")
 		b.WriteString("    sd x29, 2040(x8)\n")
+		if p.smp {
+			// Drop this hart's MSIP doorbell: the CLINT source is level-
+			// triggered, so an un-cleared IPI would re-deliver forever after
+			// mret. x30 rides through sscratch (x29 is already in mscratch);
+			// both models run the handler, so the sscratch clobber compares
+			// clean like any other architectural effect.
+			b.WriteString("    csrr x29, mhartid\n")
+			b.WriteString("    slli x29, x29, 2\n")
+			b.WriteString("    li x30, 33554432\n") // 0x02000000: CLINT msip base
+			b.WriteString("    add x29, x29, x30\n")
+			b.WriteString("    sw x0, 0(x29)\n")
+			b.WriteString("    csrr x30, sscratch\n")
+		}
 		b.WriteString("    csrr x29, mscratch\n")
 		b.WriteString("    mret\n")
 	}
@@ -179,6 +212,8 @@ type gen struct {
 	lastDest string // RAW-chain bias: last integer destination written
 	paged    bool   // S-mode/SV39 profile: alias-window segments enabled
 	irq      bool   // interrupt-injection profile: WFI/MIE-toggle segments
+	smp      bool   // SPMD multi-hart profile: cross-hart contention segments
+	harts    int    // hart count the SMP segments target (IPI wrap-around)
 }
 
 func (g *gen) reg() string  { return fmt.Sprintf("x%d", gpPool[g.rng.Intn(len(gpPool))]) }
@@ -202,9 +237,16 @@ func (g *gen) newLabel(stem string) string {
 	return fmt.Sprintf("%s_%d", stem, g.label)
 }
 
-func generate(seed int64, nSegs int, paged, irq bool) *program {
-	g := &gen{rng: rand.New(rand.NewSource(seed)), paged: paged, irq: irq}
-	p := &program{trapEnd: !irq && g.rng.Intn(10) == 0}
+func generate(seed int64, nSegs int, modes Modes, harts int) *program {
+	if harts < 1 {
+		harts = 1
+	}
+	g := &gen{rng: rand.New(rand.NewSource(seed)), paged: modes.Paged, irq: modes.IRQ,
+		smp: modes.SMP, harts: harts}
+	// trapEnd is incompatible with an installed handler (ebreak would vector
+	// into it and mret back onto itself forever), so IRQ and SMP programs
+	// always end on the exit ecall.
+	p := &program{smp: modes.SMP, trapEnd: !modes.IRQ && !modes.SMP && g.rng.Intn(10) == 0}
 	for _, r := range gpPool {
 		p.inits = append(p.inits, fmt.Sprintf("    li x%d, %d", r, int64(g.rng.Uint64())))
 	}
@@ -218,8 +260,14 @@ func generate(seed int64, nSegs int, paged, irq bool) *program {
 		p.data = append(p.data, fmt.Sprintf("    .dword %d, %d, %d, %d",
 			int64(g.rng.Uint64()), int64(g.rng.Uint64()), int64(g.rng.Uint64()), int64(g.rng.Uint64())))
 	}
-	if irq {
-		p.irq = g.schedule(nSegs)
+	if modes.IRQ {
+		// One schedule per hart, drawn in hart order from the same stream
+		// (hart 0's draw matches the single-hart stream exactly).
+		p.irqs = make([][]IRQEvent, harts)
+		for h := 0; h < harts; h++ {
+			p.irqs[h] = g.schedule(nSegs)
+		}
+		p.irq = p.irqs[0]
 	}
 	return p
 }
@@ -245,8 +293,15 @@ func (g *gen) schedule(nSegs int) []IRQEvent {
 	return evs
 }
 
-// segment emits one self-contained hazard segment.
+// segment emits one self-contained hazard segment. The SMP profile swaps the
+// segments that are unsound across harts for scalar equivalents: vector
+// stores write memory at execute time (a remote hart would see them out of
+// commit order), and cross-hart self-modifying code has no defined coherence
+// point in the model.
 func (g *gen) segment() []string {
+	if g.smp && g.rng.Intn(3) == 0 {
+		return g.segSMP()
+	}
 	if g.paged && g.rng.Intn(12) == 0 {
 		return g.segPaged()
 	}
@@ -275,8 +330,14 @@ func (g *gen) segment() []string {
 	case r < 93:
 		return g.segCustom()
 	case r < 96:
+		if g.smp {
+			return g.segMem()
+		}
 		return g.segSMC()
 	default:
+		if g.smp {
+			return g.segALU()
+		}
 		return g.segVector()
 	}
 }
@@ -434,6 +495,142 @@ func (g *gen) segAMO() []string {
 	return []string{
 		fmt.Sprintf("    addi x29, x8, %d", off),
 		fmt.Sprintf("    %s%s %s, %s, (x29)", amoOps[g.rng.Intn(len(amoOps))], suffix, rd, g.src()),
+	}
+}
+
+// SMP contention layout inside the shared data buffer. All harts run the same
+// program (SPMD), so any buffer offset is automatically contended; these slots
+// concentrate the traffic. The contention line (buf+1920..1983) and the
+// producer/consumer line (buf+1856..1919, data and flag on the SAME line so
+// the fence, not the coherence order, is what the test exercises) both stay
+// clear of the handler trace slots at 2024/2032/2040.
+const (
+	smpLine     = 1920
+	smpDataSlot = 1856
+	smpFlagSlot = 1864
+)
+
+// distinct picks n distinct pool registers (deterministic rng consumption).
+func (g *gen) distinct(n int) []string {
+	idx := g.rng.Perm(len(gpPool))[:n]
+	out := make([]string, n)
+	for i, j := range idx {
+		out[i] = fmt.Sprintf("x%d", gpPool[j])
+	}
+	return out
+}
+
+// segSMP picks one cross-hart contention segment.
+func (g *gen) segSMP() []string {
+	switch g.rng.Intn(4) {
+	case 0:
+		return g.segSMPLRSC()
+	case 1:
+		return g.segSMPAMO()
+	case 2:
+		return g.segSMPProdCons()
+	default:
+		return g.segSMPIPI()
+	}
+}
+
+// segSMPLRSC is an LR/SC retry loop on the shared contention line: every hart
+// ping-pongs ownership of one cache line, so SC failures, reservation kills by
+// remote stores and the resulting retries are all exercised. The retry count
+// is bounded so a pathological interleaving cannot livelock the program.
+func (g *gen) segSMPLRSC() []string {
+	w := g.rng.Intn(2) == 0
+	suffix, align := ".d", 8
+	if w {
+		suffix, align = ".w", 4
+	}
+	regs := g.distinct(3)
+	rd, ok, cnt := regs[0], regs[1], regs[2]
+	off := smpLine + g.rng.Intn(64)&^(align-1)
+	retry := g.newLabel("smp_retry")
+	done := g.newLabel("smp_done")
+	g.lastDest = rd
+	return []string{
+		fmt.Sprintf("    li %s, %d", cnt, 2+g.rng.Intn(4)),
+		fmt.Sprintf("    addi x29, x8, %d", off),
+		retry + ":",
+		fmt.Sprintf("    lr%s %s, (x29)", suffix, rd),
+		fmt.Sprintf("    addi %s, %s, 1", rd, rd),
+		fmt.Sprintf("    sc%s %s, %s, (x29)", suffix, ok, rd),
+		fmt.Sprintf("    beqz %s, %s", ok, done),
+		fmt.Sprintf("    addi %s, %s, -1", cnt, cnt),
+		fmt.Sprintf("    bnez %s, %s", cnt, retry),
+		done + ":",
+	}
+}
+
+// segSMPAMO hammers the shared contention line with one atomic op: AMOs from
+// different harts to the same line force exclusive-ownership migration at
+// every retirement.
+func (g *gen) segSMPAMO() []string {
+	w := g.rng.Intn(2) == 0
+	suffix, align := ".d", 8
+	if w {
+		suffix, align = ".w", 4
+	}
+	off := smpLine + g.rng.Intn(64)&^(align-1)
+	rd := g.reg()
+	g.lastDest = rd
+	return []string{
+		fmt.Sprintf("    addi x29, x8, %d", off),
+		fmt.Sprintf("    %s%s %s, %s, (x29)", amoOps[g.rng.Intn(len(amoOps))], suffix, rd, g.src()),
+	}
+}
+
+// segSMPProdCons is a fence-ordered producer/consumer handshake: hart 0
+// publishes a value then raises a non-zero flag behind a fence; every other
+// hart polls the flag ONCE (no spin — lock-step pacing makes arrival
+// unpredictable and a spin could livelock) and, if raised, fences and reads
+// the data back. Both worlds observe the same memory at the same commit
+// boundaries, so the loaded pair must match — a reordered store pair in the
+// pipeline world diverges here.
+func (g *gen) segSMPProdCons() []string {
+	regs := g.distinct(3)
+	t, d, f := regs[0], regs[1], regs[2]
+	cons := g.newLabel("smp_cons")
+	done := g.newLabel("smp_pc_done")
+	g.lastDest = d
+	return []string{
+		fmt.Sprintf("    csrr %s, mhartid", t),
+		fmt.Sprintf("    bnez %s, %s", t, cons),
+		fmt.Sprintf("    li %s, %d", d, int64(g.rng.Uint64())),
+		fmt.Sprintf("    sd %s, %d(x8)", d, smpDataSlot),
+		"    fence",
+		fmt.Sprintf("    li %s, %d", f, 1+g.rng.Intn(255)),
+		fmt.Sprintf("    sd %s, %d(x8)", f, smpFlagSlot),
+		fmt.Sprintf("    beq x0, x0, %s", done),
+		cons + ":",
+		fmt.Sprintf("    ld %s, %d(x8)", f, smpFlagSlot),
+		fmt.Sprintf("    beqz %s, %s", f, done),
+		"    fence",
+		fmt.Sprintf("    ld %s, %d(x8)", d, smpDataSlot),
+		done + ":",
+	}
+}
+
+// segSMPIPI sends a machine-software IPI by storing to a CLINT msip doorbell:
+// the target is (mhartid + hop) mod harts, so harts ring each other and
+// sometimes themselves. The handler (render installs it for every SMP
+// program) clears the doorbell, so delivery is level-triggered but finite.
+func (g *gen) segSMPIPI() []string {
+	regs := g.distinct(2)
+	t, v := regs[0], regs[1]
+	hop := g.rng.Intn(g.harts)
+	return []string{
+		"    csrr x29, mhartid",
+		fmt.Sprintf("    addi x29, x29, %d", hop),
+		fmt.Sprintf("    li %s, %d", t, g.harts),
+		fmt.Sprintf("    remu x29, x29, %s", t),
+		"    slli x29, x29, 2",
+		fmt.Sprintf("    li %s, 33554432", t), // CLINT msip base 0x0200_0000
+		fmt.Sprintf("    add x29, x29, %s", t),
+		fmt.Sprintf("    li %s, 1", v),
+		fmt.Sprintf("    sw %s, 0(x29)", v),
 	}
 }
 

@@ -1,0 +1,68 @@
+package cosim
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Modes is the composable run/fuzz mode set shared by the cosim library and
+// every campaign CLI: each flag turns on one program profile and the session
+// wiring it needs. Modes replaces the old independent Paged/IRQ booleans so a
+// single `-modes paged,irq` style spec can express every legal combination
+// and the legality rules live in exactly one place (Validate).
+type Modes struct {
+	// Paged boots programs in S-mode under SV39 (see Options.Paged).
+	Paged bool
+	// IRQ generates interrupt-driven programs with deterministic per-seed
+	// mip schedules (see Options.IRQ).
+	IRQ bool
+	// SMP runs the program SPMD on multiple lock-step hart pairs with
+	// cross-hart contention segments and the store-order oracle.
+	SMP bool
+}
+
+// ParseModes parses a comma-separated mode spec ("", "irq", "smp,irq", ...)
+// and validates the combination.
+func ParseModes(spec string) (Modes, error) {
+	var m Modes
+	for _, f := range strings.Split(spec, ",") {
+		switch strings.TrimSpace(f) {
+		case "":
+		case "paged":
+			m.Paged = true
+		case "irq":
+			m.IRQ = true
+		case "smp":
+			m.SMP = true
+		default:
+			return Modes{}, fmt.Errorf("unknown mode %q (valid: paged, irq, smp)", strings.TrimSpace(f))
+		}
+	}
+	return m, m.Validate()
+}
+
+// Validate rejects mode combinations the models cannot support.
+func (m Modes) Validate() error {
+	if m.Paged && m.IRQ {
+		return fmt.Errorf("modes paged and irq cannot be combined (interrupt CSR traffic is M-mode)")
+	}
+	if m.Paged && m.SMP {
+		return fmt.Errorf("modes paged and smp cannot be combined (the SMP profile runs M-mode physical)")
+	}
+	return nil
+}
+
+// String renders the spec back in canonical order ("" for the empty set).
+func (m Modes) String() string {
+	var parts []string
+	if m.Paged {
+		parts = append(parts, "paged")
+	}
+	if m.IRQ {
+		parts = append(parts, "irq")
+	}
+	if m.SMP {
+		parts = append(parts, "smp")
+	}
+	return strings.Join(parts, ",")
+}

@@ -89,6 +89,21 @@ type Machine struct {
 	// OnInterrupt observes every taken machine interrupt with its cause
 	// (co-simulation delivery checking).
 	OnInterrupt func(cause uint64)
+
+	// MMIO, when set, claims physical address ranges for devices (the
+	// multi-hart cosimulator wires the emulator-side CLINT here so MSIP
+	// IPIs work in the golden world too). Device accesses bypass memory,
+	// the LR/SC reservation and OnStore, mirroring the pipeline's
+	// uncached-device path.
+	MMIO MMIODevice
+}
+
+// MMIODevice is a memory-mapped device window (structurally identical to the
+// core package's interface; redeclared here because core imports emu).
+type MMIODevice interface {
+	Covers(pa uint64) bool
+	Read(pa uint64, size int) uint64
+	Write(pa uint64, size int, v uint64)
 }
 
 type stlbEntry struct {
@@ -252,6 +267,9 @@ func (m *Machine) load(va uint64, size int) (uint64, error) {
 	if err != nil {
 		return 0, err
 	}
+	if m.MMIO != nil && m.MMIO.Covers(pa) {
+		return m.MMIO.Read(pa, size), nil
+	}
 	return m.Mem.Read(pa, size), nil
 }
 
@@ -259,6 +277,10 @@ func (m *Machine) store(va uint64, size int, v uint64) error {
 	pa, err := m.translate(va, mmu.AccStore)
 	if err != nil {
 		return err
+	}
+	if m.MMIO != nil && m.MMIO.Covers(pa) {
+		m.MMIO.Write(pa, size, v)
+		return nil
 	}
 	m.Mem.Write(pa, size, v)
 	// Any store that touches the reserved line invalidates an LR/SC
@@ -277,6 +299,16 @@ func (m *Machine) store(va uint64, size int, v uint64) error {
 // Reservation exposes the LR/SC reservation state for co-simulation.
 func (m *Machine) Reservation() (valid bool, addr uint64) {
 	return m.resValid, m.resAddr
+}
+
+// KillReservation drops the reservation when a write to [pa, pa+size) touches
+// the reserved 64-byte granule. The multi-hart cosimulator broadcasts every
+// emulator's store here so a remote hart's write invalidates this hart's LR/SC
+// reservation exactly as the coherence fabric does in the pipeline world.
+func (m *Machine) KillReservation(pa uint64, size int) {
+	if m.resValid && pa>>6 == m.resAddr>>6 {
+		m.resValid = false
+	}
 }
 
 // Fetch decodes the instruction at va.

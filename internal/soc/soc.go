@@ -173,14 +173,17 @@ func (s *System) broadcastTLB(op isa.Op, operand uint64, from int) {
 }
 
 // killReservations invalidates other harts' LR/SC reservations covering a
-// committed write (the coherence invalidation a real SC relies on), and
-// drops their predecoded instructions over the written range so cross-core
-// self-modifying code stays exact.
+// committed write (the coherence invalidation a real SC relies on), drops
+// their predecoded instructions over the written range so cross-core
+// self-modifying code stays exact, and squashes their speculatively-executed
+// overlapping loads (the snoop-triggered machine clear that keeps a stale
+// value from committing after a remote store).
 func (s *System) killReservations(pa uint64, size int, from int) {
 	for _, c := range s.Cores {
 		if c.ID != from {
 			c.KillReservation(pa, size)
 			c.InvalidatePredecode(pa, size)
+			c.SquashCoherentLoads(pa, size)
 		}
 	}
 }

@@ -11,7 +11,8 @@
 //	prog, _ := xt910.Assemble(src, xt910.AsmOptions{})
 //	sys.LoadProgram(prog)
 //	sys.Run(10_000_000)
-//	fmt.Println(sys.ExitCode(0), sys.Stats(0).IPC())
+//	h := sys.Hart(0)
+//	fmt.Println(h.ExitCode(), h.Stats().IPC())
 package xt910
 
 import (
@@ -144,7 +145,75 @@ func (s *System) Run(maxCycles uint64) uint64 {
 	return s.System.Run(maxCycles)
 }
 
-// hart returns hart i's core, or nil when i is out of range — accessors below
+// Hart is a handle on one hardware thread of a System. It is the unit of
+// per-hart inspection: a multi-hart program is examined hart by hart rather
+// than by threading an index through every System accessor:
+//
+//	for i := 0; i < sys.Harts(); i++ {
+//		h := sys.Hart(i)
+//		fmt.Printf("hart %d: exit=%d ipc=%.2f\n", h.ID(), h.ExitCode(), h.Stats().IPC())
+//	}
+//
+// A Hart is a cheap value (copy it freely) and stays valid for the lifetime
+// of its System. The handle for an out-of-range index is still usable: every
+// accessor degrades to a zero value instead of panicking.
+type Hart struct {
+	id int
+	c  *core.Core
+}
+
+// Hart returns the handle for hart i. An out-of-range i yields a degraded
+// handle whose accessors return zero values.
+func (s *System) Hart(i int) Hart { return Hart{id: i, c: s.hart(i)} }
+
+// Harts returns the number of harts in the system (cores per cluster times
+// clusters).
+func (s *System) Harts() int { return len(s.Cores) }
+
+// ID returns the hart index this handle was created with.
+func (h Hart) ID() int { return h.id }
+
+// Core returns the hart's core model (predictors, caches, MMU, counters), or
+// nil for a degraded handle.
+func (h Hart) Core() *core.Core { return h.c }
+
+// ExitCode returns the hart's exit status (valid after it halts); 0 for a
+// degraded handle.
+func (h Hart) ExitCode() int {
+	if h.c != nil {
+		return h.c.ExitCode
+	}
+	return 0
+}
+
+// Output returns the bytes the hart wrote through the host write syscall;
+// nil for a degraded handle.
+func (h Hart) Output() []byte {
+	if h.c != nil {
+		return h.c.Output
+	}
+	return nil
+}
+
+// Stats returns the hart's performance counters; zeroed counters for a
+// degraded handle (never nil, so chained calls like Stats().IPC() are always
+// safe).
+func (h Hart) Stats() *Stats {
+	if h.c != nil {
+		return &h.c.Stats
+	}
+	return &Stats{}
+}
+
+// Reg reads the hart's architectural register r; 0 for a degraded handle.
+func (h Hart) Reg(r isa.Reg) uint64 {
+	if h.c != nil {
+		return h.c.Reg(r)
+	}
+	return 0
+}
+
+// hart returns hart i's core, or nil when i is out of range — Hart handles
 // degrade to zero values instead of panicking on a bad hart index.
 func (s *System) hart(i int) *core.Core {
 	if i < 0 || i >= len(s.Cores) {
@@ -153,45 +222,30 @@ func (s *System) hart(i int) *core.Core {
 	return s.Cores[i]
 }
 
-// Core returns hart i's core model (predictors, caches, MMU, counters), or
-// nil when i is out of range.
-func (s *System) Core(i int) *core.Core { return s.hart(i) }
+// Core returns hart i's core model, or nil when i is out of range.
+//
+// Deprecated: use Hart(i).Core().
+func (s *System) Core(i int) *core.Core { return s.Hart(i).Core() }
 
-// ExitCode returns hart i's exit status (valid after it halts); 0 for an
-// out-of-range hart.
-func (s *System) ExitCode(i int) int {
-	if c := s.hart(i); c != nil {
-		return c.ExitCode
-	}
-	return 0
-}
+// ExitCode returns hart i's exit status.
+//
+// Deprecated: use Hart(i).ExitCode().
+func (s *System) ExitCode(i int) int { return s.Hart(i).ExitCode() }
 
-// Output returns the bytes hart i wrote through the host write syscall; nil
-// for an out-of-range hart.
-func (s *System) Output(i int) []byte {
-	if c := s.hart(i); c != nil {
-		return c.Output
-	}
-	return nil
-}
+// Output returns the bytes hart i wrote through the host write syscall.
+//
+// Deprecated: use Hart(i).Output().
+func (s *System) Output(i int) []byte { return s.Hart(i).Output() }
 
-// Stats returns hart i's performance counters; zeroed counters for an
-// out-of-range hart (never nil, so chained calls like Stats(i).IPC() are
-// always safe).
-func (s *System) Stats(i int) *Stats {
-	if c := s.hart(i); c != nil {
-		return &c.Stats
-	}
-	return &Stats{}
-}
+// Stats returns hart i's performance counters.
+//
+// Deprecated: use Hart(i).Stats().
+func (s *System) Stats(i int) *Stats { return s.Hart(i).Stats() }
 
-// Reg reads hart i's architectural register; 0 for an out-of-range hart.
-func (s *System) Reg(hart int, r isa.Reg) uint64 {
-	if c := s.hart(hart); c != nil {
-		return c.Reg(r)
-	}
-	return 0
-}
+// Reg reads hart i's architectural register.
+//
+// Deprecated: use Hart(i).Reg(r).
+func (s *System) Reg(hart int, r isa.Reg) uint64 { return s.Hart(hart).Reg(r) }
 
 // Tracer is the per-hart pipeline observability hook set: per-µop lifecycle
 // tracing (Konata/JSONL) plus the always-on top-down CPI stack. Attach one to

@@ -39,13 +39,14 @@ func TestPublicAPIRoundTrip(t *testing.T) {
 		t.Fatal("system did not halt")
 	}
 	want := 64 * 65 / 2
-	if sys.ExitCode(0) != want {
-		t.Fatalf("exit = %d, want %d", sys.ExitCode(0), want)
+	h := sys.Hart(0)
+	if h.ExitCode() != want {
+		t.Fatalf("exit = %d, want %d", h.ExitCode(), want)
 	}
-	if sys.Stats(0).IPC() <= 0 {
+	if h.Stats().IPC() <= 0 {
 		t.Fatal("stats empty")
 	}
-	if sys.Reg(0, isa.A0) != uint64(want) {
+	if h.Reg(isa.A0) != uint64(want) {
 		t.Fatal("register readback")
 	}
 
@@ -86,8 +87,17 @@ _start:
 		t.Fatal(err)
 	}
 	sys.Run(100000)
-	if sys.ExitCode(0) != 0 || sys.ExitCode(1) != 1 {
-		t.Fatalf("hart ids: %d, %d", sys.ExitCode(0), sys.ExitCode(1))
+	if sys.Harts() != 2 {
+		t.Fatalf("Harts() = %d, want 2", sys.Harts())
+	}
+	for i := 0; i < sys.Harts(); i++ {
+		h := sys.Hart(i)
+		if h.ID() != i {
+			t.Fatalf("Hart(%d).ID() = %d", i, h.ID())
+		}
+		if h.ExitCode() != i {
+			t.Fatalf("hart %d exit = %d, want the hart id", i, h.ExitCode())
+		}
 	}
 }
 
@@ -132,8 +142,8 @@ func TestRunContext(t *testing.T) {
 		if cycles == 0 || !sys.AllHalted() {
 			t.Fatalf("cycles=%d halted=%v", cycles, sys.AllHalted())
 		}
-		if sys.ExitCode(0) != 64*65/2 {
-			t.Fatalf("exit = %d", sys.ExitCode(0))
+		if sys.Hart(0).ExitCode() != 64*65/2 {
+			t.Fatalf("exit = %d", sys.Hart(0).ExitCode())
 		}
 	})
 
@@ -229,28 +239,41 @@ func TestHartIndexValidation(t *testing.T) {
 	sys.Run(1_000_000)
 
 	for _, bad := range []int{-1, 1, 64} {
-		if sys.Core(bad) != nil {
-			t.Fatalf("Core(%d) must be nil", bad)
+		h := sys.Hart(bad)
+		if h.Core() != nil {
+			t.Fatalf("Hart(%d).Core() must be nil", bad)
 		}
-		if got := sys.ExitCode(bad); got != 0 {
-			t.Fatalf("ExitCode(%d) = %d, want 0", bad, got)
+		if got := h.ExitCode(); got != 0 {
+			t.Fatalf("Hart(%d).ExitCode() = %d, want 0", bad, got)
 		}
-		if got := sys.Output(bad); got != nil {
-			t.Fatalf("Output(%d) = %v, want nil", bad, got)
+		if got := h.Output(); got != nil {
+			t.Fatalf("Hart(%d).Output() = %v, want nil", bad, got)
 		}
-		st := sys.Stats(bad)
+		st := h.Stats()
 		if st == nil {
-			t.Fatalf("Stats(%d) must never be nil", bad)
+			t.Fatalf("Hart(%d).Stats() must never be nil", bad)
 		}
 		if st.IPC() != 0 {
-			t.Fatalf("Stats(%d) must be zeroed", bad)
+			t.Fatalf("Hart(%d).Stats() must be zeroed", bad)
 		}
-		if got := sys.Reg(bad, isa.A0); got != 0 {
-			t.Fatalf("Reg(%d) = %d, want 0", bad, got)
+		if got := h.Reg(isa.A0); got != 0 {
+			t.Fatalf("Hart(%d).Reg() = %d, want 0", bad, got)
 		}
 	}
 	// the valid hart still reads through
-	if sys.Core(0) == nil || sys.ExitCode(0) != 64*65/2 || sys.Stats(0).IPC() <= 0 {
+	h := sys.Hart(0)
+	if h.Core() == nil || h.ExitCode() != 64*65/2 || h.Stats().IPC() <= 0 {
 		t.Fatal("valid hart accessors broken by bounds checking")
+	}
+	// the deprecated index-parameter wrappers must keep answering through the
+	// same handles until they are removed
+	if sys.Core(0) != h.Core() || sys.ExitCode(0) != h.ExitCode() ||
+		sys.Stats(0).Retired != h.Stats().Retired ||
+		sys.Reg(0, isa.A0) != h.Reg(isa.A0) {
+		t.Fatal("deprecated wrappers diverge from Hart handles")
+	}
+	if sys.Core(-1) != nil || sys.ExitCode(99) != 0 || sys.Output(99) != nil ||
+		sys.Stats(99) == nil || sys.Reg(99, isa.A0) != 0 {
+		t.Fatal("deprecated wrappers lost their bounds degradation")
 	}
 }
