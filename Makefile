@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke fuzz-paged-smoke fuzz-irq-smoke fuzz-smp-smoke inject-smoke trace-smoke tier1 bench xtbench clean
+.PHONY: all build vet test race fuzz-smoke fuzz-paged-smoke fuzz-irq-smoke fuzz-smp-smoke inject-smoke trace-smoke bench-track tier1 bench xtbench clean
 
 all: tier1
 
@@ -84,10 +84,19 @@ trace-smoke:
 	cmp $(TRACE_SMOKE_DIR)/a.jsonl $(TRACE_SMOKE_DIR)/b.jsonl
 	@rm -rf $(TRACE_SMOKE_DIR)
 
+# bench-track runs the quick reproduction sweep and reports each experiment's
+# host-MIPS against the checked-in baseline (BENCH_PR7.json). It is a smoke,
+# not a perf gate: it fails only when the JSON schema breaks or a simulating
+# experiment stops reporting instruction throughput — speed deltas between
+# hosts are expected and only logged. Refresh the baseline on a perf-relevant
+# change with: $(GO) run ./cmd/xtbench -quick -json > BENCH_PR7.json
+bench-track:
+	$(GO) run ./cmd/xtbench -quick -json -track BENCH_PR7.json > /dev/null
+
 # tier1 is the required bar for every change: everything compiles, vet is
 # clean, the full suite passes with the race detector enabled, the
-# co-simulation smoke sweep finds no divergence, and the trace subsystem's
-# smoke checks hold.
+# co-simulation smoke sweep finds no divergence, the trace subsystem's
+# smoke checks hold, and the host-speed tracking stream stays well-formed.
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -98,6 +107,7 @@ tier1:
 	$(MAKE) fuzz-smp-smoke
 	$(MAKE) inject-smoke
 	$(MAKE) trace-smoke
+	$(MAKE) bench-track
 
 # bench regenerates the paper's tables/figures as testing.B benchmarks.
 bench:

@@ -45,6 +45,11 @@ type jsonResult struct {
 	WallSeconds  float64      `json:"wall_seconds"`
 	SimCycles    uint64       `json:"sim_cycles"`
 	CyclesPerSec float64      `json:"sim_cycles_per_sec"`
+	// SimInstrs and HostMIPS track simulator throughput per experiment:
+	// retired instructions across every run the experiment made, and the
+	// host-MIPS rate they amount to over the experiment's wall time.
+	SimInstrs uint64  `json:"sim_instrs,omitempty"`
+	HostMIPS  float64 `json:"host_mips,omitempty"`
 }
 
 func main() {
@@ -61,10 +66,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quick := fs.Bool("quick", false, "reduced iteration counts")
 	only := fs.String("only", "", "run a single experiment by id")
 	cpistack := fs.Bool("cpistack", false, "attach a pipeline tracer to each run and report its top-down CPI stack")
+	track := fs.String("track", "", "compare host-speed metrics against a prior -json output file (stderr report, no perf gate)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	jsonOut := &cf.JSON
+	if *track != "" && *only != "" {
+		fmt.Fprintln(stderr, "xtbench: -track needs the full experiment sweep (drop -only)")
+		return 2
+	}
 
 	o := bench.Options{Quick: *quick, Jobs: cf.Jobs, Timeout: cf.Timeout, CPIStack: *cpistack}
 	if !*jsonOut {
@@ -73,8 +83,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			if r.Err != nil {
 				status = "FAIL"
 			}
-			fmt.Fprintf(stderr, "xtbench: %-10s %-4s %8.2fs  %12d cycles  %8.2f Mcyc/s\n",
-				r.ID, status, r.Wall.Seconds(), r.Cycles, r.CyclesPerSec()/1e6)
+			fmt.Fprintf(stderr, "xtbench: %-10s %-4s %8.2fs  %12d cycles  %8.2f Mcyc/s  %6.2f MIPS\n",
+				r.ID, status, r.Wall.Seconds(), r.Cycles, r.CyclesPerSec()/1e6, r.MIPS())
 		}
 	}
 
@@ -116,21 +126,29 @@ func run(args []string, stdout, stderr io.Writer) int {
 	}
 
 	rs := bench.RunAll(context.Background(), o)
-	if *jsonOut {
-		out := make([]jsonResult, len(rs))
-		for i, r := range rs {
-			out[i] = jsonResult{
-				ID:           r.ID,
-				WallSeconds:  r.Wall.Seconds(),
-				SimCycles:    r.Cycles,
-				CyclesPerSec: r.CyclesPerSec(),
-			}
-			if r.Err != nil {
-				out[i].Error = r.Err.Error()
-			} else {
-				out[i].Result = r.Value.(*perf.Result)
-			}
+	out := make([]jsonResult, len(rs))
+	for i, r := range rs {
+		out[i] = jsonResult{
+			ID:           r.ID,
+			WallSeconds:  r.Wall.Seconds(),
+			SimCycles:    r.Cycles,
+			CyclesPerSec: r.CyclesPerSec(),
+			SimInstrs:    r.Instrs,
+			HostMIPS:     r.MIPS(),
 		}
+		if r.Err != nil {
+			out[i].Error = r.Err.Error()
+		} else {
+			out[i].Result = r.Value.(*perf.Result)
+		}
+	}
+	if *track != "" {
+		if err := trackReport(stderr, *track, out); err != nil {
+			fmt.Fprintf(stderr, "xtbench: track: %v\n", err)
+			return 1
+		}
+	}
+	if *jsonOut {
 		if rc := emitJSON(stdout, stderr, out); rc != 0 {
 			return rc
 		}
@@ -153,6 +171,60 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 1
 	}
 	return 0
+}
+
+// trackReport compares this run's host-speed metrics against a prior -json
+// output (the checked-in BENCH_PR*.json baseline), printing the per-
+// experiment MIPS trajectory to stderr. It hard-fails only on schema
+// problems — an unreadable baseline, records without ids, or a simulating
+// experiment that reported no throughput (the MIPS plumbing broke). Speed
+// deltas themselves are informational: hosts differ, so there is no perf
+// gate.
+func trackReport(stderr io.Writer, path string, cur []jsonResult) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base []jsonResult
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("%s: no experiments recorded", path)
+	}
+	prior := make(map[string]jsonResult, len(base))
+	for _, b := range base {
+		if b.ID == "" {
+			return fmt.Errorf("%s: record with empty id", path)
+		}
+		prior[b.ID] = b
+	}
+	measured := 0
+	for _, r := range cur {
+		if r.Error != "" {
+			fmt.Fprintf(stderr, "xtbench: track %-10s ERROR %s\n", r.ID, r.Error)
+			continue
+		}
+		if r.SimCycles == 0 {
+			continue // analytic experiment: nothing simulated, nothing to track
+		}
+		if r.SimInstrs == 0 || r.HostMIPS == 0 {
+			return fmt.Errorf("experiment %s simulated %d cycles but reported no instruction throughput (sim_instrs=%d, host_mips=%g)",
+				r.ID, r.SimCycles, r.SimInstrs, r.HostMIPS)
+		}
+		measured++
+		b, ok := prior[r.ID]
+		if !ok || b.HostMIPS == 0 {
+			fmt.Fprintf(stderr, "xtbench: track %-10s %8.2f MIPS  (no baseline)\n", r.ID, r.HostMIPS)
+			continue
+		}
+		fmt.Fprintf(stderr, "xtbench: track %-10s %8.2f MIPS  baseline %8.2f  (%+.1f%%)\n",
+			r.ID, r.HostMIPS, b.HostMIPS, (r.HostMIPS-b.HostMIPS)/b.HostMIPS*100)
+	}
+	if measured == 0 {
+		return fmt.Errorf("no experiment reported host-speed metrics")
+	}
+	return nil
 }
 
 func emitJSON(stdout, stderr io.Writer, v any) int {

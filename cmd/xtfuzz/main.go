@@ -84,6 +84,13 @@ func run(args []string, stdout, stderr io.Writer) int {
 		return 2
 	}
 	opts := cosim.Options{MaxCycles: *cycles, Modes: modes, Harts: *harts, SeedTimeout: cf.Timeout}
+	// the -modes spec alone can be legal while -harts smuggles SMP into an
+	// illegal combination (e.g. -modes paged -harts 2): validate the resolved
+	// Options, not just the parsed spec
+	if err := opts.Validate(); err != nil {
+		fmt.Fprintf(stderr, "xtfuzz: %v\n", err)
+		return 2
+	}
 
 	if *repro != "" {
 		src, err := os.ReadFile(*repro)

@@ -33,6 +33,18 @@ func TestRepro(t *testing.T) {
 	}
 }
 
+func TestHartsModeConflict(t *testing.T) {
+	// -modes paged alone is legal, but -harts 2 implies SMP and paged+smp is
+	// not: this must be a usage error, not a silent paged+SMP run.
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-modes", "paged", "-harts", "2", "-n", "1"}, &out, &errb); rc != 2 {
+		t.Fatalf("exit = %d, want 2\nstderr: %s", rc, errb.String())
+	}
+	if !strings.Contains(errb.String(), "paged") {
+		t.Fatalf("error should name the conflicting mode: %s", errb.String())
+	}
+}
+
 func TestReproMissingFile(t *testing.T) {
 	var out, errb bytes.Buffer
 	if rc := run([]string{"-repro", "/nonexistent/case.s"}, &out, &errb); rc != 2 {

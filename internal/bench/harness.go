@@ -102,6 +102,7 @@ type runResult struct {
 	Cycles  uint64
 	Retired uint64
 	Exit    int
+	Wall    time.Duration // host wall time of the simulation loop
 	Core    *core.Core
 	DRAM    *mem.DRAM
 	CPI     *trace.CPIStack // non-nil when a tracer observed the run
@@ -149,14 +150,17 @@ func runProgram(ctx context.Context, o Options, p *asm.Program, cfg core.Config,
 	}
 	const maxCycles = 2_000_000_000
 	const chunk = 1 << 16
+	start := time.Now()
 	for !c.Halted && c.Stats.Cycles < maxCycles {
 		if err := ctx.Err(); err != nil {
 			sched.AddCycles(ctx, c.Stats.Cycles)
+			sched.AddInstrs(ctx, c.Stats.Retired)
 			return runResult{}, err
 		}
 		c.Run(chunk)
 	}
 	sched.AddCycles(ctx, c.Stats.Cycles)
+	sched.AddInstrs(ctx, c.Stats.Retired)
 	if !c.Halted {
 		return runResult{}, fmt.Errorf("bench: %s (%s): %w", cfg.Name, c.Stats.String(), xterrors.ErrDidNotHalt)
 	}
@@ -164,6 +168,7 @@ func runProgram(ctx context.Context, o Options, p *asm.Program, cfg core.Config,
 		Cycles:  c.Stats.Cycles,
 		Retired: c.Stats.Retired,
 		Exit:    c.ExitCode,
+		Wall:    time.Since(start),
 		Core:    c,
 		DRAM:    dram,
 	}
@@ -191,11 +196,17 @@ func cpiColumn(r runResult) string {
 	return r.CPI.String()
 }
 
-// counterRow copies the run's interrupt-delivery and WFI-park counters onto a
-// table row (they reach xtbench -json; zero values stay omitted).
+// counterRow copies the run's interrupt-delivery and WFI-park counters plus
+// the host-speed figures onto a table row (they reach xtbench -json; zero
+// values stay omitted, and the host-speed fields never enter the formatted
+// tables, which stay byte-identical across hosts and -jobs widths).
 func counterRow(row perf.Row, r runResult) perf.Row {
 	row.Interrupts = r.Core.Stats.Interrupts
 	row.WFIParked = r.Core.Stats.WFIParkedCycles
+	if s := r.Wall.Seconds(); s > 0 {
+		row.HostMIPS = float64(r.Retired) / s / 1e6
+		row.SimCyclesPerSec = float64(r.Cycles) / s
+	}
 	return row
 }
 

@@ -3,8 +3,11 @@ package cliflags
 import (
 	"flag"
 	"io"
+	"strings"
 	"testing"
 	"time"
+
+	"xt910/internal/cosim"
 )
 
 func newFS() *flag.FlagSet {
@@ -67,5 +70,113 @@ func TestModeSpecRejectsIllegal(t *testing.T) {
 	}
 	if _, err := m.Modes(); err == nil {
 		t.Fatal("paged+smp accepted, want error")
+	}
+}
+
+// TestModeSpecAliasMatrix sweeps every deprecated-alias combination against
+// every -modes spec. The contract under test: aliases MERGE into the spec
+// (never overwrite it), and the merged set is what gets validated — so an
+// alias that completes an illegal pair (e.g. -paged with -modes smp) must
+// error rather than silently dropping one of the modes. The legality rule is
+// restated here independently of cosim.Modes.Validate: paged excludes both
+// irq and smp.
+func TestModeSpecAliasMatrix(t *testing.T) {
+	specs := []struct {
+		spec string
+		md   cosim.Modes
+	}{
+		{"", cosim.Modes{}},
+		{"paged", cosim.Modes{Paged: true}},
+		{"irq", cosim.Modes{IRQ: true}},
+		{"smp", cosim.Modes{SMP: true}},
+		{"paged,irq", cosim.Modes{Paged: true, IRQ: true}},
+		{"paged,smp", cosim.Modes{Paged: true, SMP: true}},
+		{"irq,smp", cosim.Modes{IRQ: true, SMP: true}},
+		{"paged,irq,smp", cosim.Modes{Paged: true, IRQ: true, SMP: true}},
+	}
+	for _, aliasPaged := range []bool{false, true} {
+		for _, aliasIRQ := range []bool{false, true} {
+			for _, s := range specs {
+				args := []string{"-modes", s.spec}
+				if aliasPaged {
+					args = append(args, "-paged")
+				}
+				if aliasIRQ {
+					args = append(args, "-irq")
+				}
+				t.Run(strings.Join(args, " "), func(t *testing.T) {
+					var m ModeSpec
+					fs := newFS()
+					m.Register(fs, true)
+					if err := fs.Parse(args); err != nil {
+						t.Fatal(err)
+					}
+					want := cosim.Modes{
+						Paged: s.md.Paged || aliasPaged,
+						IRQ:   s.md.IRQ || aliasIRQ,
+						SMP:   s.md.SMP,
+					}
+					wantErr := want.Paged && (want.IRQ || want.SMP)
+					got, err := m.Modes()
+					if wantErr {
+						if err == nil {
+							t.Fatalf("Modes() = %+v, nil; want error for illegal merge", got)
+						}
+						return
+					}
+					if err != nil {
+						t.Fatalf("Modes() error: %v", err)
+					}
+					if got != want {
+						t.Fatalf("Modes() = %+v, want %+v", got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestSeedAliasLastWins pins the documented rule that when -n and a
+// deprecated alias are both given, the last one parsed wins — in both orders.
+func TestSeedAliasLastWins(t *testing.T) {
+	cases := []struct {
+		args []string
+		want int
+	}{
+		{[]string{"-n", "5", "-seeds", "10"}, 10},
+		{[]string{"-seeds", "10", "-n", "5"}, 5},
+	}
+	for _, c := range cases {
+		var cf Campaign
+		fs := newFS()
+		cf.RegisterSeeds(fs, 100, "seeds")
+		if err := fs.Parse(c.args); err != nil {
+			t.Fatal(err)
+		}
+		if cf.N != c.want {
+			t.Fatalf("%v: N = %d, want %d", c.args, cf.N, c.want)
+		}
+	}
+}
+
+// TestTimeoutAliasLastWins is the same last-wins rule for -timeout/-budget.
+func TestTimeoutAliasLastWins(t *testing.T) {
+	cases := []struct {
+		args []string
+		want time.Duration
+	}{
+		{[]string{"-timeout", "5s", "-budget", "10s"}, 10 * time.Second},
+		{[]string{"-budget", "10s", "-timeout", "5s"}, 5 * time.Second},
+	}
+	for _, c := range cases {
+		var cf Campaign
+		fs := newFS()
+		cf.RegisterTimeout(fs, 0, "watchdog", "budget")
+		if err := fs.Parse(c.args); err != nil {
+			t.Fatal(err)
+		}
+		if cf.Timeout != c.want {
+			t.Fatalf("%v: Timeout = %v, want %v", c.args, cf.Timeout, c.want)
+		}
 	}
 }

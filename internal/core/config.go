@@ -77,6 +77,18 @@ type Config struct {
 	// it never serves stale bytes (invalidated on committed stores and
 	// fence.i), but toggling it may shift TLB access patterns slightly.
 	PredecodeCache bool
+
+	// PredecodeSuperblock extends the predecode cache to straight-line
+	// decoded runs replayed whole (superblock.go). Host-only like the
+	// single-instruction cache, active only while translation is off;
+	// toggling it changes nothing but the Predecode*/Superblock* counters.
+	PredecodeSuperblock bool
+
+	// FastForward enables event-driven cycle skipping in Run (fastforward.go):
+	// windows where provably no pipeline stage can make progress are jumped in
+	// one step, with every per-cycle counter and CPI bucket replicated exactly.
+	// Host-only; Stats are byte-identical with it on or off.
+	FastForward bool
 }
 
 // XT910Config returns the paper's machine: triple-issue decode, 8-slot issue,
@@ -121,7 +133,10 @@ func XT910Config() Config {
 		EnableVector:    true,
 		VLEN:            128,
 		EnableCustomExt: true,
-		PredecodeCache:  true,
+
+		PredecodeCache:      true,
+		PredecodeSuperblock: true,
+		FastForward:         true,
 	}
 }
 

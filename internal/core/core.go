@@ -37,6 +37,10 @@ type Core struct {
 	// nil when Cfg.PredecodeCache is off.
 	predec *predecode
 
+	// sblk caches whole decoded fetch-group walks (superblock.go); nil when
+	// Cfg.PredecodeSuperblock is off.
+	sblk *superblockCache
+
 	// pipeline state
 	now      uint64
 	seq      uint64
@@ -53,6 +57,7 @@ type Core struct {
 
 	fq           []fqEntry
 	fetchPC      uint64
+	fqHead       int // first live fq entry (head-indexed pop, fetch.go)
 	fetchAllowed uint64
 	fetchWait    bool // stalled on an unpredictable jalr / post-flush hold
 
@@ -71,6 +76,10 @@ type Core struct {
 	// guarded by a nil check, so a detached core pays one predictable branch
 	// per event point and nothing else.
 	tr *trace.Tracer
+	// ffSkippedCycles counts cycles elided by fast-forward. Host-side
+	// observability only — deliberately kept out of Stats so the byte-identity
+	// contract covers the whole Stats struct.
+	ffSkippedCycles uint64
 	// badSpecUntil marks the recovery window after a misprediction or
 	// memory-order squash; empty-ROB cycles inside it are attributed to the
 	// bad-speculation CPI bucket rather than frontend-bound.
@@ -228,6 +237,9 @@ func New(cfg Config, id int, memory *mem.Memory, l2 *coherence.L2) *Core {
 	if cfg.PredecodeCache {
 		c.predec = newPredecode()
 	}
+	if cfg.PredecodeSuperblock {
+		c.sblk = newSuperblockCache()
+	}
 	return c
 }
 
@@ -241,6 +253,9 @@ func (c *Core) Reset(pc, sp uint64) {
 	if c.predec != nil {
 		c.predec.flush()
 	}
+	if c.sblk != nil {
+		c.sblk.flush()
+	}
 }
 
 // InvalidatePredecode drops cached decodes covering [pa, pa+size). The SoC
@@ -249,6 +264,9 @@ func (c *Core) Reset(pc, sp uint64) {
 func (c *Core) InvalidatePredecode(pa uint64, size int) {
 	if c.predec != nil {
 		c.predec.invalidate(pa, size)
+	}
+	if c.sblk != nil {
+		c.sblk.invalidate(pa, size)
 	}
 }
 
@@ -431,9 +449,19 @@ func (c *Core) cycleClass(retired uint64) trace.CycleClass {
 	return trace.CycleBackendCore
 }
 
-// Run steps until halt or maxCycles.
+// Run steps until halt or maxCycles. With Config.FastForward it jumps over
+// provably inert stall windows (fastforward.go) instead of stepping them;
+// interactive drivers (cosim sessions, the SoC's lock-step loop) call Step
+// directly and are unaffected.
 func (c *Core) Run(maxCycles uint64) {
-	for i := uint64(0); i < maxCycles && !c.Halted; i++ {
+	target := c.now + maxCycles
+	if target < c.now {
+		target = ^uint64(0) // saturate: callers pass huge budgets
+	}
+	for !c.Halted && c.now < target {
+		if c.Cfg.FastForward && c.ffSkip(target) {
+			continue
+		}
 		c.Step()
 	}
 }

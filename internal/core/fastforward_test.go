@@ -1,0 +1,168 @@
+package core
+
+import (
+	"testing"
+
+	"xt910/internal/asm"
+	"xt910/internal/cache"
+	"xt910/internal/coherence"
+	"xt910/internal/mem"
+	"xt910/internal/trace"
+)
+
+// ffStallProgram leans on every stall source the fast-forward path must
+// model: cache-missing strided loads, the unpipelined divider, dependent FP
+// latency chains, split stores, and a data-dependent branch the predictor
+// gets wrong often enough to exercise recovery windows.
+const ffStallProgram = `
+_start:
+    li   t0, 400
+    li   a0, 0
+    li   a1, 0x20000
+    li   a2, 0
+    fcvt.d.w fa0, t0
+    fcvt.d.w fa1, a0
+loop:
+    slli t1, a2, 8          # 256-byte stride: L1D misses
+    add  t1, t1, a1
+    ld   t2, 0(t1)
+    add  a0, a0, t2
+    divu t3, a0, t0         # unpipelined divider stall
+    sd   t3, 8(t1)
+    fmul.d fa1, fa1, fa0    # dependent FP chain
+    fadd.d fa1, fa1, fa0
+    andi t4, a0, 7          # data-dependent branch
+    beqz t4, skip
+    addi a0, a0, 1
+skip:
+    addi a2, a2, 1
+    addi t0, t0, -1
+    bnez t0, loop
+    andi a0, a0, 255
+    li   a7, 93
+    ecall
+`
+
+// ffChaseProgram serializes the whole machine: each load's address depends
+// on the previous load's result (the loads return 0, so the 4 KiB stride
+// keeps missing cold lines), and the unpipelined divider sits on the same
+// chain. Once the ROB fills, nearly every cycle is a head-stall window the
+// fast-forward path should elide.
+const ffChaseProgram = `
+_start:
+    li   t0, 150
+    li   a1, 0x40000
+    li   a0, 0
+loop:
+    ld   t2, 0(a1)
+    add  a1, a1, t2
+    divu t3, a1, t0
+    add  a0, a0, t3
+    addi a1, a1, 2040
+    addi a1, a1, 2040
+    addi t0, t0, -1
+    bnez t0, loop
+    andi a0, a0, 255
+    li   a7, 93
+    ecall
+`
+
+// ffRunTraced runs src with the given config and a tracer attached,
+// verifying the CPI stack still partitions total cycles exactly.
+func ffRunTraced(t *testing.T, cfg Config, src string) (*Core, *trace.CPIStack) {
+	t.Helper()
+	p, err := asm.Assemble(src, asm.Options{Base: 0x1000, Compress: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	memory := mem.NewMemory()
+	dram := mem.NewDRAM()
+	l2 := coherence.NewL2(cache.Config{
+		SizeBytes: 2 << 20, Ways: 16, LineBytes: 64, HitLatency: 10, ECC: true, Parity: true,
+	}, dram)
+	c := New(cfg, 0, memory, l2)
+	tr := trace.New(trace.Config{SampleEvery: 1 << 62}) // CPI stack only
+	c.AttachTracer(tr)
+	p.LoadInto(memory)
+	c.Reset(p.Entry, 0x80000)
+	c.Run(20_000_000)
+	if !c.Halted {
+		t.Fatalf("core did not halt: %s", c.Stats.String())
+	}
+	if err := tr.CPI().Check(c.Stats.Cycles); err != nil {
+		t.Fatal(err)
+	}
+	return c, tr.CPI()
+}
+
+// TestFastForwardStatsIdentity is the satellite-2 invariant: fast-forward is
+// a pure host optimization, so every Stats field, the exit code, and every
+// CPI-stack bucket must be byte-identical with it on and off — on both the
+// out-of-order and the in-order machine.
+func TestFastForwardStatsIdentity(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		cfg  Config
+	}{
+		{"xt910", XT910Config()},
+		{"u74", U74Config()},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			for _, src := range []string{ffStallProgram, ffChaseProgram, selfModifyingProgram} {
+				on := tc.cfg
+				on.FastForward = true
+				off := tc.cfg
+				off.FastForward = false
+				cOn, cpiOn := ffRunTraced(t, on, src)
+				cOff, cpiOff := ffRunTraced(t, off, src)
+				if cOn.ExitCode != cOff.ExitCode {
+					t.Fatalf("fast-forward changed the exit code: %d vs %d",
+						cOn.ExitCode, cOff.ExitCode)
+				}
+				if cOn.Stats != cOff.Stats {
+					t.Fatalf("fast-forward changed stats:\n on: %+v\noff: %+v",
+						cOn.Stats, cOff.Stats)
+				}
+				if *cpiOn != *cpiOff {
+					t.Fatalf("fast-forward changed the CPI stack:\n on: %v\noff: %v",
+						cpiOn, cpiOff)
+				}
+			}
+		})
+	}
+}
+
+// TestFastForwardActuallySkips guards against the skip silently never
+// engaging — a regression there would leave the identity test vacuously
+// green. The host-side skip counter (kept out of Stats on purpose) must
+// cover a meaningful share of the stall-heavy kernel's cycles, and a
+// truncated budget must clamp exactly at the boundary (skips never overshoot
+// the Run target).
+func TestFastForwardActuallySkips(t *testing.T) {
+	cfg := XT910Config()
+	cfg.FastForward = true
+	c := runCore(t, cfg, ffChaseProgram)
+	if c.ffSkippedCycles == 0 {
+		t.Fatal("fast-forward never engaged on the stall-heavy kernel")
+	}
+	if c.ffSkippedCycles < c.Stats.Cycles/10 {
+		t.Fatalf("fast-forward elided only %d of %d cycles; the skip conditions regressed",
+			c.ffSkippedCycles, c.Stats.Cycles)
+	}
+	c2, memory := buildCore(cfg)
+	p, err := asm.Assemble(ffChaseProgram, asm.Options{Base: 0x1000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.LoadInto(memory)
+	c2.Reset(p.Entry, 0x80000)
+	budget := c.Stats.Cycles / 2
+	c2.Run(budget)
+	if c2.Halted {
+		t.Fatal("half the cycle budget must not finish the kernel")
+	}
+	if c2.Stats.Cycles != budget {
+		t.Fatalf("truncated run missed its budget boundary: %d cycles, want %d",
+			c2.Stats.Cycles, budget)
+	}
+}

@@ -5,13 +5,44 @@ import (
 	"xt910/isa"
 )
 
+// The fetch queue (IBUF) is a head-indexed slice: rename pops by advancing
+// fqHead instead of re-slicing, so the backing array never drifts forward and
+// is reused for the whole run — the hot loop allocates nothing. The array
+// compacts only when a push lands on a full backing array with dead space at
+// the front, and snaps back to the origin whenever the queue drains.
+
+func (c *Core) fqLen() int { return len(c.fq) - c.fqHead }
+
+func (c *Core) fqFront() *fqEntry { return &c.fq[c.fqHead] }
+
+func (c *Core) fqPush(e fqEntry) {
+	if c.fqHead > 0 && len(c.fq) == cap(c.fq) {
+		n := copy(c.fq, c.fq[c.fqHead:])
+		c.fq = c.fq[:n]
+		c.fqHead = 0
+	}
+	c.fq = append(c.fq, e)
+}
+
+func (c *Core) fqPop() {
+	c.fqHead++
+	if c.fqHead == len(c.fq) {
+		c.fqReset()
+	}
+}
+
+func (c *Core) fqReset() {
+	c.fq = c.fq[:0]
+	c.fqHead = 0
+}
+
 // fetch models the IF/IP/IB stages (§III): one 128-bit fetch group per cycle
 // from the L1 I-cache (or the loop buffer), multi-branch prediction within
 // the group via the two-level-buffered direction predictor, L0/L1 BTBs, RAS
 // and the indirect predictor. Predicted-taken redirects cost TakenPenalty
 // bubbles unless served by the L0 BTB (zero-bubble, §III-B) or the LBUF.
 func (c *Core) fetch() {
-	if c.fetchWait || c.now < c.fetchAllowed || len(c.fq) >= c.Cfg.FetchQueue {
+	if c.fetchWait || c.now < c.fetchAllowed || c.fqLen() >= c.Cfg.FetchQueue {
 		return
 	}
 	pc := c.fetchPC
@@ -41,11 +72,37 @@ func (c *Core) fetch() {
 
 	groupEnd := (pc | uint64(c.Cfg.FetchBytes-1)) + 1
 	redirected := false
-	for pc < groupEnd && len(c.fq) < c.Cfg.FetchQueue {
-		in, ok := c.decodeAt(pc)
-		if !ok {
-			// crosses a page we cannot translate yet: stop the group here
-			break
+
+	// Superblock replay/build (superblock.go): only while translation is off,
+	// so pa == pc for every instruction in the walk. A hit supplies decoded
+	// instructions to the walk below in place of decodeAt; everything else —
+	// prediction, redirects, queue pressure, timing — runs identically.
+	var sb *sbBlock
+	sbPos := 0
+	var build sbBlock
+	if c.sblk != nil && !c.MMU.Enabled() {
+		if sb = c.sblk.lookup(pc); sb == nil {
+			build.tag = pc | 1
+		}
+	}
+	for pc < groupEnd && c.fqLen() < c.Cfg.FetchQueue {
+		var in isa.Inst
+		if sb != nil && sbPos < int(sb.n) {
+			in = sb.insts[sbPos]
+			sbPos++
+			c.Stats.SuperblockHits++
+		} else {
+			var ok bool
+			in, ok = c.decodeAt(pc)
+			if !ok {
+				// crosses a page we cannot translate yet: stop the group here
+				break
+			}
+			if build.tag != 0 && build.n < sbMaxInsts {
+				build.insts[build.n] = in
+				build.n++
+				build.endPA = pc + uint64(in.Size)
+			}
 		}
 		e := fqEntry{inst: in, pc: pc, readyAt: groupReady, fetchLag: uint32(groupReady - c.now), excCause: -1, fromLoop: fromLoop}
 		nextPC := pc + uint64(in.Size)
@@ -54,8 +111,11 @@ func (c *Core) fetch() {
 		case in.Op == isa.ILLEGAL:
 			e.excCause = isa.ExcIllegalInst
 			e.excTval = pc
-			c.fq = append(c.fq, e)
+			c.fqPush(e)
 			c.fetchWait = true // stop fetching until the trap redirects
+			if c.sblk != nil {
+				c.sblk.insert(&build)
+			}
 			return
 		case in.Op == isa.JAL:
 			target := pc + uint64(in.Imm)
@@ -63,7 +123,7 @@ func (c *Core) fetch() {
 				c.RAS.Push(nextPC)
 			}
 			e.predTaken, e.predTarget = true, target
-			c.fq = append(c.fq, e)
+			c.fqPush(e)
 			c.redirectFetch(pc, target)
 			redirected = true
 		case in.Op == isa.JALR:
@@ -85,7 +145,7 @@ func (c *Core) fetch() {
 			if in.Rd == isa.RA {
 				c.RAS.Push(nextPC)
 			}
-			c.fq = append(c.fq, e)
+			c.fqPush(e)
 			if e.predTarget != 0 {
 				c.redirectFetch(pc, e.predTarget)
 			} else {
@@ -103,19 +163,22 @@ func (c *Core) fetch() {
 			e.predTaken = taken
 			if taken {
 				e.predTarget = pc + uint64(in.Imm)
-				c.fq = append(c.fq, e)
+				c.fqPush(e)
 				c.redirectFetch(pc, e.predTarget)
 				redirected = true
 			} else {
-				c.fq = append(c.fq, e)
+				c.fqPush(e)
 			}
 		default:
-			c.fq = append(c.fq, e)
+			c.fqPush(e)
 		}
 		if redirected {
 			break
 		}
 		pc = nextPC
+	}
+	if c.sblk != nil {
+		c.sblk.insert(&build)
 	}
 	if !redirected {
 		c.fetchPC = pc
@@ -195,7 +258,7 @@ func (c *Core) injectFetchFault(pc uint64, err error) {
 	if pf, ok := err.(*mmu.PageFault); ok {
 		cause = pf.Cause()
 	}
-	c.fq = append(c.fq, fqEntry{
+	c.fqPush(fqEntry{
 		inst:     isa.NewInst(isa.ILLEGAL),
 		pc:       pc,
 		readyAt:  c.now + 1,

@@ -28,7 +28,7 @@ func (c *Core) recoverFromBranch(u *uop, target uint64, actTaken bool) {
 	u.ckptID = -1
 
 	c.squashYounger(u.seq)
-	c.fq = c.fq[:0]
+	c.fqReset()
 	c.fetchWait = false
 	c.fetchPC = target
 	c.fetchAllowed = c.now + uint64(c.Cfg.MispredictMin)
@@ -112,7 +112,7 @@ func (c *Core) flushAll(pc uint64, cause trace.SquashCause) {
 		c.ckpts[i].used = false
 	}
 	copy(c.rat, c.archRAT)
-	c.fq = c.fq[:0]
+	c.fqReset()
 	c.fetchWait = false
 	c.fetchPC = pc
 	c.fetchAllowed = c.now + uint64(c.Cfg.MispredictMin)

@@ -51,18 +51,19 @@ func (p *predecode) insert(pa uint64, in isa.Inst) {
 
 // invalidate drops every entry whose instruction bytes overlap [pa, pa+size).
 // An entry starting at t covers at most t..t+3, so the scan starts two bytes
-// below the write.
+// below the write. The scan is count-based so it is immune to uint64 wrap:
+// near the top of the address space pa+size overflows to 0, which used to
+// terminate an address-compared loop before it ran and leave stale entries
+// live across a committed store. Granule addresses themselves wrap mod 2^64,
+// matching how insert keys them.
 func (p *predecode) invalidate(pa uint64, size int) {
 	if size <= 0 {
 		return
 	}
-	lo := pa &^ 1
-	if lo >= 2 {
-		lo -= 2
-	} else {
-		lo = 0
-	}
-	for g := lo; g < pa+uint64(size); g += 2 {
+	start := (pa &^ 1) - 2 // wraps intentionally: an entry at ^uint64(0)-1 spans address 0
+	n := (pa - start + uint64(size) + 1) / 2
+	for k := uint64(0); k < n; k++ {
+		g := start + 2*k
 		i := predecodeIdx(g)
 		if p.tag[i] == g|1 {
 			p.tag[i] = 0

@@ -47,6 +47,36 @@ func TestPredecodeUnit(t *testing.T) {
 	}
 }
 
+// TestPredecodeInvalidateWrapBoundary is the fixed repro for the wrap-boundary
+// bug: a store whose byte range reaches the top of the address space makes
+// pa+size overflow to 0, so the scan's `g < pa+size` condition was false on
+// entry and nothing was invalidated — stale decodes survived a committed
+// store. A 4-byte store straddling the 2-byte granules at the boundary must
+// drop every entry it touches.
+func TestPredecodeInvalidateWrapBoundary(t *testing.T) {
+	in4 := asmInstForTest(t, "addi a0, a0, 2")
+	top := ^uint64(0) - 3 // 0xfff...fffc: last 2-byte-aligned 4-byte slot
+
+	p := newPredecode()
+	p.insert(top, in4)
+	p.invalidate(top, 4) // pa+size wraps to 0
+	if _, ok := p.lookup(top); ok {
+		t.Fatalf("store [%#x,+4) left the entry at %#x live (pa+size overflow)", top, top)
+	}
+
+	// The same store spans two granules; both must be dropped.
+	p.flush()
+	p.insert(top, in4)
+	p.insert(top+2, in4) // entry whose 4 bytes wrap past the boundary
+	p.invalidate(top+2, 4)
+	if _, ok := p.lookup(top); ok {
+		t.Fatalf("straddling store left the lower granule entry at %#x live", top)
+	}
+	if _, ok := p.lookup(top + 2); ok {
+		t.Fatalf("straddling store left the upper granule entry at %#x live", top+2)
+	}
+}
+
 // asmInstForTest assembles a single instruction and decodes it back.
 func asmInstForTest(t *testing.T, src string) isa.Inst {
 	t.Helper()
@@ -141,14 +171,29 @@ loop:
     li   a7, 93
     ecall
 `
+	// superblock replay should carry the hot loop almost entirely
 	cfg := XT910Config()
 	c := runCore(t, cfg, src)
-	if c.Stats.PredecodeHits == 0 {
+	if c.Stats.SuperblockHits == 0 {
+		t.Fatal("hot loop must replay from the superblock cache")
+	}
+	if c.Stats.SuperblockHits < 10*(c.Stats.PredecodeMisses+c.Stats.PredecodeHits) {
+		t.Fatalf("superblock replay rate too low: %d replays / %d decoder visits",
+			c.Stats.SuperblockHits, c.Stats.PredecodeHits+c.Stats.PredecodeMisses)
+	}
+
+	// with superblocks off, the per-instruction cache takes over
+	cfg.PredecodeSuperblock = false
+	c1 := runCore(t, cfg, src)
+	if c1.Stats.SuperblockHits != 0 {
+		t.Fatal("disabled superblock cache must not count")
+	}
+	if c1.Stats.PredecodeHits == 0 {
 		t.Fatal("hot loop must hit the predecode cache")
 	}
-	if c.Stats.PredecodeHits < 10*c.Stats.PredecodeMisses {
+	if c1.Stats.PredecodeHits < 10*c1.Stats.PredecodeMisses {
 		t.Fatalf("hit rate too low: %d hits / %d misses",
-			c.Stats.PredecodeHits, c.Stats.PredecodeMisses)
+			c1.Stats.PredecodeHits, c1.Stats.PredecodeMisses)
 	}
 
 	cfg.PredecodeCache = false
@@ -156,8 +201,13 @@ loop:
 	if c2.Stats.PredecodeHits != 0 || c2.Stats.PredecodeMisses != 0 {
 		t.Fatal("disabled cache must not count")
 	}
-	if c.ExitCode != c2.ExitCode {
-		t.Fatalf("cache changed architectural result: %d vs %d", c.ExitCode, c2.ExitCode)
+	if c.ExitCode != c1.ExitCode || c.ExitCode != c2.ExitCode {
+		t.Fatalf("cache changed architectural result: %d vs %d vs %d",
+			c.ExitCode, c1.ExitCode, c2.ExitCode)
+	}
+	if c.Stats.Cycles != c1.Stats.Cycles {
+		t.Fatalf("superblock replay changed timing: %d vs %d cycles",
+			c.Stats.Cycles, c1.Stats.Cycles)
 	}
 }
 
@@ -186,12 +236,20 @@ loop:
 		b.Fatal(err)
 	}
 	for _, mode := range []struct {
-		name   string
-		predec bool
-	}{{"predecode", true}, {"nodecodecache", false}} {
+		name           string
+		predec, sb, ff bool
+	}{
+		{"fastpath", true, true, true}, // the shipped default
+		{"nofastforward", true, true, false},
+		{"nosuperblock", true, false, false},
+		{"nodecodecache", false, false, false},
+	} {
 		b.Run(mode.name, func(b *testing.B) {
 			cfg := XT910Config()
 			cfg.PredecodeCache = mode.predec
+			cfg.PredecodeSuperblock = mode.sb
+			cfg.FastForward = mode.ff
+			b.ReportAllocs()
 			var cycles uint64
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {

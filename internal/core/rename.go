@@ -12,8 +12,8 @@ import (
 // dispatched into the per-pipe issue queues with dynamic load balancing.
 func (c *Core) renameDispatch() {
 	renameSlots := c.Cfg.RenameWidth
-	for n := 0; n < c.Cfg.DecodeWidth && len(c.fq) > 0; n++ {
-		e := c.fq[0]
+	for n := 0; n < c.Cfg.DecodeWidth && c.fqLen() > 0; n++ {
+		e := *c.fqFront()
 		if e.readyAt > c.now {
 			return
 		}
@@ -32,7 +32,7 @@ func (c *Core) renameDispatch() {
 			return // structural stall (phys regs, LQ/SQ, queue, checkpoint)
 		}
 		renameSlots -= cost
-		c.fq = c.fq[1:]
+		c.fqPop()
 	}
 }
 

@@ -76,7 +76,10 @@ func (c *Core) retire() {
 		}
 		if u.isLoad() {
 			if len(c.lq) > 0 && c.lq[0].seq == u.seq {
-				c.lq = c.lq[1:]
+				// copy-down pop keeps the backing array anchored (no
+				// re-slice drift, no reallocation in the hot loop)
+				copy(c.lq, c.lq[1:])
+				c.lq = c.lq[:len(c.lq)-1]
 			}
 		}
 
@@ -171,7 +174,8 @@ func (c *Core) commitStore(u *uop) {
 		return
 	}
 	e := c.sq[0]
-	c.sq = c.sq[1:]
+	copy(c.sq, c.sq[1:])
+	c.sq = c.sq[:len(c.sq)-1]
 	if c.MMIO != nil && c.MMIO.Covers(e.addr) {
 		c.MMIO.Write(e.addr, e.size, e.val)
 		c.Stats.Stores++
@@ -268,6 +272,9 @@ func (c *Core) executeAtRetire(u *uop) bool {
 			c.L1I.Cache.InvalidateAll()
 			if c.predec != nil {
 				c.predec.flush()
+			}
+			if c.sblk != nil {
+				c.sblk.flush()
 			}
 			u.flushAfter = true
 			u.redirectTo = nextPC
@@ -457,6 +464,9 @@ func (c *Core) execCacheOpAtRetire(u *uop) {
 		if c.predec != nil {
 			c.predec.flush()
 		}
+		if c.sblk != nil {
+			c.sblk.flush()
+		}
 		u.flushAfter = true
 		u.redirectTo = nextPC
 	case isa.XSYNC:
@@ -551,8 +561,8 @@ func (c *Core) takeInterrupt(cause uint64) bool {
 	resume := c.fetchPC
 	if !c.robQ.empty() {
 		resume = c.robQ.headEntry().pc
-	} else if len(c.fq) > 0 {
-		resume = c.fq[0].pc
+	} else if c.fqLen() > 0 {
+		resume = c.fqFront().pc
 	}
 	target := c.csr[isa.CSRMtvec] &^ 3
 	if target == 0 {

@@ -50,9 +50,14 @@ type Stats struct {
 	PFDroppedTLB uint64
 
 	// PredecodeHits/Misses count fetch-path decodes served by (or filled
-	// into) the host-side predecode cache.
+	// into) the host-side predecode cache; SuperblockHits counts decodes
+	// replayed from cached fetch-group runs (which bypass the per-
+	// instruction cache entirely, so toggling superblocks shifts the
+	// Predecode* counters too — these three are the only host-side counters
+	// that may differ between superblock-on and superblock-off runs).
 	PredecodeHits   uint64
 	PredecodeMisses uint64
+	SuperblockHits  uint64
 
 	// HeadStall* histogram why retirement was blocked (cycles, by the class
 	// of the ROB-head instruction) — the profiler view of where time goes.

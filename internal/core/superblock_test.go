@@ -1,0 +1,97 @@
+package core
+
+import "testing"
+
+func TestSuperblockUnit(t *testing.T) {
+	in4 := asmInstForTest(t, "addi a0, a0, 2")
+
+	mk := func(entry uint64, n int) *sbBlock {
+		b := &sbBlock{tag: entry | 1}
+		for i := 0; i < n; i++ {
+			b.insts[b.n] = in4
+			b.n++
+			b.endPA = entry + uint64(4*(i+1))
+		}
+		return b
+	}
+
+	s := newSuperblockCache()
+	s.insert(mk(0x1000, 4)) // spans [0x1000, 0x1010)
+	if s.lookup(0x1000) == nil {
+		t.Fatal("insert/lookup round trip failed")
+	}
+	if s.lookup(0x1004) != nil {
+		t.Fatal("interior address must not hit: blocks are keyed by entry PA")
+	}
+
+	// a write anywhere inside the span drops the block — containment, not
+	// merely entry-PA match
+	for _, wr := range []struct {
+		addr uint64
+		size int
+		hit  bool
+	}{
+		{0x0ffc, 4, true},  // ends at the entry: untouched
+		{0x0ffe, 4, false}, // overlaps the first instruction
+		{0x1000, 1, false}, // first byte
+		{0x1008, 2, false}, // middle of the block
+		{0x100f, 1, false}, // last byte
+		{0x1010, 8, true},  // starts past the block
+	} {
+		s.flush()
+		s.insert(mk(0x1000, 4))
+		s.invalidate(wr.addr, wr.size)
+		if got := s.lookup(0x1000) != nil; got != wr.hit {
+			t.Fatalf("write [%#x,+%d): lookup hit=%v, want %v", wr.addr, wr.size, got, wr.hit)
+		}
+	}
+
+	// wrap boundary: a block whose span reaches the top of the address space
+	// must die to a store there even though pa+size overflows, and a store at
+	// address 0 must kill a block wrapping past the boundary
+	top := ^uint64(0) - 15 // 0xfff...fff0
+	s.flush()
+	s.insert(mk(top, 4)) // spans the last 16 bytes
+	s.invalidate(^uint64(0)-3, 4)
+	if s.lookup(top) != nil {
+		t.Fatal("store at the top of the address space left the block live")
+	}
+	s.flush()
+	b := mk(top, 4)
+	b.endPA = top + 18 // tail instruction straddles the wrap, ends at 0x2
+	s.insert(b)
+	s.invalidate(0, 2)
+	if s.lookup(top) != nil {
+		t.Fatal("store at address 0 left a wrapping block live")
+	}
+
+	s.flush()
+	s.insert(mk(0x1000, 4))
+	s.flush()
+	if s.lookup(0x1000) != nil {
+		t.Fatal("flush must empty the cache")
+	}
+}
+
+// TestSuperblockSelfModifyingCode re-runs the SMC programs with superblocks
+// explicitly on and off: a committed store over a cached block's interior
+// must invalidate the whole block, with and without fence.i.
+func TestSuperblockSelfModifyingCode(t *testing.T) {
+	for _, enabled := range []bool{true, false} {
+		cfg := XT910Config()
+		cfg.PredecodeSuperblock = enabled
+		c := runCore(t, cfg, selfModifyingProgram)
+		if c.ExitCode != 3 {
+			t.Fatalf("superblock=%v: exit = %d, want 3 (stale replay served?)", enabled, c.ExitCode)
+		}
+		c2 := runCore(t, cfg, smcNoFenceProgram)
+		c3cfg := cfg
+		c3cfg.PredecodeCache = false
+		c3cfg.PredecodeSuperblock = false
+		c3 := runCore(t, c3cfg, smcNoFenceProgram)
+		if c2.ExitCode != c3.ExitCode {
+			t.Fatalf("superblock=%v changed architectural behaviour: %d vs %d",
+				enabled, c2.ExitCode, c3.ExitCode)
+		}
+	}
+}

@@ -138,6 +138,14 @@ func (o Options) modes() Modes {
 	return m
 }
 
+// Validate checks the fully resolved mode set — including the SMP implied by
+// Harts > 1 and the deprecated Paged/IRQ booleans — against the Modes
+// legality rules. A validated -modes spec is not enough on its own: Harts
+// can smuggle SMP into a set whose spec alone was legal (e.g. paged with
+// -harts 2), so callers that accept a hart count must validate the Options,
+// not just the spec.
+func (o Options) Validate() error { return o.modes().Validate() }
+
 // effectiveHarts resolves the hart-pair count (see Options.Harts).
 func (o Options) effectiveHarts() int {
 	h := o.Harts

@@ -313,3 +313,22 @@ func TestModesParsing(t *testing.T) {
 		t.Fatalf("ParseModes(\"\") = %+v, %v", m, err)
 	}
 }
+
+// TestOptionsValidateHartsFold pins that Options.Validate checks the mode set
+// AFTER folding in the SMP implied by Harts > 1: a spec that is legal on its
+// own must still be rejected when the hart count smuggles SMP into an illegal
+// combination.
+func TestOptionsValidateHartsFold(t *testing.T) {
+	if err := (Options{Modes: Modes{Paged: true}}).Validate(); err != nil {
+		t.Fatalf("paged alone: %v", err)
+	}
+	if err := (Options{Modes: Modes{Paged: true}, Harts: 2}).Validate(); err == nil {
+		t.Fatal("paged + Harts 2 accepted, want error (implies paged+smp)")
+	}
+	if err := (Options{Modes: Modes{IRQ: true}, Harts: 4}).Validate(); err != nil {
+		t.Fatalf("irq + Harts 4: %v", err)
+	}
+	if err := (Options{Paged: true, Harts: 2}).Validate(); err == nil {
+		t.Fatal("deprecated Paged bool + Harts 2 accepted, want error")
+	}
+}

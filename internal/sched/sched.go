@@ -46,6 +46,9 @@ type Result struct {
 	// Cycles is the number of simulated cycles the job reported through
 	// AddCycles — the sim-side progress measure.
 	Cycles uint64
+	// Instrs is the number of retired instructions the job reported through
+	// AddInstrs — the numerator of the host-MIPS throughput measure.
+	Instrs uint64
 }
 
 // CyclesPerSec returns the simulation rate: simulated cycles per host second.
@@ -54,6 +57,15 @@ func (r Result) CyclesPerSec() float64 {
 		return 0
 	}
 	return float64(r.Cycles) / r.Wall.Seconds()
+}
+
+// MIPS returns the simulation throughput in millions of retired instructions
+// per host second — the conventional figure of merit for simulator speed.
+func (r Result) MIPS() float64 {
+	if r.Wall <= 0 {
+		return 0
+	}
+	return float64(r.Instrs) / r.Wall.Seconds() / 1e6
 }
 
 // JobError attributes a failure to a job; Unwrap exposes the cause so
@@ -89,13 +101,24 @@ type Options struct {
 // ctxKey keys the per-job metrics slot carried by the job context.
 type ctxKey int
 
-const cyclesKey ctxKey = iota
+const (
+	cyclesKey ctxKey = iota
+	instrsKey
+)
 
 // AddCycles credits n simulated cycles to the job owning ctx. It is a no-op
 // on contexts that did not come from Run, so harness code can call it
 // unconditionally.
 func AddCycles(ctx context.Context, n uint64) {
 	if c, ok := ctx.Value(cyclesKey).(*atomic.Uint64); ok {
+		c.Add(n)
+	}
+}
+
+// AddInstrs credits n retired instructions to the job owning ctx (same
+// contract as AddCycles).
+func AddInstrs(ctx context.Context, n uint64) {
+	if c, ok := ctx.Value(instrsKey).(*atomic.Uint64); ok {
 		c.Add(n)
 	}
 }
@@ -151,8 +174,9 @@ func runJob(ctx context.Context, j Job, defaultTimeout time.Duration) Result {
 		res.Err = &JobError{ID: j.ID, Err: err}
 		return res
 	}
-	var cycles atomic.Uint64
+	var cycles, instrs atomic.Uint64
 	jctx := context.WithValue(ctx, cyclesKey, &cycles)
+	jctx = context.WithValue(jctx, instrsKey, &instrs)
 	if d := j.Timeout; d > 0 {
 		var cancel context.CancelFunc
 		jctx, cancel = context.WithTimeout(jctx, d)
@@ -177,9 +201,11 @@ func runJob(ctx context.Context, j Job, defaultTimeout time.Duration) Result {
 	}()
 	res.Wall = time.Since(start)
 	res.Cycles = cycles.Load()
+	res.Instrs = instrs.Load()
 	// nested pools: credit this job's cycles to any enclosing job so the
 	// outer metrics stream sees the whole simulation volume
 	AddCycles(ctx, res.Cycles)
+	AddInstrs(ctx, res.Instrs)
 	return res
 }
 

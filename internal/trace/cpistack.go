@@ -49,6 +49,9 @@ type CPIStack struct {
 // Add attributes one cycle.
 func (s *CPIStack) Add(cl CycleClass) { s.Buckets[cl]++ }
 
+// AddN attributes n cycles at once (fast-forwarded stall windows).
+func (s *CPIStack) AddN(cl CycleClass, n uint64) { s.Buckets[cl] += n }
+
 // Total is the sum over all buckets.
 func (s *CPIStack) Total() uint64 {
 	var sum uint64

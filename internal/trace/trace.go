@@ -137,6 +137,11 @@ type Tracer struct {
 	ring    []*Record // flight-recorder ring (KeepLast mode)
 	ringPos int
 
+	// freel recycles Records in streaming mode: a record is dead once every
+	// sink has serialized it, so the tracer's steady-state allocation rate is
+	// zero. KeepLast mode never recycles — the ring retains pointers.
+	freel []*Record
+
 	nSeen   uint64 // µops offered to Begin (sampling counter)
 	Dropped uint64 // records evicted from the in-flight buffer
 
@@ -169,10 +174,14 @@ func (t *Tracer) Begin(seq, pc uint64, in isa.Inst, now uint64) {
 	if len(t.order) >= t.cfg.BufferCap {
 		oldest := t.order[0]
 		t.order = t.order[1:]
+		if old, ok := t.live[oldest]; ok {
+			t.putRecord(old)
+		}
 		delete(t.live, oldest)
 		t.Dropped++
 	}
-	r := &Record{Seq: seq, PC: pc, Inst: in}
+	r := t.getRecord()
+	r.Seq, r.PC, r.Inst = seq, pc, in
 	t.live[seq] = r
 	t.order = append(t.order, seq)
 }
@@ -233,6 +242,26 @@ func (t *Tracer) emit(r *Record) {
 			t.err = err
 		}
 	}
+	t.putRecord(r)
+}
+
+func (t *Tracer) getRecord() *Record {
+	if n := len(t.freel); n > 0 {
+		r := t.freel[n-1]
+		t.freel = t.freel[:n-1]
+		*r = Record{}
+		return r
+	}
+	return &Record{}
+}
+
+// putRecord returns a dead record to the freelist. KeepLast mode keeps every
+// emitted record alive in the ring until Close, so nothing is recycled there.
+func (t *Tracer) putRecord(r *Record) {
+	if t.cfg.KeepLast > 0 || len(t.freel) >= t.cfg.BufferCap {
+		return
+	}
+	t.freel = append(t.freel, r)
 }
 
 // Cycle attributes one simulated cycle to a CPI-stack bucket. The core calls
@@ -240,6 +269,13 @@ func (t *Tracer) emit(r *Record) {
 // the buckets sum exactly to total cycles.
 func (t *Tracer) Cycle(cl CycleClass) {
 	t.cpi.Add(cl)
+}
+
+// CycleN attributes n simulated cycles to one bucket at once — the fast-
+// forward path's batched equivalent of n Cycle calls, keeping the exact-
+// partition property (buckets sum to Stats.Cycles) across skipped windows.
+func (t *Tracer) CycleN(cl CycleClass, n uint64) {
+	t.cpi.AddN(cl, n)
 }
 
 // CPI returns the accumulated CPI stack.
