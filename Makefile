@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke fuzz-paged-smoke fuzz-irq-smoke fuzz-smp-smoke inject-smoke trace-smoke bench-track tier1 bench xtbench clean
+.PHONY: all build vet test race fuzz-smoke fuzz-paged-smoke fuzz-irq-smoke fuzz-smp-smoke inject-smoke trace-smoke campaign-smoke bench-track tier1 bench xtbench clean
 
 all: tier1
 
@@ -84,19 +84,29 @@ trace-smoke:
 	cmp $(TRACE_SMOKE_DIR)/a.jsonl $(TRACE_SMOKE_DIR)/b.jsonl
 	@rm -rf $(TRACE_SMOKE_DIR)
 
+# campaign-smoke is the end-to-end restart-resume proof for the campaign
+# service: boot the real xtcampd daemon on an ephemeral port, submit a fuzz
+# campaign over HTTP, SIGKILL the daemon mid-campaign, restart it over the
+# same state directory, poll the resumed campaign to completion, and diff the
+# merged report byte-for-byte against a direct `xtfuzz -json` run of the same
+# seed range. Env-gated so the plain `go test ./...` sweep stays cheap.
+campaign-smoke:
+	XTCAMPD_SMOKE=1 $(GO) test -count=1 -run TestCampaignSmoke ./cmd/xtcampd
+
 # bench-track runs the quick reproduction sweep and reports each experiment's
-# host-MIPS against the checked-in baseline (BENCH_PR7.json). It is a smoke,
-# not a perf gate: it fails only when the JSON schema breaks or a simulating
-# experiment stops reporting instruction throughput — speed deltas between
-# hosts are expected and only logged. Refresh the baseline on a perf-relevant
-# change with: $(GO) run ./cmd/xtbench -quick -json > BENCH_PR7.json
+# host-MIPS against the newest checked-in BENCH_*.json baseline. It is a
+# smoke, not a perf gate: it fails only when the JSON schema breaks or a
+# simulating experiment stops reporting instruction throughput — speed deltas
+# between hosts are expected and only logged. Record a fresh baseline on a
+# perf-relevant change with: $(GO) run ./cmd/xtbench -quick -json > BENCH_PRn.json
 bench-track:
-	$(GO) run ./cmd/xtbench -quick -json -track BENCH_PR7.json > /dev/null
+	$(GO) run ./cmd/xtbench -quick -json -track > /dev/null
 
 # tier1 is the required bar for every change: everything compiles, vet is
 # clean, the full suite passes with the race detector enabled, the
 # co-simulation smoke sweep finds no divergence, the trace subsystem's
-# smoke checks hold, and the host-speed tracking stream stays well-formed.
+# smoke checks hold, the campaign daemon survives a kill-and-resume with a
+# byte-identical report, and the host-speed tracking stream stays well-formed.
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -107,6 +117,7 @@ tier1:
 	$(MAKE) fuzz-smp-smoke
 	$(MAKE) inject-smoke
 	$(MAKE) trace-smoke
+	$(MAKE) campaign-smoke
 	$(MAKE) bench-track
 
 # bench regenerates the paper's tables/figures as testing.B benchmarks.

@@ -12,6 +12,8 @@
 //	                         # ablation density
 //	xtbench -json            # machine-readable results + host metrics
 //	xtbench -cpistack        # add a top-down CPI-stack line under each run row
+//	xtbench -track           # host-MIPS deltas vs the newest BENCH_*.json
+//	xtbench -track -baseline BENCH_PR7.json   # ...or an explicit baseline
 //
 // Tables go to stdout; progress and host metrics go to stderr, so stdout is
 // byte-stable across -jobs settings and safe to diff or redirect.
@@ -27,6 +29,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
@@ -66,14 +69,28 @@ func run(args []string, stdout, stderr io.Writer) int {
 	quick := fs.Bool("quick", false, "reduced iteration counts")
 	only := fs.String("only", "", "run a single experiment by id")
 	cpistack := fs.Bool("cpistack", false, "attach a pipeline tracer to each run and report its top-down CPI stack")
-	track := fs.String("track", "", "compare host-speed metrics against a prior -json output file (stderr report, no perf gate)")
+	track := fs.Bool("track", false, "compare host-speed metrics against a baseline -json output (stderr report, no perf gate)")
+	baseline := fs.String("baseline", "", "baseline file for -track (default: the newest BENCH_*.json in the current directory)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 	jsonOut := &cf.JSON
-	if *track != "" && *only != "" {
+	if *track && *only != "" {
 		fmt.Fprintln(stderr, "xtbench: -track needs the full experiment sweep (drop -only)")
 		return 2
+	}
+	if *baseline != "" && !*track {
+		fmt.Fprintln(stderr, "xtbench: -baseline only applies with -track")
+		return 2
+	}
+	trackPath := *baseline
+	if *track && trackPath == "" {
+		var err error
+		if trackPath, err = resolveBaseline("."); err != nil {
+			fmt.Fprintf(stderr, "xtbench: track: %v\n", err)
+			return 1
+		}
+		fmt.Fprintf(stderr, "xtbench: track baseline %s\n", trackPath)
 	}
 
 	o := bench.Options{Quick: *quick, Jobs: cf.Jobs, Timeout: cf.Timeout, CPIStack: *cpistack}
@@ -142,8 +159,8 @@ func run(args []string, stdout, stderr io.Writer) int {
 			out[i].Result = r.Value.(*perf.Result)
 		}
 	}
-	if *track != "" {
-		if err := trackReport(stderr, *track, out); err != nil {
+	if *track {
+		if err := trackReport(stderr, trackPath, out); err != nil {
 			fmt.Fprintf(stderr, "xtbench: track: %v\n", err)
 			return 1
 		}
@@ -173,8 +190,33 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// resolveBaseline picks the -track baseline when the user gave no -baseline:
+// the newest (by mtime) BENCH_*.json in dir, the convention the checked-in
+// per-PR records follow. No match is a plain error, not a panic — a fresh
+// checkout simply has nothing to track against yet.
+func resolveBaseline(dir string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+	if err != nil {
+		return "", err
+	}
+	best, bestTime := "", time.Time{}
+	for _, m := range matches {
+		fi, err := os.Stat(m)
+		if err != nil || fi.IsDir() {
+			continue
+		}
+		if best == "" || fi.ModTime().After(bestTime) {
+			best, bestTime = m, fi.ModTime()
+		}
+	}
+	if best == "" {
+		return "", fmt.Errorf("no BENCH_*.json baseline in %s (record one with `xtbench -json > BENCH_x.json`, or point -baseline at a file)", dir)
+	}
+	return best, nil
+}
+
 // trackReport compares this run's host-speed metrics against a prior -json
-// output (the checked-in BENCH_PR*.json baseline), printing the per-
+// output (the checked-in BENCH_*.json baseline), printing the per-
 // experiment MIPS trajectory to stderr. It hard-fails only on schema
 // problems — an unreadable baseline, records without ids, or a simulating
 // experiment that reported no throughput (the MIPS plumbing broke). Speed

@@ -3,8 +3,11 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 // TestJSONErrorExit pins the contract that -json mode still exits non-zero
@@ -43,5 +46,55 @@ func TestBadFlag(t *testing.T) {
 	var out, errb bytes.Buffer
 	if rc := run([]string{"-definitely-not-a-flag"}, &out, &errb); rc != 2 {
 		t.Fatalf("exit = %d, want 2", rc)
+	}
+}
+
+// TestTrackFlagValidation pins the -track flag surface: -baseline without
+// -track is a usage error, and -track with -only stays rejected.
+func TestTrackFlagValidation(t *testing.T) {
+	for _, args := range [][]string{
+		{"-baseline", "BENCH_PR7.json"},
+		{"-track", "-only", "spec"},
+	} {
+		var out, errb bytes.Buffer
+		if rc := run(args, &out, &errb); rc != 2 {
+			t.Fatalf("run(%v) = %d, want 2 (stderr: %s)", args, rc, errb.String())
+		}
+	}
+}
+
+// TestResolveBaseline covers the default-baseline lookup: newest BENCH_*.json
+// by mtime wins, non-matching files are ignored, and an empty directory is a
+// clear error rather than a panic on a hardcoded filename.
+func TestResolveBaseline(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := resolveBaseline(dir); err == nil {
+		t.Fatal("empty dir: want error, got nil")
+	} else if !strings.Contains(err.Error(), "BENCH_*.json") {
+		t.Fatalf("empty dir: error should name the pattern, got %v", err)
+	}
+
+	write := func(name string, age time.Duration) string {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte("[]"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		mt := time.Now().Add(-age)
+		if err := os.Chtimes(p, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+	write("BENCH_PR5.json", 3*time.Hour)
+	newest := write("BENCH_PR9.json", time.Hour)
+	write("BENCH_PR7.json", 2*time.Hour)
+	write("notes.json", 0) // does not match the pattern; must not win
+
+	got, err := resolveBaseline(dir)
+	if err != nil {
+		t.Fatalf("resolveBaseline: %v", err)
+	}
+	if got != newest {
+		t.Fatalf("resolveBaseline = %s, want newest %s", got, newest)
 	}
 }

@@ -49,17 +49,6 @@ func main() {
 	os.Exit(run(os.Args[1:], os.Stdout, os.Stderr))
 }
 
-// seedRecord is the per-seed JSON row emitted under -json.
-type seedRecord struct {
-	Seed    int64  `json:"seed"`
-	Status  string `json:"status"` // ok | diverged | timeout
-	Commits uint64 `json:"commits"`
-	Cycles  uint64 `json:"cycles"`
-	Kind    string `json:"kind,omitempty"`
-	Hart    int    `json:"hart,omitempty"`
-	Retried bool   `json:"retried,omitempty"`
-}
-
 func run(args []string, stdout, stderr io.Writer) int {
 	fs := flag.NewFlagSet("xtfuzz", flag.ContinueOnError)
 	fs.SetOutput(stderr)
@@ -126,15 +115,10 @@ func run(args []string, stdout, stderr io.Writer) int {
 		commits += fr.Result.Commits
 		cycles2 += fr.Result.Cycles
 		if cf.JSON {
-			rec := seedRecord{Seed: fr.Seed, Status: "ok", Commits: fr.Result.Commits,
-				Cycles: fr.Result.Cycles, Kind: fr.Result.Kind, Hart: fr.Result.Hart, Retried: fr.Retried}
-			switch {
-			case fr.TimedOut:
-				rec.Status = "timeout"
-			case fr.Diverged:
-				rec.Status = "diverged"
-			}
-			if err := enc.Encode(rec); err != nil {
+			// cosim.SeedRecord is the shared row format: the campaign
+			// service emits the same struct, keeping sharded merged reports
+			// byte-identical to this output.
+			if err := enc.Encode(cosim.NewSeedRecord(fr)); err != nil {
 				fmt.Fprintf(stderr, "xtfuzz: %v\n", err)
 				return 1
 			}

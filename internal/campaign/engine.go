@@ -1,0 +1,518 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"xt910/internal/sched"
+)
+
+// Campaign statuses.
+const (
+	StatusQueued  = "queued"
+	StatusRunning = "running"
+	StatusDone    = "done"
+	StatusFailed  = "failed"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// StateDir holds every campaign's manifest, journals and report plus the
+	// divergence corpus. Required.
+	StateDir string
+	// Jobs is the per-shard worker width for specs that leave Jobs at 0
+	// (<= 0: GOMAXPROCS). Any width produces the identical merged report.
+	Jobs int
+	// Runner substitutes the item executor (tests); nil selects the real
+	// tool runner.
+	Runner Runner
+}
+
+// Engine owns the campaign store and the single worker loop that executes
+// campaigns FIFO, one at a time, each shard in order, items on a sched pool.
+// Open resumes every unfinished campaign found in the state directory before
+// accepting new work.
+type Engine struct {
+	opts   Options
+	corpus *Corpus
+
+	mu        sync.Mutex
+	campaigns map[string]*state
+	order     []string // submission order (IDs are sequential, but keep it explicit)
+	nextID    int
+	draining  bool
+
+	queue  chan *state
+	ctx    context.Context
+	cancel context.CancelFunc
+	wg     sync.WaitGroup
+}
+
+// state is one campaign's in-memory state, rebuilt from the journals on
+// resume.
+type state struct {
+	id   string
+	dir  string
+	spec *Spec
+
+	mu      sync.Mutex
+	status  string
+	errMsg  string
+	shards  [][]Item
+	done    []map[int]json.RawMessage // per shard: item index -> report line
+	divs    map[int]*Divergence       // item index -> divergence
+	started time.Time
+	instrs  uint64 // retired instructions executed so far (host-MIPS numerator)
+	wall    time.Duration
+}
+
+// Open loads the state directory, resumes unfinished campaigns and starts
+// the worker loop.
+func Open(opts Options) (*Engine, error) {
+	if opts.StateDir == "" {
+		return nil, fmt.Errorf("campaign: Options.StateDir is required")
+	}
+	if opts.Jobs <= 0 {
+		opts.Jobs = runtime.GOMAXPROCS(0)
+	}
+	if opts.Runner == nil {
+		opts.Runner = toolRunner{}
+	}
+	if err := os.MkdirAll(opts.StateDir, 0o755); err != nil {
+		return nil, err
+	}
+	corpus, err := OpenCorpus(filepath.Join(opts.StateDir, "corpus"))
+	if err != nil {
+		return nil, err
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Engine{
+		opts:      opts,
+		corpus:    corpus,
+		campaigns: make(map[string]*state),
+		nextID:    1,
+		queue:     make(chan *state, 1024),
+		ctx:       ctx,
+		cancel:    cancel,
+	}
+	if err := e.loadAll(); err != nil {
+		cancel()
+		return nil, err
+	}
+	e.wg.Add(1)
+	go e.worker()
+	return e, nil
+}
+
+// loadAll rebuilds every campaign from disk and queues the unfinished ones
+// in ID order.
+func (e *Engine) loadAll() error {
+	ents, err := os.ReadDir(e.opts.StateDir)
+	if err != nil {
+		return err
+	}
+	var ids []string
+	for _, ent := range ents {
+		if ent.IsDir() && strings.HasPrefix(ent.Name(), "c") {
+			if n, err := strconv.Atoi(ent.Name()[1:]); err == nil {
+				ids = append(ids, ent.Name())
+				if n >= e.nextID {
+					e.nextID = n + 1
+				}
+			}
+		}
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		st, err := e.load(id)
+		if err != nil {
+			return err
+		}
+		e.campaigns[id] = st
+		e.order = append(e.order, id)
+		if st.status == StatusQueued {
+			e.queue <- st
+		}
+	}
+	return nil
+}
+
+// load rebuilds one campaign: manifest, then each shard journal (compacted,
+// so the append file is well-formed again after a torn tail).
+func (e *Engine) load(id string) (*state, error) {
+	dir := filepath.Join(e.opts.StateDir, id)
+	spec, err := loadSpec(dir)
+	if err != nil {
+		return nil, err
+	}
+	st := &state{id: id, dir: dir, spec: spec, status: StatusQueued,
+		shards: spec.ShardItems(), divs: make(map[int]*Divergence)}
+	st.done = make([]map[int]json.RawMessage, len(st.shards))
+	complete := true
+	for si := range st.shards {
+		st.done[si] = make(map[int]json.RawMessage)
+		path := shardJournalPath(dir, si)
+		entries, err := readJournal(path)
+		if err != nil {
+			return nil, err
+		}
+		if err := compactJournal(path, entries); err != nil {
+			return nil, err
+		}
+		valid := make(map[int]bool, len(st.shards[si]))
+		for _, it := range st.shards[si] {
+			valid[it.Index] = true
+		}
+		for _, en := range entries {
+			if !valid[en.Index] {
+				continue // stale entry from an edited manifest; ignore
+			}
+			st.done[si][en.Index] = en.Line
+			if en.Div != nil {
+				st.divs[en.Index] = en.Div
+			}
+		}
+		if len(st.done[si]) < len(st.shards[si]) {
+			complete = false
+		}
+	}
+	if complete {
+		// Everything ran; the report may still be missing if the daemon died
+		// between the last journal append and the report rename.
+		if err := st.writeReport(); err != nil {
+			return nil, err
+		}
+		st.status = StatusDone
+	}
+	return st, nil
+}
+
+// Submit validates and admits a campaign, returning its ID. The manifest is
+// durable before Submit returns.
+func (e *Engine) Submit(spec *Spec) (string, error) {
+	if err := spec.Validate(); err != nil {
+		return "", err
+	}
+	e.mu.Lock()
+	if e.draining {
+		e.mu.Unlock()
+		return "", fmt.Errorf("campaign: engine is draining")
+	}
+	id := fmt.Sprintf("c%04d", e.nextID)
+	e.nextID++
+	e.mu.Unlock()
+
+	dir := filepath.Join(e.opts.StateDir, id)
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	if err := saveSpec(dir, spec); err != nil {
+		return "", err
+	}
+	st := &state{id: id, dir: dir, spec: spec, status: StatusQueued,
+		shards: spec.ShardItems(), divs: make(map[int]*Divergence)}
+	st.done = make([]map[int]json.RawMessage, len(st.shards))
+	for si := range st.shards {
+		st.done[si] = make(map[int]json.RawMessage)
+	}
+	e.mu.Lock()
+	e.campaigns[id] = st
+	e.order = append(e.order, id)
+	e.mu.Unlock()
+	e.queue <- st
+	return id, nil
+}
+
+// worker drains the campaign queue FIFO until Close.
+func (e *Engine) worker() {
+	defer e.wg.Done()
+	for {
+		select {
+		case <-e.ctx.Done():
+			return
+		case st := <-e.queue:
+			e.run(st)
+		}
+	}
+}
+
+// run executes one campaign: every shard in order, each shard's pending
+// items on a worker pool, every finished item journaled from OnResult (which
+// sched serializes). Cancellation mid-shard leaves the journals as the
+// resume point; the campaign stays queued on disk and re-runs only the
+// missing items after restart.
+func (e *Engine) run(st *state) {
+	st.mu.Lock()
+	st.status = StatusRunning
+	st.started = time.Now()
+	st.mu.Unlock()
+
+	width := st.spec.Jobs
+	if width <= 0 {
+		width = e.opts.Jobs
+	}
+	for si, items := range st.shards {
+		var pending []Item
+		st.mu.Lock()
+		for _, it := range items {
+			if _, ok := st.done[si][it.Index]; !ok {
+				pending = append(pending, it)
+			}
+		}
+		st.mu.Unlock()
+		if len(pending) == 0 {
+			continue
+		}
+		jw, err := openJournal(shardJournalPath(st.dir, si))
+		if err != nil {
+			e.fail(st, err)
+			return
+		}
+		jobs := make([]sched.Job, len(pending))
+		for j, it := range pending {
+			it := it
+			jobs[j] = sched.Job{
+				ID: fmt.Sprintf("%s/shard%d/%s", st.id, si, it.Key()),
+				Run: func(ctx context.Context) (any, error) {
+					res, err := e.opts.Runner.Run(ctx, st.spec, it)
+					return res, err
+				},
+			}
+		}
+		var itemErr error
+		rs := sched.Run(e.ctx, jobs, sched.Options{
+			Workers: width,
+			OnResult: func(j int, r sched.Result) {
+				if r.Err != nil {
+					return // cancellation or item failure: nothing durable to record
+				}
+				res := r.Value.(ItemResult)
+				en := journalEntry{Index: pending[j].Index, Line: res.Line, Div: res.Div}
+				if err := jw.append(en); err != nil && itemErr == nil {
+					itemErr = err
+				}
+				st.mu.Lock()
+				st.done[si][pending[j].Index] = res.Line
+				if res.Div != nil {
+					st.divs[pending[j].Index] = res.Div
+				}
+				st.instrs += r.Instrs
+				st.mu.Unlock()
+				if res.Div != nil {
+					if _, err := e.corpus.Add(st.id, res.Div); err != nil && itemErr == nil {
+						itemErr = err
+					}
+				}
+			},
+		})
+		jw.Close()
+		if e.ctx.Err() != nil {
+			st.mu.Lock()
+			st.status = StatusQueued // resumes from the journals on restart
+			st.wall += time.Since(st.started)
+			st.mu.Unlock()
+			return
+		}
+		if itemErr == nil {
+			itemErr = sched.FirstError(rs)
+		}
+		if itemErr != nil {
+			e.fail(st, itemErr)
+			return
+		}
+	}
+	st.mu.Lock()
+	st.wall += time.Since(st.started)
+	err := st.writeReport()
+	if err != nil {
+		st.status = StatusFailed
+		st.errMsg = err.Error()
+	} else {
+		st.status = StatusDone
+	}
+	st.mu.Unlock()
+}
+
+func (e *Engine) fail(st *state, err error) {
+	st.mu.Lock()
+	st.status = StatusFailed
+	st.errMsg = err.Error()
+	st.wall += time.Since(st.started)
+	st.mu.Unlock()
+}
+
+// writeReport merges the shard journals into report.jsonl: every item's line
+// in manifest order, concatenation over shards in shard order. Atomic, so
+// the report's existence is the done marker. Callers hold st.mu or have
+// exclusive access.
+func (st *state) writeReport() error {
+	var buf bytes.Buffer
+	for si, items := range st.shards {
+		for _, it := range items {
+			line, ok := st.done[si][it.Index]
+			if !ok {
+				return fmt.Errorf("campaign: %s: item %d missing at merge", st.id, it.Index)
+			}
+			buf.Write(line)
+			buf.WriteByte('\n')
+		}
+	}
+	return writeAtomic(reportPath(st.dir), buf.Bytes())
+}
+
+// Close drains the engine: new submissions are rejected, the in-flight
+// campaign is cancelled at the next item boundary (its finished items are
+// already journaled), and the worker exits. Safe to call more than once.
+func (e *Engine) Close() {
+	e.mu.Lock()
+	e.draining = true
+	e.mu.Unlock()
+	e.cancel()
+	e.wg.Wait()
+}
+
+// Draining reports whether Close has begun.
+func (e *Engine) Draining() bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.draining
+}
+
+// ShardStatus is one shard's live progress.
+type ShardStatus struct {
+	Shard     int `json:"shard"`
+	ItemsDone int `json:"items_done"`
+	Items     int `json:"items"`
+}
+
+// Status is a campaign's live progress snapshot, the /campaigns/{id} API
+// document.
+type Status struct {
+	ID          string        `json:"id"`
+	Tool        string        `json:"tool"`
+	Status      string        `json:"status"`
+	Error       string        `json:"error,omitempty"`
+	Shards      []ShardStatus `json:"shards"`
+	ItemsDone   int           `json:"items_done"`
+	Items       int           `json:"items"`
+	Divergences int           `json:"divergences"`
+	// HostMIPS is the retired-instruction throughput of the campaign so far
+	// (millions of simulated instructions per host second, summed over
+	// workers). Zero for tools that do not report instruction counts.
+	HostMIPS float64 `json:"host_mips,omitempty"`
+}
+
+func (st *state) snapshot() Status {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	s := Status{ID: st.id, Tool: st.spec.Tool, Status: st.status, Error: st.errMsg,
+		Divergences: len(st.divs)}
+	for si, items := range st.shards {
+		s.Shards = append(s.Shards, ShardStatus{Shard: si, ItemsDone: len(st.done[si]), Items: len(items)})
+		s.ItemsDone += len(st.done[si])
+		s.Items += len(items)
+	}
+	wall := st.wall
+	if st.status == StatusRunning {
+		wall += time.Since(st.started)
+	}
+	if secs := wall.Seconds(); secs > 0 {
+		s.HostMIPS = float64(st.instrs) / secs / 1e6
+	}
+	return s
+}
+
+// Get returns one campaign's status.
+func (e *Engine) Get(id string) (Status, bool) {
+	e.mu.Lock()
+	st, ok := e.campaigns[id]
+	e.mu.Unlock()
+	if !ok {
+		return Status{}, false
+	}
+	return st.snapshot(), true
+}
+
+// List returns every campaign's status in submission order.
+func (e *Engine) List() []Status {
+	e.mu.Lock()
+	ids := append([]string(nil), e.order...)
+	e.mu.Unlock()
+	out := make([]Status, 0, len(ids))
+	for _, id := range ids {
+		if s, ok := e.Get(id); ok {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// Report returns the merged report of a finished campaign.
+func (e *Engine) Report(id string) ([]byte, error) {
+	e.mu.Lock()
+	st, ok := e.campaigns[id]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown campaign %q", id)
+	}
+	st.mu.Lock()
+	status := st.status
+	st.mu.Unlock()
+	if status != StatusDone {
+		return nil, fmt.Errorf("campaign: %s is %s, report not ready", id, status)
+	}
+	return os.ReadFile(reportPath(st.dir))
+}
+
+// Divergences returns a campaign's divergences in manifest order.
+func (e *Engine) Divergences(id string) ([]*Divergence, error) {
+	e.mu.Lock()
+	st, ok := e.campaigns[id]
+	e.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("campaign: unknown campaign %q", id)
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	idx := make([]int, 0, len(st.divs))
+	for i := range st.divs {
+		idx = append(idx, i)
+	}
+	sort.Ints(idx)
+	out := make([]*Divergence, 0, len(idx))
+	for _, i := range idx {
+		d := *st.divs[i]
+		out = append(out, &d)
+	}
+	return out, nil
+}
+
+// Repro returns the shrunken reproducer a campaign found for a seed.
+func (e *Engine) Repro(id string, seed int64) (string, error) {
+	divs, err := e.Divergences(id)
+	if err != nil {
+		return "", err
+	}
+	for _, d := range divs {
+		if d.Seed == seed {
+			if d.Shrunk == "" {
+				return "", fmt.Errorf("campaign: seed %d diverged but has no shrunken repro", seed)
+			}
+			return d.Shrunk, nil
+		}
+	}
+	return "", fmt.Errorf("campaign: no divergence for seed %d in %s", seed, id)
+}
+
+// Corpus exposes the engine's divergence corpus.
+func (e *Engine) Corpus() *Corpus { return e.corpus }

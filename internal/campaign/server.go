@@ -1,0 +1,129 @@
+package campaign
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+)
+
+// NewHandler wires the campaign HTTP/JSON API (stdlib net/http only):
+//
+//	POST /api/v1/campaigns                   submit a Spec, returns {"id": ...}
+//	GET  /api/v1/campaigns                   list campaign statuses
+//	GET  /api/v1/campaigns/{id}              one campaign's live status
+//	GET  /api/v1/campaigns/{id}/report       merged report (JSONL; 409 until done)
+//	GET  /api/v1/campaigns/{id}/divergences  divergence records
+//	GET  /api/v1/campaigns/{id}/repro/{seed} shrunken reproducer (assembly)
+//	GET  /api/v1/corpus                      deduplicated divergence corpus
+//	GET  /healthz                            "ok", or 503 while draining
+//
+// Submissions during drain are rejected with 503 so a supervisor restarting
+// the daemon can tell "retry later" from a bad request.
+func NewHandler(e *Engine) http.Handler {
+	mux := http.NewServeMux()
+
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		if e.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		w.Write([]byte("ok\n"))
+	})
+
+	mux.HandleFunc("POST /api/v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		if e.Draining() {
+			http.Error(w, "draining", http.StatusServiceUnavailable)
+			return
+		}
+		spec := new(Spec)
+		if err := json.NewDecoder(r.Body).Decode(spec); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		id, err := e.Submit(spec)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusAccepted)
+		json.NewEncoder(w).Encode(map[string]string{"id": id})
+	})
+
+	mux.HandleFunc("GET /api/v1/campaigns", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, e.List())
+	})
+
+	mux.HandleFunc("GET /api/v1/campaigns/{id}", func(w http.ResponseWriter, r *http.Request) {
+		s, ok := e.Get(r.PathValue("id"))
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		writeJSON(w, s)
+	})
+
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/report", func(w http.ResponseWriter, r *http.Request) {
+		id := r.PathValue("id")
+		s, ok := e.Get(id)
+		if !ok {
+			http.NotFound(w, r)
+			return
+		}
+		if s.Status != StatusDone {
+			http.Error(w, "campaign is "+s.Status+"; report not ready", http.StatusConflict)
+			return
+		}
+		b, err := e.Report(id)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Header().Set("Content-Type", "application/jsonl")
+		w.Write(b)
+	})
+
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/divergences", func(w http.ResponseWriter, r *http.Request) {
+		divs, err := e.Divergences(r.PathValue("id"))
+		if err != nil {
+			http.NotFound(w, r)
+			return
+		}
+		if divs == nil {
+			divs = []*Divergence{}
+		}
+		writeJSON(w, divs)
+	})
+
+	mux.HandleFunc("GET /api/v1/campaigns/{id}/repro/{seed}", func(w http.ResponseWriter, r *http.Request) {
+		seed, err := strconv.ParseInt(r.PathValue("seed"), 10, 64)
+		if err != nil {
+			http.Error(w, "bad seed", http.StatusBadRequest)
+			return
+		}
+		src, err := e.Repro(r.PathValue("id"), seed)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		w.Write([]byte(src))
+	})
+
+	mux.HandleFunc("GET /api/v1/corpus", func(w http.ResponseWriter, r *http.Request) {
+		entries := e.Corpus().Entries()
+		if entries == nil {
+			entries = []*CorpusEntry{}
+		}
+		writeJSON(w, entries)
+	})
+
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}

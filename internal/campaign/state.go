@@ -1,0 +1,174 @@
+package campaign
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// Persistence layout, under the engine's state directory:
+//
+//	<state>/<id>/spec.json     the manifest (atomic write at submit)
+//	<state>/<id>/shard<K>.jsonl append-only journal of finished items
+//	<state>/<id>/report.jsonl  the merged report; doubles as the done marker
+//	<state>/corpus/...         the cross-campaign divergence corpus
+//
+// Journals are the crash-safety mechanism: one JSON line per finished item,
+// appended after the item's record is complete. A kill can tear at most the
+// final line; readJournal tolerates a torn tail and the engine compacts the
+// journal on reopen, so a restarted daemon resumes from exactly the set of
+// items whose lines were durably appended — never re-running a finished
+// item, never trusting a torn one.
+
+// journalEntry is one journal line: the item's manifest index, its merged-
+// report line and, for diverging items, the divergence payload.
+type journalEntry struct {
+	Index int             `json:"i"`
+	Line  json.RawMessage `json:"line"`
+	Div   *Divergence     `json:"div,omitempty"`
+}
+
+// writeAtomic writes data to path via a same-directory temp file and rename,
+// so readers never observe a partial file.
+func writeAtomic(path string, data []byte) error {
+	tmp, err := os.CreateTemp(filepath.Dir(path), "."+filepath.Base(path)+".tmp*")
+	if err != nil {
+		return err
+	}
+	name := tmp.Name()
+	if _, err := tmp.Write(data); err != nil {
+		tmp.Close()
+		os.Remove(name)
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(name)
+		return err
+	}
+	if err := os.Rename(name, path); err != nil {
+		os.Remove(name)
+		return err
+	}
+	return nil
+}
+
+// readJournal parses a shard journal, stopping silently at the first
+// malformed line (the torn tail of a kill mid-append). Duplicate indexes —
+// an item that finished, was journaled, and re-ran after a crash that lost
+// the in-memory state but not the line — keep the first occurrence; both
+// occurrences are byte-identical anyway, by the determinism contract.
+func readJournal(path string) ([]journalEntry, error) {
+	f, err := os.Open(path)
+	if os.IsNotExist(err) {
+		return nil, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	var out []journalEntry
+	seen := make(map[int]bool)
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64<<10), 16<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			break // torn tail: everything after is untrusted
+		}
+		if seen[e.Index] {
+			continue
+		}
+		seen[e.Index] = true
+		out = append(out, e)
+	}
+	if err := sc.Err(); err != nil && len(out) == 0 {
+		return nil, err
+	}
+	return out, nil
+}
+
+// compactJournal rewrites a journal to exactly the given entries (dropping a
+// torn tail and duplicates), atomically, so subsequent appends land on a
+// well-formed file.
+func compactJournal(path string, entries []journalEntry) error {
+	if len(entries) == 0 {
+		if err := os.Remove(path); err != nil && !os.IsNotExist(err) {
+			return err
+		}
+		return nil
+	}
+	var buf bytes.Buffer
+	for _, e := range entries {
+		b, err := json.Marshal(e)
+		if err != nil {
+			return err
+		}
+		buf.Write(b)
+		buf.WriteByte('\n')
+	}
+	return writeAtomic(path, buf.Bytes())
+}
+
+// journalWriter appends entries to a shard journal, one fsync-free write per
+// entry (a killed process loses nothing already written; the page cache
+// survives the process).
+type journalWriter struct {
+	f *os.File
+}
+
+func openJournal(path string) (*journalWriter, error) {
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &journalWriter{f: f}, nil
+}
+
+func (w *journalWriter) append(e journalEntry) error {
+	b, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	if _, err := w.f.Write(b); err != nil {
+		return fmt.Errorf("campaign: journal append: %w", err)
+	}
+	return nil
+}
+
+func (w *journalWriter) Close() error { return w.f.Close() }
+
+// loadSpec reads a campaign's manifest.
+func loadSpec(dir string) (*Spec, error) {
+	b, err := os.ReadFile(filepath.Join(dir, "spec.json"))
+	if err != nil {
+		return nil, err
+	}
+	spec := new(Spec)
+	if err := json.Unmarshal(b, spec); err != nil {
+		return nil, fmt.Errorf("campaign: %s: %w", dir, err)
+	}
+	return spec, nil
+}
+
+// saveSpec writes a campaign's manifest atomically.
+func saveSpec(dir string, spec *Spec) error {
+	b, err := json.MarshalIndent(spec, "", "  ")
+	if err != nil {
+		return err
+	}
+	return writeAtomic(filepath.Join(dir, "spec.json"), append(b, '\n'))
+}
+
+func shardJournalPath(dir string, shard int) string {
+	return filepath.Join(dir, fmt.Sprintf("shard%d.jsonl", shard))
+}
+
+func reportPath(dir string) string { return filepath.Join(dir, "report.jsonl") }

@@ -65,6 +65,45 @@ func (c *Campaign) RegisterTimeout(fs *flag.FlagSet, def time.Duration, usage st
 	}
 }
 
+// Knobs is the serializable image of the uniform campaign knob set: the same
+// -n / -seed / -jobs / -timeout / -modes values a CLI invocation would carry,
+// as a JSON document a campaign manifest can record and a service can
+// reconstruct the exact run from. Round trip: Campaign.Knobs → JSON →
+// Knobs.Campaign yields the identical knob values.
+type Knobs struct {
+	N       int           `json:"n,omitempty"`
+	Seed    int64         `json:"seed,omitempty"`
+	Jobs    int           `json:"jobs,omitempty"`
+	Timeout time.Duration `json:"timeout,omitempty"`
+	Modes   string        `json:"modes,omitempty"`
+}
+
+// Knobs packages the parsed campaign flags (plus a -modes spec string) for a
+// manifest.
+func (c *Campaign) Knobs(modes string) Knobs {
+	return Knobs{N: c.N, Seed: c.Seed, Jobs: c.Jobs, Timeout: c.Timeout, Modes: modes}
+}
+
+// Campaign reconstructs the flag values the knobs were captured from.
+func (k Knobs) Campaign() Campaign {
+	return Campaign{N: k.N, Seed: k.Seed, Jobs: k.Jobs, Timeout: k.Timeout}
+}
+
+// Seeds expands the knob set's seed range, identically to Campaign.Seeds.
+func (k Knobs) Seeds() []int64 {
+	c := k.Campaign()
+	return c.Seeds()
+}
+
+// CosimModes parses and validates the recorded -modes spec.
+func (k Knobs) CosimModes() (cosim.Modes, error) {
+	md, err := cosim.ParseModes(k.Modes)
+	if err != nil {
+		return md, err
+	}
+	return md, md.Validate()
+}
+
 // ModeSpec is the composable -modes flag plus the deprecated per-mode boolean
 // aliases. Register it, parse the FlagSet, then call Modes.
 type ModeSpec struct {

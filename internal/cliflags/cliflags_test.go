@@ -1,6 +1,7 @@
 package cliflags
 
 import (
+	"encoding/json"
 	"flag"
 	"io"
 	"strings"
@@ -177,6 +178,53 @@ func TestTimeoutAliasLastWins(t *testing.T) {
 		}
 		if cf.Timeout != c.want {
 			t.Fatalf("%v: Timeout = %v, want %v", c.args, cf.Timeout, c.want)
+		}
+	}
+}
+
+// TestKnobsRoundTrip pins the manifest contract: parsed campaign flags survive
+// Campaign.Knobs → JSON → Knobs.Campaign with identical values, and the
+// recorded -modes spec re-parses through the same validator the CLIs use.
+func TestKnobsRoundTrip(t *testing.T) {
+	fs := newFS()
+	var cf Campaign
+	cf.RegisterSeeds(fs, 100)
+	cf.RegisterPool(fs)
+	cf.RegisterTimeout(fs, 0, "t")
+	if err := fs.Parse([]string{"-n", "37", "-seed", "9", "-jobs", "3", "-timeout", "250ms"}); err != nil {
+		t.Fatal(err)
+	}
+
+	k := cf.Knobs("paged")
+	data, err := json.Marshal(k)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Knobs
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if back != k {
+		t.Fatalf("knobs changed across JSON: %+v != %+v", back, k)
+	}
+	if got := back.Campaign(); got != (Campaign{N: 37, Seed: 9, Jobs: 3, Timeout: 250 * time.Millisecond}) {
+		t.Fatalf("Campaign() = %+v", got)
+	}
+	if seeds := back.Seeds(); len(seeds) != 37 || seeds[0] != 9 || seeds[36] != 45 {
+		t.Fatalf("Seeds() = len %d, first %d, last %d", len(seeds), seeds[0], seeds[len(seeds)-1])
+	}
+	md, err := back.CosimModes()
+	if err != nil || !md.Paged {
+		t.Fatalf("CosimModes() = %+v, %v", md, err)
+	}
+}
+
+// TestKnobsRejectIllegalModes: the recorded spec goes through Validate, so a
+// manifest cannot smuggle in a mode combination the CLIs reject.
+func TestKnobsRejectIllegalModes(t *testing.T) {
+	for _, spec := range []string{"warp", "paged,smp"} {
+		if _, err := (Knobs{Modes: spec}).CosimModes(); err == nil {
+			t.Fatalf("modes %q: want error, got nil", spec)
 		}
 	}
 }

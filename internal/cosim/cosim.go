@@ -216,9 +216,39 @@ type Result struct {
 	// latency in commits).
 	FailCommit uint64
 
+	// Field names the first diverging architectural field within the Kind
+	// ("x5", "fcsr", "pc", ...): the label the checker printed before the
+	// first ':' of its detail line. Empty for divergence kinds without a
+	// field-granular detail.
+	Field string
+
+	// OpClass is the instruction class of the committing instruction at the
+	// divergence point (isa.Class.String()), or "none" when the divergence
+	// was detected outside a commit (hang, drain-time compare).
+	OpClass string
+
 	// TimedOut marks a run killed by its context deadline (RunContext); the
 	// comparison state is whatever had been checked when the clock ran out.
 	TimedOut bool
+}
+
+// Signature is the root-cause bucket of a divergence: the comparison kind,
+// the first diverging field and the class of the instruction that exposed
+// it, joined as "kind/field/opclass". Two repros with the same signature are
+// overwhelmingly the same underlying bug, which is what campaign corpora
+// dedup on. Non-diverged results return "".
+func (r Result) Signature() string {
+	if !r.Diverged {
+		return ""
+	}
+	field, opClass := r.Field, r.OpClass
+	if field == "" {
+		field = "none"
+	}
+	if opClass == "" {
+		opClass = "none"
+	}
+	return r.Kind + "/" + field + "/" + opClass
 }
 
 // compareCSRs is the trap/translation state checked at CSR and system-class
@@ -653,9 +683,15 @@ func (s *Session) Finish() Result {
 		k := s.harts[s.failHart].k
 		res.Diverged = true
 		res.Kind = k.kind
+		res.Field = k.field
 		res.Report = k.report()
 		res.FailCommit = k.failCommit
 		res.Hart = s.failHart
+		if k.failInst.Op != 0 {
+			res.OpClass = k.failInst.Op.Class().String()
+		} else {
+			res.OpClass = "none"
+		}
 	}
 	return res
 }
@@ -734,10 +770,35 @@ type checker struct {
 
 	failed     bool
 	kind       string
+	field      string
 	detail     []string
 	failCommit uint64
 	failPC     uint64
 	failInst   isa.Inst
+}
+
+// divergenceField extracts the diverging-field label from the first detail
+// line: the "x5" of "x5: core=... emu=...". Memory lines carry an address,
+// not a field — the address is incidental to the root cause, so every memory
+// divergence buckets under "addr". Prose details (no "label:" prefix) yield
+// the empty string.
+func divergenceField(detail []string) string {
+	if len(detail) == 0 {
+		return ""
+	}
+	d := detail[0]
+	i := strings.IndexByte(d, ':')
+	if i <= 0 {
+		return ""
+	}
+	f := d[:i]
+	if strings.ContainsAny(f, " =") {
+		return "" // a sentence, not a field label
+	}
+	if strings.HasPrefix(f, "[") {
+		return "addr"
+	}
+	return f
 }
 
 func (k *checker) markDirty(addr uint64, size int) {
@@ -752,6 +813,7 @@ func (k *checker) fail(ci core.Commit, kind string, detail ...string) {
 	}
 	k.failed = true
 	k.kind = kind
+	k.field = divergenceField(detail)
 	k.detail = detail
 	k.failCommit = k.commits
 	k.failPC = ci.PC

@@ -1,0 +1,29 @@
+package cosim
+
+// SeedRecord is the per-seed JSON row of a fuzz campaign — the format behind
+// `xtfuzz -json` and the campaign service's merged fuzz reports. Both emit
+// exactly this struct, which is what makes a sharded, restart-resumed
+// campaign's merged report byte-identical to a direct xtfuzz run over the
+// same seed range.
+type SeedRecord struct {
+	Seed    int64  `json:"seed"`
+	Status  string `json:"status"` // ok | diverged | timeout
+	Commits uint64 `json:"commits"`
+	Cycles  uint64 `json:"cycles"`
+	Kind    string `json:"kind,omitempty"`
+	Hart    int    `json:"hart,omitempty"`
+	Retried bool   `json:"retried,omitempty"`
+}
+
+// NewSeedRecord classifies one fuzz outcome into its report row.
+func NewSeedRecord(fr FuzzResult) SeedRecord {
+	rec := SeedRecord{Seed: fr.Seed, Status: "ok", Commits: fr.Result.Commits,
+		Cycles: fr.Result.Cycles, Kind: fr.Result.Kind, Hart: fr.Result.Hart, Retried: fr.Retried}
+	switch {
+	case fr.TimedOut:
+		rec.Status = "timeout"
+	case fr.Diverged:
+		rec.Status = "diverged"
+	}
+	return rec
+}

@@ -69,8 +69,9 @@ func RunSeeds(ctx context.Context, seeds []int64, nSegs int, opts Options, jobs 
 		jl[i] = sched.Job{
 			ID: fmt.Sprintf("seed%d", seed),
 			Run: func(ctx context.Context) (any, error) {
-				fr := fuzzWatched(ctx, seed, nSegs, opts)
+				fr := FuzzWatched(ctx, seed, nSegs, opts)
 				sched.AddCycles(ctx, fr.Result.Cycles)
+				sched.AddInstrs(ctx, fr.Result.Commits)
 				return fr, fr.Err
 			},
 		}
@@ -86,8 +87,11 @@ func RunSeeds(ctx context.Context, seeds []int64, nSegs int, opts Options, jobs 
 	return out, nil
 }
 
-// fuzzWatched applies the per-seed deadline with one 2× retry.
-func fuzzWatched(ctx context.Context, seed int64, nSegs int, opts Options) FuzzResult {
+// FuzzWatched fuzzes one seed under the per-seed deadline policy of RunSeeds:
+// opts.SeedTimeout bounds the run, one 2× retry on timeout, and a second
+// timeout is reported in the FuzzResult rather than as an error. It is the
+// single-seed unit that campaign shards schedule themselves.
+func FuzzWatched(ctx context.Context, seed int64, nSegs int, opts Options) FuzzResult {
 	if opts.SeedTimeout <= 0 {
 		return FuzzContext(ctx, seed, nSegs, opts)
 	}

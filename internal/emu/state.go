@@ -60,6 +60,61 @@ func (m *Machine) Snapshot(csrs ...uint16) ArchState {
 	return s
 }
 
+// DumpCSRs returns a copy of every CSR value the machine has materialized —
+// the raw control-register file, unfiltered by any comparison policy. Paired
+// with RestoreCSRs it round-trips CSR state exactly (no WARL re-masking),
+// which is what a checkpoint needs: Snapshot records only the CSRs a checker
+// compares, DumpCSRs records everything the machine would keep behaving on.
+func (m *Machine) DumpCSRs() map[uint16]uint64 {
+	out := make(map[uint16]uint64, len(m.csr))
+	for n, v := range m.csr {
+		out[n] = v
+	}
+	return out
+}
+
+// RestoreCSRs replaces the machine's raw CSR file with the given values
+// (as produced by DumpCSRs) and invalidates the translation cache, since
+// satp/privilege-dependent state may have changed.
+func (m *Machine) RestoreCSRs(csrs map[uint16]uint64) {
+	m.csr = make(map[uint16]uint64, len(csrs))
+	for n, v := range csrs {
+		m.csr[n] = v
+	}
+	m.stlb = nil
+}
+
+// SetReservation restores the LR/SC reservation (checkpoint restore).
+func (m *Machine) SetReservation(valid bool, addr uint64) {
+	m.resValid, m.resAddr = valid, addr
+}
+
+// RestoreArch loads the scalar architectural state from a snapshot: PC,
+// register files, privilege, instret, the reservation and — when the snapshot
+// carries vector state and the machine has a vector unit — the vector file,
+// vl and vtype. CSRs are NOT restored here (a Snapshot records only the
+// compared subset); use RestoreCSRs with a DumpCSRs image for those.
+func (m *Machine) RestoreArch(s ArchState) {
+	m.PC = s.PC
+	m.X = s.X
+	m.F = s.F
+	m.Priv = s.Priv
+	m.Instret = s.Instret
+	m.resValid, m.resAddr = s.ResValid, s.ResAddr
+	if m.Vec != nil && s.V != nil {
+		m.Vec.VL = s.VL
+		m.Vec.VType = isa.VType(s.VType)
+		for r := 0; r < 32 && r < len(s.V); r++ {
+			b := m.Vec.File.Bytes(r)
+			for i := range b {
+				b[i] = 0
+			}
+			copy(b, s.V[r])
+		}
+	}
+	m.stlb = nil
+}
+
 // Diff returns one human-readable line per field where the two states differ;
 // an empty slice means the states are architecturally identical. CSRs are
 // compared over the union of the two snapshots' recorded sets.

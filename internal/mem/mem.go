@@ -115,6 +115,30 @@ func (m *Memory) FootprintBytes() uint64 {
 	return uint64(len(m.pages)) * pageSize
 }
 
+// Snapshot returns a deep copy of every touched page, keyed by page number
+// (byte address >> 12). It is the serializable image of the memory: restoring
+// it into an empty Memory reproduces every Load exactly, because untouched
+// pages read as zero in both.
+func (m *Memory) Snapshot() map[uint64][]byte {
+	out := make(map[uint64][]byte, len(m.pages))
+	for pn, p := range m.pages {
+		out[pn] = append([]byte(nil), p[:]...)
+	}
+	return out
+}
+
+// RestoreSnapshot replaces the memory's entire contents with a snapshot taken
+// by Snapshot. Pages absent from the snapshot are dropped (they read as zero
+// again); short page images are zero-padded.
+func (m *Memory) RestoreSnapshot(pages map[uint64][]byte) {
+	m.pages = make(map[uint64]*[pageSize]byte, len(pages))
+	for pn, data := range pages {
+		p := new([pageSize]byte)
+		copy(p[:], data)
+		m.pages[pn] = p
+	}
+}
+
 // DRAM models main-memory timing as a fixed access latency plus a bandwidth
 // limit expressed as a minimum inter-access gap, matching the paper's
 // "configure bus delay and DDR delay to ~200 CPU cycles" methodology.

@@ -96,6 +96,15 @@ type Options struct {
 	// OnDone, when set, receives each Result as its job completes
 	// (completion order, serialized — safe to write to a terminal).
 	OnDone func(Result)
+
+	// OnResult, when set, receives each Result together with its job index as
+	// it completes. Like OnDone it fires in completion order and is
+	// serialized, but the index ties the result back to its submission slot,
+	// which is what incremental consumers (checkpointing a long campaign
+	// result by result instead of waiting for pool drain) need. The batch
+	// return of Run is unaffected: results are still merged deterministically
+	// in job-submission order, byte-identical at any worker count.
+	OnResult func(index int, r Result)
 }
 
 // ctxKey keys the per-job metrics slot carried by the job context.
@@ -141,7 +150,7 @@ func Run(ctx context.Context, jobs []Job, o Options) []Result {
 	}
 
 	idx := make(chan int)
-	var done sync.Mutex // serializes OnDone
+	var done sync.Mutex // serializes OnDone/OnResult
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -150,9 +159,14 @@ func Run(ctx context.Context, jobs []Job, o Options) []Result {
 			for i := range idx {
 				r := runJob(ctx, jobs[i], o.Timeout)
 				results[i] = r
-				if o.OnDone != nil {
+				if o.OnDone != nil || o.OnResult != nil {
 					done.Lock()
-					o.OnDone(r)
+					if o.OnDone != nil {
+						o.OnDone(r)
+					}
+					if o.OnResult != nil {
+						o.OnResult(i, r)
+					}
 					done.Unlock()
 				}
 			}

@@ -177,6 +177,33 @@ func TestOnDoneStreamsEveryJob(t *testing.T) {
 	}
 }
 
+func TestOnResultStreamsIndexedResults(t *testing.T) {
+	jobs := make([]Job, 12)
+	for i := range jobs {
+		i := i
+		jobs[i] = Job{ID: fmt.Sprintf("j%d", i), Run: func(ctx context.Context) (any, error) { return i * i, nil }}
+	}
+	// The callback must see every job exactly once, with the index matching
+	// the submission slot, and callbacks must be serialized (no lock needed
+	// around the map).
+	seen := make(map[int]int)
+	rs := Run(context.Background(), jobs, Options{Workers: 4, OnResult: func(i int, r Result) {
+		seen[i] = r.Value.(int)
+	}})
+	if len(seen) != len(jobs) {
+		t.Fatalf("OnResult fired for %d jobs, want %d", len(seen), len(jobs))
+	}
+	for i := range jobs {
+		if seen[i] != i*i {
+			t.Fatalf("OnResult index %d carried value %d, want %d", i, seen[i], i*i)
+		}
+		// the batch return must be unaffected by streaming
+		if rs[i].Value.(int) != i*i {
+			t.Fatalf("batch result %d = %v, want %d", i, rs[i].Value, i*i)
+		}
+	}
+}
+
 func TestFirstErrorIsJobOrder(t *testing.T) {
 	errB := errors.New("b failed")
 	errD := errors.New("d failed")

@@ -1,5 +1,7 @@
 package isa
 
+import "fmt"
+
 // Op enumerates every operation the XT-910 model implements. The set covers
 // RV64IMAFD, the Zicsr/Zifencei system instructions, a practical subset of the
 // 0.7.1 vector draft, and the XT-910 custom extensions (prefixed X…).
@@ -30,6 +32,24 @@ const (
 	ClassVStore        // vector store
 	ClassCacheOp       // custom cache/TLB maintenance
 )
+
+// classNames renders each class in the short form used by reports and
+// divergence signatures.
+var classNames = [...]string{
+	ClassIllegal: "illegal", ClassALU: "alu", ClassMul: "mul", ClassDiv: "div",
+	ClassBranch: "branch", ClassJump: "jump", ClassLoad: "load", ClassStore: "store",
+	ClassAMO: "amo", ClassFPU: "fpu", ClassCSR: "csr", ClassSys: "sys",
+	ClassVSet: "vset", ClassVALU: "valu", ClassVFPU: "vfpu", ClassVLoad: "vload",
+	ClassVStore: "vstore", ClassCacheOp: "cacheop",
+}
+
+// String returns the class's short report name.
+func (c Class) String() string {
+	if int(c) < len(classNames) {
+		return classNames[c]
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
 
 // Operations. Keep this list in sync with opMeta below; TestOpMetaComplete
 // enforces the invariant.
