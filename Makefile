@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke fuzz-paged-smoke fuzz-irq-smoke fuzz-smp-smoke inject-smoke trace-smoke campaign-smoke bench-track tier1 bench xtbench clean
+.PHONY: all build vet test race fuzz-smoke fuzz-paged-smoke fuzz-irq-smoke fuzz-smp-smoke inject-smoke trace-smoke campaign-smoke bench-track fidelity-track fidelity-smoke tier1 bench xtbench clean
 
 all: tier1
 
@@ -102,11 +102,29 @@ campaign-smoke:
 bench-track:
 	$(GO) run ./cmd/xtbench -quick -json -track > /dev/null
 
+# fidelity-track reruns the quick calibration sweep and gates on the
+# paper-vs-measured error table: the run must carry the current schema,
+# measure every point the newest checked-in FIDELITY_*.json records, and
+# regress no point's calibrated error past the tolerance. Simulation is
+# deterministic, so unlike bench-track this IS a gate. Record a fresh
+# baseline after an intentional model change with:
+# $(GO) run ./cmd/xtbench -fidelity -quick -json > FIDELITY_PRn.json
+fidelity-track:
+	$(GO) run ./cmd/xtbench -fidelity -quick -track > /dev/null
+
+# fidelity-smoke is fidelity-track plus the accounting property suites under
+# the race detector: the two-level CPI tree partition, the per-PC table
+# reconciliation, the fast-forward identity, and the calibration sweep's
+# determinism/convergence tests.
+fidelity-smoke: fidelity-track
+	$(GO) test -race -count=1 -run 'TestCPIStack|TestPCStack|TestSubClass|TestFastForward|TestPerPC|TestSweep|TestErrMetric|TestPaperTable|TestMeasurePoint|TestFidelity|TestResolveBaseline' ./internal/trace ./internal/core ./internal/bench ./internal/calib ./cmd/xtbench
+
 # tier1 is the required bar for every change: everything compiles, vet is
 # clean, the full suite passes with the race detector enabled, the
 # co-simulation smoke sweep finds no divergence, the trace subsystem's
 # smoke checks hold, the campaign daemon survives a kill-and-resume with a
-# byte-identical report, and the host-speed tracking stream stays well-formed.
+# byte-identical report, the host-speed tracking stream stays well-formed,
+# and the paper-fidelity error table has not regressed.
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -119,6 +137,7 @@ tier1:
 	$(MAKE) trace-smoke
 	$(MAKE) campaign-smoke
 	$(MAKE) bench-track
+	$(MAKE) fidelity-smoke
 
 # bench regenerates the paper's tables/figures as testing.B benchmarks.
 bench:

@@ -14,6 +14,10 @@
 //	xtbench -cpistack        # add a top-down CPI-stack line under each run row
 //	xtbench -track           # host-MIPS deltas vs the newest BENCH_*.json
 //	xtbench -track -baseline BENCH_PR7.json   # ...or an explicit baseline
+//	xtbench -fidelity        # calibration sweep + paper-vs-measured error table
+//	xtbench -fidelity -quick -json > FIDELITY_x.json   # record a fidelity doc
+//	xtbench -fidelity -track # flag per-point error regressions vs the newest
+//	                         # FIDELITY_*.json (exit 1 on regression)
 //
 // Tables go to stdout; progress and host metrics go to stderr, so stdout is
 // byte-stable across -jobs settings and safe to diff or redirect.
@@ -34,6 +38,7 @@ import (
 	"time"
 
 	"xt910/internal/bench"
+	"xt910/internal/calib"
 	"xt910/internal/cliflags"
 	"xt910/internal/perf"
 	"xt910/internal/sched"
@@ -70,7 +75,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	only := fs.String("only", "", "run a single experiment by id")
 	cpistack := fs.Bool("cpistack", false, "attach a pipeline tracer to each run and report its top-down CPI stack")
 	track := fs.Bool("track", false, "compare host-speed metrics against a baseline -json output (stderr report, no perf gate)")
-	baseline := fs.String("baseline", "", "baseline file for -track (default: the newest BENCH_*.json in the current directory)")
+	baseline := fs.String("baseline", "", "baseline file for -track (default: the newest BENCH_*.json / FIDELITY_*.json in the current directory)")
+	fidelity := fs.Bool("fidelity", false, "run the calibration sweep and print the paper-vs-measured fidelity table instead of the experiments")
+	seed := fs.Int64("seed", 1, "calibration sweep seed (with -fidelity)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
@@ -79,18 +86,55 @@ func run(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "xtbench: -track needs the full experiment sweep (drop -only)")
 		return 2
 	}
+	if *fidelity && *only != "" {
+		fmt.Fprintln(stderr, "xtbench: -fidelity runs the calibration sweep, not an experiment (drop -only)")
+		return 2
+	}
 	if *baseline != "" && !*track {
 		fmt.Fprintln(stderr, "xtbench: -baseline only applies with -track")
 		return 2
 	}
+	pattern := "BENCH_*.json"
+	if *fidelity {
+		pattern = "FIDELITY_*.json"
+	}
 	trackPath := *baseline
 	if *track && trackPath == "" {
 		var err error
-		if trackPath, err = resolveBaseline("."); err != nil {
+		if trackPath, err = resolveBaseline(".", pattern); err != nil {
 			fmt.Fprintf(stderr, "xtbench: track: %v\n", err)
 			return 1
 		}
 		fmt.Fprintf(stderr, "xtbench: track baseline %s\n", trackPath)
+	}
+
+	if *fidelity {
+		ctx := context.Background()
+		if cf.Timeout > 0 {
+			var cancel context.CancelFunc
+			ctx, cancel = context.WithTimeout(ctx, cf.Timeout)
+			defer cancel()
+		}
+		r, err := calib.Run(ctx, calib.Options{Quick: *quick, Jobs: cf.Jobs, Seed: *seed})
+		if err != nil {
+			fmt.Fprintf(stderr, "xtbench: fidelity: %v\n", err)
+			return 1
+		}
+		rc := 0
+		if *track {
+			if err := fidelityTrack(stderr, trackPath, r); err != nil {
+				fmt.Fprintf(stderr, "xtbench: fidelity track: %v\n", err)
+				rc = 1
+			}
+		}
+		if *jsonOut {
+			if jrc := emitJSON(stdout, stderr, r); jrc != 0 {
+				return jrc
+			}
+			return rc
+		}
+		fmt.Fprint(stdout, r.Format())
+		return rc
 	}
 
 	o := bench.Options{Quick: *quick, Jobs: cf.Jobs, Timeout: cf.Timeout, CPIStack: *cpistack}
@@ -191,11 +235,15 @@ func run(args []string, stdout, stderr io.Writer) int {
 }
 
 // resolveBaseline picks the -track baseline when the user gave no -baseline:
-// the newest (by mtime) BENCH_*.json in dir, the convention the checked-in
-// per-PR records follow. No match is a plain error, not a panic — a fresh
-// checkout simply has nothing to track against yet.
-func resolveBaseline(dir string) (string, error) {
-	matches, err := filepath.Glob(filepath.Join(dir, "BENCH_*.json"))
+// the newest (by mtime) match of pattern in dir, the convention the
+// checked-in per-PR records follow. Equal mtimes — common after a `git
+// checkout`, which stamps every file with the same time — break toward the
+// lexicographically greatest name, so BENCH_PR9.json beats BENCH_PR7.json
+// deterministically instead of depending on directory order. No match is a
+// plain error, not a panic — a fresh checkout simply has nothing to track
+// against yet.
+func resolveBaseline(dir, pattern string) (string, error) {
+	matches, err := filepath.Glob(filepath.Join(dir, pattern))
 	if err != nil {
 		return "", err
 	}
@@ -205,14 +253,75 @@ func resolveBaseline(dir string) (string, error) {
 		if err != nil || fi.IsDir() {
 			continue
 		}
-		if best == "" || fi.ModTime().After(bestTime) {
-			best, bestTime = m, fi.ModTime()
+		mt := fi.ModTime()
+		if best == "" || mt.After(bestTime) || (mt.Equal(bestTime) && m > best) {
+			best, bestTime = m, mt
 		}
 	}
 	if best == "" {
-		return "", fmt.Errorf("no BENCH_*.json baseline in %s (record one with `xtbench -json > BENCH_x.json`, or point -baseline at a file)", dir)
+		return "", fmt.Errorf("no %s baseline in %s (record one with `xtbench -json`, or point -baseline at a file)", pattern, dir)
 	}
 	return best, nil
+}
+
+// fidelityErrTolerance absorbs knob-grid jitter when comparing per-point
+// shape errors against a baseline fidelity document: a point regresses only
+// when its calibrated |ln m/p| error grows by more than this.
+const fidelityErrTolerance = 0.02
+
+// fidelityTrack compares this sweep's error table against a prior
+// FIDELITY_*.json. Schema drift, an unreadable baseline, or a baseline point
+// the current sweep no longer measures are hard errors; so is any point
+// whose calibrated error grew past the tolerance — fidelity regressions are
+// gated, unlike host-speed deltas, because simulation is deterministic.
+func fidelityTrack(stderr io.Writer, path string, cur *calib.Result) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var base calib.Result
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	if base.Schema != calib.Schema {
+		return fmt.Errorf("%s: schema %q, want %q", path, base.Schema, calib.Schema)
+	}
+	curPoints := make(map[string]calib.PointReport, len(cur.Points))
+	for _, p := range cur.Points {
+		curPoints[p.ID] = p
+	}
+	var regressed []string
+	for _, b := range base.Points {
+		c, ok := curPoints[b.ID]
+		if !ok {
+			return fmt.Errorf("%s: point %s has no measurement in this sweep", path, b.ID)
+		}
+		delta := c.ErrCal - b.ErrCal
+		status := "ok"
+		if delta > fidelityErrTolerance {
+			status = "REGRESSED"
+			regressed = append(regressed, b.ID)
+		}
+		fmt.Fprintf(stderr, "xtbench: fidelity %-22s err %.4f  baseline %.4f  (%+.4f) %s\n",
+			b.ID, c.ErrCal, b.ErrCal, delta, status)
+	}
+	for _, p := range cur.Points {
+		found := false
+		for _, b := range base.Points {
+			if b.ID == p.ID {
+				found = true
+				break
+			}
+		}
+		if !found {
+			fmt.Fprintf(stderr, "xtbench: fidelity %-22s err %.4f  (no baseline)\n", p.ID, p.ErrCal)
+		}
+	}
+	if len(regressed) > 0 {
+		return fmt.Errorf("calibrated error regressed past %.2f on: %s",
+			fidelityErrTolerance, strings.Join(regressed, " "))
+	}
+	return nil
 }
 
 // trackReport compares this run's host-speed metrics against a prior -json

@@ -8,6 +8,8 @@ import (
 	"strings"
 	"testing"
 	"time"
+
+	"xt910/internal/calib"
 )
 
 // TestJSONErrorExit pins the contract that -json mode still exits non-zero
@@ -68,7 +70,7 @@ func TestTrackFlagValidation(t *testing.T) {
 // clear error rather than a panic on a hardcoded filename.
 func TestResolveBaseline(t *testing.T) {
 	dir := t.TempDir()
-	if _, err := resolveBaseline(dir); err == nil {
+	if _, err := resolveBaseline(dir, "BENCH_*.json"); err == nil {
 		t.Fatal("empty dir: want error, got nil")
 	} else if !strings.Contains(err.Error(), "BENCH_*.json") {
 		t.Fatalf("empty dir: error should name the pattern, got %v", err)
@@ -90,11 +92,111 @@ func TestResolveBaseline(t *testing.T) {
 	write("BENCH_PR7.json", 2*time.Hour)
 	write("notes.json", 0) // does not match the pattern; must not win
 
-	got, err := resolveBaseline(dir)
+	got, err := resolveBaseline(dir, "BENCH_*.json")
 	if err != nil {
 		t.Fatalf("resolveBaseline: %v", err)
 	}
 	if got != newest {
 		t.Fatalf("resolveBaseline = %s, want newest %s", got, newest)
+	}
+}
+
+// TestResolveBaselineMtimeTie: when every candidate carries the same mtime
+// (the git-checkout case), the lexicographically greatest name must win,
+// deterministically, whatever order the files were created or globbed in.
+func TestResolveBaselineMtimeTie(t *testing.T) {
+	dir := t.TempDir()
+	mt := time.Now().Add(-time.Hour).Truncate(time.Second)
+	for _, name := range []string{"BENCH_PR9.json", "BENCH_PR10.json", "BENCH_PR7.json"} {
+		p := filepath.Join(dir, name)
+		if err := os.WriteFile(p, []byte("[]"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.Chtimes(p, mt, mt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := resolveBaseline(dir, "BENCH_*.json")
+	if err != nil {
+		t.Fatalf("resolveBaseline: %v", err)
+	}
+	// ASCII order, so PR9 > PR7 > PR10 — the tie-break is lexicographic by
+	// name, not numeric by PR.
+	if want := filepath.Join(dir, "BENCH_PR9.json"); got != want {
+		t.Fatalf("mtime tie: resolveBaseline = %s, want %s", got, want)
+	}
+
+	// A strictly newer file still beats any name.
+	p := filepath.Join(dir, "BENCH_PR10.json")
+	newer := mt.Add(time.Minute)
+	if err := os.Chtimes(p, newer, newer); err != nil {
+		t.Fatal(err)
+	}
+	got, err = resolveBaseline(dir, "BENCH_*.json")
+	if err != nil {
+		t.Fatalf("resolveBaseline: %v", err)
+	}
+	if got != p {
+		t.Fatalf("newer mtime: resolveBaseline = %s, want %s", got, p)
+	}
+}
+
+// TestFidelityFlagValidation pins the -fidelity flag surface: it replaces
+// the experiment sweep, so -only alongside it is a usage error.
+func TestFidelityFlagValidation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if rc := run([]string{"-fidelity", "-only", "spec"}, &out, &errb); rc != 2 {
+		t.Fatalf("exit = %d, want 2 (stderr: %s)", rc, errb.String())
+	}
+	if !strings.Contains(errb.String(), "-fidelity") {
+		t.Fatalf("stderr missing diagnostic: %s", errb.String())
+	}
+}
+
+// TestFidelityTrackGate exercises the fidelity regression gate against
+// synthetic baselines: schema drift and an error regression past the
+// tolerance are hard errors; within-tolerance drift passes.
+func TestFidelityTrackGate(t *testing.T) {
+	point := func(id string, errCal float64) calib.PointReport {
+		return calib.PointReport{ID: id, Figure: "fig17", Paper: 1.39, ErrCal: errCal}
+	}
+	cur := &calib.Result{Schema: calib.Schema, Points: []calib.PointReport{point("fig17/coremark-ratio", 0.30)}}
+
+	writeDoc := func(t *testing.T, r *calib.Result) string {
+		t.Helper()
+		b, err := json.Marshal(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p := filepath.Join(t.TempDir(), "FIDELITY_BASE.json")
+		if err := os.WriteFile(p, b, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return p
+	}
+
+	var errb bytes.Buffer
+	ok := writeDoc(t, &calib.Result{Schema: calib.Schema, Points: []calib.PointReport{point("fig17/coremark-ratio", 0.29)}})
+	if err := fidelityTrack(&errb, ok, cur); err != nil {
+		t.Fatalf("within tolerance: %v", err)
+	}
+
+	worse := writeDoc(t, &calib.Result{Schema: calib.Schema, Points: []calib.PointReport{point("fig17/coremark-ratio", 0.20)}})
+	if err := fidelityTrack(&errb, worse, cur); err == nil {
+		t.Fatal("regressed error: want gate failure, got nil")
+	} else if !strings.Contains(err.Error(), "fig17/coremark-ratio") {
+		t.Fatalf("gate error should name the point: %v", err)
+	}
+
+	badSchema := writeDoc(t, &calib.Result{Schema: "bogus", Points: cur.Points})
+	if err := fidelityTrack(&errb, badSchema, cur); err == nil {
+		t.Fatal("schema drift: want error, got nil")
+	}
+
+	missing := writeDoc(t, &calib.Result{Schema: calib.Schema, Points: []calib.PointReport{
+		point("fig17/coremark-ratio", 0.30), point("fig99/gone", 0.1),
+	}})
+	if err := fidelityTrack(&errb, missing, cur); err == nil {
+		t.Fatal("dropped point: want error, got nil")
 	}
 }

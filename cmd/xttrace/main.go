@@ -9,6 +9,7 @@
 //	xttrace -start 1000 -stop 2000 coremark  # trace a cycle window
 //	xttrace -sample 100 coremark             # keep 1 in 100 µops
 //	xttrace -last 2000 coremark              # flight recorder: last 2000 µops
+//	xttrace -cpipc 10 coremark               # top-10 stall PCs (per-PC CPI)
 //	xttrace -selfcheck -konata t.k coremark  # validate the trace afterwards
 //	xttrace -list                            # list workload names
 //
@@ -55,6 +56,7 @@ func run(args []string, stdout, stderr io.Writer) int {
 	sample := fs.Uint64("sample", 0, "keep one in N µops (0 or 1 = all)")
 	last := fs.Int("last", 0, "flight recorder: keep only the last N completed µops")
 	maxCycles := fs.Uint64("max-cycles", 200_000_000, "simulation cycle budget")
+	cpipc := fs.Int("cpipc", 0, "print the top-N stall PCs by attributed backend cycles (0 = off)")
 	selfcheck := fs.Bool("selfcheck", false, "re-read the Konata trace and prove the retire/cycle invariants")
 	list := fs.Bool("list", false, "list workload names and exit")
 	if err := fs.Parse(args); err != nil {
@@ -149,6 +151,9 @@ func run(args []string, stdout, stderr io.Writer) int {
 	fmt.Fprintf(stdout, "exit %d  cycles %d  retired %d  IPC %.3f  interrupts %d  wfi-parked %d\n",
 		c.ExitCode, st.Cycles, st.Retired, st.IPC(), st.Interrupts, st.WFIParkedCycles)
 	fmt.Fprintf(stdout, "cpi-stack: %s\n", tr.CPI())
+	if *cpipc > 0 {
+		printCPIPC(stdout, tr, st.Cycles, *cpipc)
+	}
 	if tr.Dropped > 0 {
 		fmt.Fprintf(stdout, "dropped %d in-flight records (raise BufferCap)\n", tr.Dropped)
 	}
@@ -163,11 +168,39 @@ func run(args []string, stdout, stderr io.Writer) int {
 	return 0
 }
 
+// printCPIPC renders the per-PC backend-stall table: the top-n PCs by
+// attributed stall cycles with per-class splits, plus the exact "other"
+// remainder, so the listed cycles sum to the mem+core CPI buckets.
+func printCPIPC(stdout io.Writer, tr *trace.Tracer, cycles uint64, n int) {
+	rows, other := tr.PCs().TopN(n)
+	pct := func(c uint64) float64 {
+		if cycles == 0 {
+			return 0
+		}
+		return 100 * float64(c) / float64(cycles)
+	}
+	fmt.Fprintf(stdout, "cpi-pc (top %d of %d stall PCs):\n", len(rows), tr.PCs().Len())
+	for i := range rows {
+		e := &rows[i]
+		fmt.Fprintf(stdout, "  %-12s %10d cycles %6.1f%%  (mem %d, core %d)\n",
+			fmt.Sprintf("0x%x", e.PC), e.Total(), pct(e.Total()),
+			e.Buckets[trace.CycleBackendMem], e.Buckets[trace.CycleBackendCore])
+	}
+	if t := other.Total(); t > 0 {
+		fmt.Fprintf(stdout, "  %-12s %10d cycles %6.1f%%  (mem %d, core %d)\n",
+			"other", t, pct(t),
+			other.Buckets[trace.CycleBackendMem], other.Buckets[trace.CycleBackendCore])
+	}
+}
+
 // check proves the trace invariants after a run: the CPI-stack buckets
 // partition the cycle count, and (for a full, unsampled trace) the Konata log
 // is structurally valid with exactly one retire line per retired instruction.
 func check(tr *trace.Tracer, st *core.Stats, konataFile *os.File, start, stop, sample uint64, last int) error {
 	if err := tr.CPI().Check(st.Cycles); err != nil {
+		return err
+	}
+	if err := tr.PCs().Check(tr.CPI()); err != nil {
 		return err
 	}
 	if konataFile == nil {

@@ -106,6 +106,7 @@ type runResult struct {
 	Core    *core.Core
 	DRAM    *mem.DRAM
 	CPI     *trace.CPIStack // non-nil when a tracer observed the run
+	CPIPC   string          // per-PC backend-stall summary ("" untraced)
 }
 
 func (r runResult) IPC() float64 { return float64(r.Retired) / float64(r.Cycles) }
@@ -114,6 +115,7 @@ func (r runResult) IPC() float64 { return float64(r.Retired) / float64(r.Cycles)
 type sysConfig struct {
 	L2Size      int
 	L2Ways      int
+	L2Hit       int // L2 array hit latency (0 = the stock 10 cycles)
 	DRAMLatency int
 	DRAMGap     int
 }
@@ -135,9 +137,13 @@ func runProgram(ctx context.Context, o Options, p *asm.Program, cfg core.Config,
 		gap = 4
 	}
 	dram := &mem.DRAM{Latency: sys.DRAMLatency, GapCycles: gap}
+	l2hit := sys.L2Hit
+	if l2hit == 0 {
+		l2hit = 10
+	}
 	l2 := coherence.NewL2(cache.Config{
 		SizeBytes: sys.L2Size, Ways: sys.L2Ways, LineBytes: 64,
-		HitLatency: 10, ECC: true, Parity: true,
+		HitLatency: l2hit, ECC: true, Parity: true,
 	}, dram)
 	c := core.New(cfg, 0, memory, l2)
 	p.LoadInto(memory)
@@ -174,6 +180,7 @@ func runProgram(ctx context.Context, o Options, p *asm.Program, cfg core.Config,
 	}
 	if t := c.Tracer(); t != nil {
 		rr.CPI = t.CPI()
+		rr.CPIPC = t.PCs().Summary(3, c.Stats.Cycles)
 	}
 	return rr, nil
 }
@@ -203,6 +210,9 @@ func cpiColumn(r runResult) string {
 func counterRow(row perf.Row, r runResult) perf.Row {
 	row.Interrupts = r.Core.Stats.Interrupts
 	row.WFIParked = r.Core.Stats.WFIParkedCycles
+	if row.CPI != "" {
+		row.CPIPC = r.CPIPC // per-PC line rides along with the CPI stack
+	}
 	if s := r.Wall.Seconds(); s > 0 {
 		row.HostMIPS = float64(r.Retired) / s / 1e6
 		row.SimCyclesPerSec = float64(r.Cycles) / s

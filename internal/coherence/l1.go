@@ -2,6 +2,15 @@ package coherence
 
 import "xt910/internal/cache"
 
+// Memory-hierarchy service levels reported by L1D.Access via LastLevel: the
+// deepest level the access had to reach. The CPI stack's backend-memory
+// sub-buckets are keyed on this.
+const (
+	LevelL1 uint8 = iota
+	LevelL2
+	LevelDRAM
+)
+
 // L1D is one core's coherent L1 data cache port onto the cluster bus.
 // The LSU's load and store pipes call Access; the data prefetcher calls
 // Prefetch.
@@ -13,6 +22,11 @@ type L1D struct {
 	// demand miss waits for the earliest slot (limited miss-level
 	// parallelism, like real miss-status holding registers).
 	mshr []uint64
+
+	// LastLevel records which hierarchy level served the most recent Access
+	// (LevelL1 for hits, LevelL2 for L1 misses the shared L2 supplied,
+	// LevelDRAM when the line had to come from beyond the cluster).
+	LastLevel uint8
 }
 
 // NewL1D creates an L1 data cache attached to the cluster's L2.
@@ -49,6 +63,7 @@ func (d *L1D) Port() int { return d.port }
 func (d *L1D) Access(addr uint64, write bool, now uint64) (done uint64, hit bool) {
 	c := d.Cache
 	c.Stats.Accesses++
+	d.LastLevel = LevelL1
 	line := c.Lookup(addr)
 	if line != nil && line.State != cache.Invalid {
 		c.Touch(line)
@@ -76,7 +91,13 @@ func (d *L1D) Access(addr uint64, write bool, now uint64) (done uint64, hit bool
 		// write buffer
 		start, slot = d.mshrStart(now)
 	}
+	beyond := d.l2.Stats.L2Misses
 	ready, st := d.l2.FetchLine(d.port, addr, write, start)
+	if d.l2.Stats.L2Misses > beyond {
+		d.LastLevel = LevelDRAM
+	} else {
+		d.LastLevel = LevelL2
+	}
 	if slot >= 0 {
 		d.mshr[slot] = ready
 	}

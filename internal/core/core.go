@@ -84,6 +84,13 @@ type Core struct {
 	// memory-order squash; empty-ROB cycles inside it are attributed to the
 	// bad-speculation CPI bucket rather than frontend-bound.
 	badSpecUntil uint64
+	// Frontend sub-bucket windows for the CPI stack's second level: an
+	// empty-ROB frontend cycle inside one of these is refined to the
+	// corresponding sub-bucket (priority icache > itlb > redirect; everything
+	// else is frontend/other). Trace-only state — never read by the pipeline.
+	feICacheUntil   uint64 // until the in-flight L1I miss fill lands
+	feITLBUntil     uint64 // until the in-flight ITLB walk completes
+	feRedirectUntil uint64 // until the current redirect/flush bubble drains
 
 	// architectural system state (CSRs, privilege) — owned by retire.
 	csr     map[uint16]uint64
@@ -403,7 +410,7 @@ func (c *Core) Step() {
 	if c.wfiWait {
 		if c.tr != nil {
 			// a parked hart supplies nothing: frontend-bound by convention
-			c.tr.Cycle(trace.CycleFrontend)
+			c.tr.Cycle(trace.CycleFrontend, trace.SubFeOther, trace.NoPC)
 		}
 		c.Stats.WFIParkedCycles++
 		c.now++
@@ -422,31 +429,71 @@ func (c *Core) Step() {
 	c.renameDispatch()
 	c.fetch()
 	if c.tr != nil {
-		c.tr.Cycle(c.cycleClass(c.Stats.Retired - retiredBefore))
+		cl, sub, pc := c.cycleAttr(c.Stats.Retired - retiredBefore)
+		c.tr.Cycle(cl, sub, pc)
 	}
 	c.now++
 	c.Stats.Cycles = c.now
 }
 
-// cycleClass implements the top-down CPI-stack attribution rule (see
+// cycleAttr implements the top-down CPI-stack attribution rule (see
 // DESIGN.md): exactly one bucket per counted cycle, evaluated on end-of-cycle
-// state. The halting cycle is not counted in Stats.Cycles and gets no bucket,
-// so the partition stays exact.
-func (c *Core) cycleClass(retired uint64) trace.CycleClass {
+// state, plus the second-level refinement (frontend and backend-memory
+// sub-buckets) and the per-PC owner for backend cycles. The halting cycle is
+// not counted in Stats.Cycles and gets no bucket, so the partition stays
+// exact.
+func (c *Core) cycleAttr(retired uint64) (trace.CycleClass, trace.SubClass, uint64) {
 	if retired > 0 {
-		return trace.CycleRetiring
+		return trace.CycleRetiring, trace.SubNone, trace.NoPC
 	}
 	if c.robQ.empty() {
 		if c.now < c.badSpecUntil {
-			return trace.CycleBadSpec
+			return trace.CycleBadSpec, trace.SubNone, trace.NoPC
 		}
-		return trace.CycleFrontend
+		return trace.CycleFrontend, c.frontendSub(), trace.NoPC
 	}
-	switch c.robQ.headEntry().inst.Op.Class() {
+	return headCycleAttr(c.robQ.headEntry())
+}
+
+// frontendSub refines an empty-ROB frontend cycle by the starvation windows
+// fetch recorded, highest-priority first: an in-flight I-cache miss beats an
+// ITLB walk beats a redirect bubble; anything else (queue drain, jalr stalls,
+// WFI parking) is frontend/other.
+func (c *Core) frontendSub() trace.SubClass {
+	switch {
+	case c.now < c.feICacheUntil:
+		return trace.SubFeICache
+	case c.now < c.feITLBUntil:
+		return trace.SubFeITLB
+	case c.now < c.feRedirectUntil:
+		return trace.SubFeRedirect
+	}
+	return trace.SubFeOther
+}
+
+// headCycleAttr attributes a backend (non-empty ROB, nothing retired) cycle:
+// the class comes from the head's instruction class, the mem sub-bucket from
+// the hierarchy level its cache access was served from, and the owning PC is
+// the head's. Shared by the stepped path and fast-forward batching — the
+// head, its memLevel and its pc are all constant across an inert window, so
+// the two paths attribute identically.
+func headCycleAttr(head *uop) (trace.CycleClass, trace.SubClass, uint64) {
+	switch head.inst.Op.Class() {
 	case isa.ClassLoad, isa.ClassStore, isa.ClassAMO, isa.ClassVLoad, isa.ClassVStore:
-		return trace.CycleBackendMem
+		return trace.CycleBackendMem, memSub(head.memLevel), head.pc
 	}
-	return trace.CycleBackendCore
+	return trace.CycleBackendCore, trace.SubNone, head.pc
+}
+
+// memSub maps a coherence.Level* fill level onto its CPI sub-bucket.
+func memSub(level uint8) trace.SubClass {
+	switch level {
+	case coherence.LevelL2:
+		return trace.SubMemL2
+	case coherence.LevelDRAM:
+		return trace.SubMemDRAM
+	}
+	return trace.SubMemL1
 }
 
 // Run steps until halt or maxCycles. With Config.FastForward it jumps over

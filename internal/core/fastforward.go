@@ -1,7 +1,6 @@
 package core
 
 import (
-	"xt910/internal/trace"
 	"xt910/isa"
 )
 
@@ -150,12 +149,11 @@ func (c *Core) ffSkip(target uint64) bool {
 		}
 	}
 	if c.tr != nil {
-		cl := trace.CycleBackendCore
-		switch head.inst.Op.Class() {
-		case isa.ClassLoad, isa.ClassStore, isa.ClassAMO, isa.ClassVLoad, isa.ClassVStore:
-			cl = trace.CycleBackendMem
-		}
-		c.tr.CycleN(cl, n)
+		// The window's head cannot retire, issue or change memLevel across an
+		// inert window, so n batched cycles attribute exactly as n stepped
+		// ones would: same class, same mem sub-bucket, same owning PC.
+		cl, sub, pc := headCycleAttr(head)
+		c.tr.CycleN(cl, sub, pc, n)
 	}
 	c.ffSkippedCycles += n
 	c.now = skipTo

@@ -68,8 +68,9 @@ loop:
 `
 
 // ffRunTraced runs src with the given config and a tracer attached,
-// verifying the CPI stack still partitions total cycles exactly.
-func ffRunTraced(t *testing.T, cfg Config, src string) (*Core, *trace.CPIStack) {
+// verifying the CPI stack still partitions total cycles exactly (the
+// two-level tree invariant) and that the per-PC table reconciles with it.
+func ffRunTraced(t *testing.T, cfg Config, src string) (*Core, *trace.Tracer) {
 	t.Helper()
 	p, err := asm.Assemble(src, asm.Options{Base: 0x1000, Compress: true})
 	if err != nil {
@@ -92,13 +93,27 @@ func ffRunTraced(t *testing.T, cfg Config, src string) (*Core, *trace.CPIStack) 
 	if err := tr.CPI().Check(c.Stats.Cycles); err != nil {
 		t.Fatal(err)
 	}
-	return c, tr.CPI()
+	if err := tr.PCs().Check(tr.CPI()); err != nil {
+		t.Fatal(err)
+	}
+	return c, tr
+}
+
+// pcRows flattens a per-PC table into its full sorted row set for equality
+// comparison.
+func pcRows(pcs *trace.PCStack) []trace.PCEntry {
+	rows, other := pcs.TopN(pcs.Len())
+	if other.Total() > 0 {
+		rows = append(rows, other)
+	}
+	return rows
 }
 
 // TestFastForwardStatsIdentity is the satellite-2 invariant: fast-forward is
-// a pure host optimization, so every Stats field, the exit code, and every
-// CPI-stack bucket must be byte-identical with it on and off — on both the
-// out-of-order and the in-order machine.
+// a pure host optimization, so every Stats field, the exit code, every
+// CPI-stack bucket — both levels of the tree, sub-buckets included — and the
+// whole per-PC attribution table must be byte-identical with it on and off,
+// on both the out-of-order and the in-order machine.
 func TestFastForwardStatsIdentity(t *testing.T) {
 	for _, tc := range []struct {
 		name string
@@ -113,8 +128,8 @@ func TestFastForwardStatsIdentity(t *testing.T) {
 				on.FastForward = true
 				off := tc.cfg
 				off.FastForward = false
-				cOn, cpiOn := ffRunTraced(t, on, src)
-				cOff, cpiOff := ffRunTraced(t, off, src)
+				cOn, trOn := ffRunTraced(t, on, src)
+				cOff, trOff := ffRunTraced(t, off, src)
 				if cOn.ExitCode != cOff.ExitCode {
 					t.Fatalf("fast-forward changed the exit code: %d vs %d",
 						cOn.ExitCode, cOff.ExitCode)
@@ -123,12 +138,55 @@ func TestFastForwardStatsIdentity(t *testing.T) {
 					t.Fatalf("fast-forward changed stats:\n on: %+v\noff: %+v",
 						cOn.Stats, cOff.Stats)
 				}
-				if *cpiOn != *cpiOff {
+				if *trOn.CPI() != *trOff.CPI() {
 					t.Fatalf("fast-forward changed the CPI stack:\n on: %v\noff: %v",
-						cpiOn, cpiOff)
+						trOn.CPI(), trOff.CPI())
+				}
+				rowsOn, rowsOff := pcRows(trOn.PCs()), pcRows(trOff.PCs())
+				if len(rowsOn) != len(rowsOff) {
+					t.Fatalf("fast-forward changed the per-PC table size: %d vs %d",
+						len(rowsOn), len(rowsOff))
+				}
+				for i := range rowsOn {
+					if rowsOn[i] != rowsOff[i] {
+						t.Fatalf("fast-forward changed per-PC row %d:\n on: %+v\noff: %+v",
+							i, rowsOn[i], rowsOff[i])
+					}
 				}
 			}
 		})
+	}
+}
+
+// TestPerPCAttributionPointerChase pins the per-PC attribution on a kernel
+// built to have one culprit: in the pointer chase every stall funnels
+// through the dependent load, so the hottest PC must hold the majority of
+// the backend-mem cycles, and the mem sub-buckets must blame DRAM (the 4 KiB
+// stride misses cold lines every iteration), not the L1 array.
+func TestPerPCAttributionPointerChase(t *testing.T) {
+	c, tr := ffRunTraced(t, XT910Config(), ffChaseProgram)
+	cpi := tr.CPI()
+	memCycles := cpi.Buckets[trace.CycleBackendMem]
+	if memCycles < c.Stats.Cycles/4 {
+		t.Fatalf("chase kernel is not memory-bound (%d of %d cycles); the fixture regressed",
+			memCycles, c.Stats.Cycles)
+	}
+	rows, _ := tr.PCs().TopN(1)
+	if len(rows) == 0 {
+		t.Fatal("no per-PC rows recorded")
+	}
+	top := rows[0]
+	if top.Buckets[trace.CycleBackendMem]*2 < memCycles {
+		t.Errorf("top PC 0x%x holds %d of %d backend-mem cycles; want a dominant load PC",
+			top.PC, top.Buckets[trace.CycleBackendMem], memCycles)
+	}
+	if top.Buckets[trace.CycleBackendMem]*2 < top.Total() {
+		t.Errorf("top PC 0x%x is not mem-dominated: %+v", top.PC, top.Buckets)
+	}
+	dram := cpi.Subs[trace.SubMemDRAM]
+	if dram*2 < memCycles {
+		t.Errorf("DRAM sub-bucket holds %d of %d mem cycles; cold-miss chase should blame DRAM",
+			dram, memCycles)
 	}
 }
 

@@ -57,17 +57,24 @@ func (c *Core) fetch() {
 		if c.MMU.Enabled() {
 			var err error
 			var doneT uint64
+			walks := c.MMU.Stats.Walks
 			pa, doneT, err = c.MMU.Translate(pc, mmu.AccFetch, c.now)
 			if err != nil {
 				c.injectFetchFault(pc, err)
 				return
 			}
+			if c.MMU.Stats.Walks > walks && doneT > c.feITLBUntil {
+				c.feITLBUntil = doneT // ITLB miss: frontend starves on the walk
+			}
 			groupReady = doneT
 		} else {
 			groupReady = c.now
 		}
-		done, _ := c.L1I.Fetch(pa, groupReady)
+		done, hit := c.L1I.Fetch(pa, groupReady)
 		groupReady = done + uint64(c.Cfg.FrontendDelay)
+		if !hit && groupReady > c.feICacheUntil {
+			c.feICacheUntil = groupReady // I-cache miss: starved until the fill
+		}
 	}
 
 	groupEnd := (pc | uint64(c.Cfg.FetchBytes-1)) + 1
@@ -203,6 +210,9 @@ func (c *Core) redirectFetch(branchPC, target uint64) {
 		}
 	}
 	c.fetchAllowed = c.now + 1 + bubble
+	if bubble > 0 && c.fetchAllowed > c.feRedirectUntil {
+		c.feRedirectUntil = c.fetchAllowed // redirect bubble window (CPI stack)
+	}
 }
 
 // decodeAt decodes the instruction at pc, reading through the MMU when

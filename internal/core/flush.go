@@ -116,6 +116,11 @@ func (c *Core) flushAll(pc uint64, cause trace.SquashCause) {
 	c.fetchWait = false
 	c.fetchPC = pc
 	c.fetchAllowed = c.now + uint64(c.Cfg.MispredictMin)
+	if c.fetchAllowed > c.feRedirectUntil {
+		// serialize/exception refill: frontend cycles until fetch resumes are
+		// redirect-bound (mispredict recovery sets badSpecUntil instead)
+		c.feRedirectUntil = c.fetchAllowed
+	}
 	c.Stats.Flushes++
 	for p := range c.pipeBusy {
 		c.pipeBusy[p] = 0

@@ -133,6 +133,7 @@ func (c *Core) execStoreAddr(idx int, u *uop) bool {
 	// device addresses bypass the cache
 	if c.MMIO == nil || !c.MMIO.Covers(pa) {
 		c.L1D.Access(pa, true, doneT)
+		u.memLevel = c.L1D.LastLevel
 	}
 
 	// §V-A: a younger load that already executed with an overlapping address
@@ -287,10 +288,14 @@ func (c *Core) execLoad(idx int, u *uop) bool {
 		value = c.Mem.Read(pa, u.memSize)
 		var hit bool
 		done, hit = c.L1D.Access(pa, false, doneT)
+		u.memLevel = c.L1D.LastLevel
 		if crossesLine(pa, u.memSize, c.Cfg.L1D.LineBytes) {
 			d2, _ := c.L1D.Access(pa+uint64(u.memSize)-1, false, doneT)
 			if d2 > done {
 				done = d2
+			}
+			if c.L1D.LastLevel > u.memLevel {
+				u.memLevel = c.L1D.LastLevel // deeper half dominates the stall
 			}
 			c.Stats.UnalignedAccesses++
 		}

@@ -362,6 +362,7 @@ func (c *Core) execAMOAtRetire(u *uop) bool {
 		return true
 	}
 	done, _ := c.L1D.Access(pa, true, doneT)
+	u.memLevel = c.L1D.LastLevel
 	u.addr = pa
 	u.done = true
 	u.readyAt = done

@@ -57,6 +57,11 @@ type uop struct {
 	addrDone bool
 	dataDone bool
 	fwd      bool
+	// memLevel is the coherence.Level* the op's cache access was served from,
+	// recorded at execute time (LevelL1 until then). The CPI stack's mem
+	// sub-bucket attribution reads it at commit-stall time; recording at
+	// execute keeps it constant over fast-forward windows (see DESIGN.md).
+	memLevel uint8
 
 	// control-flow state
 	isCtrl     bool

@@ -22,6 +22,11 @@ type Row struct {
 	// (xtbench -cpistack), rendered on a continuation line.
 	CPI string `json:"cpi,omitempty"`
 
+	// CPIPC, when non-empty, is the row's per-PC backend-stall attribution
+	// (the hottest stall PCs plus an exact "other" remainder), rendered on a
+	// continuation line under the CPI stack.
+	CPIPC string `json:"cpipc,omitempty"`
+
 	// Interrupts and WFIParked surface the run's asynchronous-interrupt
 	// deliveries and WFI-parked cycles (omitted for rows without a run, and
 	// for runs that never took an interrupt or parked).
@@ -67,6 +72,9 @@ func (r *Result) Format() string {
 		b.WriteByte('\n')
 		if row.CPI != "" {
 			fmt.Fprintf(&b, "  %-*s    cpi: %s\n", width, "", row.CPI)
+		}
+		if row.CPIPC != "" {
+			fmt.Fprintf(&b, "  %-*s    cpipc: %s\n", width, "", row.CPIPC)
 		}
 	}
 	for _, n := range r.Notes {

@@ -39,20 +39,85 @@ func (c CycleClass) String() string {
 	return fmt.Sprintf("CycleClass(%d)", uint8(c))
 }
 
-// CPIStack is the per-class cycle histogram: the top-down first level of
-// "where did every cycle go" (the observability the paper's CDS profiler,
-// §IX Fig. 16, provides for the real silicon).
-type CPIStack struct {
-	Buckets [NumCycleClasses]uint64
+// SubClass is the second level of the CPI tree: a refinement of CycleFrontend
+// (what starved the front end) or CycleBackendMem (which hierarchy level the
+// stalled memory access is waiting on). Classes without a refinement attribute
+// their cycles to SubNone, which belongs to no parent.
+type SubClass uint8
+
+const (
+	SubNone SubClass = iota
+	// Frontend refinements, chosen by priority when windows overlap:
+	// icache > itlb > redirect > other.
+	SubFeICache   // inside an L1I miss-fill window
+	SubFeITLB     // inside an ITLB-walk window
+	SubFeRedirect // inside a redirect bubble (taken branch, flush refill)
+	SubFeOther    // fetch-queue drain, jalr stalls, WFI parking, steady refill
+	// Backend-memory refinements: the hierarchy level that serves (or served)
+	// the ROB-head memory access the machine is stalled behind.
+	SubMemL1   // L1 hit latency, store-forwarding, not-yet-issued mem head
+	SubMemL2   // L1 miss filled from the shared L2
+	SubMemDRAM // L1+L2 miss: the line came from DRAM / another cluster
+	NumSubClasses
+)
+
+var subNames = [NumSubClasses]string{"none", "icache", "itlb", "redirect", "other", "l1", "l2", "dram"}
+
+func (s SubClass) String() string {
+	if int(s) < len(subNames) {
+		return subNames[s]
+	}
+	return fmt.Sprintf("SubClass(%d)", uint8(s))
 }
 
-// Add attributes one cycle.
-func (s *CPIStack) Add(cl CycleClass) { s.Buckets[cl]++ }
+// Parent returns the first-level class a sub-bucket refines. SubNone has no
+// parent and reports NumCycleClasses.
+func (s SubClass) Parent() CycleClass {
+	switch s {
+	case SubFeICache, SubFeITLB, SubFeRedirect, SubFeOther:
+		return CycleFrontend
+	case SubMemL1, SubMemL2, SubMemDRAM:
+		return CycleBackendMem
+	}
+	return NumCycleClasses
+}
+
+// subRange lists each refined parent's contiguous children.
+var subRange = map[CycleClass][2]SubClass{
+	CycleFrontend:   {SubFeICache, SubFeOther},
+	CycleBackendMem: {SubMemL1, SubMemDRAM},
+}
+
+// CPIStack is the per-class cycle histogram: the top-down "where did every
+// cycle go" tree (the observability the paper's CDS profiler, §IX Fig. 16,
+// provides for the real silicon). Level one partitions total cycles into the
+// five classes; level two partitions the frontend and backend-memory classes
+// into their sub-buckets, so every parent provably equals the sum of its
+// children (Check).
+type CPIStack struct {
+	Buckets [NumCycleClasses]uint64
+	Subs    [NumSubClasses]uint64
+}
+
+// Add attributes one cycle. Frontend and backend-memory cycles must carry a
+// matching sub-bucket (use SubFeOther / SubMemL1 as the defaults); other
+// classes pass SubNone.
+func (s *CPIStack) Add(cl CycleClass, sub SubClass) {
+	s.Buckets[cl]++
+	if sub != SubNone {
+		s.Subs[sub]++
+	}
+}
 
 // AddN attributes n cycles at once (fast-forwarded stall windows).
-func (s *CPIStack) AddN(cl CycleClass, n uint64) { s.Buckets[cl] += n }
+func (s *CPIStack) AddN(cl CycleClass, sub SubClass, n uint64) {
+	s.Buckets[cl] += n
+	if sub != SubNone {
+		s.Subs[sub] += n
+	}
+}
 
-// Total is the sum over all buckets.
+// Total is the sum over all first-level buckets.
 func (s *CPIStack) Total() uint64 {
 	var sum uint64
 	for _, b := range s.Buckets {
@@ -61,11 +126,34 @@ func (s *CPIStack) Total() uint64 {
 	return sum
 }
 
-// Check proves the partition property: the buckets must sum exactly to the
-// core's total cycle count.
+// SubTotal sums the children of a refined class (0 for unrefined classes).
+func (s *CPIStack) SubTotal(cl CycleClass) uint64 {
+	r, ok := subRange[cl]
+	if !ok {
+		return 0
+	}
+	var sum uint64
+	for sub := r[0]; sub <= r[1]; sub++ {
+		sum += s.Subs[sub]
+	}
+	return sum
+}
+
+// Check proves the two-level partition property: the first-level buckets sum
+// exactly to the core's total cycle count, and each refined parent equals the
+// sum of its children.
 func (s *CPIStack) Check(cycles uint64) error {
 	if got := s.Total(); got != cycles {
 		return fmt.Errorf("trace: CPI-stack buckets sum to %d, want %d cycles", got, cycles)
+	}
+	for cl, r := range subRange {
+		if got := s.SubTotal(cl); got != s.Buckets[cl] {
+			return fmt.Errorf("trace: CPI-stack %s sub-buckets (%s..%s) sum to %d, want parent %d",
+				cl, r[0], r[1], got, s.Buckets[cl])
+		}
+	}
+	if s.Subs[SubNone] != 0 {
+		return fmt.Errorf("trace: %d cycles attributed to SubNone's counter", s.Subs[SubNone])
 	}
 	return nil
 }
@@ -79,8 +167,20 @@ func (s *CPIStack) Fraction(cl CycleClass) float64 {
 	return float64(s.Buckets[cl]) / float64(t)
 }
 
-// String renders the stack as a compact one-line breakdown, e.g.
-// "retiring 58.1% frontend 22.4% badspec 4.0% mem 12.9% core 2.6%".
+// SubFraction returns a sub-bucket's share of all attributed cycles.
+func (s *CPIStack) SubFraction(sub SubClass) float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Subs[sub]) / float64(t)
+}
+
+// String renders the tree as a compact one-line breakdown with refined
+// classes carrying their children in brackets, e.g.
+//
+//	retiring 58.1% frontend 22.4% (icache 1.2% itlb 0.0% redirect 14.8% other 6.4%)
+//	badspec 4.0% mem 12.9% (l1 5.1% l2 3.0% dram 4.8%) core 2.6%
 func (s *CPIStack) String() string {
 	var b strings.Builder
 	for cl := CycleClass(0); cl < NumCycleClasses; cl++ {
@@ -88,6 +188,16 @@ func (s *CPIStack) String() string {
 			b.WriteByte(' ')
 		}
 		fmt.Fprintf(&b, "%s %.1f%%", cl, 100*s.Fraction(cl))
+		if r, ok := subRange[cl]; ok {
+			b.WriteString(" (")
+			for sub := r[0]; sub <= r[1]; sub++ {
+				if sub > r[0] {
+					b.WriteByte(' ')
+				}
+				fmt.Fprintf(&b, "%s %.1f%%", sub, 100*s.SubFraction(sub))
+			}
+			b.WriteByte(')')
+		}
 	}
 	return b.String()
 }

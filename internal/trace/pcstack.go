@@ -1,0 +1,184 @@
+package trace
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NoPC marks a cycle attribution that carries no program counter (retiring,
+// frontend and bad-speculation cycles, where no single instruction owns the
+// stall).
+const NoPC = ^uint64(0)
+
+// defaultPCCap bounds the per-PC table. The pipeline's working set of stall
+// PCs is tiny next to this; overflow folds into the "other" row so the
+// exact-sum property survives pathological instruction footprints.
+const defaultPCCap = 4096
+
+// PCEntry is one program counter's attributed backend stall cycles, split by
+// first-level class (only CycleBackendMem and CycleBackendCore are per-PC
+// attributable — every backend cycle has a unique ROB-head instruction).
+type PCEntry struct {
+	PC      uint64
+	Buckets [NumCycleClasses]uint64
+}
+
+// Total is the entry's attributed cycles across classes.
+func (e *PCEntry) Total() uint64 {
+	var sum uint64
+	for _, b := range e.Buckets {
+		sum += b
+	}
+	return sum
+}
+
+// PCStack attributes backend stall cycles to the ROB-head program counter
+// that owned them: the per-PC refinement of the CPI stack's mem and core
+// buckets. The table is bounded; cycles for PCs beyond the capacity
+// accumulate in an overflow entry, so class totals stay exact:
+//
+//	sum over entries + overflow == CPIStack.Buckets[class]
+//
+// for both backend classes (Check).
+type PCStack struct {
+	m        map[uint64]*PCEntry
+	overflow PCEntry
+	cap      int
+}
+
+// ensure lazily allocates the map (a tracer that never attributes a PC cycle
+// pays nothing).
+func (p *PCStack) ensure() {
+	if p.m == nil {
+		p.m = make(map[uint64]*PCEntry)
+		if p.cap == 0 {
+			p.cap = defaultPCCap
+		}
+	}
+}
+
+// AddN attributes n cycles of class cl to pc. NoPC cycles are ignored — they
+// belong to classes the per-PC table does not cover.
+func (p *PCStack) AddN(pc uint64, cl CycleClass, n uint64) {
+	if pc == NoPC || n == 0 {
+		return
+	}
+	p.ensure()
+	e, ok := p.m[pc]
+	if !ok {
+		if len(p.m) >= p.cap {
+			p.overflow.Buckets[cl] += n
+			return
+		}
+		e = &PCEntry{PC: pc}
+		p.m[pc] = e
+	}
+	e.Buckets[cl] += n
+}
+
+// ClassTotal sums a class over every entry plus the overflow row.
+func (p *PCStack) ClassTotal(cl CycleClass) uint64 {
+	sum := p.overflow.Buckets[cl]
+	for _, e := range p.m {
+		sum += e.Buckets[cl]
+	}
+	return sum
+}
+
+// Len is the number of distinct PCs tracked (excluding overflow).
+func (p *PCStack) Len() int { return len(p.m) }
+
+// TopN returns the n entries with the most attributed cycles (ties broken by
+// ascending PC, so the listing is deterministic) plus an aggregated "other"
+// row covering every remaining entry and the overflow, so that for each class
+//
+//	sum over rows + other == ClassTotal(class).
+//
+// The other row's PC is NoPC.
+func (p *PCStack) TopN(n int) (rows []PCEntry, other PCEntry) {
+	other = p.overflow
+	other.PC = NoPC
+	all := make([]PCEntry, 0, len(p.m))
+	for _, e := range p.m {
+		all = append(all, *e)
+	}
+	sort.Slice(all, func(i, j int) bool {
+		ti, tj := all[i].Total(), all[j].Total()
+		if ti != tj {
+			return ti > tj
+		}
+		return all[i].PC < all[j].PC
+	})
+	if n < 0 {
+		n = 0
+	}
+	if n > len(all) {
+		n = len(all)
+	}
+	rows = all[:n]
+	for _, e := range all[n:] {
+		for cl := range e.Buckets {
+			other.Buckets[cl] += e.Buckets[cl]
+		}
+	}
+	return rows, other
+}
+
+// Check proves the per-PC exact-sum property against the CPI stack the same
+// tracer accumulated: for both backend classes, the per-PC cycles (entries +
+// overflow) equal the class bucket.
+func (p *PCStack) Check(cpi *CPIStack) error {
+	for _, cl := range []CycleClass{CycleBackendMem, CycleBackendCore} {
+		if got, want := p.ClassTotal(cl), cpi.Buckets[cl]; got != want {
+			return fmt.Errorf("trace: per-PC %s cycles sum to %d, want bucket %d", cl, got, want)
+		}
+	}
+	return nil
+}
+
+// Summary renders the top-n PCs as a compact one-line breakdown relative to
+// total (the denominator the CPI stack's percentages use), e.g.
+//
+//	0x10a4 12.3% (mem) 0x1090 4.1% (core) other 2.0%
+//
+// The other row is omitted when empty; an empty table renders "".
+func (p *PCStack) Summary(n int, total uint64) string {
+	rows, other := p.TopN(n)
+	if len(rows) == 0 && other.Total() == 0 {
+		return ""
+	}
+	pct := func(c uint64) float64 {
+		if total == 0 {
+			return 0
+		}
+		return 100 * float64(c) / float64(total)
+	}
+	var b strings.Builder
+	for i := range rows {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		e := &rows[i]
+		fmt.Fprintf(&b, "0x%x %.1f%% (%s)", e.PC, pct(e.Total()), dominantClass(e))
+	}
+	if t := other.Total(); t > 0 {
+		if b.Len() > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "other %.1f%%", pct(t))
+	}
+	return b.String()
+}
+
+// dominantClass names the class holding the most of an entry's cycles
+// (lowest class wins ties, deterministically).
+func dominantClass(e *PCEntry) CycleClass {
+	best := CycleClass(0)
+	for cl := CycleClass(1); cl < NumCycleClasses; cl++ {
+		if e.Buckets[cl] > e.Buckets[best] {
+			best = cl
+		}
+	}
+	return best
+}

@@ -1,0 +1,114 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestPCStackExactAtAnyN pins the exactness property: for every N, the top-N
+// rows plus the aggregated other row sum to the per-class totals, which in
+// turn match the CPI stack the same attribution stream fed.
+func TestPCStackExactAtAnyN(t *testing.T) {
+	var p PCStack
+	var cpi CPIStack
+	// A deterministic pseudo-random attribution stream over 37 PCs.
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 5000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		pc := 0x1000 + (x%37)*4
+		cl := CycleBackendMem
+		sub := SubMemL2
+		if x&1 == 0 {
+			cl, sub = CycleBackendCore, SubNone
+		}
+		n := x%3 + 1
+		cpi.AddN(cl, sub, n)
+		if cl == CycleBackendMem {
+			cpi.AddN(CycleBackendMem, SubMemL1, 0) // no-op, keeps tree shape obvious
+		}
+		p.AddN(pc, cl, n)
+	}
+	if err := p.Check(&cpi); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	for _, n := range []int{0, 1, 2, 5, 36, 37, 38, 1000} {
+		rows, other := p.TopN(n)
+		var mem, core uint64
+		for i := range rows {
+			mem += rows[i].Buckets[CycleBackendMem]
+			core += rows[i].Buckets[CycleBackendCore]
+		}
+		mem += other.Buckets[CycleBackendMem]
+		core += other.Buckets[CycleBackendCore]
+		if mem != cpi.Buckets[CycleBackendMem] || core != cpi.Buckets[CycleBackendCore] {
+			t.Errorf("TopN(%d): rows+other = mem %d core %d, want %d / %d",
+				n, mem, core, cpi.Buckets[CycleBackendMem], cpi.Buckets[CycleBackendCore])
+		}
+		// rows must be sorted by total desc, ties by PC asc
+		for i := 1; i < len(rows); i++ {
+			ti, tj := rows[i-1].Total(), rows[i].Total()
+			if ti < tj || (ti == tj && rows[i-1].PC >= rows[i].PC) {
+				t.Fatalf("TopN(%d): rows out of order at %d", n, i)
+			}
+		}
+	}
+}
+
+// TestPCStackOverflow pins the bounded-table contract: PCs beyond the
+// capacity fold into the overflow row and the exact-sum property survives.
+func TestPCStackOverflow(t *testing.T) {
+	p := PCStack{cap: 4}
+	var cpi CPIStack
+	for i := 0; i < 100; i++ {
+		pc := uint64(0x2000 + i*4)
+		p.AddN(pc, CycleBackendMem, 2)
+		cpi.AddN(CycleBackendMem, SubMemL1, 2)
+	}
+	if p.Len() != 4 {
+		t.Fatalf("Len = %d, want capacity 4", p.Len())
+	}
+	if err := p.Check(&cpi); err != nil {
+		t.Fatalf("Check: %v", err)
+	}
+	rows, other := p.TopN(10)
+	if len(rows) != 4 {
+		t.Fatalf("TopN(10) returned %d rows, want 4", len(rows))
+	}
+	if got := other.Buckets[CycleBackendMem]; got != 2*96 {
+		t.Errorf("overflow mem cycles = %d, want %d", got, 2*96)
+	}
+	if other.PC != NoPC {
+		t.Errorf("other.PC = %#x, want NoPC", other.PC)
+	}
+}
+
+func TestPCStackIgnoresNoPC(t *testing.T) {
+	var p PCStack
+	p.AddN(NoPC, CycleFrontend, 50)
+	p.AddN(0x1000, CycleBackendCore, 1)
+	if p.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (NoPC must not be tracked)", p.Len())
+	}
+	if got := p.ClassTotal(CycleFrontend); got != 0 {
+		t.Errorf("ClassTotal(frontend) = %d, want 0", got)
+	}
+}
+
+func TestPCStackSummary(t *testing.T) {
+	var p PCStack
+	p.AddN(0x10a4, CycleBackendMem, 60)
+	p.AddN(0x1090, CycleBackendCore, 30)
+	s := p.Summary(1, 100)
+	if !strings.Contains(s, "0x10a4 60.0% (mem)") {
+		t.Errorf("Summary = %q, want dominant mem PC first", s)
+	}
+	if !strings.Contains(s, "other 30.0%") {
+		t.Errorf("Summary = %q, want other row", s)
+	}
+	var empty PCStack
+	if got := empty.Summary(3, 100); got != "" {
+		t.Errorf("empty Summary = %q, want \"\"", got)
+	}
+}

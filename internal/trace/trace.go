@@ -130,6 +130,7 @@ type Tracer struct {
 	sinks []Sink
 
 	cpi CPIStack
+	pcs PCStack
 
 	live  map[uint64]*Record
 	order []uint64 // live seqs, oldest first (eviction order)
@@ -264,22 +265,29 @@ func (t *Tracer) putRecord(r *Record) {
 	t.freel = append(t.freel, r)
 }
 
-// Cycle attributes one simulated cycle to a CPI-stack bucket. The core calls
-// it exactly once per cycle it counts in Stats.Cycles, which is what makes
-// the buckets sum exactly to total cycles.
-func (t *Tracer) Cycle(cl CycleClass) {
-	t.cpi.Add(cl)
+// Cycle attributes one simulated cycle to a CPI-stack bucket, its sub-bucket
+// (SubNone for unrefined classes) and, for backend cycles, the ROB-head PC
+// that owned the stall (NoPC otherwise). The core calls it exactly once per
+// cycle it counts in Stats.Cycles, which is what makes the buckets sum
+// exactly to total cycles.
+func (t *Tracer) Cycle(cl CycleClass, sub SubClass, pc uint64) {
+	t.cpi.Add(cl, sub)
+	t.pcs.AddN(pc, cl, 1)
 }
 
 // CycleN attributes n simulated cycles to one bucket at once — the fast-
 // forward path's batched equivalent of n Cycle calls, keeping the exact-
 // partition property (buckets sum to Stats.Cycles) across skipped windows.
-func (t *Tracer) CycleN(cl CycleClass, n uint64) {
-	t.cpi.AddN(cl, n)
+func (t *Tracer) CycleN(cl CycleClass, sub SubClass, pc uint64, n uint64) {
+	t.cpi.AddN(cl, sub, n)
+	t.pcs.AddN(pc, cl, n)
 }
 
 // CPI returns the accumulated CPI stack.
 func (t *Tracer) CPI() *CPIStack { return &t.cpi }
+
+// PCs returns the accumulated per-PC backend stall attribution.
+func (t *Tracer) PCs() *PCStack { return &t.pcs }
 
 // Close drains the flight-recorder ring (oldest first) and closes every sink.
 func (t *Tracer) Close() error {

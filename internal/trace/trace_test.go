@@ -208,12 +208,12 @@ func TestValidateKonataErrors(t *testing.T) {
 func TestCPIStack(t *testing.T) {
 	var s CPIStack
 	for i := 0; i < 6; i++ {
-		s.Add(CycleRetiring)
+		s.Add(CycleRetiring, SubNone)
 	}
-	s.Add(CycleFrontend)
-	s.Add(CycleBadSpec)
-	s.Add(CycleBackendMem)
-	s.Add(CycleBackendCore)
+	s.Add(CycleFrontend, SubFeICache)
+	s.Add(CycleBadSpec, SubNone)
+	s.Add(CycleBackendMem, SubMemDRAM)
+	s.Add(CycleBackendCore, SubNone)
 	if s.Total() != 10 {
 		t.Fatalf("Total = %d, want 10", s.Total())
 	}
@@ -228,5 +228,70 @@ func TestCPIStack(t *testing.T) {
 	}
 	if out := s.String(); !strings.Contains(out, "retiring 60.0%") {
 		t.Errorf("String() = %q", out)
+	}
+	if out := s.String(); !strings.Contains(out, "(icache 10.0% itlb 0.0% redirect 0.0% other 0.0%)") {
+		t.Errorf("String() = %q, want frontend sub-bracket", out)
+	}
+}
+
+// TestCPIStackTree pins the two-level partition property: every refined
+// parent must equal the sum of its children, and a missing or surplus
+// sub-bucket cycle must fail Check even when the first level still sums.
+func TestCPIStackTree(t *testing.T) {
+	var s CPIStack
+	s.AddN(CycleFrontend, SubFeICache, 3)
+	s.AddN(CycleFrontend, SubFeITLB, 2)
+	s.AddN(CycleFrontend, SubFeRedirect, 4)
+	s.AddN(CycleFrontend, SubFeOther, 1)
+	s.AddN(CycleBackendMem, SubMemL1, 5)
+	s.AddN(CycleBackendMem, SubMemL2, 6)
+	s.AddN(CycleBackendMem, SubMemDRAM, 7)
+	s.AddN(CycleRetiring, SubNone, 12)
+	if err := s.Check(40); err != nil {
+		t.Fatalf("Check(40) = %v", err)
+	}
+	if got := s.SubTotal(CycleFrontend); got != 10 {
+		t.Errorf("SubTotal(frontend) = %d, want 10", got)
+	}
+	if got := s.SubTotal(CycleBackendMem); got != 18 {
+		t.Errorf("SubTotal(mem) = %d, want 18", got)
+	}
+	if got := s.SubTotal(CycleRetiring); got != 0 {
+		t.Errorf("SubTotal(retiring) = %d, want 0 (unrefined)", got)
+	}
+
+	// a frontend cycle attributed without its sub-bucket breaks the tree
+	bad := s
+	bad.Add(CycleFrontend, SubNone)
+	if err := bad.Check(41); err == nil {
+		t.Error("Check accepted a frontend cycle with no sub-bucket")
+	}
+	// a sub-bucket cycle whose parent never saw it breaks the tree too
+	bad2 := s
+	bad2.Subs[SubMemL2]++
+	if err := bad2.Check(40); err == nil {
+		t.Error("Check accepted a surplus mem sub-bucket cycle")
+	}
+	// SubNone must never be used as a counter
+	bad3 := s
+	bad3.Subs[SubNone]++
+	if err := bad3.Check(40); err == nil {
+		t.Error("Check accepted cycles in the SubNone counter")
+	}
+}
+
+func TestSubClassParents(t *testing.T) {
+	for sub := SubFeICache; sub <= SubFeOther; sub++ {
+		if sub.Parent() != CycleFrontend {
+			t.Errorf("%s.Parent() = %v, want frontend", sub, sub.Parent())
+		}
+	}
+	for sub := SubMemL1; sub <= SubMemDRAM; sub++ {
+		if sub.Parent() != CycleBackendMem {
+			t.Errorf("%s.Parent() = %v, want mem", sub, sub.Parent())
+		}
+	}
+	if SubNone.Parent() != NumCycleClasses {
+		t.Errorf("SubNone.Parent() = %v, want NumCycleClasses", SubNone.Parent())
 	}
 }

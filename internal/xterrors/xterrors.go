@@ -18,4 +18,7 @@ var (
 	// ErrDidNotHalt reports a simulation that exhausted its cycle budget
 	// without every hart reaching the host exit syscall.
 	ErrDidNotHalt = errors.New("simulation did not halt")
+
+	// ErrUnknownWorkload reports a kernel name not in the workload suite.
+	ErrUnknownWorkload = errors.New("unknown workload")
 )
