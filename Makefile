@@ -2,7 +2,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-smoke fuzz-paged-smoke fuzz-irq-smoke fuzz-smp-smoke inject-smoke trace-smoke campaign-smoke bench-track fidelity-track fidelity-smoke tier1 bench xtbench clean
+.PHONY: all build vet test race fuzz-smoke fuzz-paged-smoke fuzz-irq-smoke fuzz-smp-smoke inject-smoke trace-smoke campaign-smoke campaign-chaos-smoke bench-track fidelity-track fidelity-smoke tier1 bench xtbench clean
 
 all: tier1
 
@@ -93,6 +93,17 @@ trace-smoke:
 campaign-smoke:
 	XTCAMPD_SMOKE=1 $(GO) test -count=1 -run TestCampaignSmoke ./cmd/xtcampd
 
+# campaign-chaos-smoke is the distributed-failure proof for the coordinator/
+# worker protocol: a pure coordinator (-local=false, 1s lease TTL) with two
+# real xtworker processes, one SIGKILLed mid-shard — the survivor absorbs the
+# requeued leases and the merged report must stay byte-identical to a direct
+# `xtfuzz -json` run. The race-enabled pass re-runs the lease-registry,
+# fencing, retry/backoff and in-process chaos suites (worker death, dropped
+# heartbeats, coordinator partition) under the race detector.
+campaign-chaos-smoke:
+	XTCAMPD_CHAOS=1 $(GO) test -count=1 -run TestCampaignChaosSmoke ./cmd/xtcampd
+	$(GO) test -race -count=1 -run 'TestLease|TestFence|TestChaos|TestWorker|TestHTTPLease|TestLocalFallback|TestProgressShows|TestCompleteWithMissing|TestBackoff|TestDo' ./internal/campaign ./internal/retry
+
 # bench-track runs the quick reproduction sweep and reports each experiment's
 # host-MIPS against the newest checked-in BENCH_*.json baseline. It is a
 # smoke, not a perf gate: it fails only when the JSON schema breaks or a
@@ -123,8 +134,9 @@ fidelity-smoke: fidelity-track
 # clean, the full suite passes with the race detector enabled, the
 # co-simulation smoke sweep finds no divergence, the trace subsystem's
 # smoke checks hold, the campaign daemon survives a kill-and-resume with a
-# byte-identical report, the host-speed tracking stream stays well-formed,
-# and the paper-fidelity error table has not regressed.
+# byte-identical report, the distributed worker fleet survives a SIGKILLed
+# worker likewise, the host-speed tracking stream stays well-formed, and the
+# paper-fidelity error table has not regressed.
 tier1:
 	$(GO) build ./...
 	$(GO) vet ./...
@@ -136,6 +148,7 @@ tier1:
 	$(MAKE) inject-smoke
 	$(MAKE) trace-smoke
 	$(MAKE) campaign-smoke
+	$(MAKE) campaign-chaos-smoke
 	$(MAKE) bench-track
 	$(MAKE) fidelity-smoke
 

@@ -1,0 +1,141 @@
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+)
+
+// TestCampaignChaosSmoke is the end-to-end distributed-failure proof behind
+// `make campaign-chaos-smoke`: boot a pure coordinator (local execution off,
+// 1s lease TTL), attach two real xtworker processes, submit a fuzz campaign
+// over HTTP, SIGKILL one worker mid-shard, let the survivor absorb the
+// requeued leases, and diff the merged report byte-for-byte against a direct
+// `xtfuzz -json` run of the same seed range. Gated behind XTCAMPD_CHAOS=1 so
+// the ordinary (race-enabled) test sweep does not pay for three binary
+// builds and a process fleet.
+func TestCampaignChaosSmoke(t *testing.T) {
+	if os.Getenv("XTCAMPD_CHAOS") == "" {
+		t.Skip("set XTCAMPD_CHAOS=1 (or run `make campaign-chaos-smoke`) for the distributed chaos smoke")
+	}
+
+	bin := t.TempDir()
+	campd := filepath.Join(bin, "xtcampd")
+	workerBin := filepath.Join(bin, "xtworker")
+	fuzz := filepath.Join(bin, "xtfuzz")
+	for pkg, out := range map[string]string{
+		"xt910/cmd/xtcampd":  campd,
+		"xt910/cmd/xtworker": workerBin,
+		"xt910/cmd/xtfuzz":   fuzz,
+	} {
+		cmd := exec.Command("go", "build", "-o", out, pkg)
+		if b, err := cmd.CombinedOutput(); err != nil {
+			t.Fatalf("build %s: %v\n%s", pkg, err, b)
+		}
+	}
+
+	state := filepath.Join(t.TempDir(), "state")
+	const (
+		nSeeds = 32
+		seed0  = 1
+		segs   = 80
+	)
+
+	// Pure coordinator: with -local=false every item must flow through the
+	// worker fleet, so the kill below cannot be papered over locally.
+	coord := startDaemon(t, campd, state, "-local=false", "-lease-ttl", "1s")
+	defer func() {
+		coord.cmd.Process.Signal(syscall.SIGTERM)
+		coord.cmd.Wait()
+	}()
+
+	w1 := startWorker(t, workerBin, coord.url, "chaos-w1")
+	w2 := startWorker(t, workerBin, coord.url, "chaos-w2")
+	defer func() {
+		w2.Process.Signal(syscall.SIGTERM)
+		w2.Wait()
+	}()
+
+	spec := fmt.Sprintf(`{"tool":"fuzz","n":%d,"seed":%d,"segs":%d,"shards":4,"jobs":2}`, nSeeds, seed0, segs)
+	resp, err := http.Post(coord.url+"/api/v1/campaigns", "application/json", strings.NewReader(spec))
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	var sub struct {
+		ID string `json:"id"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&sub); err != nil || sub.ID == "" {
+		t.Fatalf("submit: id missing (%v), status %d", err, resp.StatusCode)
+	}
+	resp.Body.Close()
+
+	// Wait until the fleet has real work in flight, then SIGKILL one worker:
+	// no drain, no goodbye. Its leases must age out and requeue.
+	st := pollCampaign(t, coord.url, sub.ID, func(s campStatus) bool { return s.ItemsDone >= 1 })
+	if st.Status == "done" {
+		t.Fatalf("campaign finished before the kill; grow the seed range to keep the smoke honest")
+	}
+	if err := w1.Process.Kill(); err != nil {
+		t.Fatalf("kill worker: %v", err)
+	}
+	w1.Wait()
+
+	pollCampaign(t, coord.url, sub.ID, func(s campStatus) bool { return s.Status == "done" })
+
+	resp, err = http.Get(coord.url + "/api/v1/campaigns/" + sub.ID + "/report")
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	report, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("report: status %d: %s", resp.StatusCode, report)
+	}
+
+	// The oracle: a direct xtfuzz -json run over the same seed range.
+	direct := exec.Command(fuzz, "-json",
+		"-n", fmt.Sprint(nSeeds), "-seed", fmt.Sprint(seed0), "-segs", fmt.Sprint(segs), "-jobs", "2")
+	var stdout, stderr bytes.Buffer
+	direct.Stdout, direct.Stderr = &stdout, &stderr
+	if err := direct.Run(); err != nil {
+		if ee, ok := err.(*exec.ExitError); !ok || ee.ExitCode() != 1 {
+			// exit 1 means xtfuzz found a real divergence — still comparable
+			t.Fatalf("xtfuzz: %v\n%s", err, stderr.Bytes())
+		}
+	}
+	if !bytes.Equal(report, stdout.Bytes()) {
+		t.Fatalf("worker-killed campaign report differs from direct xtfuzz -json\n--- campaign ---\n%s--- xtfuzz ---\n%s",
+			report, stdout.Bytes())
+	}
+}
+
+// startWorker launches one xtworker against the coordinator, teeing its
+// stderr into the test log.
+func startWorker(t *testing.T, bin, coordinator, id string) *exec.Cmd {
+	t.Helper()
+	cmd := exec.Command(bin, "-coordinator", coordinator, "-id", id,
+		"-jobs", "2", "-poll", "50ms")
+	stderr, err := cmd.StderrPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Start(); err != nil {
+		t.Fatalf("start %s: %v", bin, err)
+	}
+	go func() {
+		sc := bufio.NewScanner(stderr)
+		for sc.Scan() {
+			t.Logf("%s: %s", id, sc.Text())
+		}
+	}()
+	return cmd
+}

@@ -1,6 +1,8 @@
 // Command xtcampd is the campaign daemon: a sharded, resumable front end for
 // the xtfuzz / xtinject / xtbench campaign tools behind an HTTP/JSON API
-// (internal/campaign).
+// (internal/campaign). It is also the distributed coordinator: remote
+// xtworker processes pull shard leases over the same API, and xtcampd itself
+// can run as a worker with -worker.
 //
 // Usage:
 //
@@ -8,20 +10,27 @@
 //	xtcampd -addr 127.0.0.1:0        # ephemeral port (printed on stderr)
 //	xtcampd -state /var/lib/xtcamp   # durable state directory
 //	xtcampd -jobs 4                  # default per-shard worker width
+//	xtcampd -lease-ttl 10s           # shard lease TTL (missed heartbeats expire it)
+//	xtcampd -local=false             # pure coordinator: shards only run on workers
+//	xtcampd -worker -coordinator http://camp:8910   # run as a worker instead
 //
 // Quickstart (see README.md for the full walkthrough):
 //
 //	curl -d '{"tool":"fuzz","n":100,"seed":1,"shards":4}' localhost:8910/api/v1/campaigns
-//	curl localhost:8910/api/v1/campaigns/c0001            # live progress
+//	curl localhost:8910/api/v1/campaigns/c0001            # live progress + lease ages
 //	curl localhost:8910/api/v1/campaigns/c0001/report     # merged JSONL when done
 //	curl localhost:8910/api/v1/campaigns/c0001/repro/17   # shrunken reproducer
 //
 // Every finished work item is journaled to the state directory before the
 // daemon acknowledges it, so a killed daemon — SIGKILL included — resumes on
 // restart without re-running finished seeds, and the resumed campaign's
-// merged report is byte-identical to an uninterrupted run. SIGTERM/SIGINT
-// drain gracefully: new submissions get 503, in-flight items are cancelled
-// at the next boundary, and the listener closes.
+// merged report is byte-identical to an uninterrupted run. The same holds
+// for killed workers: their leases expire, the shard requeues, and
+// keep-first journal dedup makes the at-least-once re-run invisible in the
+// report. When no workers ever connect, the daemon runs every shard itself.
+// SIGTERM/SIGINT drain gracefully: new submissions and lease traffic get
+// 503, in-flight items are cancelled at the next boundary, and the listener
+// closes.
 package main
 
 import (
@@ -29,6 +38,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"log"
 	"net"
 	"net/http"
 	"os"
@@ -51,11 +61,56 @@ func run(args []string, stderr io.Writer) int {
 	state := fs.String("state", "xtcampd.state", "state directory (campaign journals, reports, corpus)")
 	jobs := fs.Int("jobs", runtime.GOMAXPROCS(0),
 		"default per-shard worker width (reports identical at any width)")
+	leaseTTL := fs.Duration("lease-ttl", 10*time.Second,
+		"shard lease TTL; a worker silent this long loses the shard back to the queue")
+	local := fs.Bool("local", true,
+		"run shards in-process when no remote worker is live (false: pure coordinator)")
+	localGrace := fs.Duration("local-grace", 0,
+		"how long the in-process executor waits for remote workers before picking up shards")
+	worker := fs.Bool("worker", false, "run as a campaign worker instead of a coordinator")
+	coordinator := fs.String("coordinator", "", "coordinator base URL (with -worker)")
+	workerID := fs.String("id", "", "worker identity (with -worker; default host-pid)")
 	if err := fs.Parse(args); err != nil {
 		return 2
 	}
 
-	eng, err := campaign.Open(campaign.Options{StateDir: *state, Jobs: *jobs})
+	logger := log.New(stderr, "", log.LstdFlags)
+
+	if *worker {
+		if *coordinator == "" {
+			fmt.Fprintln(stderr, "xtcampd: -worker needs -coordinator")
+			return 2
+		}
+		id := *workerID
+		if id == "" {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "xtcampd"
+			}
+			id = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		ctx, cancel := context.WithCancel(context.Background())
+		sig := make(chan os.Signal, 1)
+		signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+		go func() { <-sig; cancel() }()
+		logger.Printf("xtcampd: worker mode id=%s coordinator=%s", id, *coordinator)
+		if err := campaign.RunWorker(ctx, campaign.WorkerOptions{
+			Coordinator: *coordinator, ID: id, Jobs: *jobs, Logf: logger.Printf,
+		}); err != nil {
+			fmt.Fprintf(stderr, "xtcampd: %v\n", err)
+			return 1
+		}
+		return 0
+	}
+
+	eng, err := campaign.Open(campaign.Options{
+		StateDir:     *state,
+		Jobs:         *jobs,
+		LeaseTTL:     *leaseTTL,
+		DisableLocal: !*local,
+		LocalGrace:   *localGrace,
+		Logf:         logger.Printf,
+	})
 	if err != nil {
 		fmt.Fprintf(stderr, "xtcampd: %v\n", err)
 		return 1
@@ -72,6 +127,7 @@ func run(args []string, stderr io.Writer) int {
 	fmt.Fprintf(stderr, "xtcampd: listening on http://%s state=%s\n", ln.Addr(), *state)
 
 	srv := &http.Server{Handler: campaign.NewHandler(eng)}
+	campaign.HardenServer(srv)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	done := make(chan struct{})

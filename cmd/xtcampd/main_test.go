@@ -114,9 +114,10 @@ type daemon struct {
 
 // startDaemon boots xtcampd on an ephemeral port and parses the resolved
 // address off its stderr listen line.
-func startDaemon(t *testing.T, bin, state string) *daemon {
+func startDaemon(t *testing.T, bin, state string, extra ...string) *daemon {
 	t.Helper()
-	cmd := exec.Command(bin, "-addr", "127.0.0.1:0", "-state", state, "-jobs", "2")
+	args := append([]string{"-addr", "127.0.0.1:0", "-state", state, "-jobs", "2"}, extra...)
+	cmd := exec.Command(bin, args...)
 	stderr, err := cmd.StderrPipe()
 	if err != nil {
 		t.Fatal(err)

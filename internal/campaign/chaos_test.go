@@ -1,0 +1,176 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"xt910/internal/cliflags"
+)
+
+// chaosTransport injects network failure into a worker's HTTP client: a
+// seeded per-request drop probability plus a hard partition window the test
+// opens and closes. Dropped requests fail before reaching the coordinator —
+// to the worker they are indistinguishable from a dead network.
+type chaosTransport struct {
+	inner http.RoundTripper
+
+	mu          sync.Mutex
+	rng         *rand.Rand
+	dropP       float64
+	partitioned atomic.Bool
+}
+
+type errDropped struct{}
+
+func (errDropped) Error() string { return "chaos: request dropped" }
+
+func (c *chaosTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	if c.partitioned.Load() {
+		return nil, errDropped{}
+	}
+	c.mu.Lock()
+	drop := c.rng.Float64() < c.dropP
+	c.mu.Unlock()
+	if drop {
+		return nil, errDropped{}
+	}
+	return c.inner.RoundTrip(req)
+}
+
+// blockRunner never finishes an item: it parks until the context dies, the
+// in-process stand-in for a worker that is about to be SIGKILLed mid-shard.
+type blockRunner struct{}
+
+func (blockRunner) Run(ctx context.Context, spec *Spec, it Item) (ItemResult, error) {
+	<-ctx.Done()
+	return ItemResult{}, ctx.Err()
+}
+
+// slowRunner stretches every item past the point where a heartbeat-dropping
+// worker's lease must expire mid-shard.
+type slowRunner struct {
+	inner Runner
+	delay time.Duration
+}
+
+func (s slowRunner) Run(ctx context.Context, spec *Spec, it Item) (ItemResult, error) {
+	select {
+	case <-ctx.Done():
+		return ItemResult{}, ctx.Err()
+	case <-time.After(s.delay):
+	}
+	return s.inner.Run(ctx, spec, it)
+}
+
+// TestChaosByteIdenticalReport is the acceptance property of the distributed
+// campaign protocol, exercised with real simulation work under -race:
+//
+//   - worker A leases a shard and is "SIGKILLed" mid-item (context cut, no
+//     complete, no further heartbeats) — its lease expires and the shard
+//     requeues with whatever entries it had streamed;
+//   - worker B drops every heartbeat, so each lease it takes expires mid-
+//     shard and its late /complete is fenced off with 409 — the live zombie
+//     path;
+//   - worker C is honest but sits behind a lossy link that also suffers a
+//     full coordinator partition longer than the lease TTL mid-campaign;
+//   - the coordinator runs with local execution disabled, so every item is
+//     forced through the failure-riddled remote path.
+//
+// The merged report must still come out byte-identical to an unfailed
+// single-process local run — at-least-once re-execution is invisible because
+// re-runs are deterministic and the journals merge keep-first.
+func TestChaosByteIdenticalReport(t *testing.T) {
+	spec := &Spec{Tool: "fuzz", Knobs: cliflags.Knobs{N: 8, Seed: 1}, Shards: 4, Segs: 10}
+
+	// The oracle: the same campaign on a plain local engine, no failures.
+	ref := runToReport(t, t.TempDir(), spec)
+
+	const ttl = 300 * time.Millisecond
+	e, err := Open(Options{StateDir: t.TempDir(), Jobs: 2, DisableLocal: true,
+		LeaseTTL: ttl, Logf: t.Logf})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+
+	// Worker A: leases, blocks mid-item, gets its process yanked.
+	actx, akill := context.WithCancel(ctx)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		RunWorker(actx, WorkerOptions{
+			Coordinator: srv.URL, ID: "chaos-a", Jobs: 2, Runner: blockRunner{},
+			Poll: 20 * time.Millisecond, Seed: 1, Logf: t.Logf,
+			DropHeartbeat: func() bool { return true }, // silent while blocked
+		})
+	}()
+
+	// Worker B: computes slowly enough that its silent lease always expires
+	// before its /complete lands; every completion must be fenced off. Two
+	// shards of zombie duty, then it retires.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		RunWorker(ctx, WorkerOptions{
+			Coordinator: srv.URL, ID: "chaos-b", Jobs: 1,
+			Runner: slowRunner{inner: toolRunner{}, delay: ttl},
+			Poll:   20 * time.Millisecond, Seed: 2, Logf: t.Logf,
+			MaxShards:     2,
+			DropHeartbeat: func() bool { return true },
+		})
+	}()
+
+	// Worker C: honest executor behind a lossy, partitionable link.
+	chaosC := &chaosTransport{inner: http.DefaultTransport,
+		rng: rand.New(rand.NewSource(42)), dropP: 0.15}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		RunWorker(ctx, WorkerOptions{
+			Coordinator: srv.URL, ID: "chaos-c", Jobs: 2, Runner: toolRunner{},
+			Client: &http.Client{Transport: chaosC, Timeout: 10 * time.Second},
+			Poll:   20 * time.Millisecond, Seed: 3, Logf: t.Logf,
+		})
+	}()
+
+	id, err := e.Submit(spec)
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+
+	// Let the fleet grab shards, then kill A outright and partition C away
+	// from the coordinator for longer than the lease TTL.
+	time.Sleep(ttl / 2)
+	akill()
+	chaosC.partitioned.Store(true)
+	time.Sleep(ttl + ttl/2)
+	chaosC.partitioned.Store(false)
+
+	s := waitStatus(t, e, id, StatusDone)
+	if s.ItemsDone != s.Items {
+		t.Fatalf("campaign done with %d/%d items", s.ItemsDone, s.Items)
+	}
+	got, err := e.Report(id)
+	if err != nil {
+		t.Fatalf("report: %v", err)
+	}
+	if !bytes.Equal(ref, got) {
+		t.Fatalf("chaos-run report differs from unfailed local run\n--- local ---\n%s--- chaos ---\n%s", ref, got)
+	}
+
+	cancel()
+	wg.Wait()
+}

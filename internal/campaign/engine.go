@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -25,10 +26,14 @@ const (
 	StatusFailed  = "failed"
 )
 
+// localWorkerID names the coordinator's in-process fallback executor in the
+// lease registry and the /progress view.
+const localWorkerID = "local"
+
 // Options configures an Engine.
 type Options struct {
 	// StateDir holds every campaign's manifest, journals and report plus the
-	// divergence corpus. Required.
+	// divergence corpus and the fencing-token counter. Required.
 	StateDir string
 	// Jobs is the per-shard worker width for specs that leave Jobs at 0
 	// (<= 0: GOMAXPROCS). Any width produces the identical merged report.
@@ -36,15 +41,38 @@ type Options struct {
 	// Runner substitutes the item executor (tests); nil selects the real
 	// tool runner.
 	Runner Runner
+	// LeaseTTL bounds every shard lease: a worker that misses heartbeats
+	// for this long loses the shard back to the pending queue. <= 0 picks
+	// the 10s default.
+	LeaseTTL time.Duration
+	// DisableLocal turns off the in-process fallback executor, making the
+	// engine a pure dispatcher: shards only run on remote workers.
+	DisableLocal bool
+	// LocalGrace is how long the local fallback defers to an absent fleet:
+	// the coordinator runs a pending shard itself only once this much time
+	// has passed since the later of engine start and the last remote-worker
+	// contact, and no remote worker is currently live. 0 (default): the
+	// coordinator picks up work the moment no live worker exists — PR 8's
+	// single-process behavior when no worker ever connects.
+	LocalGrace time.Duration
+	// Logf receives operational log lines (lease expiries, worker churn);
+	// nil discards them.
+	Logf func(format string, args ...any)
+
+	// clock substitutes the registry/liveness clock (tests).
+	clock func() time.Time
 }
 
-// Engine owns the campaign store and the single worker loop that executes
-// campaigns FIFO, one at a time, each shard in order, items on a sched pool.
-// Open resumes every unfinished campaign found in the state directory before
-// accepting new work.
+// Engine is the campaign coordinator: it owns the campaign store, the lease
+// registry that dispatches shards to workers (remote via the HTTP API, plus
+// an in-process fallback executor), and the merge that turns journals into
+// reports. Open resumes every unfinished campaign found in the state
+// directory before accepting new work.
 type Engine struct {
 	opts   Options
 	corpus *Corpus
+	leases *leaseRegistry
+	now    func() time.Time
 
 	mu        sync.Mutex
 	campaigns map[string]*state
@@ -52,10 +80,14 @@ type Engine struct {
 	nextID    int
 	draining  bool
 
-	queue  chan *state
-	ctx    context.Context
-	cancel context.CancelFunc
-	wg     sync.WaitGroup
+	workersMu   sync.Mutex
+	workers     map[string]time.Time // remote worker ID -> last contact
+	lastRemote  time.Time            // last contact from any remote worker
+	bootTime    time.Time
+	ctx         context.Context
+	cancel      context.CancelFunc
+	wg          sync.WaitGroup
+	dispatchNow chan struct{} // kick the dispatcher (submit, expiry interest)
 }
 
 // state is one campaign's in-memory state, rebuilt from the journals on
@@ -77,7 +109,7 @@ type state struct {
 }
 
 // Open loads the state directory, resumes unfinished campaigns and starts
-// the worker loop.
+// the dispatcher loop.
 func Open(opts Options) (*Engine, error) {
 	if opts.StateDir == "" {
 		return nil, fmt.Errorf("campaign: Options.StateDir is required")
@@ -88,6 +120,15 @@ func Open(opts Options) (*Engine, error) {
 	if opts.Runner == nil {
 		opts.Runner = toolRunner{}
 	}
+	if opts.LeaseTTL <= 0 {
+		opts.LeaseTTL = 10 * time.Second
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+	if opts.clock == nil {
+		opts.clock = time.Now
+	}
 	if err := os.MkdirAll(opts.StateDir, 0o755); err != nil {
 		return nil, err
 	}
@@ -95,27 +136,35 @@ func Open(opts Options) (*Engine, error) {
 	if err != nil {
 		return nil, err
 	}
+	fence, err := openFence(filepath.Join(opts.StateDir, "fence"))
+	if err != nil {
+		return nil, err
+	}
 	ctx, cancel := context.WithCancel(context.Background())
 	e := &Engine{
-		opts:      opts,
-		corpus:    corpus,
-		campaigns: make(map[string]*state),
-		nextID:    1,
-		queue:     make(chan *state, 1024),
-		ctx:       ctx,
-		cancel:    cancel,
+		opts:        opts,
+		corpus:      corpus,
+		leases:      newLeaseRegistry(opts.LeaseTTL, opts.clock, fence),
+		now:         opts.clock,
+		campaigns:   make(map[string]*state),
+		nextID:      1,
+		workers:     make(map[string]time.Time),
+		bootTime:    opts.clock(),
+		ctx:         ctx,
+		cancel:      cancel,
+		dispatchNow: make(chan struct{}, 1),
 	}
 	if err := e.loadAll(); err != nil {
 		cancel()
 		return nil, err
 	}
 	e.wg.Add(1)
-	go e.worker()
+	go e.dispatcher()
 	return e, nil
 }
 
-// loadAll rebuilds every campaign from disk and queues the unfinished ones
-// in ID order.
+// loadAll rebuilds every campaign from disk and registers the unfinished
+// shards for dispatch in ID order.
 func (e *Engine) loadAll() error {
 	ents, err := os.ReadDir(e.opts.StateDir)
 	if err != nil {
@@ -141,7 +190,7 @@ func (e *Engine) loadAll() error {
 		e.campaigns[id] = st
 		e.order = append(e.order, id)
 		if st.status == StatusQueued {
-			e.queue <- st
+			e.registerShards(st)
 		}
 	}
 	return nil
@@ -178,6 +227,7 @@ func (e *Engine) load(id string) (*state, error) {
 				continue // stale entry from an edited manifest; ignore
 			}
 			st.done[si][en.Index] = en.Line
+			st.instrs += en.Instrs
 			if en.Div != nil {
 				st.divs[en.Index] = en.Div
 			}
@@ -195,6 +245,27 @@ func (e *Engine) load(id string) (*state, error) {
 		st.status = StatusDone
 	}
 	return st, nil
+}
+
+// registerShards queues every not-yet-complete shard of a campaign for
+// dispatch.
+func (e *Engine) registerShards(st *state) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for si := range st.shards {
+		if len(st.done[si]) < len(st.shards[si]) {
+			e.leases.Enqueue(shardRef{Campaign: st.id, Shard: si})
+		}
+	}
+	e.kick()
+}
+
+// kick nudges the dispatcher without blocking.
+func (e *Engine) kick() {
+	select {
+	case e.dispatchNow <- struct{}{}:
+	default:
+	}
 }
 
 // Submit validates and admits a campaign, returning its ID. The manifest is
@@ -229,127 +300,447 @@ func (e *Engine) Submit(spec *Spec) (string, error) {
 	e.campaigns[id] = st
 	e.order = append(e.order, id)
 	e.mu.Unlock()
-	e.queue <- st
+	e.registerShards(st)
 	return id, nil
 }
 
-// worker drains the campaign queue FIFO until Close.
-func (e *Engine) worker() {
+// ---------------------------------------------------------------------------
+// Dispatch: remote lease protocol + local fallback executor.
+
+// touchWorker records remote-worker contact (lease poll, heartbeat or
+// complete) for the liveness view.
+func (e *Engine) touchWorker(id string) {
+	now := e.now()
+	e.workersMu.Lock()
+	e.workers[id] = now
+	e.lastRemote = now
+	e.workersMu.Unlock()
+}
+
+// liveWorkers counts remote workers heard from within one lease TTL.
+func (e *Engine) liveWorkers() int {
+	cutoff := e.now().Add(-e.opts.LeaseTTL)
+	e.workersMu.Lock()
+	defer e.workersMu.Unlock()
+	n := 0
+	for id, last := range e.workers {
+		if last.Before(cutoff) {
+			delete(e.workers, id) // forget the dead; healthz counts the living
+			continue
+		}
+		n++
+	}
+	return n
+}
+
+// WorkerCount is the /healthz live remote worker count.
+func (e *Engine) WorkerCount() int { return e.liveWorkers() }
+
+// localMayRun decides whether the in-process fallback should pick up work:
+// never while a remote worker is live, and only after LocalGrace has passed
+// since the later of boot and the last remote contact — so a briefly
+// partitioned fleet gets first refusal on its own shards.
+func (e *Engine) localMayRun() bool {
+	if e.opts.DisableLocal {
+		return false
+	}
+	if e.liveWorkers() > 0 {
+		return false
+	}
+	e.workersMu.Lock()
+	since := e.bootTime
+	if e.lastRemote.After(since) {
+		since = e.lastRemote
+	}
+	e.workersMu.Unlock()
+	return e.now().Sub(since) >= e.opts.LocalGrace
+}
+
+// dispatcher is the engine's background loop: it reaps expired leases
+// (requeueing their shards) and, when no remote fleet is live, executes
+// pending shards in-process one at a time — PR 8's local execution path,
+// now just another lease-holding worker.
+func (e *Engine) dispatcher() {
 	defer e.wg.Done()
+	tick := time.NewTicker(20 * time.Millisecond)
+	defer tick.Stop()
 	for {
 		select {
 		case <-e.ctx.Done():
 			return
-		case st := <-e.queue:
-			e.run(st)
+		case <-tick.C:
+		case <-e.dispatchNow:
+		}
+		for _, l := range e.leases.ExpireStale() {
+			e.opts.Logf("campaign: lease expired: %s worker=%s token=%d (requeued)",
+				l.ref, l.worker, l.token)
+		}
+		for e.localMayRun() {
+			l, err := e.leases.Acquire(localWorkerID)
+			if err != nil {
+				break // no pending work
+			}
+			e.runLocalShard(l)
+			if e.ctx.Err() != nil {
+				return
+			}
 		}
 	}
 }
 
-// run executes one campaign: every shard in order, each shard's pending
-// items on a worker pool, every finished item journaled from OnResult (which
-// sched serializes). Cancellation mid-shard leaves the journals as the
-// resume point; the campaign stays queued on disk and re-runs only the
-// missing items after restart.
-func (e *Engine) run(st *state) {
+// stateFor returns a campaign's in-memory state.
+func (e *Engine) stateFor(id string) (*state, bool) {
+	e.mu.Lock()
+	st, ok := e.campaigns[id]
+	e.mu.Unlock()
+	return st, ok
+}
+
+// markRunning flips a campaign to running on its first lease grant.
+func (st *state) markRunning(now time.Time) {
 	st.mu.Lock()
-	st.status = StatusRunning
-	st.started = time.Now()
+	if st.status == StatusQueued {
+		st.status = StatusRunning
+	}
+	if st.started.IsZero() {
+		st.started = now
+	}
 	st.mu.Unlock()
+}
+
+// pendingItems lists a shard's not-yet-journaled items and the indexes
+// already done.
+func (st *state) pendingItems(si int) (pending []Item, done []int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	for _, it := range st.shards[si] {
+		if _, ok := st.done[si][it.Index]; ok {
+			done = append(done, it.Index)
+		} else {
+			pending = append(pending, it)
+		}
+	}
+	return pending, done
+}
+
+// applyEntry journals one finished item and folds it into the in-memory
+// state, keep-first: an index already recorded (a re-run under at-least-once
+// dispatch) is skipped entirely, so the journal gains no duplicate line and
+// the first-landed record is the one true copy. Returns whether the entry
+// was fresh.
+func (e *Engine) applyEntry(jw *journalWriter, st *state, si int, en journalEntry) (bool, error) {
+	st.mu.Lock()
+	if _, dup := st.done[si][en.Index]; dup {
+		st.mu.Unlock()
+		return false, nil
+	}
+	st.mu.Unlock()
+	if err := jw.append(en); err != nil {
+		return false, err
+	}
+	st.mu.Lock()
+	st.done[si][en.Index] = en.Line
+	st.instrs += en.Instrs
+	if en.Div != nil {
+		st.divs[en.Index] = en.Div
+	}
+	st.mu.Unlock()
+	if en.Div != nil {
+		if _, err := e.corpus.Add(st.id, en.Div); err != nil {
+			return true, err
+		}
+	}
+	return true, nil
+}
+
+// applyEntries batch-applies worker-streamed entries to one shard's journal.
+func (e *Engine) applyEntries(st *state, si int, entries []journalEntry) error {
+	if len(entries) == 0 {
+		return nil
+	}
+	valid := make(map[int]bool, len(st.shards[si]))
+	st.mu.Lock()
+	for _, it := range st.shards[si] {
+		valid[it.Index] = true
+	}
+	st.mu.Unlock()
+	jw, err := openJournal(shardJournalPath(st.dir, si))
+	if err != nil {
+		return err
+	}
+	defer jw.Close()
+	for _, en := range entries {
+		if !valid[en.Index] {
+			return fmt.Errorf("campaign: %s shard %d: entry index %d outside manifest", st.id, si, en.Index)
+		}
+		if _, err := e.applyEntry(jw, st, si, en); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// shardComplete reports whether every item of a shard is journaled.
+func (st *state) shardComplete(si int) bool {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.done[si]) >= len(st.shards[si])
+}
+
+// maybeFinish merges and finalizes a campaign once every shard is complete.
+func (e *Engine) maybeFinish(st *state) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.status == StatusDone || st.status == StatusFailed {
+		return
+	}
+	for si := range st.shards {
+		if len(st.done[si]) < len(st.shards[si]) {
+			return
+		}
+	}
+	if !st.started.IsZero() {
+		st.wall += time.Since(st.started)
+		st.started = time.Time{}
+	}
+	if err := st.writeReport(); err != nil {
+		st.status = StatusFailed
+		st.errMsg = err.Error()
+		return
+	}
+	st.status = StatusDone
+}
+
+// fail marks a campaign failed and withdraws its remaining shards from
+// dispatch.
+func (e *Engine) fail(st *state, err error) {
+	st.mu.Lock()
+	st.status = StatusFailed
+	st.errMsg = err.Error()
+	if !st.started.IsZero() {
+		st.wall += time.Since(st.started)
+		st.started = time.Time{}
+	}
+	st.mu.Unlock()
+	e.leases.Remove(st.id)
+}
+
+// runLocalShard executes one leased shard in-process: pending items on a
+// sched pool, every finished item journaled from OnResult (which sched
+// serializes), the lease renewed on a heartbeat ticker exactly like a remote
+// worker's. Cancellation mid-shard requeues the lease and leaves the
+// journals as the resume point.
+func (e *Engine) runLocalShard(l *lease) {
+	st, ok := e.stateFor(l.ref.Campaign)
+	if !ok {
+		e.leases.Complete(l.ref, l.token)
+		return
+	}
+	st.markRunning(time.Now())
+	si := l.ref.Shard
+	pending, _ := st.pendingItems(si)
+	if len(pending) == 0 {
+		e.completeShard(st, l.ref, l.token)
+		return
+	}
 
 	width := st.spec.Jobs
 	if width <= 0 {
 		width = e.opts.Jobs
 	}
-	for si, items := range st.shards {
-		var pending []Item
-		st.mu.Lock()
-		for _, it := range items {
-			if _, ok := st.done[si][it.Index]; !ok {
-				pending = append(pending, it)
+	jw, err := openJournal(shardJournalPath(st.dir, si))
+	if err != nil {
+		e.fail(st, err)
+		return
+	}
+
+	// Renew the local lease on the same cadence a remote worker would; the
+	// registry treats the in-process executor like any other leaseholder.
+	hbStop := make(chan struct{})
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(e.opts.LeaseTTL / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-hbStop:
+				return
+			case <-t.C:
+				if _, err := e.leases.Renew(l.ref, l.token); err != nil {
+					e.opts.Logf("campaign: local lease on %s lost: %v", l.ref, err)
+					return
+				}
 			}
+		}
+	}()
+
+	jobs := make([]sched.Job, len(pending))
+	for j, it := range pending {
+		it := it
+		jobs[j] = sched.Job{
+			ID: fmt.Sprintf("%s/shard%d/%s", st.id, si, it.Key()),
+			Run: func(ctx context.Context) (any, error) {
+				res, err := e.opts.Runner.Run(ctx, st.spec, it)
+				return res, err
+			},
+		}
+	}
+	var itemErr error
+	rs := sched.Run(e.ctx, jobs, sched.Options{
+		Workers: width,
+		OnResult: func(j int, r sched.Result) {
+			if r.Err != nil {
+				return // cancellation or item failure: nothing durable to record
+			}
+			res := r.Value.(ItemResult)
+			en := journalEntry{Index: pending[j].Index, Line: res.Line, Div: res.Div, Instrs: r.Instrs}
+			if _, err := e.applyEntry(jw, st, si, en); err != nil && itemErr == nil {
+				itemErr = err
+			}
+		},
+	})
+	jw.Close()
+	close(hbStop)
+	hbWG.Wait()
+	if e.ctx.Err() != nil {
+		st.mu.Lock()
+		st.status = StatusQueued // resumes from the journals on restart
+		if !st.started.IsZero() {
+			st.wall += time.Since(st.started)
+			st.started = time.Time{}
 		}
 		st.mu.Unlock()
-		if len(pending) == 0 {
-			continue
-		}
-		jw, err := openJournal(shardJournalPath(st.dir, si))
-		if err != nil {
-			e.fail(st, err)
-			return
-		}
-		jobs := make([]sched.Job, len(pending))
-		for j, it := range pending {
-			it := it
-			jobs[j] = sched.Job{
-				ID: fmt.Sprintf("%s/shard%d/%s", st.id, si, it.Key()),
-				Run: func(ctx context.Context) (any, error) {
-					res, err := e.opts.Runner.Run(ctx, st.spec, it)
-					return res, err
-				},
-			}
-		}
-		var itemErr error
-		rs := sched.Run(e.ctx, jobs, sched.Options{
-			Workers: width,
-			OnResult: func(j int, r sched.Result) {
-				if r.Err != nil {
-					return // cancellation or item failure: nothing durable to record
-				}
-				res := r.Value.(ItemResult)
-				en := journalEntry{Index: pending[j].Index, Line: res.Line, Div: res.Div}
-				if err := jw.append(en); err != nil && itemErr == nil {
-					itemErr = err
-				}
-				st.mu.Lock()
-				st.done[si][pending[j].Index] = res.Line
-				if res.Div != nil {
-					st.divs[pending[j].Index] = res.Div
-				}
-				st.instrs += r.Instrs
-				st.mu.Unlock()
-				if res.Div != nil {
-					if _, err := e.corpus.Add(st.id, res.Div); err != nil && itemErr == nil {
-						itemErr = err
-					}
-				}
-			},
-		})
-		jw.Close()
-		if e.ctx.Err() != nil {
-			st.mu.Lock()
-			st.status = StatusQueued // resumes from the journals on restart
-			st.wall += time.Since(st.started)
-			st.mu.Unlock()
-			return
-		}
-		if itemErr == nil {
-			itemErr = sched.FirstError(rs)
-		}
-		if itemErr != nil {
-			e.fail(st, itemErr)
-			return
-		}
+		e.leases.Requeue(l.ref, l.token)
+		return
 	}
-	st.mu.Lock()
-	st.wall += time.Since(st.started)
-	err := st.writeReport()
-	if err != nil {
-		st.status = StatusFailed
-		st.errMsg = err.Error()
-	} else {
-		st.status = StatusDone
+	if itemErr == nil {
+		itemErr = sched.FirstError(rs)
 	}
-	st.mu.Unlock()
+	if itemErr != nil {
+		e.fail(st, itemErr)
+		return
+	}
+	e.completeShard(st, l.ref, l.token)
 }
 
-func (e *Engine) fail(st *state, err error) {
-	st.mu.Lock()
-	st.status = StatusFailed
-	st.errMsg = err.Error()
-	st.wall += time.Since(st.started)
-	st.mu.Unlock()
+// completeShard releases the lease and, when the shard's journal really
+// covers every item, checks the campaign for completion. A "complete" on a
+// shard with missing items (a buggy or fenced-off worker) requeues the shard
+// instead of wedging the campaign.
+func (e *Engine) completeShard(st *state, ref shardRef, token uint64) error {
+	if err := e.leases.Complete(ref, token); err != nil {
+		return err
+	}
+	if !st.shardComplete(ref.Shard) {
+		e.opts.Logf("campaign: %s completed with items missing; requeued", ref)
+		e.leases.Enqueue(ref)
+		e.kick()
+		return fmt.Errorf("campaign: %s: complete with items missing; requeued", ref)
+	}
+	e.maybeFinish(st)
+	return nil
 }
+
+// ---------------------------------------------------------------------------
+// Remote worker API (the engine half of /lease, /heartbeat, /complete).
+
+// LeaseGrant is the /api/v1/lease response: everything a worker needs to run
+// one shard — the manifest, the shard's item list, which items are already
+// journaled, and the lease identity (token + TTL) it must renew.
+type LeaseGrant struct {
+	Campaign string `json:"campaign"`
+	Shard    int    `json:"shard"`
+	Token    uint64 `json:"token"`
+	TTLMS    int64  `json:"ttl_ms"`
+	Spec     *Spec  `json:"spec"`
+	Items    []Item `json:"items"`
+	Done     []int  `json:"done,omitempty"`
+}
+
+// AcquireShard grants the oldest pending shard to a remote worker.
+// ErrNoWork when nothing is pending.
+func (e *Engine) AcquireShard(workerID string) (*LeaseGrant, error) {
+	e.touchWorker(workerID)
+	l, err := e.leases.Acquire(workerID)
+	if err != nil {
+		return nil, err
+	}
+	st, ok := e.stateFor(l.ref.Campaign)
+	if !ok {
+		e.leases.Complete(l.ref, l.token)
+		return nil, ErrNoWork
+	}
+	st.markRunning(time.Now())
+	_, done := st.pendingItems(l.ref.Shard)
+	st.mu.Lock()
+	items := append([]Item(nil), st.shards[l.ref.Shard]...)
+	spec := st.spec
+	st.mu.Unlock()
+	e.opts.Logf("campaign: leased %s to worker=%s token=%d", l.ref, workerID, l.token)
+	return &LeaseGrant{
+		Campaign: l.ref.Campaign,
+		Shard:    l.ref.Shard,
+		Token:    l.token,
+		TTLMS:    e.opts.LeaseTTL.Milliseconds(),
+		Spec:     spec,
+		Items:    items,
+		Done:     done,
+	}, nil
+}
+
+// HeartbeatShard renews a worker's lease and journals the entries it
+// streamed since the last beat. A stale token is fenced off with
+// ErrLeaseLost and the entries are discarded — only the current leaseholder
+// writes; the items re-run under the next lease and merge idempotently.
+func (e *Engine) HeartbeatShard(workerID, campaignID string, shard int, token uint64, entries []journalEntry) (time.Duration, error) {
+	e.touchWorker(workerID)
+	ref := shardRef{Campaign: campaignID, Shard: shard}
+	ttl, err := e.leases.Renew(ref, token)
+	if err != nil {
+		return 0, err
+	}
+	st, ok := e.stateFor(campaignID)
+	if !ok {
+		return 0, ErrLeaseLost
+	}
+	if err := e.applyEntries(st, shard, entries); err != nil {
+		e.fail(st, err)
+		return 0, err
+	}
+	return ttl, nil
+}
+
+// CompleteShard finishes a worker's shard: journal the final entries, fence-
+// check the token, release the lease and (perhaps) finalize the campaign.
+// workerErr marks the shard failed on the worker; a valid token then fails
+// the whole campaign, matching the local executor's item-error semantics.
+func (e *Engine) CompleteShard(workerID, campaignID string, shard int, token uint64, entries []journalEntry, workerErr string) error {
+	e.touchWorker(workerID)
+	ref := shardRef{Campaign: campaignID, Shard: shard}
+	st, ok := e.stateFor(campaignID)
+	if !ok {
+		return ErrLeaseLost
+	}
+	if !e.leases.Holds(ref, token) {
+		return ErrLeaseLost
+	}
+	if workerErr != "" {
+		if err := e.leases.Complete(ref, token); err != nil {
+			return err
+		}
+		e.fail(st, errors.New(workerErr))
+		return nil
+	}
+	if err := e.applyEntries(st, shard, entries); err != nil {
+		e.fail(st, err)
+		return err
+	}
+	return e.completeShard(st, ref, token)
+}
+
+// ---------------------------------------------------------------------------
 
 // writeReport merges the shard journals into report.jsonl: every item's line
 // in manifest order, concatenation over shards in shard order. Atomic, so
@@ -370,9 +761,11 @@ func (st *state) writeReport() error {
 	return writeAtomic(reportPath(st.dir), buf.Bytes())
 }
 
-// Close drains the engine: new submissions are rejected, the in-flight
-// campaign is cancelled at the next item boundary (its finished items are
-// already journaled), and the worker exits. Safe to call more than once.
+// Close drains the engine: new submissions are rejected, the in-flight local
+// shard is cancelled at the next item boundary (its finished items are
+// already journaled), and the dispatcher exits. Remote leases are left to
+// age out; their shards requeue when a restarted coordinator reloads the
+// journals. Safe to call more than once.
 func (e *Engine) Close() {
 	e.mu.Lock()
 	e.draining = true
@@ -388,11 +781,25 @@ func (e *Engine) Draining() bool {
 	return e.draining
 }
 
-// ShardStatus is one shard's live progress.
+// Shard lease states in the /progress view.
+const (
+	ShardPending = "pending"
+	ShardLeased  = "leased"
+	ShardDone    = "done"
+)
+
+// ShardStatus is one shard's live progress, including which worker holds its
+// lease and for how long — the field that tells a stuck shard (lease aging
+// toward expiry, no items landing) from a merely slow one.
 type ShardStatus struct {
-	Shard     int `json:"shard"`
-	ItemsDone int `json:"items_done"`
-	Items     int `json:"items"`
+	Shard     int    `json:"shard"`
+	ItemsDone int    `json:"items_done"`
+	Items     int    `json:"items"`
+	State     string `json:"state"`
+	Worker    string `json:"worker,omitempty"`
+	Token     uint64 `json:"token,omitempty"`
+	// LeaseAgeMS is how long the current lease has been held.
+	LeaseAgeMS int64 `json:"lease_age_ms,omitempty"`
 }
 
 // Status is a campaign's live progress snapshot, the /campaigns/{id} API
@@ -418,12 +825,17 @@ func (st *state) snapshot() Status {
 	s := Status{ID: st.id, Tool: st.spec.Tool, Status: st.status, Error: st.errMsg,
 		Divergences: len(st.divs)}
 	for si, items := range st.shards {
-		s.Shards = append(s.Shards, ShardStatus{Shard: si, ItemsDone: len(st.done[si]), Items: len(items)})
+		sh := ShardStatus{Shard: si, ItemsDone: len(st.done[si]), Items: len(items),
+			State: ShardPending}
+		if sh.ItemsDone >= sh.Items {
+			sh.State = ShardDone
+		}
+		s.Shards = append(s.Shards, sh)
 		s.ItemsDone += len(st.done[si])
 		s.Items += len(items)
 	}
 	wall := st.wall
-	if st.status == StatusRunning {
+	if st.status == StatusRunning && !st.started.IsZero() {
 		wall += time.Since(st.started)
 	}
 	if secs := wall.Seconds(); secs > 0 {
@@ -432,15 +844,23 @@ func (st *state) snapshot() Status {
 	return s
 }
 
-// Get returns one campaign's status.
+// Get returns one campaign's status, lease assignments overlaid.
 func (e *Engine) Get(id string) (Status, bool) {
-	e.mu.Lock()
-	st, ok := e.campaigns[id]
-	e.mu.Unlock()
+	st, ok := e.stateFor(id)
 	if !ok {
 		return Status{}, false
 	}
-	return st.snapshot(), true
+	s := st.snapshot()
+	for i := range s.Shards {
+		ref := shardRef{Campaign: id, Shard: s.Shards[i].Shard}
+		if info, held := e.leases.Info(ref); held {
+			s.Shards[i].State = ShardLeased
+			s.Shards[i].Worker = info.Worker
+			s.Shards[i].Token = info.Token
+			s.Shards[i].LeaseAgeMS = info.Age.Milliseconds()
+		}
+	}
+	return s, true
 }
 
 // List returns every campaign's status in submission order.
@@ -459,9 +879,7 @@ func (e *Engine) List() []Status {
 
 // Report returns the merged report of a finished campaign.
 func (e *Engine) Report(id string) ([]byte, error) {
-	e.mu.Lock()
-	st, ok := e.campaigns[id]
-	e.mu.Unlock()
+	st, ok := e.stateFor(id)
 	if !ok {
 		return nil, fmt.Errorf("campaign: unknown campaign %q", id)
 	}
@@ -476,9 +894,7 @@ func (e *Engine) Report(id string) ([]byte, error) {
 
 // Divergences returns a campaign's divergences in manifest order.
 func (e *Engine) Divergences(id string) ([]*Divergence, error) {
-	e.mu.Lock()
-	st, ok := e.campaigns[id]
-	e.mu.Unlock()
+	st, ok := e.stateFor(id)
 	if !ok {
 		return nil, fmt.Errorf("campaign: unknown campaign %q", id)
 	}

@@ -58,9 +58,9 @@ type Spec struct {
 // (bench). Index is the item's position in the whole-campaign manifest — the
 // key its report line merges under.
 type Item struct {
-	Index int
-	Seed  int64
-	Exp   string
+	Index int    `json:"index"`
+	Seed  int64  `json:"seed,omitempty"`
+	Exp   string `json:"exp,omitempty"`
 }
 
 // Key names the item in logs and job IDs.

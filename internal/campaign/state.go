@@ -24,11 +24,16 @@ import (
 // item, never trusting a torn one.
 
 // journalEntry is one journal line: the item's manifest index, its merged-
-// report line and, for diverging items, the divergence payload.
+// report line and, for diverging items, the divergence payload. Instrs is
+// the item's retired-instruction count (the host-MIPS numerator), carried so
+// a resumed or remotely-executed campaign keeps its throughput accounting.
+// journalEntry doubles as the wire format worker entries stream back in
+// (heartbeat/complete bodies).
 type journalEntry struct {
-	Index int             `json:"i"`
-	Line  json.RawMessage `json:"line"`
-	Div   *Divergence     `json:"div,omitempty"`
+	Index  int             `json:"i"`
+	Line   json.RawMessage `json:"line"`
+	Div    *Divergence     `json:"div,omitempty"`
+	Instrs uint64          `json:"instrs,omitempty"`
 }
 
 // writeAtomic writes data to path via a same-directory temp file and rename,

@@ -1,0 +1,368 @@
+package campaign
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"io"
+	"net/http"
+	"runtime"
+	"sync"
+	"time"
+
+	"xt910/internal/retry"
+	"xt910/internal/sched"
+)
+
+// WorkerOptions configures one campaign worker process (cmd/xtworker,
+// xtcampd -worker, or an in-process worker in tests).
+type WorkerOptions struct {
+	// Coordinator is the coordinator's base URL (http://host:port). Required.
+	Coordinator string
+	// ID is the worker's identity in leases and /progress. Required.
+	ID string
+	// Jobs is the item pool width within a shard (<= 0: the shard spec's
+	// Jobs, then GOMAXPROCS). Any width produces identical report lines.
+	Jobs int
+	// Runner substitutes the item executor (tests); nil selects the real
+	// tool runner.
+	Runner Runner
+	// Client substitutes the HTTP client (tests inject chaos transports);
+	// nil uses a fresh client with a 30s per-request timeout.
+	Client *http.Client
+	// Poll is the idle re-poll interval when the coordinator has no work
+	// (<= 0: 500ms). Polling doubles as the worker's liveness signal while
+	// idle.
+	Poll time.Duration
+	// Retry shapes the backoff for transient coordinator failures
+	// (connection refused, 5xx/503 drain). Zero value: retry.Default().
+	Retry retry.Policy
+	// Seed seeds the backoff jitter stream; 0 derives one from ID, so a
+	// restarted fleet does not stampede in phase.
+	Seed int64
+	// Logf receives worker log lines; nil discards them.
+	Logf func(format string, args ...any)
+	// MaxShards stops the worker after completing (or abandoning) this many
+	// shards; 0 runs until ctx ends. Tests and drain scripts use it.
+	MaxShards int
+
+	// DropHeartbeat is a chaos hook: when it returns true the worker
+	// silently skips sending that heartbeat (simulating heartbeat loss
+	// without killing the worker). Nil: never drop.
+	DropHeartbeat func() bool
+}
+
+// RunWorker pulls shard leases from the coordinator and executes them until
+// ctx ends (or MaxShards is reached): items run on a sched pool through the
+// same Runner entry points the local executor uses, finished entries stream
+// back on every heartbeat, and the final batch rides the /complete call.
+// Transient coordinator failures back off on the seeded retry schedule; a
+// fencing rejection (409) abandons the shard immediately — some newer lease
+// owns it, and at-least-once re-execution is safe by journal keep-first.
+func RunWorker(ctx context.Context, opts WorkerOptions) error {
+	if opts.Coordinator == "" || opts.ID == "" {
+		return fmt.Errorf("campaign: worker needs Coordinator and ID")
+	}
+	if opts.ID == localWorkerID {
+		return fmt.Errorf("campaign: worker id %q is reserved", localWorkerID)
+	}
+	if opts.Runner == nil {
+		opts.Runner = toolRunner{}
+	}
+	if opts.Client == nil {
+		opts.Client = &http.Client{Timeout: 30 * time.Second}
+	}
+	if opts.Poll <= 0 {
+		opts.Poll = 500 * time.Millisecond
+	}
+	if (opts.Retry == retry.Policy{}) {
+		opts.Retry = retry.Default()
+	}
+	if opts.Seed == 0 {
+		h := fnv.New64a()
+		io.WriteString(h, opts.ID)
+		opts.Seed = int64(h.Sum64())
+	}
+	if opts.Logf == nil {
+		opts.Logf = func(string, ...any) {}
+	}
+
+	w := &worker{opts: opts, backoff: retry.New(opts.Retry, opts.Seed)}
+	completed := 0
+	for ctx.Err() == nil {
+		grant, err := w.lease(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				break
+			}
+			w.sleepBackoff(ctx)
+			continue
+		}
+		if grant == nil { // no work pending
+			w.backoff.Reset()
+			w.sleep(ctx, opts.Poll)
+			continue
+		}
+		w.backoff.Reset()
+		w.runShard(ctx, grant)
+		completed++
+		if opts.MaxShards > 0 && completed >= opts.MaxShards {
+			break
+		}
+	}
+	if ctx.Err() != nil {
+		return nil
+	}
+	return nil
+}
+
+type worker struct {
+	opts    WorkerOptions
+	backoff *retry.Backoff
+}
+
+func (w *worker) sleep(ctx context.Context, d time.Duration) {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+	case <-t.C:
+	}
+}
+
+func (w *worker) sleepBackoff(ctx context.Context) {
+	d, _ := w.backoff.Next()
+	w.sleep(ctx, d)
+}
+
+// statusError carries a non-2xx coordinator reply.
+type statusError struct {
+	code int
+	body string
+}
+
+func (e *statusError) Error() string {
+	return fmt.Sprintf("campaign: coordinator replied %d: %s", e.code, e.body)
+}
+
+// post sends one JSON request. Network errors and 5xx are transient (retry);
+// 409 is the fencing rejection; other 4xx are protocol errors.
+func (w *worker) post(ctx context.Context, path string, body, out any) (int, error) {
+	b, err := json.Marshal(body)
+	if err != nil {
+		return 0, err
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		w.opts.Coordinator+path, bytes.NewReader(b))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.opts.Client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode == http.StatusNoContent {
+		return resp.StatusCode, nil
+	}
+	if resp.StatusCode/100 != 2 {
+		msg, _ := io.ReadAll(io.LimitReader(resp.Body, 1024))
+		return resp.StatusCode, &statusError{code: resp.StatusCode, body: string(bytes.TrimSpace(msg))}
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, err
+		}
+	}
+	return resp.StatusCode, nil
+}
+
+// lease asks for a shard. nil grant (no error) means no work is pending.
+func (w *worker) lease(ctx context.Context) (*LeaseGrant, error) {
+	var grant LeaseGrant
+	code, err := w.post(ctx, "/api/v1/lease", leaseRequest{Worker: w.opts.ID}, &grant)
+	if err != nil {
+		return nil, err
+	}
+	if code == http.StatusNoContent {
+		return nil, nil
+	}
+	return &grant, nil
+}
+
+// entryBuffer accumulates finished entries between heartbeats.
+type entryBuffer struct {
+	mu      sync.Mutex
+	entries []journalEntry
+}
+
+func (b *entryBuffer) add(e journalEntry) {
+	b.mu.Lock()
+	b.entries = append(b.entries, e)
+	b.mu.Unlock()
+}
+
+// take drains the buffer; give returns entries after a failed send.
+func (b *entryBuffer) take() []journalEntry {
+	b.mu.Lock()
+	out := b.entries
+	b.entries = nil
+	b.mu.Unlock()
+	return out
+}
+
+func (b *entryBuffer) give(es []journalEntry) {
+	if len(es) == 0 {
+		return
+	}
+	b.mu.Lock()
+	b.entries = append(es, b.entries...)
+	b.mu.Unlock()
+}
+
+// runShard executes one leased shard: the not-yet-done items on a sched
+// pool, heartbeats (with streamed entries) every TTL/3, the remainder on
+// /complete. A fenced-off heartbeat cancels the run mid-shard.
+func (w *worker) runShard(ctx context.Context, g *LeaseGrant) {
+	ttl := time.Duration(g.TTLMS) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	doneSet := make(map[int]bool, len(g.Done))
+	for _, i := range g.Done {
+		doneSet[i] = true
+	}
+	var pending []Item
+	for _, it := range g.Items {
+		if !doneSet[it.Index] {
+			pending = append(pending, it)
+		}
+	}
+	w.opts.Logf("xtworker %s: leased %s/shard%d token=%d (%d/%d items pending)",
+		w.opts.ID, g.Campaign, g.Shard, g.Token, len(pending), len(g.Items))
+
+	width := w.opts.Jobs
+	if width <= 0 {
+		width = g.Spec.Jobs
+	}
+	if width <= 0 {
+		width = runtime.GOMAXPROCS(0)
+	}
+
+	var buf entryBuffer
+	shardCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	// Heartbeat loop: renew the lease and stream the entries finished since
+	// the last beat. Transient failures put the entries back and try again
+	// next tick (the TTL gives us ~3 misses of slack); a 409 means the
+	// token is fenced off — abandon the shard, the work re-runs elsewhere.
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() {
+		defer hbWG.Done()
+		t := time.NewTicker(ttl / 3)
+		defer t.Stop()
+		for {
+			select {
+			case <-shardCtx.Done():
+				return
+			case <-t.C:
+			}
+			if w.opts.DropHeartbeat != nil && w.opts.DropHeartbeat() {
+				w.opts.Logf("xtworker %s: chaos: dropping heartbeat for %s/shard%d",
+					w.opts.ID, g.Campaign, g.Shard)
+				continue
+			}
+			entries := buf.take()
+			msg := shardMessage{Worker: w.opts.ID, Campaign: g.Campaign,
+				Shard: g.Shard, Token: g.Token, Entries: entries}
+			code, err := w.post(shardCtx, "/api/v1/heartbeat", msg, nil)
+			if err == nil {
+				continue
+			}
+			if code == http.StatusConflict {
+				w.opts.Logf("xtworker %s: lease on %s/shard%d fenced off; abandoning",
+					w.opts.ID, g.Campaign, g.Shard)
+				cancel()
+				return
+			}
+			// Transient (partition, drain, 5xx): keep the entries for the
+			// next beat and keep computing.
+			buf.give(entries)
+			w.opts.Logf("xtworker %s: heartbeat failed (will retry): %v", w.opts.ID, err)
+		}
+	}()
+
+	jobs := make([]sched.Job, len(pending))
+	for j, it := range pending {
+		it := it
+		jobs[j] = sched.Job{
+			ID: fmt.Sprintf("%s/shard%d/%s", g.Campaign, g.Shard, it.Key()),
+			Run: func(jctx context.Context) (any, error) {
+				res, err := w.opts.Runner.Run(jctx, g.Spec, it)
+				return res, err
+			},
+		}
+	}
+	var itemErr error
+	rs := sched.Run(shardCtx, jobs, sched.Options{
+		Workers: width,
+		OnResult: func(j int, r sched.Result) {
+			if r.Err != nil {
+				return
+			}
+			res := r.Value.(ItemResult)
+			buf.add(journalEntry{Index: pending[j].Index, Line: res.Line,
+				Div: res.Div, Instrs: r.Instrs})
+		},
+	})
+	cancel()
+	hbWG.Wait()
+
+	if ctx.Err() != nil {
+		return // worker shutting down; lease ages out, shard requeues
+	}
+	if itemErr == nil {
+		itemErr = sched.FirstError(rs)
+	}
+	if shardCtx.Err() != nil && itemErr != nil {
+		// Abandoned mid-run by the fenced-off heartbeat loop: the shard is
+		// someone else's now, nothing to send. (itemErr == nil means every
+		// item finished before the cancel landed — fall through and offer
+		// the completion; the token check decides.)
+		return
+	}
+
+	msg := shardMessage{Worker: w.opts.ID, Campaign: g.Campaign, Shard: g.Shard,
+		Token: g.Token, Entries: buf.take()}
+	if itemErr != nil {
+		msg.Error = itemErr.Error()
+	}
+	// Completion retries transient failures on the seeded backoff, bounded:
+	// past a handful of attempts the lease has aged out anyway and the shard
+	// will re-run elsewhere. Fencing rejections are permanent.
+	policy := w.opts.Retry
+	if policy.Attempts == 0 {
+		policy.Attempts = 8
+	}
+	err := retry.Do(ctx, policy, w.opts.Seed+int64(g.Token), func() error {
+		code, err := w.post(ctx, "/api/v1/complete", msg, nil)
+		if err == nil {
+			return nil
+		}
+		if code == http.StatusConflict || (code >= 400 && code < 500 && code != 429) {
+			return retry.Permanent(err)
+		}
+		return err
+	})
+	if err != nil {
+		w.opts.Logf("xtworker %s: complete %s/shard%d token=%d not accepted: %v",
+			w.opts.ID, g.Campaign, g.Shard, g.Token, err)
+		return
+	}
+	w.opts.Logf("xtworker %s: completed %s/shard%d token=%d", w.opts.ID, g.Campaign, g.Shard, g.Token)
+}

@@ -1,0 +1,155 @@
+package retry
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"testing"
+	"time"
+)
+
+// TestBackoffDeterministic pins the exact delay schedule for a fixed
+// (Policy, seed): the worker's retry timing is reproducible, so chaos-test
+// timelines are too.
+func TestBackoffDeterministic(t *testing.T) {
+	p := Policy{Base: 100 * time.Millisecond, Cap: 2 * time.Second, Factor: 2, Jitter: 0.5}
+	a := New(p, 42)
+	b := New(p, 42)
+	c := New(p, 43)
+	var sa, sb, sc []time.Duration
+	for i := 0; i < 12; i++ {
+		da, _ := a.Next()
+		db, _ := b.Next()
+		dc, _ := c.Next()
+		sa, sb, sc = append(sa, da), append(sb, db), append(sc, dc)
+	}
+	for i := range sa {
+		if sa[i] != sb[i] {
+			t.Fatalf("same seed diverges at attempt %d: %v != %v", i, sa[i], sb[i])
+		}
+	}
+	diff := false
+	for i := range sa {
+		if sa[i] != sc[i] {
+			diff = true
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical jitter streams")
+	}
+}
+
+// TestBackoffSchedule is the table-driven shape check: exponential growth
+// from Base by Factor, capped at Cap, each delay within the jitter envelope
+// [d*(1-J), d).
+func TestBackoffSchedule(t *testing.T) {
+	cases := []struct {
+		name string
+		p    Policy
+		want []time.Duration // pre-jitter ideal delays
+	}{
+		{
+			name: "doubling capped",
+			p:    Policy{Base: 10 * time.Millisecond, Cap: 80 * time.Millisecond, Factor: 2, Jitter: 0.5},
+			want: []time.Duration{10e6, 20e6, 40e6, 80e6, 80e6, 80e6},
+		},
+		{
+			name: "no jitter exact",
+			p:    Policy{Base: 5 * time.Millisecond, Cap: 40 * time.Millisecond, Factor: 2},
+			want: []time.Duration{5e6, 10e6, 20e6, 40e6, 40e6},
+		},
+		{
+			name: "factor 3 uncapped",
+			p:    Policy{Base: 1 * time.Millisecond, Factor: 3},
+			want: []time.Duration{1e6, 3e6, 9e6, 27e6},
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			b := New(tc.p, 7)
+			for i, ideal := range tc.want {
+				d, ok := b.Next()
+				if !ok {
+					t.Fatalf("attempt %d: budget exhausted unexpectedly", i)
+				}
+				lo := time.Duration(float64(ideal) * (1 - tc.p.Jitter))
+				if d < lo || d > ideal {
+					t.Fatalf("attempt %d: delay %v outside [%v, %v]", i, d, lo, ideal)
+				}
+				if tc.p.Jitter == 0 && d != ideal {
+					t.Fatalf("attempt %d: jitter-free delay %v != %v", i, d, ideal)
+				}
+			}
+		})
+	}
+}
+
+func TestBackoffAttemptBudget(t *testing.T) {
+	b := New(Policy{Base: time.Millisecond, Factor: 2, Attempts: 3}, 1)
+	for i := 0; i < 3; i++ {
+		if _, ok := b.Next(); !ok {
+			t.Fatalf("attempt %d refused within budget", i)
+		}
+	}
+	if _, ok := b.Next(); ok {
+		t.Fatal("attempt past budget granted")
+	}
+	b.Reset()
+	if _, ok := b.Next(); !ok {
+		t.Fatal("Reset did not restore the budget")
+	}
+}
+
+func TestDoRetriesUntilSuccess(t *testing.T) {
+	n := 0
+	err := Do(context.Background(), Policy{Base: time.Microsecond, Factor: 2}, 1, func() error {
+		n++
+		if n < 4 {
+			return fmt.Errorf("transient %d", n)
+		}
+		return nil
+	})
+	if err != nil || n != 4 {
+		t.Fatalf("Do: err=%v n=%d, want nil/4", err, n)
+	}
+}
+
+func TestDoPermanentStops(t *testing.T) {
+	sentinel := errors.New("fenced off")
+	n := 0
+	err := Do(context.Background(), Policy{Base: time.Microsecond, Factor: 2}, 1, func() error {
+		n++
+		return Permanent(sentinel)
+	})
+	if !errors.Is(err, sentinel) || n != 1 {
+		t.Fatalf("Do: err=%v n=%d, want sentinel/1", err, n)
+	}
+	if !IsPermanent(Permanent(sentinel)) || IsPermanent(sentinel) {
+		t.Fatal("IsPermanent misclassifies")
+	}
+}
+
+func TestDoAttemptBudgetReturnsLastError(t *testing.T) {
+	n := 0
+	err := Do(context.Background(), Policy{Base: time.Microsecond, Factor: 2, Attempts: 2}, 1, func() error {
+		n++
+		return fmt.Errorf("attempt %d", n)
+	})
+	if n != 3 {
+		t.Fatalf("Attempts=2 ran f %d times, want 3", n)
+	}
+	if err == nil || err.Error() != "attempt 3" {
+		t.Fatalf("Do returned %v, want last error", err)
+	}
+}
+
+func TestDoContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	err := Do(ctx, Policy{Base: time.Hour, Factor: 2}, 1, func() error {
+		return errors.New("transient")
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Do: %v, want context.Canceled", err)
+	}
+}
