@@ -10,6 +10,7 @@ import (
 	"net/http"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xt910/internal/retry"
@@ -132,9 +133,18 @@ func (w *worker) sleep(ctx context.Context, d time.Duration) {
 	}
 }
 
+// backoffDelay yields the next lease-loop delay. Once a bounded policy's
+// attempt budget runs out the loop must keep probing the coordinator anyway,
+// so it holds at the poll cadence instead of spinning on zero-length sleeps.
+func (w *worker) backoffDelay() time.Duration {
+	if d, ok := w.backoff.Next(); ok {
+		return d
+	}
+	return w.opts.Poll
+}
+
 func (w *worker) sleepBackoff(ctx context.Context) {
-	d, _ := w.backoff.Next()
-	w.sleep(ctx, d)
+	w.sleep(ctx, w.backoffDelay())
 }
 
 // statusError carries a non-2xx coordinator reply.
@@ -223,6 +233,48 @@ func (b *entryBuffer) give(es []journalEntry) {
 	b.mu.Unlock()
 }
 
+// entryBatchBytes bounds the encoded entry payload of one worker POST,
+// leaving the coordinator's maxEntryBody request cap ample headroom for the
+// envelope fields and encoder overhead.
+const entryBatchBytes = maxEntryBody / 2
+
+// splitEntryBatches cuts entries into consecutive sub-slices whose summed
+// encoded sizes stay under limit, so a backlog accumulated during a long
+// partition never produces a request the coordinator rejects with 413. A
+// single entry over the limit still gets its own batch — splitting cannot
+// shrink it, and nothing the runner emits approaches the cap. An empty
+// input yields one empty batch (a bare lease renewal).
+func splitEntryBatches(entries []journalEntry, limit int) [][]journalEntry {
+	if len(entries) == 0 {
+		return [][]journalEntry{nil}
+	}
+	var batches [][]journalEntry
+	start, size := 0, 0
+	for i, e := range entries {
+		b, _ := json.Marshal(e)
+		n := len(b) + 1 // separator
+		if i > start && size+n > limit {
+			batches = append(batches, entries[start:i])
+			start, size = i, 0
+		}
+		size += n
+	}
+	return append(batches, entries[start:])
+}
+
+// flattenBatches rejoins a tail of batches (after a mid-stream send failure)
+// so the unsent entries can go back into the buffer in order.
+func flattenBatches(batches [][]journalEntry) []journalEntry {
+	if len(batches) == 1 {
+		return batches[0]
+	}
+	var out []journalEntry
+	for _, b := range batches {
+		out = append(out, b...)
+	}
+	return out
+}
+
 // runShard executes one leased shard: the not-yet-done items on a sched
 // pool, heartbeats (with streamed entries) every TTL/3, the remainder on
 // /complete. A fenced-off heartbeat cancels the run mid-shard.
@@ -253,13 +305,15 @@ func (w *worker) runShard(ctx context.Context, g *LeaseGrant) {
 	}
 
 	var buf entryBuffer
+	var fenced atomic.Bool // set by the heartbeat loop before it cancels
 	shardCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
 	// Heartbeat loop: renew the lease and stream the entries finished since
-	// the last beat. Transient failures put the entries back and try again
-	// next tick (the TTL gives us ~3 misses of slack); a 409 means the
-	// token is fenced off — abandon the shard, the work re-runs elsewhere.
+	// the last beat, in batches bounded under the coordinator's request cap.
+	// Transient failures put the unsent entries back and try again next tick
+	// (the TTL gives us ~3 misses of slack); a 409 means the token is fenced
+	// off — abandon the shard, the work re-runs elsewhere.
 	var hbWG sync.WaitGroup
 	hbWG.Add(1)
 	go func() {
@@ -277,23 +331,27 @@ func (w *worker) runShard(ctx context.Context, g *LeaseGrant) {
 					w.opts.ID, g.Campaign, g.Shard)
 				continue
 			}
-			entries := buf.take()
-			msg := shardMessage{Worker: w.opts.ID, Campaign: g.Campaign,
-				Shard: g.Shard, Token: g.Token, Entries: entries}
-			code, err := w.post(shardCtx, "/api/v1/heartbeat", msg, nil)
-			if err == nil {
-				continue
+			batches := splitEntryBatches(buf.take(), entryBatchBytes)
+			for bi, batch := range batches {
+				msg := shardMessage{Worker: w.opts.ID, Campaign: g.Campaign,
+					Shard: g.Shard, Token: g.Token, Entries: batch}
+				code, err := w.post(shardCtx, "/api/v1/heartbeat", msg, nil)
+				if err == nil {
+					continue
+				}
+				if code == http.StatusConflict {
+					w.opts.Logf("xtworker %s: lease on %s/shard%d fenced off; abandoning",
+						w.opts.ID, g.Campaign, g.Shard)
+					fenced.Store(true)
+					cancel()
+					return
+				}
+				// Transient (partition, drain, 5xx): keep this batch and the
+				// unsent remainder for the next beat and keep computing.
+				buf.give(flattenBatches(batches[bi:]))
+				w.opts.Logf("xtworker %s: heartbeat failed (will retry): %v", w.opts.ID, err)
+				break
 			}
-			if code == http.StatusConflict {
-				w.opts.Logf("xtworker %s: lease on %s/shard%d fenced off; abandoning",
-					w.opts.ID, g.Campaign, g.Shard)
-				cancel()
-				return
-			}
-			// Transient (partition, drain, 5xx): keep the entries for the
-			// next beat and keep computing.
-			buf.give(entries)
-			w.opts.Logf("xtworker %s: heartbeat failed (will retry): %v", w.opts.ID, err)
 		}
 	}()
 
@@ -329,7 +387,7 @@ func (w *worker) runShard(ctx context.Context, g *LeaseGrant) {
 	if itemErr == nil {
 		itemErr = sched.FirstError(rs)
 	}
-	if shardCtx.Err() != nil && itemErr != nil {
+	if fenced.Load() && itemErr != nil {
 		// Abandoned mid-run by the fenced-off heartbeat loop: the shard is
 		// someone else's now, nothing to send. (itemErr == nil means every
 		// item finished before the cancel landed — fall through and offer
@@ -337,11 +395,6 @@ func (w *worker) runShard(ctx context.Context, g *LeaseGrant) {
 		return
 	}
 
-	msg := shardMessage{Worker: w.opts.ID, Campaign: g.Campaign, Shard: g.Shard,
-		Token: g.Token, Entries: buf.take()}
-	if itemErr != nil {
-		msg.Error = itemErr.Error()
-	}
 	// Completion retries transient failures on the seeded backoff, bounded:
 	// past a handful of attempts the lease has aged out anyway and the shard
 	// will re-run elsewhere. Fencing rejections are permanent.
@@ -349,12 +402,40 @@ func (w *worker) runShard(ctx context.Context, g *LeaseGrant) {
 	if policy.Attempts == 0 {
 		policy.Attempts = 8
 	}
+	isPermanentCode := func(code int) bool {
+		return code == http.StatusConflict || (code >= 400 && code < 500 && code != 429)
+	}
+
+	// A long partition can leave more finished entries than one request's
+	// budget. Stream all but the last batch down over /heartbeat first —
+	// those entries journal durably — so the /complete body itself always
+	// fits under the coordinator's cap.
+	batches := splitEntryBatches(buf.take(), entryBatchBytes)
+	for bi, batch := range batches[:len(batches)-1] {
+		hb := shardMessage{Worker: w.opts.ID, Campaign: g.Campaign, Shard: g.Shard,
+			Token: g.Token, Entries: batch}
+		err := retry.Do(ctx, policy, w.opts.Seed+int64(g.Token)+int64(bi), func() error {
+			code, err := w.post(ctx, "/api/v1/heartbeat", hb, nil)
+			if err != nil && isPermanentCode(code) {
+				return retry.Permanent(err)
+			}
+			return err
+		})
+		if err != nil {
+			w.opts.Logf("xtworker %s: draining entries for %s/shard%d token=%d failed: %v",
+				w.opts.ID, g.Campaign, g.Shard, g.Token, err)
+			return
+		}
+	}
+
+	msg := shardMessage{Worker: w.opts.ID, Campaign: g.Campaign, Shard: g.Shard,
+		Token: g.Token, Entries: batches[len(batches)-1]}
+	if itemErr != nil {
+		msg.Error = itemErr.Error()
+	}
 	err := retry.Do(ctx, policy, w.opts.Seed+int64(g.Token), func() error {
 		code, err := w.post(ctx, "/api/v1/complete", msg, nil)
-		if err == nil {
-			return nil
-		}
-		if code == http.StatusConflict || (code >= 400 && code < 500 && code != 429) {
+		if err != nil && isPermanentCode(code) {
 			return retry.Permanent(err)
 		}
 		return err

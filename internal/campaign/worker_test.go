@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"xt910/internal/cliflags"
+	"xt910/internal/retry"
 )
 
 // mkEntry builds a synthetic journal entry for engine-level protocol tests.
@@ -509,4 +510,119 @@ func TestHTTPLeaseEndpoints(t *testing.T) {
 		t.Fatalf("complete: %d %s", resp.StatusCode, body)
 	}
 	waitStatus(t, e, id, StatusDone)
+}
+
+// TestWorkerReportsItemErrorOverHTTP drives a deterministically failing item
+// through the full RunWorker loop: the error must ride /complete and fail the
+// campaign, matching the local executor's semantics. Regression: the worker
+// once mistook its own post-run cancel for a fencing abandon and never
+// reported item errors, leaving the shard in an expiry/requeue loop forever.
+func TestWorkerReportsItemErrorOverHTTP(t *testing.T) {
+	stub := stubRunner{sigFor: func(int64) string { return "" }}
+	e, err := Open(Options{StateDir: t.TempDir(), Jobs: 1, DisableLocal: true,
+		LeaseTTL: 500 * time.Millisecond, Runner: stub})
+	if err != nil {
+		t.Fatalf("open: %v", err)
+	}
+	defer e.Close()
+	srv := httptest.NewServer(NewHandler(e))
+	defer srv.Close()
+
+	failing := runnerFunc(func(ctx context.Context, spec *Spec, it Item) (ItemResult, error) {
+		if it.Seed == 2 {
+			return ItemResult{}, errors.New("runner exploded on seed 2")
+		}
+		return stub.Run(ctx, spec, it)
+	})
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		RunWorker(ctx, WorkerOptions{
+			Coordinator: srv.URL, ID: "w-itemerr", Jobs: 1, Runner: failing,
+			Poll: 20 * time.Millisecond, Seed: 11, Logf: t.Logf,
+		})
+	}()
+
+	id, err := e.Submit(&Spec{Tool: "fuzz", Knobs: cliflags.Knobs{N: 4, Seed: 1}, Shards: 2})
+	if err != nil {
+		t.Fatalf("submit: %v", err)
+	}
+	s := waitStatus(t, e, id, StatusFailed)
+	if !strings.Contains(s.Error, "runner exploded") {
+		t.Fatalf("campaign error %q missing the worker's item error", s.Error)
+	}
+	cancel()
+	wg.Wait()
+}
+
+// TestSplitEntryBatches pins the batching that keeps worker uploads under
+// the coordinator's request cap: batches respect the size limit, preserve
+// order, drop nothing, and an empty input still yields the one empty batch
+// that carries a bare lease renewal.
+func TestSplitEntryBatches(t *testing.T) {
+	if got := splitEntryBatches(nil, 100); len(got) != 1 || got[0] != nil {
+		t.Fatalf("empty input: %v, want one empty batch", got)
+	}
+
+	var entries []journalEntry
+	for i := 0; i < 10; i++ {
+		entries = append(entries, mkEntry(i, int64(i)))
+	}
+	one, _ := json.Marshal(entries[0])
+	limit := 3 * (len(one) + 1) // ~3 entries per batch
+
+	batches := splitEntryBatches(entries, limit)
+	if len(batches) < 3 {
+		t.Fatalf("10 entries under a 3-entry budget split into %d batches", len(batches))
+	}
+	var flat []journalEntry
+	for _, b := range batches {
+		size := 0
+		for _, e := range b {
+			enc, _ := json.Marshal(e)
+			size += len(enc) + 1
+		}
+		if size > limit {
+			t.Fatalf("batch of %d entries encodes to %d bytes, over the %d limit", len(b), size, limit)
+		}
+		flat = append(flat, b...)
+	}
+	if len(flat) != len(entries) {
+		t.Fatalf("batches hold %d entries, want %d", len(flat), len(entries))
+	}
+	for i := range flat {
+		if flat[i].Index != entries[i].Index {
+			t.Fatalf("entry %d reordered: got index %d", i, flat[i].Index)
+		}
+	}
+	if got := flattenBatches(batches); len(got) != len(entries) || got[0].Index != 0 {
+		t.Fatalf("flattenBatches: %d entries", len(got))
+	}
+
+	// One entry over the limit still travels (its own batch).
+	big := splitEntryBatches(entries[:1], 1)
+	if len(big) != 1 || len(big[0]) != 1 {
+		t.Fatalf("oversized single entry: %v", big)
+	}
+}
+
+// TestBackoffDelayExhaustedFallsBackToPoll: a caller-supplied bounded retry
+// policy must not make the lease loop spin hot once its attempt budget is
+// spent — the worker holds at the poll cadence instead.
+func TestBackoffDelayExhaustedFallsBackToPoll(t *testing.T) {
+	opts := WorkerOptions{Poll: 123 * time.Millisecond,
+		Retry: retry.Policy{Base: 10 * time.Millisecond, Attempts: 1}}
+	w := &worker{opts: opts, backoff: retry.New(opts.Retry, 1)}
+	if d := w.backoffDelay(); d != 10*time.Millisecond {
+		t.Fatalf("first delay %v, want the policy base", d)
+	}
+	for i := 0; i < 3; i++ {
+		if d := w.backoffDelay(); d != opts.Poll {
+			t.Fatalf("exhausted delay %v, want poll interval %v", d, opts.Poll)
+		}
+	}
 }
